@@ -1,0 +1,78 @@
+// Ablation A1: *why* does Skil beat the older C version in Table 1?
+// The paper credits "virtual topologies" and "asynchronous
+// communication".  This bench toggles the two ingredients (plus the
+// hand-tuned inner loop) independently on the hand-written C shortest
+// paths and shows each one's contribution.
+//
+// Usage: bench_ablation_topology [--n=120] [--p=16] [--csv=path]
+#include <cstdio>
+
+#include "apps/shortest_paths.h"
+#include "bench_common.h"
+#include "support/cli.h"
+#include "support/csv.h"
+#include "support/table.h"
+
+int main(int argc, char** argv) {
+  using namespace skil;
+  using namespace skil::bench;
+
+  const support::Cli cli(argc, argv, {"n", "p", "csv"});
+  const int n = cli.get_int("n", 120);
+  const int p = cli.get_int("p", 16);
+  const std::uint64_t seed = 555;
+
+  banner("A1 -- ablation: virtual topology / asynchronous overlap / "
+         "tuned loop (hand-written C shortest paths, p = " +
+         std::to_string(p) + ", n = " + std::to_string(n) + ")");
+
+  struct Variant {
+    const char* name;
+    apps::CImplOptions options;
+  };
+  const Variant variants[] = {
+      {"old C (none)", {false, false, false}},
+      {"+ virtual topology", {true, false, false}},
+      {"+ async overlap", {false, true, false}},
+      {"+ tuned loop", {false, false, true}},
+      {"topology + async", {true, true, false}},
+      {"fully optimized", {true, true, true}},
+  };
+
+  support::Table table({"variant", "time [s]", "vs old C", "comm share"});
+  support::CsvWriter csv(cli.get("csv", "bench_ablation_topology.csv"),
+                         {"variant", "seconds", "speedup_vs_old",
+                          "comm_share"});
+  double old_time = 0.0;
+  double skil_time = apps::shpaths_skil(p, n, seed).run.vtime_seconds();
+  bool each_helps = true;
+  double prev_combined = 1e300;
+  for (const Variant& variant : variants) {
+    const auto result = apps::shpaths_c_custom(p, n, seed, variant.options);
+    const double secs_v = result.run.vtime_seconds();
+    if (old_time == 0.0) old_time = secs_v;
+    const double comm_share =
+        result.run.total.comm_us /
+        (result.run.total.comm_us + result.run.total.compute_us);
+    table.add_row({variant.name, support::fmt_fixed(secs_v, 3),
+                   support::fmt_fixed(old_time / secs_v, 3),
+                   support::fmt_fixed(comm_share, 3)});
+    csv.add_row({variant.name, support::fmt_fixed(secs_v, 5),
+                 support::fmt_fixed(old_time / secs_v, 4),
+                 support::fmt_fixed(comm_share, 4)});
+    if (secs_v > old_time * 1.0001) each_helps = false;
+    prev_combined = secs_v;
+  }
+  table.add_separator();
+  table.add_row({"Skil (skeletons)", support::fmt_fixed(skil_time, 3),
+                 support::fmt_fixed(old_time / skil_time, 3), ""});
+  table.print();
+
+  std::printf("\nshape checks (see EXPERIMENTS.md):\n");
+  shape_check("every single ingredient improves on the old version",
+              each_helps);
+  shape_check("Skil sits between the old and the fully optimized C "
+              "(Table 1's observation)",
+              skil_time < old_time && skil_time > prev_combined);
+  return 0;
+}

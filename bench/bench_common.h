@@ -1,0 +1,42 @@
+// Shared helpers for the table/figure reproduction benches.
+//
+// Every bench prints (a) the paper's reported values, (b) the
+// reproduced values from the virtual-time model, and (c) the shape
+// checks that EXPERIMENTS.md records; it also writes a CSV next to the
+// binary's working directory for replotting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/table.h"
+
+namespace skil::bench {
+
+/// Seconds of modeled time, formatted like the paper's tables.
+inline std::string secs(double vtime_us, int digits = 2) {
+  return support::fmt_fixed(vtime_us * 1e-6, digits);
+}
+
+/// Label "2x2".."8x8" for a square processor grid.
+inline std::string grid_label(int nprocs) {
+  int q = 1;
+  while ((q + 1) * (q + 1) <= nprocs) ++q;
+  if (q * q == nprocs) return std::to_string(q) + "x" + std::to_string(q);
+  return std::to_string(nprocs);
+}
+
+/// Prints a section header.
+inline void banner(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+/// Prints one shape-check line: the qualitative property the paper's
+/// data shows, and whether the reproduction satisfies it.
+inline bool shape_check(const std::string& name, bool holds) {
+  std::printf("  [%s] %s\n", holds ? "OK" : "MISS", name.c_str());
+  return holds;
+}
+
+}  // namespace skil::bench

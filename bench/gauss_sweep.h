@@ -1,0 +1,90 @@
+// The Gaussian-elimination measurement grid shared by bench_table2 and
+// bench_figure1 (paper Table 2 / Figure 1: n in {64..640}, p in
+// {4, 16, 32, 64}, no-pivot variant, all three languages).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "apps/gauss.h"
+
+namespace skil::bench {
+
+struct GaussCell {
+  int p = 0;
+  int n = 0;
+  double skil_s = 0.0;
+  double dpfl_s = 0.0;
+  double c_s = 0.0;
+  double dpfl_over_skil() const { return dpfl_s / skil_s; }
+  double skil_over_c() const { return skil_s / c_s; }
+};
+
+/// Paper Table 2 reference values: Skil absolute seconds (bold),
+/// DPFL/Skil (roman), Skil/Parix-C (italics).  Negative = the paper
+/// does not report the cell (p = 4 ran out of the 1 MB/node memory
+/// beyond n = 384; DPFL was not reported for every cell).
+struct PaperGaussCell {
+  int p;
+  int n;
+  double skil_s;
+  double dpfl_over_skil;
+  double skil_over_c;
+};
+
+inline const std::vector<PaperGaussCell>& paper_table2() {
+  static const std::vector<PaperGaussCell> rows = {
+      {4, 64, 2.06, 6.17, 2.40},     {4, 128, 14.77, 6.52, 2.51},
+      {4, 256, 113.29, 6.65, 2.60},  {4, 384, 377.62, 6.69, 2.64},
+      {4, 512, -1, -1, -1},          {4, 640, -1, -1, -1},
+      {16, 64, 0.91, -1, 1.57},      {16, 128, 4.83, 4.82, 1.73},
+      {16, 256, 32.06, 5.73, 2.02},  {16, 384, 102.16, 6.22, 2.20},
+      {16, 512, 236.13, 6.40, 2.31}, {16, 640, 453.86, 6.48, 2.38},
+      {32, 64, 0.85, 3.87, 1.25},    {32, 128, 3.49, 4.88, 1.24},
+      {32, 256, 19.42, 5.62, 1.45},  {32, 384, 58.03, 5.96, 1.65},
+      {32, 512, 129.89, 6.12, 1.78}, {32, 640, 244.77, 6.24, 1.90},
+      {64, 64, 0.85, 3.48, 1.04},    {64, 128, 2.94, 4.17, 0.94},
+      {64, 256, 13.57, 4.78, 1.03},  {64, 384, 37.03, 5.21, 1.15},
+      {64, 512, 78.71, 5.47, 1.26},  {64, 640, 143.28, 5.68, 1.37},
+  };
+  return rows;
+}
+
+inline std::vector<int> paper_ns(bool quick) {
+  if (quick) return {64, 128};
+  return {64, 128, 256, 384, 512, 640};
+}
+
+inline std::vector<int> paper_ps() { return {4, 16, 32, 64}; }
+
+/// Runs the full grid (Skil + DPFL + C, no pivoting) and returns one
+/// cell per (p, n).  Progress goes to stderr so table output stays
+/// clean.
+inline std::vector<GaussCell> run_gauss_grid(const std::vector<int>& ns,
+                                             const std::vector<int>& ps,
+                                             std::uint64_t seed) {
+  std::vector<GaussCell> cells;
+  for (int p : ps)
+    for (int n : ns) {
+      std::fprintf(stderr, "  running gauss p=%d n=%d ...\n", p, n);
+      GaussCell cell;
+      cell.p = p;
+      cell.n = n;
+      cell.skil_s =
+          apps::gauss_skil(p, n, seed, /*pivoting=*/false).run.vtime_seconds();
+      cell.dpfl_s = apps::gauss_dpfl(p, n, seed).run.vtime_seconds();
+      cell.c_s = apps::gauss_c(p, n, seed).run.vtime_seconds();
+      cells.push_back(cell);
+    }
+  return cells;
+}
+
+/// Paper reference for a (p, n) cell, if reported.
+inline const PaperGaussCell* paper_cell(int p, int n) {
+  for (const auto& row : paper_table2())
+    if (row.p == p && row.n == n) return &row;
+  return nullptr;
+}
+
+}  // namespace skil::bench

@@ -1,0 +1,321 @@
+#include "apps/gauss.h"
+
+#include <cmath>
+#include <utility>
+
+#include "dpfl/dpfl.h"
+#include "parix/collectives.h"
+#include "skil/skil.h"
+
+namespace skil::apps {
+
+namespace {
+
+using support::linear_system_entry;
+using support::pivoting_system_entry;
+
+/// Extended-system entry with padding: rows/columns beyond the
+/// original n form an identity block with zero right-hand side, so the
+/// first n solution components match the unpadded system.
+double gauss_entry(int n, int n_eff, std::uint64_t seed, bool pivoting,
+                   int i, int j) {
+  if (i >= n) {
+    if (j == i) return 1.0;
+    return 0.0;
+  }
+  if (j >= n && j < n_eff) return 0.0;
+  const int jj = j == n_eff ? n : j;  // right-hand side column
+  return pivoting ? pivoting_system_entry(n, seed, i, jj)
+                  : linear_system_entry(n, seed, i, jj);
+}
+
+}  // namespace
+
+int gauss_round_up(int n, int nprocs) {
+  return ((n + nprocs - 1) / nprocs) * nprocs;
+}
+
+namespace {
+
+/// Shared implementation: the entry function supplies the padded
+/// size x (size+1) extended matrix.
+template <class EntryFn>
+GaussResult gauss_skil_impl(int nprocs, int size, EntryFn&& entry,
+                            bool pivoting, parix::CostModel cost) {
+  const int rows_per_proc = size / nprocs;
+  GaussResult result;
+  parix::RunConfig config{nprocs, cost};
+
+  // The paper's customizing argument functions, written as the
+  // free-standing functions the Skil program uses and supplied to the
+  // skeletons via partial application.
+  auto make_elemrec = [](double v, Index ix) {
+    return ElemRec{v, ix[0], ix[1]};
+  };
+  auto max_abs_in_col = [](int k, ElemRec e1, ElemRec e2) {
+    // Maximum over the elements of column k only; other elements act
+    // as the identity.  The row tie-break keeps the fold commutative.
+    if (e1.col != k) return e2;
+    if (e2.col != k) return e1;
+    const double a1 = std::fabs(e1.val);
+    const double a2 = std::fabs(e2.val);
+    if (a1 != a2) return a1 > a2 ? e1 : e2;
+    return e1.row <= e2.row ? e1 : e2;
+  };
+  auto switch_rows = [](int r1, int r2, int row) {
+    if (row == r1) return r2;
+    if (row == r2) return r1;
+    return row;
+  };
+  auto copy_pivot = [](const DistArray<double>& b, int k, double v,
+                       Index ix) {
+    // If this processor's partition of b contains the pivot row,
+    // return its (normalised) element for the piv row; otherwise keep
+    // the old value.
+    const Bounds bds = b.part_bounds();
+    if (bds.lower[0] <= k && k < bds.upper[0]) {
+      b.proc().charge(parix::Op::kFloatOp);  // the division
+      return b.get_elem(Index{k, ix[1]}) / b.get_elem(Index{k, k});
+    }
+    return v;
+  };
+  auto eliminate = [](int k, const DistArray<double>& b,
+                      const DistArray<double>& piv, double v, Index ix) {
+    if (ix[0] == k || ix[1] < k) return v;
+    const int my_piv_row = piv.part_bounds().lower[0];
+    b.proc().charge(parix::Op::kFloatOp, 2);  // multiply and subtract
+    return v - b.get_elem(Index{ix[0], k}) *
+                   piv.get_elem(Index{my_piv_row, ix[1]});
+  };
+  auto normalize = [](const DistArray<double>& a, int last_col, double v,
+                      Index ix) {
+    if (ix[1] != last_col) return v;
+    a.proc().charge(parix::Op::kFloatOp);
+    return v / a.get_elem(Index{ix[0], ix[0]});
+  };
+
+  result.run = parix::spmd_run(config, [&](parix::Proc& proc) {
+    auto init_f = [&](Index ix) { return entry(ix[0], ix[1]); };
+    auto zero = [](Index) { return 0.0; };
+
+    // a, b: size x (size+1); piv: p x (size+1), one row per processor.
+    DistArray<double> a = array_create<double>(
+        proc, 2, Size{size, size + 1}, Size{rows_per_proc, size + 1},
+        Index{-1, -1}, init_f, parix::Distr::kDefault);
+    DistArray<double> b = array_create<double>(
+        proc, 2, Size{size, size + 1}, Size{rows_per_proc, size + 1},
+        Index{-1, -1}, zero, parix::Distr::kDefault);
+    DistArray<double> piv = array_create<double>(
+        proc, 2, Size{nprocs, size + 1}, Size{1, size + 1}, Index{-1, -1},
+        zero, parix::Distr::kDefault);
+
+    for (int k = 0; k < size; ++k) {
+      if (pivoting) {
+        const ElemRec e =
+            array_fold(make_elemrec, partial(max_abs_in_col, k), a);
+        if (std::fabs(e.val) == 0.0)
+          throw support::AppError("Matrix is singular");
+        if (e.row != k)
+          array_permute_rows(a, partial(switch_rows, e.row, k), b);
+        else
+          array_copy(a, b);
+      } else {
+        array_copy(a, b);
+      }
+      array_map(partial(copy_pivot, std::cref(b), k), piv, piv);
+      array_broadcast_part(piv, Index{k / rows_per_proc, 0});
+      array_map(partial(eliminate, k, std::cref(b), std::cref(piv)), b, a);
+    }
+    array_map(partial(normalize, std::cref(a), size), a, b);
+
+    const std::vector<double> solved = array_gather_root(b);
+    if (proc.id() == 0) {
+      result.x.resize(size);
+      for (int i = 0; i < size; ++i)
+        result.x[i] = solved[static_cast<std::size_t>(i) * (size + 1) + size];
+    }
+
+    array_destroy(a);
+    array_destroy(b);
+    array_destroy(piv);
+  });
+  return result;
+}
+
+}  // namespace
+
+GaussResult gauss_skil(int nprocs, int n, std::uint64_t seed, bool pivoting,
+                       parix::CostModel cost) {
+  const int size = gauss_round_up(n, nprocs);
+  return gauss_skil_impl(
+      nprocs, size,
+      [&](int i, int j) { return gauss_entry(n, size, seed, pivoting, i, j); },
+      pivoting, cost);
+}
+
+GaussResult gauss_skil_matrix(int nprocs, const support::Matrix<double>& ab,
+                              bool pivoting, parix::CostModel cost) {
+  const int n = ab.rows();
+  SKIL_REQUIRE(ab.cols() == n + 1,
+               "gauss_skil_matrix: the system must be n x (n+1)");
+  SKIL_REQUIRE(n % nprocs == 0,
+               "gauss_skil_matrix: nprocs must divide the matrix size");
+  return gauss_skil_impl(
+      nprocs, n, [&](int i, int j) { return ab(i, j); }, pivoting, cost);
+}
+
+GaussResult gauss_dpfl(int nprocs, int n, std::uint64_t seed,
+                       parix::CostModel cost) {
+  const int size = gauss_round_up(n, nprocs);
+  const int rows_per_proc = size / nprocs;
+  GaussResult result;
+  parix::RunConfig config{nprocs, cost};
+
+  result.run = parix::spmd_run(config, [&](parix::Proc& proc) {
+    using dpfl::Closure;
+    using dpfl::FArray;
+
+    const Closure<double(Index)> init_f(proc, [&](Index ix) {
+      return gauss_entry(n, size, seed, /*pivoting=*/false, ix[0], ix[1]);
+    });
+    const Closure<double(Index)> zero(proc, [](Index) { return 0.0; });
+
+    FArray<double> a = dpfl::fa_create<double>(
+        proc, 2, Size{size, size + 1}, init_f, parix::Distr::kDefault,
+        Size{rows_per_proc, size + 1});
+    FArray<double> piv = dpfl::fa_create<double>(
+        proc, 2, Size{nprocs, size + 1}, zero, parix::Distr::kDefault,
+        Size{1, size + 1});
+
+    for (int k = 0; k < size; ++k) {
+      // copy_pivot: normalised pivot-row elements into this
+      // processor's piv row when it owns the pivot row.
+      const Closure<double(double, Index)> copy_pivot(
+          proc, [&a, k, &proc](double v, Index ix) {
+            const Bounds bds = a.part_bounds();
+            if (bds.lower[0] <= k && k < bds.upper[0]) {
+              dpfl::charge_boxed_arith(proc, 1);
+              return a.get_elem(Index{k, ix[1]}) / a.get_elem(Index{k, k});
+            }
+            return v;
+          });
+      piv = dpfl::fa_map(copy_pivot, piv);
+      piv = dpfl::fa_broadcast_part(piv, Index{k / rows_per_proc, 0});
+
+      const FArray<double> source = a;
+      const FArray<double> pivot_rows = piv;
+      const Closure<double(double, Index)> eliminate(
+          proc, [source, pivot_rows, k, &proc](double v, Index ix) {
+            if (ix[0] == k || ix[1] < k) return v;
+            const int my_piv_row = pivot_rows.part_bounds().lower[0];
+            dpfl::charge_boxed_arith(proc, 2);
+            return v - source.get_elem(Index{ix[0], k}) *
+                           pivot_rows.get_elem(Index{my_piv_row, ix[1]});
+          });
+      a = dpfl::fa_map(eliminate, a);
+    }
+
+    const FArray<double> final_a = a;
+    const Closure<double(double, Index)> normalize(
+        proc, [final_a, size, &proc](double v, Index ix) {
+          if (ix[1] != size) return v;
+          dpfl::charge_boxed_arith(proc, 1);
+          return v / final_a.get_elem(Index{ix[0], ix[0]});
+        });
+    a = dpfl::fa_map(normalize, a);
+
+    std::vector<double> flat = dpfl::fa_gather_root(a);
+    if (proc.id() == 0) {
+      result.x.resize(size);
+      for (int i = 0; i < size; ++i)
+        result.x[i] = flat[static_cast<std::size_t>(i) * (size + 1) + size];
+    }
+  });
+  return result;
+}
+
+GaussResult gauss_c(int nprocs, int n, std::uint64_t seed,
+                    parix::CostModel cost) {
+  const int size = gauss_round_up(n, nprocs);
+  const int rows_per_proc = size / nprocs;
+  const int width = size + 1;
+  GaussResult result;
+  parix::RunConfig config{nprocs, cost};
+
+  result.run = parix::spmd_run(config, [&](parix::Proc& proc) {
+    // Hand-written message-passing C: in-place elimination over the
+    // active region only, one tree broadcast of the (normalised) pivot
+    // row per step, no copies and no per-element dispatch.
+    const parix::Topology topo(proc.machine(), parix::Distr::kDefault);
+    const int me = proc.id();
+    const int row0 = me * rows_per_proc;
+
+    std::vector<double> local(static_cast<std::size_t>(rows_per_proc) *
+                              width);
+    for (int i = 0; i < rows_per_proc; ++i)
+      for (int j = 0; j < width; ++j)
+        local[static_cast<std::size_t>(i) * width + j] =
+            gauss_entry(n, size, seed, /*pivoting=*/false, row0 + i, j);
+    proc.charge(parix::Op::kFloatOp, local.size());
+
+    for (int k = 0; k < size; ++k) {
+      const int owner = k / rows_per_proc;
+      // The broadcast ships the full normalised row (columns below k
+      // are already zero); restricting it to the active columns would
+      // complicate the code for little gain, so the hand-written
+      // program -- like the skeleton's array_broadcast_part -- moves
+      // whole rows.
+      std::vector<double> pivrow(width);
+      if (me == owner) {
+        const double* row =
+            &local[static_cast<std::size_t>(k - row0) * width];
+        const double inv = 1.0 / row[k];
+        for (int j = 0; j < width; ++j) pivrow[j] = row[j] * inv;
+        proc.charge(parix::Op::kFloatOp,
+                    static_cast<std::uint64_t>(width) + 1);
+      }
+      // The baseline uses the communication library's tree broadcast,
+      // like the skeleton does (Parix shipped broadcast primitives; a
+      // flat owner-sends-to-everyone loop would serialise 63 sends'
+      // software startup and is slower than the paper's reported C
+      // times at small n, so their C cannot have used one).
+      parix::broadcast(proc, topo, owner, pivrow);
+
+      for (int i = 0; i < rows_per_proc; ++i) {
+        if (row0 + i == k) {
+          // The pivot row itself is only normalised.
+          double* row = &local[static_cast<std::size_t>(i) * width];
+          for (int j = k; j < width; ++j) row[j] = pivrow[j];
+          continue;
+        }
+        double* row = &local[static_cast<std::size_t>(i) * width];
+        const double factor = row[k];
+        for (int j = k; j < width; ++j) row[j] -= factor * pivrow[j];
+      }
+      // Three element operations (load, fused multiply-subtract,
+      // store) per active element.
+      proc.charge(parix::Op::kFloatOp,
+                  3 * static_cast<std::uint64_t>(rows_per_proc) *
+                      (width - k));
+    }
+
+    // x_i = a(i, n) / a(i, i); with the normalised pivot rows the
+    // diagonal is already 1.
+    std::vector<double> x_local(rows_per_proc);
+    for (int i = 0; i < rows_per_proc; ++i)
+      x_local[i] = local[static_cast<std::size_t>(i) * width + size] /
+                   local[static_cast<std::size_t>(i) * width + row0 + i];
+    proc.charge(parix::Op::kFloatOp, static_cast<std::uint64_t>(rows_per_proc));
+
+    std::vector<std::vector<double>> parts =
+        parix::gather(proc, topo, 0, std::move(x_local));
+    if (me == 0) {
+      result.x.reserve(size);
+      for (auto& part : parts)
+        result.x.insert(result.x.end(), part.begin(), part.end());
+    }
+  });
+  return result;
+}
+
+}  // namespace skil::apps

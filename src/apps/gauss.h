@@ -1,0 +1,68 @@
+// Gaussian elimination (paper section 4.2).
+//
+// Solves A x = b via the extended n x (n+1) matrix, using the paper's
+// full-column elimination: step k zeroes column k in every row except
+// the pivot row, so after n steps the matrix is diagonal and a final
+// normalisation map yields x.
+//
+// Two algorithm variants, as in the evaluation:
+//  * no-pivot (Table 2 / Figure 1): no pivot search or row exchange --
+//    "this version had been implemented in DPFL and we wanted to make
+//    a fair comparison"; inputs are diagonally dominant so the naive
+//    pivots are safe;
+//  * pivot (section 5.2's "complete" version, ~2x slower): per step an
+//    array_fold locates the row with the maximal |a(r,k)| (raising
+//    "Matrix is singular" if it is zero) and array_permute_rows swaps
+//    it into place.
+//
+// Three language implementations: gauss_skil (skeletons: copy, map,
+// fold, broadcast_part, permute_rows), gauss_dpfl (functional
+// baseline; no-pivot only, matching the paper's DPFL comparison), and
+// gauss_c (hand-written message passing: in-place elimination over the
+// active region only, pivot row broadcast along a tree).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parix/runtime.h"
+#include "support/matrix.h"
+
+namespace skil::apps {
+
+struct GaussResult {
+  std::vector<double> x;  ///< the solution vector
+  parix::RunResult run;
+};
+
+/// Rounds n up so the processor count divides it (the paper assumes
+/// "for simplicity that p divides n").
+int gauss_round_up(int n, int nprocs);
+
+/// The paper's elemrec: per-element value plus position, the fold
+/// domain of the pivot search.
+struct ElemRec {
+  double val = 0.0;
+  int row = 0;
+  int col = 0;
+};
+
+GaussResult gauss_skil(int nprocs, int n, std::uint64_t seed, bool pivoting,
+                       parix::CostModel cost = parix::CostModel::t800());
+
+/// Solves an explicitly given n x (n+1) extended system (n must be a
+/// multiple of nprocs).  Used to exercise inputs the seeded generators
+/// cannot produce -- e.g. a singular matrix, for which the pivoting
+/// variant raises the paper's run-time error "Matrix is singular".
+GaussResult gauss_skil_matrix(int nprocs, const support::Matrix<double>& ab,
+                              bool pivoting,
+                              parix::CostModel cost =
+                                  parix::CostModel::t800());
+
+GaussResult gauss_dpfl(int nprocs, int n, std::uint64_t seed,
+                       parix::CostModel cost = parix::CostModel::t800());
+
+GaussResult gauss_c(int nprocs, int n, std::uint64_t seed,
+                    parix::CostModel cost = parix::CostModel::t800());
+
+}  // namespace skil::apps

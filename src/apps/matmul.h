@@ -1,0 +1,36 @@
+// Classical dense matrix multiplication.
+//
+// The paper's section 5.1 notes: "We have done the comparison between
+// equally optimized C and Skil versions of the matrix multiplication
+// algorithm, and obtained Skil times around 20% slower than direct C
+// times [3]."  This module provides those two versions (the Skil one
+// is a one-line use of array_gen_mult with (+) and (*)), plus the DPFL
+// variant for completeness; bench_s1_matmul_opt reproduces the claim.
+#pragma once
+
+#include <cstdint>
+
+#include "parix/runtime.h"
+#include "support/matrix.h"
+
+namespace skil::apps {
+
+struct MatmulResult {
+  support::Matrix<double> product;
+  parix::RunResult run;
+};
+
+/// Rounds n up to a multiple of the processor-grid side.
+int matmul_round_up(int n, int nprocs);
+
+MatmulResult matmul_skil(int nprocs, int n, std::uint64_t seed,
+                         parix::CostModel cost = parix::CostModel::t800());
+
+MatmulResult matmul_dpfl(int nprocs, int n, std::uint64_t seed,
+                         parix::CostModel cost = parix::CostModel::t800());
+
+/// Equally optimized hand-written C (torus + asynchronous rotations).
+MatmulResult matmul_c(int nprocs, int n, std::uint64_t seed,
+                      parix::CostModel cost = parix::CostModel::t800());
+
+}  // namespace skil::apps

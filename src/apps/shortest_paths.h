@@ -1,0 +1,64 @@
+// All-pairs shortest paths (paper section 4.1).
+//
+// The length of the shortest path between nodes i and j of a weighted
+// graph equals entry (i,j) of A^n, where A is the distance matrix and
+// the matrix "product" uses (min, +) instead of (+, *).  A^n is
+// computed by ceil(log2 n) squarings.
+//
+// Three implementations, matching the paper's evaluation:
+//  * shpaths_skil -- the skeleton program of section 4.1 (array_create,
+//    array_copy, array_gen_mult on a 2-D torus);
+//  * shpaths_dpfl -- the same skeletons in the DPFL functional
+//    baseline;
+//  * shpaths_c    -- hand-written message-passing "Parix-C", in the
+//    two variants of section 5.1: `optimized == false` reproduces the
+//    "older version, which does not use virtual topologies or
+//    asynchronous communication" that Table 1's Skil beats, and
+//    `optimized == true` the equally optimized version that is about
+//    20% faster than Skil.
+//
+// All variants operate on the same deterministic random graph
+// (support::distance_entry) and return the gathered distance matrix
+// plus the run accounting.
+#pragma once
+
+#include <cstdint>
+
+#include "parix/runtime.h"
+#include "support/matrix.h"
+
+namespace skil::apps {
+
+struct ShpathsResult {
+  support::Matrix<std::uint32_t> distances;  ///< gathered A^n
+  parix::RunResult run;
+};
+
+/// Rounds n up to the next multiple of the processor-grid side, as the
+/// paper does ("the next highest value divisible by sqrt(p) was
+/// taken, e.g. n = 201 for sqrt(p) = 3").
+int shpaths_round_up(int n, int nprocs);
+
+ShpathsResult shpaths_skil(int nprocs, int n, std::uint64_t seed,
+                           parix::CostModel cost = parix::CostModel::t800());
+
+ShpathsResult shpaths_dpfl(int nprocs, int n, std::uint64_t seed,
+                           parix::CostModel cost = parix::CostModel::t800());
+
+ShpathsResult shpaths_c(int nprocs, int n, std::uint64_t seed, bool optimized,
+                        parix::CostModel cost = parix::CostModel::t800());
+
+/// The two ingredients the paper credits for Skil beating the old C
+/// version, separately toggleable (bench_ablation_topology).
+struct CImplOptions {
+  bool virtual_topology = true;  ///< folded torus vs raw row-major grid
+  bool async_overlap = true;     ///< overlap rotations with computation
+  bool tuned_loop = true;        ///< hand-tuned inner loop (no residual)
+};
+
+ShpathsResult shpaths_c_custom(int nprocs, int n, std::uint64_t seed,
+                               CImplOptions options,
+                               parix::CostModel cost =
+                                   parix::CostModel::t800());
+
+}  // namespace skil::apps

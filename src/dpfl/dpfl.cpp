@@ -1,0 +1,9 @@
+#include "dpfl/dpfl.h"
+
+namespace skil::dpfl {
+
+const char* baseline_name() {
+  return "DPFL (data-parallel functional language, lazy graph reduction)";
+}
+
+}  // namespace skil::dpfl

@@ -1,0 +1,68 @@
+// Closure-based functional values for the DPFL baseline.
+//
+// DPFL (Kuchen, Plasmeijer, Stoltze: "Efficient Distributed Memory
+// Implementation of a Data Parallel Functional Language", PARLE '94)
+// is the functional skeleton language the paper compares against.  Its
+// implementation executes skeletons by lazy graph reduction: functional
+// arguments are closures, every application builds graph nodes, and
+// values are boxed on the heap.  This module models those mechanisms:
+// Closure<R(Args...)> really dispatches through std::function (an
+// indirect call on the host), and its invocation charges the cost-model
+// prices of a graph-reduction application -- thunk construction, boxed
+// result allocation and the indirect jump -- which the Skil compiler's
+// instantiation procedure eliminates (paper section 2.4).
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "parix/proc.h"
+
+namespace skil::dpfl {
+
+/// Virtual-time prices of one closure application in a lazy
+/// graph-reduction runtime: the indirect call itself plus the thunk
+/// node and the boxed result cell it allocates.
+inline void charge_apply(parix::Proc& proc, std::uint64_t count = 1) {
+  proc.charge(parix::Op::kIndirectCall, count);
+  proc.charge(parix::Op::kAlloc, count);  // application node in the graph
+}
+
+/// Price of reading a boxed value out of the graph (pointer chase).
+inline void charge_unbox(parix::Proc& proc, std::uint64_t count = 1) {
+  proc.charge(parix::Op::kCopyWord, 2 * count);
+}
+
+/// A first-class function value.  Building one allocates a closure
+/// record (charged); calling it is an indirect, boxing application.
+template <class Sig>
+class Closure;
+
+template <class R, class... Args>
+class Closure<R(Args...)> {
+ public:
+  template <class F>
+  Closure(parix::Proc& proc, F&& f)
+      : proc_(&proc), fn_(std::forward<F>(f)) {
+    proc.charge(parix::Op::kAlloc);  // closure record
+  }
+
+  R operator()(Args... args) const {
+    charge_apply(*proc_);
+    return fn_(std::forward<Args>(args)...);
+  }
+
+  /// Invokes without the per-call charge (callers that bulk-charge a
+  /// whole loop use this to keep host overhead low).
+  R apply_uncharged(Args... args) const {
+    return fn_(std::forward<Args>(args)...);
+  }
+
+  parix::Proc& proc() const { return *proc_; }
+
+ private:
+  parix::Proc* proc_;
+  std::function<R(Args...)> fn_;
+};
+
+}  // namespace skil::dpfl

@@ -1,0 +1,189 @@
+// Collective operations over a virtual topology.
+//
+// These are the building blocks the paper's skeletons use internally:
+// array_fold folds partition results "along the edges of a virtual tree
+// topology, with the result finally collected at the root" and then
+// broadcast back; array_broadcast_part broadcasts one partition along
+// the same tree; array_gen_mult rotates partitions around torus rows
+// and columns.
+//
+// All collectives are SPMD: every processor of the machine must call
+// them in the same order.  Each invocation draws one fresh tag (every
+// processor draws the same one) and derives per-step sub-tags from it.
+// Trees are binomial trees over *virtual* ranks, so the underlying hop
+// costs honour the topology embedding.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "parix/proc.h"
+#include "parix/topology.h"
+
+namespace skil::parix {
+
+/// Broadcasts `value` from the processor `root_hw` to all processors
+/// along a binomial tree; on return every processor holds the value.
+template <class T>
+void broadcast(Proc& proc, const Topology& topo, int root_hw, T& value) {
+  const long tag = proc.fresh_tag();
+  const int p = topo.nprocs();
+  const int vroot = topo.vrank_of(root_hw);
+  const int rel = (topo.vrank_of(proc.id()) - vroot + p) % p;
+  auto hw_rel = [&](int r) { return topo.hw_of((r + vroot) % p); };
+
+  int mask = 1;
+  while (mask < p) {
+    if (rel & mask) {
+      value = proc.recv<T>(hw_rel(rel - mask), tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  // After the loop, mask is the receiver's lowest set bit (or the first
+  // power of two >= p at the root); children sit at rel + mask/2^k.
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < p) proc.send<T>(hw_rel(rel + mask), tag, value);
+    mask >>= 1;
+  }
+}
+
+/// Reduces the `local` contributions with `op` onto `root_hw` along a
+/// binomial tree.  Only the root's return value is meaningful; other
+/// processors return their partial accumulation.
+template <class T, class BinOp>
+T reduce(Proc& proc, const Topology& topo, int root_hw, T local, BinOp op) {
+  const long tag = proc.fresh_tag();
+  const int p = topo.nprocs();
+  const int vroot = topo.vrank_of(root_hw);
+  const int rel = (topo.vrank_of(proc.id()) - vroot + p) % p;
+  auto hw_rel = [&](int r) { return topo.hw_of((r + vroot) % p); };
+
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if (rel & mask) {
+      proc.send<T>(hw_rel(rel - mask), tag, std::move(local));
+      return local;
+    }
+    if (rel + mask < p) {
+      T incoming = proc.recv<T>(hw_rel(rel + mask), tag);
+      local = op(std::move(local), std::move(incoming));
+    }
+  }
+  return local;
+}
+
+/// Reduce-to-root followed by broadcast: the paper's array_fold
+/// communication pattern.  Every processor returns the full result.
+template <class T, class BinOp>
+T allreduce(Proc& proc, const Topology& topo, T local, BinOp op) {
+  const int root_hw = topo.hw_of(0);
+  T result = reduce(proc, topo, root_hw, std::move(local), op);
+  broadcast(proc, topo, root_hw, result);
+  return result;
+}
+
+/// Inclusive prefix combination over virtual-rank order
+/// (Hillis-Steele recursive doubling).  `op` must be associative.
+template <class T, class BinOp>
+T scan_inclusive(Proc& proc, const Topology& topo, T local, BinOp op) {
+  const long tag = proc.fresh_tag();
+  const int p = topo.nprocs();
+  const int rel = topo.vrank_of(proc.id());
+  T acc = std::move(local);
+  int step = 0;
+  for (int mask = 1; mask < p; mask <<= 1, ++step) {
+    if (rel + mask < p) proc.send<T>(topo.hw_of(rel + mask), tag + step, acc);
+    if (rel >= mask) {
+      T left = proc.recv<T>(topo.hw_of(rel - mask), tag + step);
+      acc = op(std::move(left), std::move(acc));
+    }
+  }
+  return acc;
+}
+
+/// Gathers one value per processor onto `root_hw` in virtual-rank
+/// order.  The root returns the full vector; others return empty.
+template <class T>
+std::vector<T> gather(Proc& proc, const Topology& topo, int root_hw, T local) {
+  const long tag = proc.fresh_tag();
+  const int p = topo.nprocs();
+  if (proc.id() != root_hw) {
+    proc.send<T>(root_hw, tag, std::move(local));
+    return {};
+  }
+  std::vector<T> all;
+  all.reserve(p);
+  for (int vrank = 0; vrank < p; ++vrank) {
+    const int hw = topo.hw_of(vrank);
+    if (hw == root_hw)
+      all.push_back(local);
+    else
+      all.push_back(proc.recv<T>(hw, tag));
+  }
+  return all;
+}
+
+/// Gather followed by broadcast of the gathered vector.
+template <class T>
+std::vector<T> allgather(Proc& proc, const Topology& topo, T local) {
+  const int root_hw = topo.hw_of(0);
+  std::vector<T> all = gather(proc, topo, root_hw, std::move(local));
+  broadcast(proc, topo, root_hw, all);
+  return all;
+}
+
+/// Personalised all-to-all: `outgoing[vrank]` is delivered to the
+/// processor with that virtual rank; returns the vector received, with
+/// `incoming[vrank]` coming from that virtual rank.
+template <class T>
+std::vector<T> all_to_all(Proc& proc, const Topology& topo,
+                          std::vector<T> outgoing) {
+  const long tag = proc.fresh_tag();
+  const int p = topo.nprocs();
+  SKIL_REQUIRE(static_cast<int>(outgoing.size()) == p,
+               "all_to_all: need one payload per processor");
+  const int self = topo.vrank_of(proc.id());
+  for (int vrank = 0; vrank < p; ++vrank)
+    if (vrank != self)
+      proc.send<T>(topo.hw_of(vrank), tag, std::move(outgoing[vrank]));
+  std::vector<T> incoming(p);
+  incoming[self] = std::move(outgoing[self]);
+  for (int vrank = 0; vrank < p; ++vrank)
+    if (vrank != self) incoming[vrank] = proc.recv<T>(topo.hw_of(vrank), tag);
+  return incoming;
+}
+
+/// Barrier: all processors synchronise; every virtual clock advances to
+/// (at least) the time the slowest processor reached the barrier.
+inline void barrier(Proc& proc, const Topology& topo) {
+  allreduce<char>(proc, topo, 0, [](char a, char) { return a; });
+}
+
+/// Rotates a payload one step around the processors' torus row
+/// (dcol = +1 sends to the right neighbour) or column.  Every processor
+/// sends its payload and receives its new one; used by array_gen_mult's
+/// Gentleman rotations.
+template <class T>
+T torus_rotate(Proc& proc, const Topology& topo, T payload, int drow,
+               int dcol) {
+  const long tag = proc.fresh_tag();
+  const int dst = topo.torus_neighbor(proc.id(), drow, dcol);
+  const int src = topo.torus_neighbor(proc.id(), -drow, -dcol);
+  if (dst == proc.id()) return payload;  // single-processor row/column
+  proc.send<T>(dst, tag, std::move(payload));
+  return proc.recv<T>(src, tag);
+}
+
+/// Ring shift by one position in virtual-rank order.
+template <class T>
+T ring_shift(Proc& proc, const Topology& topo, T payload) {
+  const long tag = proc.fresh_tag();
+  const int dst = topo.ring_next(proc.id());
+  const int src = topo.ring_prev(proc.id());
+  if (dst == proc.id()) return payload;
+  proc.send<T>(dst, tag, std::move(payload));
+  return proc.recv<T>(src, tag);
+}
+
+}  // namespace skil::parix

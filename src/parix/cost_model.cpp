@@ -1,0 +1,23 @@
+#include "parix/cost_model.h"
+
+namespace skil::parix {
+
+CostModel CostModel::t800() { return CostModel{}; }
+
+CostModel CostModel::t800_sync() {
+  CostModel cm;
+  cm.default_send_mode = SendMode::kSync;
+  return cm;
+}
+
+Stats& Stats::operator+=(const Stats& other) {
+  for (int k = 0; k < kOpKinds; ++k) ops[k] += other.ops[k];
+  messages_sent += other.messages_sent;
+  bytes_sent += other.bytes_sent;
+  messages_received += other.messages_received;
+  compute_us += other.compute_us;
+  comm_us += other.comm_us;
+  return *this;
+}
+
+}  // namespace skil::parix

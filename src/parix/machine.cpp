@@ -1,0 +1,36 @@
+#include "parix/machine.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "support/error.h"
+
+namespace skil::parix {
+
+MeshShape near_square_mesh(int nprocs) {
+  SKIL_REQUIRE(nprocs >= 1, "machine needs at least one processor");
+  int best_rows = 1;
+  for (int r = 1; r * r <= nprocs; ++r)
+    if (nprocs % r == 0) best_rows = r;
+  return MeshShape{best_rows, nprocs / best_rows};
+}
+
+Machine::Machine(int nprocs, CostModel cost)
+    : nprocs_(nprocs), cost_(cost), shape_(near_square_mesh(nprocs)) {
+  mailboxes_.reserve(nprocs_);
+  for (int p = 0; p < nprocs_; ++p)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+int Machine::hops(int a, int b) const {
+  SKIL_ASSERT(a >= 0 && a < nprocs_ && b >= 0 && b < nprocs_,
+              "hops: processor id out of range");
+  return std::abs(mesh_row(a) - mesh_row(b)) +
+         std::abs(mesh_col(a) - mesh_col(b));
+}
+
+void Machine::poison_all(const std::string& reason) {
+  for (auto& box : mailboxes_) box->poison(reason);
+}
+
+}  // namespace skil::parix

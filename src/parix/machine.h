@@ -1,0 +1,57 @@
+// The simulated hardware: a 2-D mesh of processors with one mailbox
+// each, mirroring the Parsytec MC's transputer grid.
+//
+// The mesh shape is chosen as close to square as possible (the real
+// machine was 8x8).  Hop counts between processors use the Manhattan
+// metric; virtual topologies (parix/topology.h) are embedded into this
+// mesh and inherit their link costs from it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "parix/cost_model.h"
+#include "parix/mailbox.h"
+
+namespace skil::parix {
+
+/// Hardware mesh dimensions.
+struct MeshShape {
+  int rows = 0;
+  int cols = 0;
+};
+
+/// Picks the most nearly square rows x cols factorisation of p
+/// (rows <= cols), e.g. 64 -> 8x8, 32 -> 4x8, 6 -> 2x3, 7 -> 1x7.
+MeshShape near_square_mesh(int nprocs);
+
+class Machine {
+ public:
+  Machine(int nprocs, CostModel cost);
+
+  int nprocs() const { return nprocs_; }
+  const CostModel& cost() const { return cost_; }
+  MeshShape shape() const { return shape_; }
+
+  /// Mesh row/column of processor `p`.
+  int mesh_row(int p) const { return p / shape_.cols; }
+  int mesh_col(int p) const { return p % shape_.cols; }
+
+  /// Manhattan hop distance between two processors.
+  int hops(int a, int b) const;
+
+  Mailbox& mailbox(int p) { return *mailboxes_[p]; }
+
+  /// Aborts all pending and future receives; called when an SPMD thread
+  /// terminates with an exception.
+  void poison_all(const std::string& reason);
+
+ private:
+  int nprocs_;
+  CostModel cost_;
+  MeshShape shape_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+}  // namespace skil::parix

@@ -1,0 +1,51 @@
+#include "parix/mailbox.h"
+
+#include "support/error.h"
+
+namespace skil::parix {
+
+void Mailbox::put(Message msg) {
+  {
+    const std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::get(int src, long tag, std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mutex_);
+  auto find_match = [&]() -> std::deque<Message>::iterator {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it)
+      if (it->src == src && it->tag == tag) return it;
+    return queue_.end();
+  };
+  const bool ok = cv_.wait_for(lock, timeout, [&] {
+    return poisoned_ || find_match() != queue_.end();
+  });
+  if (poisoned_)
+    throw support::RuntimeFault("receive aborted: " + poison_reason_);
+  if (!ok)
+    throw support::RuntimeFault(
+        "receive timed out (possible deadlock): waiting for src=" +
+        std::to_string(src) + " tag=" + std::to_string(tag));
+  auto it = find_match();
+  Message msg = std::move(*it);
+  queue_.erase(it);
+  return msg;
+}
+
+void Mailbox::poison(const std::string& reason) {
+  {
+    const std::scoped_lock lock(mutex_);
+    poisoned_ = true;
+    poison_reason_ = reason;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::pending() const {
+  const std::scoped_lock lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace skil::parix

@@ -1,0 +1,47 @@
+// Per-processor mailbox with (source, tag) matched receive.
+//
+// Follows the C++ Core Guidelines concurrency rules: the mutex lives
+// next to the data it guards, waits always use a predicate, and locks
+// are scoped (CP.42, CP.44, CP.50).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "parix/message.h"
+
+namespace skil::parix {
+
+class Mailbox {
+ public:
+  /// Enqueues a message (called from the sender's thread).
+  void put(Message msg);
+
+  /// Blocks until a message with matching (src, tag) is available and
+  /// removes it.  FIFO order is preserved per (src, tag) pair because a
+  /// sender's messages are enqueued in program order.
+  ///
+  /// Throws RuntimeFault if the mailbox is poisoned (another processor
+  /// failed) or if `timeout` elapses (deadlock guard for the test
+  /// suite).
+  Message get(int src, long tag,
+              std::chrono::milliseconds timeout = std::chrono::minutes(4));
+
+  /// Wakes all blocked receivers with an error; used when any SPMD
+  /// thread terminates exceptionally so its peers do not hang forever.
+  void poison(const std::string& reason);
+
+  /// Number of queued messages (for tests/diagnostics).
+  std::size_t pending() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool poisoned_ = false;
+  std::string poison_reason_;
+};
+
+}  // namespace skil::parix

@@ -1,0 +1,75 @@
+// Messages exchanged between virtual processors.
+//
+// Payloads are moved into a type-erased shared pointer on send and
+// checked against the expected type on receive; a mismatch indicates a
+// program error (unmatched send/recv pair) and raises RuntimeFault.
+// The payload size in "wire bytes" is computed by the payload_bytes
+// customisation point below so the cost model can price the transfer.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <typeinfo>
+#include <vector>
+
+namespace skil::parix {
+
+/// Wire-size estimate of a payload, used by the cost model.
+/// Trivially copyable values cost their object size; vectors cost the
+/// element data plus a small length header.  Other payload types must
+/// overload payload_bytes in this namespace.
+template <class T>
+  requires std::is_trivially_copyable_v<T>
+std::size_t payload_bytes(const T&) {
+  return sizeof(T);
+}
+
+template <class T>
+  requires std::is_trivially_copyable_v<T>
+std::size_t payload_bytes(const std::vector<T>& v) {
+  return v.size() * sizeof(T) + 8;
+}
+
+inline std::size_t payload_bytes(const std::string& s) {
+  return s.size() + 8;
+}
+
+template <class T>
+std::size_t payload_bytes(const std::vector<std::vector<T>>& vv) {
+  std::size_t total = 8;
+  for (const auto& v : vv) total += payload_bytes(v);
+  return total;
+}
+
+/// A message in flight or queued in a mailbox.
+struct Message {
+  int src = -1;
+  long tag = 0;
+  std::shared_ptr<void> payload;       ///< points at a T
+  const std::type_info* type = nullptr;
+  std::size_t bytes = 0;               ///< modeled wire size
+  double arrival_vtime = 0.0;          ///< virtual delivery timestamp
+};
+
+/// Builds a message from a payload value (moved in).
+template <class T>
+Message make_message(int src, long tag, T value, double arrival_vtime) {
+  Message msg;
+  msg.src = src;
+  msg.tag = tag;
+  msg.bytes = payload_bytes(value);
+  msg.type = &typeid(T);
+  msg.payload = std::make_shared<T>(std::move(value));
+  msg.arrival_vtime = arrival_vtime;
+  return msg;
+}
+
+/// Extracts the payload, moving it out of the (uniquely owned) message.
+template <class T>
+T take_payload(Message& msg) {
+  return std::move(*static_cast<T*>(msg.payload.get()));
+}
+
+}  // namespace skil::parix

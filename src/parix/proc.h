@@ -1,0 +1,158 @@
+// Per-processor SPMD execution context.
+//
+// Every virtual processor runs the SPMD program body on its own thread
+// with a Proc& handle giving it its identity, its virtual clock, the
+// cost-charging interface and point-to-point messaging.  All virtual
+// time is deterministic: it derives from charged operation counts and
+// from message timestamps, never from host scheduling.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "parix/machine.h"
+#include "support/error.h"
+
+namespace skil::parix {
+
+class Proc {
+ public:
+  Proc(Machine& machine, int id)
+      : machine_(&machine), id_(id), nprocs_(machine.nprocs()) {}
+
+  Proc(const Proc&) = delete;
+  Proc& operator=(const Proc&) = delete;
+
+  int id() const { return id_; }
+  int nprocs() const { return nprocs_; }
+  Machine& machine() { return *machine_; }
+  const CostModel& cost() const { return machine_->cost(); }
+
+  /// Current virtual time in microseconds.
+  double vtime() const { return vtime_; }
+
+  /// Charges `count` operations of the given kind to the virtual clock.
+  /// Skeleton inner loops call this once per loop with the element
+  /// count, keeping host-side overhead negligible.
+  void charge(Op kind, std::uint64_t count = 1) {
+    const double us = cost().unit(kind) * static_cast<double>(count);
+    vtime_ += us;
+    stats_.compute_us += us;
+    stats_.ops[static_cast<int>(kind)] += count;
+  }
+
+  /// Charges raw virtual microseconds of computation (used by tests and
+  /// by code modelling costs outside the Op vocabulary).
+  void charge_us(double us) {
+    vtime_ += us;
+    stats_.compute_us += us;
+  }
+
+  /// Sends `value` to processor `dst` under `tag`.
+  ///
+  /// Asynchronous mode (Parix with virtual topologies, the mode Skil's
+  /// skeletons use): the sender pays only the software startup cost and
+  /// the transfer overlaps its further computation.  Synchronous mode
+  /// (the "older C version" of paper section 5.1): the sender's clock
+  /// advances to the delivery time.
+  template <class T>
+  void send(int dst, long tag, T value) {
+    send_mode(dst, tag, std::move(value), cost().default_send_mode);
+  }
+
+  template <class T>
+  void send_mode(int dst, long tag, T value, SendMode mode) {
+    SKIL_ASSERT(dst >= 0 && dst < nprocs_, "send: bad destination " +
+                                               std::to_string(dst));
+    const int hops = machine_->hops(id_, dst);
+    Message msg = make_message<T>(id_, tag, std::move(value), 0.0);
+    // Software startup on the sender, then the first hop occupies one
+    // of the node's four outgoing link channels: a burst of sends from
+    // one processor serialises once all channels are streaming (this
+    // is what makes a flat "send to everyone" broadcast degrade on
+    // large networks, unlike the skeletons' trees).
+    const double ready = vtime_ + cost().msg_startup_us;
+    const double first_hop_us =
+        cost().msg_per_byte_us * static_cast<double>(msg.bytes);
+    double& channel = earliest(out_links_);
+    const double link_start = std::max(ready, channel);
+    channel = link_start + first_hop_us;
+    // Remaining hops: store-and-forward through intermediate nodes.
+    const double arrival = link_start +
+                           cost().transfer_us(msg.bytes, hops) -
+                           cost().msg_startup_us;
+    msg.arrival_vtime = arrival;
+    const double sender_done = mode == SendMode::kSync ? arrival : ready;
+    stats_.comm_us += sender_done - vtime_;
+    vtime_ = sender_done;
+    stats_.messages_sent += 1;
+    stats_.bytes_sent += msg.bytes;
+    machine_->mailbox(dst).put(std::move(msg));
+  }
+
+  /// Receives a value of type T from `src` under `tag`.  The virtual
+  /// clock advances to the later of (local time + receive overhead) and
+  /// the message's delivery time.  Deliveries into one processor
+  /// serialise on its incoming links: a message cannot finish arriving
+  /// while a previous one is still streaming in, so back-to-back
+  /// arrivals queue up (this is what makes flat gathers onto one root
+  /// lose to the paper's tree folds on larger networks).
+  template <class T>
+  T recv(int src, long tag) {
+    SKIL_ASSERT(src >= 0 && src < nprocs_,
+                "recv: bad source " + std::to_string(src));
+    Message msg = machine_->mailbox(id_).get(src, tag);
+    SKIL_ASSERT(msg.type != nullptr && *msg.type == typeid(T),
+                std::string("recv: payload type mismatch for tag ") +
+                    std::to_string(tag));
+    const double last_hop_us =
+        cost().msg_per_byte_us * static_cast<double>(msg.bytes);
+    double& channel = earliest(in_links_);
+    const double delivered =
+        std::max(msg.arrival_vtime, channel + last_hop_us);
+    channel = delivered;
+    const double ready =
+        std::max(vtime_ + cost().recv_overhead_us, delivered);
+    stats_.comm_us += ready - vtime_;
+    vtime_ = ready;
+    stats_.messages_received += 1;
+    return take_payload<T>(msg);
+  }
+
+  /// Allocates a fresh tag from the collective tag space.  SPMD
+  /// programs call collectives in identical order on every processor,
+  /// so matching calls draw matching tags.  Skeletons draw exactly one
+  /// tag per invocation and derive sub-tags from it.
+  long fresh_tag() { return kCollectiveTagBase + 16 * next_collective_seq_++; }
+
+  /// Number of sub-tags a skeleton may derive from one fresh_tag().
+  static constexpr long kTagStride = 16;
+
+  Stats& stats() { return stats_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr long kCollectiveTagBase = 1L << 40;
+
+  Machine* machine_;
+  int id_;
+  int nprocs_;
+  /// Earliest-free link channel (the T800 had four bidirectional
+  /// links; we model four independent channels per direction).
+  static double& earliest(std::array<double, 4>& channels) {
+    double* best = &channels[0];
+    for (double& ch : channels)
+      if (ch < *best) best = &ch;
+    return *best;
+  }
+
+  double vtime_ = 0.0;
+  std::array<double, 4> out_links_{};
+  std::array<double, 4> in_links_{};
+  long next_collective_seq_ = 0;
+  Stats stats_;
+};
+
+}  // namespace skil::parix

@@ -1,0 +1,66 @@
+#include "parix/runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "parix/machine.h"
+#include "support/error.h"
+
+namespace skil::parix {
+
+RunResult spmd_run(const RunConfig& config,
+                   const std::function<void(Proc&)>& body) {
+  SKIL_REQUIRE(config.nprocs >= 1, "spmd_run: need at least one processor");
+  Machine machine(config.nprocs, config.cost);
+
+  std::vector<std::unique_ptr<Proc>> procs;
+  procs.reserve(config.nprocs);
+  for (int p = 0; p < config.nprocs; ++p)
+    procs.push_back(std::make_unique<Proc>(machine, p));
+
+  std::mutex failure_mutex;
+  std::exception_ptr first_failure;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(config.nprocs);
+    for (int p = 0; p < config.nprocs; ++p) {
+      threads.emplace_back([&, p] {
+        try {
+          body(*procs[p]);
+        } catch (...) {
+          {
+            const std::scoped_lock lock(failure_mutex);
+            if (!first_failure) first_failure = std::current_exception();
+          }
+          machine.poison_all("processor " + std::to_string(p) +
+                             " terminated with an error");
+        }
+      });
+    }
+  }  // jthreads join here
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  if (first_failure) std::rethrow_exception(first_failure);
+
+  RunResult result;
+  result.proc_vtimes.reserve(config.nprocs);
+  result.proc_stats.reserve(config.nprocs);
+  for (const auto& proc : procs) {
+    result.proc_vtimes.push_back(proc->vtime());
+    result.proc_stats.push_back(proc->stats());
+    result.total += proc->stats();
+  }
+  result.vtime_us =
+      *std::max_element(result.proc_vtimes.begin(), result.proc_vtimes.end());
+  result.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  return result;
+}
+
+}  // namespace skil::parix

@@ -1,0 +1,45 @@
+// SPMD launcher: runs one program body on every virtual processor.
+//
+// The body executes on real host threads (one per virtual processor),
+// performing real computation and real message exchange; timing comes
+// from the deterministic virtual clocks (see cost_model.h).  If any
+// processor's body throws, all mailboxes are poisoned so blocked peers
+// terminate, and the first exception is rethrown to the caller.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "parix/cost_model.h"
+#include "parix/proc.h"
+
+namespace skil::parix {
+
+/// Configuration of one SPMD run.
+struct RunConfig {
+  int nprocs = 4;
+  CostModel cost = CostModel::t800();
+};
+
+/// Timing and accounting of a completed run.
+struct RunResult {
+  /// Modeled program runtime: the maximum final virtual time (us).
+  double vtime_us = 0.0;
+  /// Final virtual time of every processor.
+  std::vector<double> proc_vtimes;
+  /// Operation/message statistics per processor and aggregated.
+  std::vector<Stats> proc_stats;
+  Stats total;
+  /// Host wall-clock seconds (informational only; the host is not the
+  /// modeled machine).
+  double wall_seconds = 0.0;
+
+  double vtime_seconds() const { return vtime_us * 1e-6; }
+};
+
+/// Runs `body` on `config.nprocs` virtual processors and returns the
+/// accounting.  Rethrows the first exception raised by any processor.
+RunResult spmd_run(const RunConfig& config,
+                   const std::function<void(Proc&)>& body);
+
+}  // namespace skil::parix

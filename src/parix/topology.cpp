@@ -1,0 +1,127 @@
+#include "parix/topology.h"
+
+#include "support/error.h"
+
+namespace skil::parix {
+
+const char* distr_name(Distr d) {
+  switch (d) {
+    case Distr::kDefault:
+      return "DISTR_DEFAULT";
+    case Distr::kRing:
+      return "DISTR_RING";
+    case Distr::kTorus2D:
+      return "DISTR_TORUS2D";
+    case Distr::kHypercube:
+      return "DISTR_HYPERCUBE";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Folded linear embedding: virtual index i in [0, n) is placed at
+/// physical position 0,2,4,...,5,3,1 so that consecutive virtual
+/// indices (including the n-1 -> 0 wrap) are at most 2 apart.
+int folded_position(int i, int n) {
+  const int half = (n + 1) / 2;
+  return i < half ? 2 * i : 2 * (n - 1 - i) + 1;
+}
+
+/// Binary-reflected Gray code.
+unsigned gray(unsigned x) { return x ^ (x >> 1); }
+
+bool is_power_of_two(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+Topology::Topology(const Machine& machine, Distr kind)
+    : machine_(&machine), kind_(kind), nprocs_(machine.nprocs()),
+      vrank_of_(nprocs_), hw_of_(nprocs_) {
+  const MeshShape mesh = machine.shape();
+  grid_rows_ = mesh.rows;
+  grid_cols_ = mesh.cols;
+
+  switch (kind_) {
+    case Distr::kDefault: {
+      for (int p = 0; p < nprocs_; ++p) {
+        vrank_of_[p] = p;
+        hw_of_[p] = p;
+      }
+      break;
+    }
+    case Distr::kRing: {
+      // Boustrophedon walk: even mesh rows left-to-right, odd rows
+      // right-to-left; successive virtual ranks are physical
+      // neighbours everywhere except the single wrap edge.
+      for (int r = 0; r < mesh.rows; ++r)
+        for (int c = 0; c < mesh.cols; ++c) {
+          const int hw = r * mesh.cols + c;
+          const int pos = r * mesh.cols + (r % 2 == 0 ? c : mesh.cols - 1 - c);
+          vrank_of_[hw] = pos;
+          hw_of_[pos] = hw;
+        }
+      break;
+    }
+    case Distr::kTorus2D: {
+      // Fold both grid dimensions: every torus link (including the
+      // wrap-around ones) has dilation at most 2 on the mesh.
+      for (int vr = 0; vr < mesh.rows; ++vr)
+        for (int vc = 0; vc < mesh.cols; ++vc) {
+          const int hw = folded_position(vr, mesh.rows) * mesh.cols +
+                         folded_position(vc, mesh.cols);
+          const int vrank = vr * mesh.cols + vc;
+          vrank_of_[hw] = vrank;
+          hw_of_[vrank] = hw;
+        }
+      break;
+    }
+    case Distr::kHypercube: {
+      SKIL_REQUIRE(is_power_of_two(nprocs_),
+                   "hypercube topology needs a power-of-two processor count");
+      while ((1 << cube_dims_) < nprocs_) ++cube_dims_;
+      // The processor at snake position s carries hypercube rank
+      // gray(s); Gray-code neighbours are then mesh-adjacent along the
+      // snake for one of their dimensions.
+      std::vector<int> snake(nprocs_);
+      for (int r = 0; r < mesh.rows; ++r)
+        for (int c = 0; c < mesh.cols; ++c)
+          snake[r * mesh.cols + (r % 2 == 0 ? c : mesh.cols - 1 - c)] =
+              r * mesh.cols + c;
+      for (int s = 0; s < nprocs_; ++s) {
+        const int hw = snake[s];
+        const int vrank = static_cast<int>(gray(static_cast<unsigned>(s)));
+        vrank_of_[hw] = vrank;
+        hw_of_[vrank] = hw;
+      }
+      break;
+    }
+  }
+}
+
+int Topology::ring_next(int hw) const {
+  return hw_of_[(vrank_of_[hw] + 1) % nprocs_];
+}
+
+int Topology::ring_prev(int hw) const {
+  return hw_of_[(vrank_of_[hw] + nprocs_ - 1) % nprocs_];
+}
+
+int Topology::at_grid(int row, int col) const {
+  const int r = ((row % grid_rows_) + grid_rows_) % grid_rows_;
+  const int c = ((col % grid_cols_) + grid_cols_) % grid_cols_;
+  return hw_of_[r * grid_cols_ + c];
+}
+
+int Topology::torus_neighbor(int hw, int drow, int dcol) const {
+  return at_grid(grid_row(hw) + drow, grid_col(hw) + dcol);
+}
+
+int Topology::cube_neighbor(int hw, int dim) const {
+  SKIL_REQUIRE(kind_ == Distr::kHypercube,
+               "cube_neighbor requires a hypercube topology");
+  SKIL_REQUIRE(dim >= 0 && dim < cube_dims_, "cube dimension out of range");
+  return hw_of_[vrank_of_[hw] ^ (1 << dim)];
+}
+
+}  // namespace skil::parix

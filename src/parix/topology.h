@@ -1,0 +1,93 @@
+// Virtual (software) topologies embedded in the hardware mesh.
+//
+// The paper's array_create takes a `distr` argument selecting the
+// virtual topology an array is mapped onto: DISTR_DEFAULT (the raw
+// hardware topology), DISTR_RING, or DISTR_TORUS2D.  Virtual topologies
+// matter because skeleton communication follows virtual neighbour
+// links, and a good embedding keeps those links short on the physical
+// mesh.  Table 1's footnote -- Skil beating an older C version that
+// used no virtual topologies -- is reproduced exactly by this
+// difference (see bench_ablation_topology).
+//
+// Embeddings used:
+//  * kDefault:   virtual rank == hardware rank (row-major); ring-like
+//                neighbour steps can wrap across a whole mesh row.
+//  * kRing:      boustrophedon (snake) walk over the mesh; every ring
+//                step is one hop except the single wrap-around edge.
+//  * kTorus2D:   folded embedding in both grid dimensions, giving
+//                dilation <= 2 for every torus link including the
+//                wrap-around ones.
+//  * kHypercube: binary-reflected Gray-code walk (requires a power of
+//                two); neighbours along the lowest dimension are
+//                adjacent in the snake order.
+#pragma once
+
+#include <vector>
+
+#include "parix/machine.h"
+
+namespace skil::parix {
+
+/// Virtual topology kinds (paper: DISTR_DEFAULT / DISTR_RING /
+/// DISTR_TORUS2D; the hypercube and tree are natural extensions).
+enum class Distr {
+  kDefault,
+  kRing,
+  kTorus2D,
+  kHypercube,
+};
+
+const char* distr_name(Distr d);
+
+class Topology {
+ public:
+  Topology(const Machine& machine, Distr kind);
+
+  Distr kind() const { return kind_; }
+  int nprocs() const { return nprocs_; }
+
+  /// Virtual rank of a hardware processor, and its inverse.
+  int vrank_of(int hw) const { return vrank_of_[hw]; }
+  int hw_of(int vrank) const { return hw_of_[vrank]; }
+
+  // --- ring view (defined for every kind; uses virtual rank order) ---
+  int ring_next(int hw) const;
+  int ring_prev(int hw) const;
+
+  // --- 2-D grid view (valid for kTorus2D and kDefault) ---
+  int grid_rows() const { return grid_rows_; }
+  int grid_cols() const { return grid_cols_; }
+  bool is_square_grid() const { return grid_rows_ == grid_cols_; }
+
+  /// Virtual grid coordinates of a hardware processor.
+  int grid_row(int hw) const { return vrank_of(hw) / grid_cols_; }
+  int grid_col(int hw) const { return vrank_of(hw) % grid_cols_; }
+
+  /// Hardware processor at virtual grid position (wrapping modulo the
+  /// grid dimensions, i.e. torus semantics).
+  int at_grid(int row, int col) const;
+
+  /// Torus neighbour of `hw` displaced by (drow, dcol) with wrap.
+  int torus_neighbor(int hw, int drow, int dcol) const;
+
+  // --- hypercube view (valid for kHypercube) ---
+  int cube_dims() const { return cube_dims_; }
+  int cube_neighbor(int hw, int dim) const;
+
+  /// Physical hop distance between two hardware processors (delegates
+  /// to the machine's mesh metric); exposed for tests measuring the
+  /// dilation of each embedding.
+  int hops(int hw_a, int hw_b) const { return machine_->hops(hw_a, hw_b); }
+
+ private:
+  const Machine* machine_;
+  Distr kind_;
+  int nprocs_;
+  int grid_rows_ = 1;
+  int grid_cols_ = 1;
+  int cube_dims_ = 0;
+  std::vector<int> vrank_of_;
+  std::vector<int> hw_of_;
+};
+
+}  // namespace skil::parix

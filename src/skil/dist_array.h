@@ -1,0 +1,135 @@
+// The paper's `pardata array <$t>`: a block-distributed array whose
+// implementation is hidden behind skeletons and local-access macros.
+//
+// Each SPMD processor holds its own DistArray<T> value containing the
+// global distribution metadata plus that processor's partition
+// elements.  As in the paper, single elements can be read or written
+// *locally only* (array_get_elem / array_put_elem); any non-local
+// element access raises NonLocalAccessError, because "remote accessing
+// of single array elements easily leads to very inefficient programs".
+// Non-local data movement happens exclusively through the skeletons in
+// skil/skeletons.h.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "parix/proc.h"
+#include "skil/distribution.h"
+
+namespace skil {
+
+/// Cost-model operation kind for elements of type T.
+template <class T>
+constexpr parix::Op op_kind() {
+  return std::is_floating_point_v<T> ? parix::Op::kFloatOp
+                                     : parix::Op::kIntOp;
+}
+
+template <class T>
+class DistArray {
+ public:
+  using value_type = T;
+
+  /// An empty (never-created or destroyed) array handle.
+  DistArray() = default;
+
+  /// Used by array_create; not part of the public paper API.
+  DistArray(parix::Proc& proc, std::shared_ptr<const Distribution> dist)
+      : proc_(&proc), dist_(std::move(dist)),
+        local_(static_cast<std::size_t>(
+            dist_->local_count(dist_->topology().vrank_of(proc.id())))) {}
+
+  bool valid() const { return dist_ != nullptr; }
+
+  parix::Proc& proc() const {
+    SKIL_REQUIRE(valid(), "array was destroyed or never created");
+    return *proc_;
+  }
+
+  const Distribution& dist() const {
+    SKIL_REQUIRE(valid(), "array was destroyed or never created");
+    return *dist_;
+  }
+
+  std::shared_ptr<const Distribution> dist_ptr() const { return dist_; }
+
+  const parix::Topology& topology() const { return dist().topology(); }
+
+  /// Virtual rank of the owning processor within the array's topology.
+  int my_vrank() const { return topology().vrank_of(proc().id()); }
+
+  /// The paper's array_part_bounds macro: the local partition's index
+  /// box (block layout).
+  Bounds part_bounds() const { return dist().partition_bounds(my_vrank()); }
+
+  /// The paper's array_get_elem macro: reads a *local* element.
+  T get_elem(const Index& ix) const {
+    check_local(ix);
+    proc_->charge(op_kind<T>());
+    return local_[dist_->local_offset(my_vrank(), ix)];
+  }
+
+  /// The paper's array_put_elem macro: overwrites a *local* element.
+  void put_elem(const Index& ix, T value) {
+    check_local(ix);
+    proc_->charge(op_kind<T>());
+    local_[dist_->local_offset(my_vrank(), ix)] = std::move(value);
+  }
+
+  /// Direct access to the partition storage (used by skeletons and by
+  /// the hand-written Parix-C baselines; not part of the Skil surface).
+  std::vector<T>& local() {
+    SKIL_REQUIRE(valid(), "array was destroyed or never created");
+    return local_;
+  }
+  const std::vector<T>& local() const {
+    SKIL_REQUIRE(valid(), "array was destroyed or never created");
+    return local_;
+  }
+
+  /// The local row runs of this processor's partition.
+  const std::vector<RowRun>& my_runs() const {
+    return dist().local_runs(my_vrank());
+  }
+
+  /// Releases the storage; the handle becomes invalid.  Implements the
+  /// paper's array_destroy (RAII destroys unreleased arrays anyway).
+  void destroy() {
+    dist_.reset();
+    local_.clear();
+    local_.shrink_to_fit();
+  }
+
+  /// True when both handles view the same partition storage shape --
+  /// used to detect the aliasing array_gen_mult forbids.  Two distinct
+  /// SPMD-created arrays always differ in storage address.
+  bool aliases(const DistArray& other) const {
+    return valid() && other.valid() && &local_ == &other.local_;
+  }
+
+ private:
+  void check_local(const Index& ix) const {
+    SKIL_REQUIRE(valid(), "array was destroyed or never created");
+    const int vrank = my_vrank();
+    if (dist_->layout() == Layout::kBlock) {
+      const Bounds bounds = dist_->partition_bounds(vrank);
+      if (!bounds.contains(ix, dist_->dims()))
+        throw support::NonLocalAccessError(
+            "element " + to_string(ix, dist_->dims()) +
+            " is not in the local partition " +
+            to_string(bounds, dist_->dims()));
+    } else if (dist_->owner_vrank(ix) != vrank) {
+      throw support::NonLocalAccessError(
+          "element " + to_string(ix, dist_->dims()) +
+          " is not stored on this processor");
+    }
+  }
+
+  parix::Proc* proc_ = nullptr;
+  std::shared_ptr<const Distribution> dist_;
+  std::vector<T> local_;
+};
+
+}  // namespace skil

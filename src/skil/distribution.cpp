@@ -1,0 +1,241 @@
+#include "skil/distribution.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace skil {
+
+const char* layout_name(Layout layout) {
+  switch (layout) {
+    case Layout::kBlock:
+      return "block";
+    case Layout::kCyclic:
+      return "cyclic";
+    case Layout::kBlockCyclic:
+      return "block-cyclic";
+  }
+  return "?";
+}
+
+namespace {
+
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+/// Segment starts for cutting `extent` into `nblocks` pieces of
+/// `blocksize` (the last piece takes the remainder).
+std::vector<int> segment_starts(int extent, int blocksize, int nblocks) {
+  std::vector<int> starts(nblocks + 1);
+  for (int i = 0; i <= nblocks; ++i)
+    starts[i] = std::min(extent, i * blocksize);
+  return starts;
+}
+
+}  // namespace
+
+Distribution Distribution::block(std::shared_ptr<const parix::Topology> topo,
+                                 int dims, Size size, Size blocksize,
+                                 Index lowerbd) {
+  SKIL_REQUIRE(dims == 1 || dims == 2, "arrays have 1 or 2 dimensions");
+  for (int d = 0; d < dims; ++d)
+    SKIL_REQUIRE(size[d] >= 1, "array extents must be positive");
+
+  Distribution dist;
+  dist.topo_ = std::move(topo);
+  dist.dims_ = dims;
+  dist.size_ = size;
+  dist.layout_ = Layout::kBlock;
+
+  const int p = dist.topo_->nprocs();
+  const int rows = dist.global_rows();
+  const int cols = dist.global_cols();
+
+  // Default block sizes "depending on the network topology": a 2-D
+  // array follows the topology's processor grid; a 1-D array is cut
+  // into p row blocks.  With defaulted sizes the block grid *is* the
+  // processor grid and trailing partitions of an array smaller than
+  // the machine come out empty; explicit sizes determine the grid and
+  // must yield exactly one block per processor.
+  const int default_grid_rows = dims == 2 ? dist.topo_->grid_rows() : p;
+  const int default_grid_cols = dims == 2 ? dist.topo_->grid_cols() : 1;
+  int block_rows, block_cols;
+  if (blocksize[0] > 0) {
+    block_rows = blocksize[0];
+    dist.block_grid_rows_ = ceil_div(rows, block_rows);
+  } else {
+    dist.block_grid_rows_ = default_grid_rows;
+    block_rows = ceil_div(rows, dist.block_grid_rows_);
+  }
+  if (dims == 2 && blocksize[1] > 0) {
+    block_cols = blocksize[1];
+    dist.block_grid_cols_ = ceil_div(cols, block_cols);
+  } else {
+    dist.block_grid_cols_ = default_grid_cols;
+    block_cols = ceil_div(cols, dist.block_grid_cols_);
+  }
+  SKIL_REQUIRE(dist.block_grid_rows_ * dist.block_grid_cols_ == p,
+               "block distribution must give exactly one block per "
+               "processor (blocks=" +
+                   std::to_string(dist.block_grid_rows_) + "x" +
+                   std::to_string(dist.block_grid_cols_) +
+                   ", procs=" + std::to_string(p) + ")");
+
+  dist.row_starts_ = segment_starts(rows, block_rows, dist.block_grid_rows_);
+  dist.col_starts_ = segment_starts(cols, block_cols, dist.block_grid_cols_);
+
+  // The paper lets each processor pass its partition's lower bound
+  // explicitly (negative components request the default).  We accept
+  // the parameter but require consistency with the derived uniform
+  // partitioning, which is the only placement the global index
+  // arithmetic supports.
+  for (int d = 0; d < dims; ++d) {
+    if (lowerbd[d] < 0) continue;
+    // lowerbd describes the calling processor's partition, but the
+    // distribution is identical on every processor; validate that the
+    // requested bound is a partition boundary at all.
+    const auto& starts = d == 0 ? dist.row_starts_ : dist.col_starts_;
+    SKIL_REQUIRE(std::find(starts.begin(), starts.end(), lowerbd[d]) !=
+                     starts.end(),
+                 "explicit lower bound " + std::to_string(lowerbd[d]) +
+                     " does not match the uniform block partitioning");
+  }
+
+  dist.build_runs();
+  return dist;
+}
+
+Distribution Distribution::cyclic(std::shared_ptr<const parix::Topology> topo,
+                                  int dims, Size size) {
+  return block_cyclic(std::move(topo), dims, size, 1);
+}
+
+Distribution Distribution::block_cyclic(
+    std::shared_ptr<const parix::Topology> topo, int dims, Size size,
+    int block_rows) {
+  SKIL_REQUIRE(dims == 1 || dims == 2, "arrays have 1 or 2 dimensions");
+  SKIL_REQUIRE(block_rows >= 1, "cyclic block size must be >= 1");
+  for (int d = 0; d < dims; ++d)
+    SKIL_REQUIRE(size[d] >= 1, "array extents must be positive");
+
+  Distribution dist;
+  dist.topo_ = std::move(topo);
+  dist.dims_ = dims;
+  dist.size_ = size;
+  dist.layout_ = block_rows == 1 ? Layout::kCyclic : Layout::kBlockCyclic;
+  dist.cyclic_block_ = block_rows;
+  dist.block_grid_rows_ = dist.topo_->nprocs();
+  dist.block_grid_cols_ = 1;
+  dist.build_runs();
+  return dist;
+}
+
+void Distribution::build_runs() {
+  const int p = topo_->nprocs();
+  const int cols = global_cols();
+  runs_.assign(p, {});
+  counts_.assign(p, 0);
+
+  if (layout_ == Layout::kBlock) {
+    for (int br = 0; br < block_grid_rows_; ++br)
+      for (int bc = 0; bc < block_grid_cols_; ++bc) {
+        const int vrank = br * block_grid_cols_ + bc;
+        const int col_begin = col_starts_[bc];
+        const int col_count = col_starts_[bc + 1] - col_begin;
+        // Empty partitions (array smaller than the machine) get no
+        // runs at all -- a zero-width run would carry an out-of-range
+        // column index.
+        if (col_count > 0)
+          for (int row = row_starts_[br]; row < row_starts_[br + 1]; ++row)
+            runs_[vrank].push_back(RowRun{row, col_begin, col_count});
+        counts_[vrank] = static_cast<long>(row_starts_[br + 1] -
+                                           row_starts_[br]) *
+                         col_count;
+      }
+    return;
+  }
+
+  // Cyclic layouts: deal blocks of rows round-robin; columns unsplit.
+  const int rows = global_rows();
+  const int b = cyclic_block_;
+  for (int row = 0; row < rows; ++row) {
+    const int vrank = (row / b) % p;
+    runs_[vrank].push_back(RowRun{row, 0, cols});
+    counts_[vrank] += cols;
+  }
+}
+
+int Distribution::owner_vrank(const Index& ix) const {
+  const int row = ix[0];
+  const int col = dims_ >= 2 ? ix[1] : 0;
+  SKIL_REQUIRE(row >= 0 && row < global_rows() && col >= 0 &&
+                   col < global_cols(),
+               "index " + to_string(ix, dims_) + " outside the array");
+  if (layout_ == Layout::kBlock) {
+    const auto row_it =
+        std::upper_bound(row_starts_.begin(), row_starts_.end(), row);
+    const auto col_it =
+        std::upper_bound(col_starts_.begin(), col_starts_.end(), col);
+    const int br = static_cast<int>(row_it - row_starts_.begin()) - 1;
+    const int bc = static_cast<int>(col_it - col_starts_.begin()) - 1;
+    return br * block_grid_cols_ + bc;
+  }
+  return (row / cyclic_block_) % topo_->nprocs();
+}
+
+Bounds Distribution::partition_bounds(int vrank) const {
+  SKIL_REQUIRE(layout_ == Layout::kBlock,
+               "partition bounds are defined for block distributions only");
+  const int br = vrank / block_grid_cols_;
+  const int bc = vrank % block_grid_cols_;
+  Bounds bounds;
+  bounds.lower = Index{row_starts_[br], col_starts_[bc]};
+  bounds.upper = Index{row_starts_[br + 1], col_starts_[bc + 1]};
+  if (dims_ == 1) {
+    bounds.lower = Index{row_starts_[br]};
+    bounds.upper = Index{row_starts_[br + 1]};
+  }
+  return bounds;
+}
+
+long Distribution::local_count(int vrank) const { return counts_[vrank]; }
+
+const std::vector<RowRun>& Distribution::local_runs(int vrank) const {
+  return runs_[vrank];
+}
+
+long Distribution::local_offset(int vrank, const Index& ix) const {
+  const int row = ix[0];
+  const int col = dims_ >= 2 ? ix[1] : 0;
+  if (layout_ == Layout::kBlock) {
+    const int br = vrank / block_grid_cols_;
+    const int bc = vrank % block_grid_cols_;
+    const int local_row = row - row_starts_[br];
+    const int local_col = col - col_starts_[bc];
+    const int width = col_starts_[bc + 1] - col_starts_[bc];
+    return static_cast<long>(local_row) * width + local_col;
+  }
+  const int p = topo_->nprocs();
+  const int b = cyclic_block_;
+  const long local_row =
+      static_cast<long>(row / (b * p)) * b + row % b;
+  return local_row * global_cols() + col;
+}
+
+bool Distribution::uniform_partitions() const {
+  for (int v = 1; v < nprocs(); ++v)
+    if (counts_[v] != counts_[0]) return false;
+  return true;
+}
+
+bool Distribution::same_placement(const Distribution& other) const {
+  return dims_ == other.dims_ && size_ == other.size_ &&
+         layout_ == other.layout_ && cyclic_block_ == other.cyclic_block_ &&
+         block_grid_rows_ == other.block_grid_rows_ &&
+         block_grid_cols_ == other.block_grid_cols_ &&
+         row_starts_ == other.row_starts_ &&
+         col_starts_ == other.col_starts_ &&
+         topo_->kind() == other.topo_->kind() &&
+         topo_->nprocs() == other.topo_->nprocs();
+}
+
+}  // namespace skil

@@ -1,0 +1,138 @@
+// Distribution of a global array over the processors.
+//
+// The paper distributes arrays "only block-wise" and names cyclic and
+// block-cyclic distributions as future work (section 6); all three are
+// implemented here.  A distribution maps every global index to an
+// owning processor (a *virtual rank* of the array's topology) and to an
+// offset in that processor's local storage, and enumerates each
+// processor's elements as contiguous row runs so skeleton loops stay
+// tight.
+//
+// Block layout: the array is cut into a BR x BC grid of blocks, one
+// block per processor, assigned in virtual-rank order (row-major over
+// the block grid).  For a 2-D array on DISTR_TORUS2D the block grid
+// equals the processor grid, which is what array_gen_mult requires.
+// Passing zero block sizes derives them from the topology, mirroring
+// the paper's "passing a zero value ... lets the skeleton fill in an
+// appropriate value depending on the network topology".
+//
+// Cyclic / block-cyclic layouts deal (blocks of) rows round-robin over
+// virtual ranks; columns are never split in these layouts.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "parix/topology.h"
+#include "skil/index.h"
+
+namespace skil {
+
+enum class Layout {
+  kBlock,        ///< the paper's distribution
+  kCyclic,       ///< row-cyclic (paper section 6 future work)
+  kBlockCyclic,  ///< row-block-cyclic (paper section 6 future work)
+};
+
+const char* layout_name(Layout layout);
+
+/// One contiguous run of local elements: `col_count` elements of global
+/// row `row` starting at global column `col_begin`.
+struct RowRun {
+  int row = 0;
+  int col_begin = 0;
+  int col_count = 0;
+};
+
+class Distribution {
+ public:
+  /// Block distribution.  `size` gives the global extents over `dims`
+  /// dimensions (dims is 1 or 2); `blocksize` components of zero and
+  /// `lowerbd` components below zero request defaults, as in the
+  /// paper's array_create.
+  static Distribution block(std::shared_ptr<const parix::Topology> topo,
+                            int dims, Size size, Size blocksize = Size{0, 0},
+                            Index lowerbd = Index{-1, -1});
+
+  /// Row-cyclic distribution (columns unsplit).
+  static Distribution cyclic(std::shared_ptr<const parix::Topology> topo,
+                             int dims, Size size);
+
+  /// Row-block-cyclic distribution with blocks of `block_rows` rows.
+  static Distribution block_cyclic(std::shared_ptr<const parix::Topology> topo,
+                                   int dims, Size size, int block_rows);
+
+  int dims() const { return dims_; }
+  Size size() const { return size_; }
+  Layout layout() const { return layout_; }
+  int cyclic_block() const { return cyclic_block_; }
+
+  const parix::Topology& topology() const { return *topo_; }
+  std::shared_ptr<const parix::Topology> topology_ptr() const { return topo_; }
+  int nprocs() const { return topo_->nprocs(); }
+
+  /// Row/column view: dimension 0 counts rows; a 1-D array is treated
+  /// as size[0] rows of one column each.
+  int global_rows() const { return size_[0]; }
+  int global_cols() const { return dims_ >= 2 ? size_[1] : 1; }
+
+  /// Block-grid dimensions (block layout: BR x BC == nprocs; cyclic
+  /// layouts: nprocs x 1).
+  int block_grid_rows() const { return block_grid_rows_; }
+  int block_grid_cols() const { return block_grid_cols_; }
+
+  /// Virtual rank (and hardware id) owning a global index.
+  int owner_vrank(const Index& ix) const;
+  int owner_hw(const Index& ix) const { return topo_->hw_of(owner_vrank(ix)); }
+
+  /// Partition bounding box of a virtual rank (block layout only).
+  Bounds partition_bounds(int vrank) const;
+
+  /// Number of local elements of a virtual rank.
+  long local_count(int vrank) const;
+
+  /// The local elements of a virtual rank as contiguous row runs, in
+  /// local-storage order.
+  const std::vector<RowRun>& local_runs(int vrank) const;
+
+  /// Offset of a global index inside its owner's local storage.
+  long local_offset(int vrank, const Index& ix) const;
+
+  /// True when every partition holds the same number of elements
+  /// (precondition of array_broadcast_part's overwrite semantics).
+  bool uniform_partitions() const;
+
+  /// True when the block grid coincides with the topology's processor
+  /// grid (required by array_gen_mult's rotations).
+  bool block_grid_matches(const parix::Topology& topo) const {
+    return layout_ == Layout::kBlock &&
+           block_grid_rows_ == topo.grid_rows() &&
+           block_grid_cols_ == topo.grid_cols();
+  }
+
+  /// True when two distributions describe the same global shape and
+  /// element placement (skeletons use this to validate argument pairs).
+  bool same_placement(const Distribution& other) const;
+
+ private:
+  Distribution() = default;
+  void build_runs();
+
+  std::shared_ptr<const parix::Topology> topo_;
+  int dims_ = 1;
+  Size size_{};
+  Layout layout_ = Layout::kBlock;
+  int cyclic_block_ = 1;
+
+  // Block layout: boundaries of the block grid.  row_starts_ has
+  // block_grid_rows_ + 1 entries; col_starts_ likewise.
+  int block_grid_rows_ = 1;
+  int block_grid_cols_ = 1;
+  std::vector<int> row_starts_;
+  std::vector<int> col_starts_;
+
+  std::vector<std::vector<RowRun>> runs_;   // per vrank
+  std::vector<long> counts_;                // per vrank
+};
+
+}  // namespace skil

@@ -1,0 +1,77 @@
+// The farm skeleton: process-parallel task distribution (extension).
+//
+// The paper's introduction lists "map, farm and divide&conquer" as the
+// classical skeletons and notes that process-parallel skeletons "can
+// be integrated in Skil" even though its emphasis is data parallelism.
+// This is the integration: the master (virtual rank 0) deals a vector
+// of independent tasks round-robin to all processors (itself
+// included), every processor applies the worker function to its share,
+// and the results return to the master in task order.
+//
+// Tasks and results travel as one batch message per processor, so the
+// farm's communication is 2(p-1) messages regardless of task count.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "parix/collectives.h"
+#include "parix/proc.h"
+#include "parix/topology.h"
+
+namespace skil {
+
+/// Runs `worker` over `tasks` (significant on the master only);
+/// returns the results in task order on the master, an empty vector
+/// elsewhere.  Collective: every processor must call it.
+template <class Worker, class In>
+auto farm(parix::Proc& proc, const parix::Topology& topo, Worker worker,
+          const std::vector<In>& tasks) {
+  using Out = std::decay_t<decltype(worker(std::declval<const In&>()))>;
+  const int p = topo.nprocs();
+  const int master = topo.hw_of(0);
+  const long tag = proc.fresh_tag();
+
+  // Master deals tasks round-robin: worker v gets tasks v, v+p, ...
+  long total = static_cast<long>(tasks.size());
+  parix::broadcast(proc, topo, master, total);
+
+  std::vector<In> my_tasks;
+  if (proc.id() == master) {
+    for (int vrank = 0; vrank < p; ++vrank) {
+      std::vector<In> batch;
+      for (long t = vrank; t < total; t += p) batch.push_back(tasks[t]);
+      if (vrank == 0)
+        my_tasks = std::move(batch);
+      else
+        proc.send<std::vector<In>>(topo.hw_of(vrank), tag, std::move(batch));
+    }
+  } else {
+    my_tasks = proc.recv<std::vector<In>>(master, tag);
+  }
+
+  std::vector<Out> my_results;
+  my_results.reserve(my_tasks.size());
+  for (const In& task : my_tasks) my_results.push_back(worker(task));
+  proc.charge(parix::Op::kCall, my_tasks.size());
+
+  // Results travel back as one batch per worker; the master interleaves
+  // them back into task order.
+  if (proc.id() != master) {
+    proc.send<std::vector<Out>>(master, tag + 1, std::move(my_results));
+    return std::vector<Out>{};
+  }
+  std::vector<Out> all(static_cast<std::size_t>(total));
+  auto deal_back = [&](int vrank, std::vector<Out>&& batch) {
+    std::size_t i = 0;
+    for (long t = vrank; t < total; t += p) all[t] = std::move(batch[i++]);
+  };
+  deal_back(0, std::move(my_results));
+  for (int vrank = 1; vrank < p; ++vrank)
+    deal_back(vrank,
+              proc.recv<std::vector<Out>>(topo.hw_of(vrank), tag + 1));
+  return all;
+}
+
+}  // namespace skil

@@ -1,0 +1,138 @@
+// The functional features of Skil (paper section 2.1) in C++ form.
+//
+// Skil extends C with higher-order functions, currying / partial
+// application, and the conversion of operators to functions, e.g.
+//
+//   fold((+), lst1)          -- operator section as a functional arg
+//   map((*)(2), lst2)        -- partially applied operator
+//   array_map(copy_pivot(b, k), piv, piv)   -- partial application
+//
+// In C++ the skeletons are templates over arbitrary callables, so the
+// compiler performs the paper's "instantiation" translation (inlining
+// the functional arguments, lifting the supplied ones, monomorphising
+// the type variables) automatically.  This header supplies the
+// syntactic counterparts: `partial` creates a partial application like
+// Skil's `copy_pivot(b, k)`, `curry` turns an n-ary callable into a
+// chain of unary applications, and `fn::plus` etc. are the operator
+// sections `(+)`, `(*)`, `(-)`, `min`, `max`, ...
+#pragma once
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+namespace skil {
+
+/// Partial application: binds the leading arguments of `f` now, the
+/// rest at the call site -- Skil's `eliminate(k, b, piv)` argument of
+/// array_map becomes `partial(eliminate, k, std::ref(b), std::ref(piv))`.
+template <class F, class... Bound>
+auto partial(F&& f, Bound&&... bound) {
+  return [f = std::forward<F>(f),
+          ... bound = std::forward<Bound>(bound)](auto&&... rest) mutable
+             -> decltype(auto) {
+    return f(bound..., std::forward<decltype(rest)>(rest)...);
+  };
+}
+
+namespace detail {
+
+/// A curried callable: holds the original function plus the arguments
+/// accumulated so far.  Each application either completes the call
+/// (when the original callable accepts the accumulated arguments) or
+/// returns a further-curried value.  Invocability is always tested
+/// against the *original* callable, whose overload set fails
+/// substitution cleanly for too-few arguments.
+template <class F, class... Bound>
+class Curried {
+ public:
+  Curried(F f, std::tuple<Bound...> bound)
+      : f_(std::move(f)), bound_(std::move(bound)) {}
+
+  template <class... Args>
+  auto operator()(Args&&... args) const {
+    if constexpr (std::is_invocable_v<const F&, const Bound&..., Args...>) {
+      return std::apply(f_,
+                        std::tuple_cat(bound_, std::forward_as_tuple(
+                                                   std::forward<Args>(args)...)));
+    } else {
+      auto extended = std::tuple_cat(
+          bound_, std::make_tuple(std::decay_t<Args>(
+                      std::forward<Args>(args))...));
+      return Curried<F, Bound..., std::decay_t<Args>...>(f_,
+                                                         std::move(extended));
+    }
+  }
+
+ private:
+  F f_;
+  std::tuple<Bound...> bound_;
+};
+
+}  // namespace detail
+
+/// Currying: `curry(d_and_c)(is_trivial)(solve)(split)(join)(problem)`.
+/// Each application supplies one or more arguments; once enough are
+/// present, the underlying callable runs.
+template <class F>
+auto curry(F&& f) {
+  return detail::Curried<std::decay_t<F>>(std::forward<F>(f), std::tuple<>{});
+}
+
+/// Operator sections -- the paper's `(op)` conversion of operators to
+/// functions.  All are polymorphic function objects usable directly as
+/// skeleton arguments and curryable via `curry`/`partial`.
+namespace fn {
+
+struct Plus {
+  template <class A, class B>
+  auto operator()(const A& a, const B& b) const { return a + b; }
+};
+struct Minus {
+  template <class A, class B>
+  auto operator()(const A& a, const B& b) const { return a - b; }
+};
+struct Times {
+  template <class A, class B>
+  auto operator()(const A& a, const B& b) const { return a * b; }
+};
+struct Divide {
+  template <class A, class B>
+  auto operator()(const A& a, const B& b) const { return a / b; }
+};
+struct Min {
+  template <class T>
+  const T& operator()(const T& a, const T& b) const {
+    return std::min(a, b);
+  }
+};
+struct Max {
+  template <class T>
+  const T& operator()(const T& a, const T& b) const {
+    return std::max(a, b);
+  }
+};
+struct Identity {
+  template <class T>
+  T operator()(T value) const { return value; }
+};
+
+inline constexpr Plus plus{};        ///< the paper's (+)
+inline constexpr Minus minus{};      ///< (-)
+inline constexpr Times times{};      ///< (*)
+inline constexpr Divide divide{};    ///< (/)
+inline constexpr Min min{};          ///< min
+inline constexpr Max max{};          ///< max
+inline constexpr Identity identity{};
+
+/// `(*)(2)`-style section: binds the left operand of a binary
+/// operator, e.g. `section(fn::times, 2)` multiplies by two.
+template <class Op, class A>
+auto section(Op op, A bound) {
+  return [op, bound = std::move(bound)](const auto& x) {
+    return op(bound, x);
+  };
+}
+
+}  // namespace fn
+}  // namespace skil

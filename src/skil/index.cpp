@@ -1,0 +1,39 @@
+#include "skil/index.h"
+
+#include <sstream>
+
+namespace skil {
+
+bool Bounds::contains(const Index& ix, int dims) const {
+  for (int d = 0; d < dims; ++d)
+    if (ix[d] < lower[d] || ix[d] >= upper[d]) return false;
+  return true;
+}
+
+int Bounds::extent(int d) const {
+  const int e = upper[d] - lower[d];
+  return e > 0 ? e : 0;
+}
+
+long Bounds::volume(int dims) const {
+  long vol = 1;
+  for (int d = 0; d < dims; ++d) vol *= extent(d);
+  return vol;
+}
+
+std::string to_string(const Index& ix, int dims) {
+  std::ostringstream os;
+  os << '(';
+  for (int d = 0; d < dims; ++d) {
+    if (d) os << ", ";
+    os << ix[d];
+  }
+  os << ')';
+  return os.str();
+}
+
+std::string to_string(const Bounds& b, int dims) {
+  return to_string(b.lower, dims) + ".." + to_string(b.upper, dims);
+}
+
+}  // namespace skil

@@ -1,0 +1,57 @@
+// Index / Size / Bounds: the auxiliary types of the paper's array
+// skeletons.
+//
+// The paper passes `Index` and `Size` as "'classical' arrays with dim
+// elements".  Arrays here are one- or two-dimensional (the paper's
+// applications use both); a third dimension is supported for
+// completeness.  Bounds describe one processor's partition with an
+// inclusive lower and an exclusive upper corner, matching the paper's
+// map loop `for (i = l; i < h; i++)`.
+#pragma once
+
+#include <string>
+
+namespace skil {
+
+inline constexpr int kMaxDims = 3;
+
+/// A dim-tuple of integer coordinates.  Unused dimensions stay zero.
+struct Index {
+  int v[kMaxDims] = {0, 0, 0};
+
+  Index() = default;
+  Index(int i0) : v{i0, 0, 0} {}            // NOLINT: deliberate implicit
+  Index(int i0, int i1) : v{i0, i1, 0} {}
+  Index(int i0, int i1, int i2) : v{i0, i1, i2} {}
+
+  int operator[](int d) const { return v[d]; }
+  int& operator[](int d) { return v[d]; }
+
+  bool operator==(const Index&) const = default;
+};
+
+/// Sizes use the same representation as indices (paper section 3).
+using Size = Index;
+
+/// One partition's index box: lower inclusive, upper exclusive.
+struct Bounds {
+  Index lower;
+  Index upper;
+
+  /// Does the box contain `ix` in its first `dims` dimensions?
+  bool contains(const Index& ix, int dims) const;
+
+  /// Extent along dimension `d` (zero when empty).
+  int extent(int d) const;
+
+  /// Number of contained elements over `dims` dimensions.
+  long volume(int dims) const;
+
+  bool operator==(const Bounds&) const = default;
+};
+
+/// "(3, 5)"-style rendering for diagnostics.
+std::string to_string(const Index& ix, int dims);
+std::string to_string(const Bounds& b, int dims);
+
+}  // namespace skil

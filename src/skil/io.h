@@ -1,0 +1,166 @@
+// Gathering and (parallel) I/O skeletons.
+//
+// The paper's section 6 lists "new skeletons, for instance for
+// (parallel) I/O" as necessary future work; the programs themselves
+// contain "/* output array c */" steps.  This header provides them:
+// array_gather_all materialises the global array contents on every
+// processor (used by the applications to return results and by the
+// test suite to compare against sequential oracles), and array_write
+// prints the array from processor 0 in a deterministic format.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "parix/collectives.h"
+#include "parix/proc.h"
+#include "skil/dist_array.h"
+#include "support/matrix.h"
+
+namespace skil {
+
+namespace detail {
+
+/// Assembles gathered partitions into row-major global order.
+template <class T>
+std::vector<T> assemble_global(const Distribution& dist,
+                               const std::vector<std::vector<T>>& parts) {
+  std::vector<T> global(static_cast<std::size_t>(dist.global_rows()) *
+                        dist.global_cols());
+  for (int vrank = 0; vrank < dist.nprocs(); ++vrank) {
+    std::size_t offset = 0;
+    const std::vector<T>& part = parts[vrank];
+    for (const RowRun& run : dist.local_runs(vrank)) {
+      const std::size_t base =
+          static_cast<std::size_t>(run.row) * dist.global_cols() +
+          run.col_begin;
+      for (int c = 0; c < run.col_count; ++c)
+        global[base + c] = part[offset++];
+    }
+  }
+  return global;
+}
+
+}  // namespace detail
+
+/// Collects the whole array on processor 0 only (the cheap variant the
+/// applications use to output results, matching what a hand-written
+/// program would do).  Returns the row-major contents on processor 0
+/// and an empty vector elsewhere.
+template <class T>
+std::vector<T> array_gather_root(const DistArray<T>& a) {
+  SKIL_REQUIRE(a.valid(), "array_gather_root: invalid array");
+  parix::Proc& proc = a.proc();
+  const parix::Topology& topo = a.topology();
+  std::vector<std::vector<T>> parts =
+      parix::gather(proc, topo, /*root_hw=*/0, a.local());
+  if (proc.id() != 0) return {};
+  std::vector<T> global = detail::assemble_global(a.dist(), parts);
+  proc.charge(parix::Op::kCopyWord,
+              (global.size() * sizeof(T)) / sizeof(long) + 1);
+  return global;
+}
+
+/// Collects the whole array in row-major global order on every
+/// processor.  One gather along the tree plus one broadcast.
+template <class T>
+std::vector<T> array_gather_all(const DistArray<T>& a) {
+  SKIL_REQUIRE(a.valid(), "array_gather_all: invalid array");
+  parix::Proc& proc = a.proc();
+  const parix::Topology& topo = a.topology();
+  std::vector<std::vector<T>> parts =
+      parix::allgather(proc, topo, a.local());
+  std::vector<T> global = detail::assemble_global(a.dist(), parts);
+  proc.charge(parix::Op::kCopyWord,
+              (global.size() * sizeof(T)) / sizeof(long) + 1);
+  return global;
+}
+
+/// Gathers a 2-D (or 1-D) array into a sequential support::Matrix on
+/// every processor; the bridge between distributed results and the
+/// sequential oracles.
+template <class T>
+support::Matrix<T> array_gather_matrix(const DistArray<T>& a) {
+  const Distribution& dist = a.dist();
+  std::vector<T> flat = array_gather_all(a);
+  support::Matrix<T> m(dist.global_rows(), dist.global_cols());
+  m.storage() = std::move(flat);
+  return m;
+}
+
+/// Writes the array contents from processor 0 (collective: every
+/// processor must call it).  Values are space-separated, one global
+/// row per line.
+template <class T>
+void array_write(const DistArray<T>& a, std::ostream& os) {
+  const std::vector<T> global = array_gather_all(a);
+  if (a.proc().id() != 0) return;
+  const int cols = a.dist().global_cols();
+  for (std::size_t i = 0; i < global.size(); ++i) {
+    os << global[i];
+    os << ((static_cast<int>(i) % cols == cols - 1) ? '\n' : ' ');
+  }
+}
+
+/// Scatters row-major global contents held on processor 0 into an
+/// existing array: the inverse of array_gather_root, and the building
+/// block of the input side of the paper's "(parallel) I/O" future
+/// work.  `global` is read on processor 0 only.
+template <class T>
+void array_scatter_root(const std::vector<T>& global, DistArray<T>& a) {
+  SKIL_REQUIRE(a.valid(), "array_scatter_root: invalid array");
+  parix::Proc& proc = a.proc();
+  const Distribution& dist = a.dist();
+  const parix::Topology& topo = a.topology();
+  const long tag = proc.fresh_tag();
+
+  if (proc.id() == 0) {
+    SKIL_REQUIRE(static_cast<long>(global.size()) ==
+                     static_cast<long>(dist.global_rows()) *
+                         dist.global_cols(),
+                 "array_scatter_root: global size mismatch");
+    for (int vrank = 0; vrank < topo.nprocs(); ++vrank) {
+      std::vector<T> part;
+      part.reserve(static_cast<std::size_t>(dist.local_count(vrank)));
+      for (const RowRun& run : dist.local_runs(vrank)) {
+        const std::size_t base =
+            static_cast<std::size_t>(run.row) * dist.global_cols() +
+            run.col_begin;
+        part.insert(part.end(), global.begin() + base,
+                    global.begin() + base + run.col_count);
+      }
+      const int hw = topo.hw_of(vrank);
+      if (hw == 0)
+        a.local() = std::move(part);
+      else
+        proc.send<std::vector<T>>(hw, tag, std::move(part));
+    }
+    proc.charge(parix::Op::kCopyWord,
+                (global.size() * sizeof(T)) / sizeof(long) + 1);
+  } else {
+    a.local() = proc.recv<std::vector<T>>(0, tag);
+  }
+}
+
+/// Reads an array from a stream (processor 0 reads, then scatters):
+/// the format produced by array_write -- whitespace-separated values
+/// in row-major order.  Collective.
+template <class T>
+void array_read(std::istream& is, DistArray<T>& a) {
+  SKIL_REQUIRE(a.valid(), "array_read: invalid array");
+  std::vector<T> global;
+  if (a.proc().id() == 0) {
+    const long count = static_cast<long>(a.dist().global_rows()) *
+                       a.dist().global_cols();
+    global.reserve(count);
+    T value;
+    for (long i = 0; i < count && (is >> value); ++i)
+      global.push_back(value);
+    SKIL_REQUIRE(static_cast<long>(global.size()) == count,
+                 "array_read: stream ended before the array was full");
+  }
+  array_scatter_root(global, a);
+}
+
+}  // namespace skil

@@ -1,0 +1,125 @@
+// The `pardata` construct (paper section 2.3) in library form.
+//
+//   pardata name <$t1, ..., $tn> implem [<type args>];
+//
+// A pardata is "composed of identical data structures placed on each
+// processor"; its implementation is hidden, and skeletons are the only
+// way to operate on it globally.  The distributed array of
+// skil/dist_array.h is the canonical instance.  This header provides
+// the general construct: Pardata<L> places one local structure of type
+// L on every processor, and a small set of generic skeletons operate
+// on the ensemble.  The test suite instantiates it with a distributed
+// hash-partitioned multiset; nesting pardatas is rejected, matching
+// the paper's "distributed data structures may not be nested".
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "parix/collectives.h"
+#include "parix/proc.h"
+#include "parix/topology.h"
+#include "support/error.h"
+
+namespace skil {
+
+template <class L>
+class Pardata;
+
+namespace detail {
+template <class T>
+struct is_pardata : std::false_type {};
+template <class L>
+struct is_pardata<Pardata<L>> : std::true_type {};
+}  // namespace detail
+
+/// A distributed structure: one `L` per processor.
+template <class L>
+class Pardata {
+ public:
+  static_assert(!detail::is_pardata<L>::value,
+                "pardata structures may not be nested (paper section 2.3)");
+
+  Pardata() = default;
+
+  /// Creates the pardata with each processor's local part built by
+  /// `init(vrank, nprocs)`.
+  template <class InitFn>
+  Pardata(parix::Proc& proc, parix::Distr distr, InitFn&& init)
+      : proc_(&proc),
+        topo_(std::make_shared<const parix::Topology>(proc.machine(), distr)),
+        local_(init(topo_->vrank_of(proc.id()), topo_->nprocs())) {}
+
+  bool valid() const { return topo_ != nullptr; }
+
+  parix::Proc& proc() const {
+    SKIL_REQUIRE(valid(), "pardata was destroyed or never created");
+    return *proc_;
+  }
+  const parix::Topology& topology() const {
+    SKIL_REQUIRE(valid(), "pardata was destroyed or never created");
+    return *topo_;
+  }
+  int my_vrank() const { return topology().vrank_of(proc().id()); }
+  int nprocs() const { return topology().nprocs(); }
+
+  /// The hidden local implementation; skeletons and pardata authors
+  /// use it, applications should not (the paper keeps `implem`
+  /// invisible).
+  L& local() {
+    SKIL_REQUIRE(valid(), "pardata was destroyed or never created");
+    return local_;
+  }
+  const L& local() const {
+    SKIL_REQUIRE(valid(), "pardata was destroyed or never created");
+    return local_;
+  }
+
+  void destroy() {
+    topo_.reset();
+    local_ = L{};
+  }
+
+ private:
+  parix::Proc* proc_ = nullptr;
+  std::shared_ptr<const parix::Topology> topo_;
+  L local_{};
+};
+
+/// Applies `f(local, vrank)` on every processor (purely local work).
+template <class F, class L>
+void pardata_map(F f, Pardata<L>& pd) {
+  pd.proc().charge(parix::Op::kCall);
+  f(pd.local(), pd.my_vrank());
+}
+
+/// Folds per-processor summaries: `summarise(local, vrank)` produces a
+/// value on each processor, `fold_f` combines them along the tree, and
+/// every processor receives the result.
+template <class Summarise, class Fold, class L>
+auto pardata_fold(Summarise summarise, Fold fold_f, const Pardata<L>& pd) {
+  using S = std::decay_t<decltype(summarise(pd.local(), 0))>;
+  pd.proc().charge(parix::Op::kCall);
+  S local = summarise(pd.local(), pd.my_vrank());
+  return parix::allreduce(pd.proc(), pd.topology(), std::move(local),
+                          [&](S a, S b) {
+                            pd.proc().charge(parix::Op::kCall);
+                            return fold_f(std::move(a), std::move(b));
+                          });
+}
+
+/// Exchanges a value with the ring neighbours: sends
+/// `make_payload(local)` to the next processor and hands the payload
+/// arriving from the previous one to `receive(local, payload)`.
+template <class MakePayload, class Receive, class L>
+void pardata_ring_exchange(MakePayload make_payload, Receive receive,
+                           Pardata<L>& pd) {
+  using P = std::decay_t<decltype(make_payload(pd.local()))>;
+  pd.proc().charge(parix::Op::kCall, 2);
+  P incoming = parix::ring_shift(pd.proc(), pd.topology(),
+                                 make_payload(pd.local()));
+  receive(pd.local(), std::move(incoming));
+}
+
+}  // namespace skil

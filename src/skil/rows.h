@@ -1,0 +1,81 @@
+// Row-oriented skeletons (extensions in the spirit of section 3).
+//
+// For row-block distributed 2-D arrays (full-width rows), whole rows
+// are local, so per-row reductions and cyclic row rotations have
+// natural skeleton forms:
+//
+//  * array_fold_rows: folds each row to one value, producing a
+//    1-D distributed array with the same row partitioning -- purely
+//    local, no communication (the dual of array_fold's global fold);
+//  * array_rotate_rows: rotates the rows cyclically by k positions, a
+//    special case of array_permute_rows exposed for convenience.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "skil/dist_array.h"
+#include "skil/skeleton_comm.h"
+#include "skil/skeleton_fold.h"
+
+namespace skil {
+
+/// Folds every row of the row-block distributed 2-D array `a` with
+/// `conv_f` ($t1, Index) -> $t2 and `fold_f` ($t2, $t2) -> $t2,
+/// writing row i's result into element i of the 1-D array `to`, which
+/// must be block-distributed with the same row boundaries.
+template <class Conv, class Fold, class T1, class T2>
+void array_fold_rows(Conv conv_f, Fold fold_f, const DistArray<T1>& a,
+                     DistArray<T2>& to) {
+  SKIL_REQUIRE(a.valid() && to.valid(), "array_fold_rows: invalid array");
+  const Distribution& dist = a.dist();
+  SKIL_REQUIRE(dist.dims() == 2 && dist.layout() == Layout::kBlock &&
+                   dist.block_grid_cols() == 1,
+               "array_fold_rows requires a row-block distributed 2-D array");
+  const Distribution& target = to.dist();
+  SKIL_REQUIRE(target.dims() == 1 &&
+                   target.global_rows() == dist.global_rows() &&
+                   target.layout() == Layout::kBlock,
+               "array_fold_rows: target must be a 1-D array with one "
+               "element per source row");
+  SKIL_REQUIRE(target.partition_bounds(to.my_vrank()).lower[0] ==
+                       dist.partition_bounds(a.my_vrank()).lower[0] &&
+                   target.partition_bounds(to.my_vrank()).upper[0] ==
+                       dist.partition_bounds(a.my_vrank()).upper[0],
+               "array_fold_rows: target rows must be partitioned like the "
+               "source rows");
+
+  const auto& src = a.local();
+  auto& dst = to.local();
+  const int width = dist.global_cols();
+  const Bounds bounds = a.part_bounds();
+  std::size_t offset = 0;
+  std::uint64_t elems = 0;
+  for (int row = bounds.lower[0]; row < bounds.upper[0]; ++row) {
+    std::optional<T2> acc;
+    for (int c = 0; c < width; ++c) {
+      T2 converted =
+          detail::apply_conv_f(conv_f, src[offset], Index{row, c});
+      acc = acc.has_value() ? fold_f(std::move(*acc), std::move(converted))
+                            : std::move(converted);
+      ++offset;
+      ++elems;
+    }
+    dst[row - bounds.lower[0]] = std::move(*acc);
+  }
+  a.proc().charge(parix::Op::kCall, 2 * elems);
+  a.proc().charge(op_kind<T1>(), elems);
+}
+
+/// Rotates the rows of `from` cyclically by `shift` positions (row i
+/// moves to row (i + shift) mod n) into `to`.
+template <class T>
+void array_rotate_rows(const DistArray<T>& from, int shift,
+                       DistArray<T>& to) {
+  SKIL_REQUIRE(from.valid(), "array_rotate_rows: invalid array");
+  const int n = from.dist().global_rows();
+  const int k = ((shift % n) + n) % n;
+  array_permute_rows(from, [n, k](int row) { return (row + k) % n; }, to);
+}
+
+}  // namespace skil

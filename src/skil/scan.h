@@ -1,0 +1,81 @@
+// array_scan: parallel prefix over a distributed array (extension).
+//
+// Not in the paper's skeleton list, but a standard data-parallel
+// skeleton in the same family (and in the successor libraries Skil
+// influenced).  Computes the inclusive prefix combination of all
+// elements in global row-major order: out[i] = f(x_0, ..., x_i).
+// Requires distributions whose local elements are a contiguous range
+// of the global order (row blocks or 1-D blocks), which makes the
+// result exactly the sequential scan.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "parix/collectives.h"
+#include "parix/proc.h"
+#include "skil/dist_array.h"
+#include "skil/skeleton_fold.h"
+
+namespace skil {
+
+/// Inclusive prefix scan; `conv_f` lifts ($t1, Index) into the scan
+/// domain and `scan_f` combines (associative).  Writes into `to`
+/// (same placement as `a`, element type = scan domain).
+template <class Conv, class Scan, class T1, class T2>
+void array_scan(Conv conv_f, Scan scan_f, const DistArray<T1>& a,
+                DistArray<T2>& to) {
+  SKIL_REQUIRE(a.valid() && to.valid(), "array_scan: invalid array");
+  const Distribution& dist = a.dist();
+  SKIL_REQUIRE(dist.layout() == Layout::kBlock &&
+                   dist.block_grid_cols() == 1,
+               "array_scan requires a row-block distribution (local "
+               "elements must be contiguous in the global order)");
+  SKIL_REQUIRE(dist.same_placement(to.dist()),
+               "array_scan: arrays must share one distribution");
+  parix::Proc& proc = a.proc();
+  const auto& src = a.local();
+  auto& dst = to.local();
+
+  // Local inclusive scan.
+  std::optional<T2> acc;
+  std::size_t offset = 0;
+  std::uint64_t elems = 0;
+  for (const RowRun& run : a.my_runs())
+    for (int c = 0; c < run.col_count; ++c) {
+      T2 converted = detail::apply_conv_f(conv_f, src[offset],
+                                          Index{run.row, run.col_begin + c});
+      acc = acc.has_value() ? scan_f(std::move(*acc), std::move(converted))
+                            : std::move(converted);
+      dst[offset] = *acc;
+      ++offset;
+      ++elems;
+    }
+  proc.charge(parix::Op::kCall, 2 * elems);
+  proc.charge(op_kind<T2>(), elems);
+
+  // Exclusive offsets: every processor folds the totals of the
+  // partitions preceding it in virtual-rank order.  The totals travel
+  // once (allgather); p is small, so this is cheaper and simpler than
+  // a distributed exclusive scan.
+  const parix::Topology& topo = a.topology();
+  std::vector<std::optional<T2>> totals =
+      parix::allgather(proc, topo, acc);
+  std::optional<T2> exclusive;
+  for (int v = 0; v < a.my_vrank(); ++v) {
+    if (!totals[v].has_value()) continue;
+    exclusive = exclusive.has_value()
+                    ? scan_f(std::move(*exclusive), *totals[v])
+                    : *totals[v];
+    proc.charge(parix::Op::kCall);
+  }
+  if (exclusive.has_value()) {
+    for (std::size_t i = 0; i < dst.size(); ++i)
+      dst[i] = scan_f(*exclusive, std::move(dst[i]));
+    proc.charge(parix::Op::kCall, dst.size());
+    proc.charge(op_kind<T2>(), dst.size());
+  }
+}
+
+}  // namespace skil

@@ -1,0 +1,86 @@
+// array_fold (paper section 3).
+//
+//   $t2 array_fold($t2 conv_f($t1, Index), $t2 fold_f($t2, $t2),
+//                  array <$t1> a);
+//
+// The skeleton first applies the conversion function to every element
+// "in a map-like way" (fused into the local fold, "more efficient"
+// than a preliminary array_map, as the paper's footnote 3 notes), then
+// folds the local partition, folds partition results along a virtual
+// tree topology to the root, and finally broadcasts the result back so
+// every processor returns it.  The folding function must be
+// associative and commutative, "otherwise the result is
+// non-deterministic".
+#pragma once
+
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "parix/collectives.h"
+#include "parix/proc.h"
+#include "skil/dist_array.h"
+
+namespace skil {
+
+namespace detail {
+
+template <class F, class T>
+decltype(auto) apply_conv_f(F& conv_f, const T& elem, const Index& ix) {
+  if constexpr (std::is_invocable_v<F&, const T&, Index>) {
+    return conv_f(elem, ix);
+  } else {
+    return conv_f(elem);
+  }
+}
+
+}  // namespace detail
+
+/// Folds all elements of `a` together; every processor receives the
+/// result.  `conv_f` maps ($t1, Index) to the fold domain $t2 and
+/// `fold_f` combines two $t2 values.
+///
+/// Cost model (per element): one call for the conversion, one call for
+/// the fold step, one element operation; the tree combination and the
+/// final broadcast are priced by the message layer.
+template <class Conv, class Fold, class T1>
+auto array_fold(Conv conv_f, Fold fold_f, const DistArray<T1>& a) {
+  using T2 = std::decay_t<decltype(detail::apply_conv_f(
+      conv_f, std::declval<const T1&>(), Index{}))>;
+  SKIL_REQUIRE(a.valid(), "array_fold: invalid array");
+
+  const auto& src = a.local();
+  std::optional<T2> acc;
+  std::size_t offset = 0;
+  std::uint64_t elems = 0;
+  for (const RowRun& run : a.my_runs())
+    for (int c = 0; c < run.col_count; ++c) {
+      T2 converted = detail::apply_conv_f(conv_f, src[offset],
+                                          Index{run.row, run.col_begin + c});
+      if (acc.has_value()) {
+        acc = fold_f(std::move(*acc), std::move(converted));
+      } else {
+        acc = std::move(converted);
+      }
+      ++offset;
+      ++elems;
+    }
+  a.proc().charge(parix::Op::kCall, 2 * elems);
+  a.proc().charge(op_kind<T1>(), elems);
+
+  // Partitions can be empty when the array is smaller than the
+  // machine; optional-merging keeps the tree fold well-defined.
+  auto merge = [&fold_f, &a](std::optional<T2> lhs,
+                             std::optional<T2> rhs) -> std::optional<T2> {
+    if (!lhs.has_value()) return rhs;
+    if (!rhs.has_value()) return lhs;
+    a.proc().charge(parix::Op::kCall);
+    return fold_f(std::move(*lhs), std::move(*rhs));
+  };
+  std::optional<T2> result =
+      parix::allreduce(a.proc(), a.topology(), std::move(acc), merge);
+  SKIL_REQUIRE(result.has_value(), "array_fold: array has no elements");
+  return *result;
+}
+
+}  // namespace skil

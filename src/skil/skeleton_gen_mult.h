@@ -1,0 +1,169 @@
+// array_gen_mult (paper section 3): generic matrix multiplication.
+//
+//   void array_gen_mult(array <$t> a, array <$t> b,
+//                       $t gen_add($t, $t), $t gen_mult($t, $t),
+//                       array <$t> c);
+//
+// Composes two 2-dimensional arrays "using the pattern of matrix
+// multiplication": c(i,j) = fold_{gen_add} over k of
+// gen_mult(a(i,k), b(k,j)), additionally folded with c's initial
+// element (so the caller creates c with the fold's identity -- the
+// paper's shortest-paths program initialises c with the maximal
+// integer, the identity of min).
+//
+// The implementation is Gentleman's distributed algorithm, exactly as
+// the paper describes: the arrays live block-wise on a 2-D torus of
+// q x q processors; after an initial skew (block row i of `a` rotates
+// i positions left, block column j of `b` rotates j positions up),
+// q rounds alternate a local generalized block multiplication with a
+// one-step horizontal rotation of `a` and vertical rotation of `b`.
+// After q rounds the blocks are back at their skewed position and an
+// unskew restores the original placement, leaving `a` and `b` intact.
+//
+// "We impose the condition that the matrices a, b and c are distinct"
+// -- aliased arguments raise ContractError.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "parix/collectives.h"
+#include "parix/proc.h"
+#include "skil/dist_array.h"
+
+namespace skil {
+
+namespace detail {
+
+/// Rotates `payload` by `steps` positions towards lower column indices
+/// (dcol = -1) or lower row indices (drow = -1) on the torus in one
+/// direct message (the skew/unskew step).
+template <class T>
+std::vector<T> torus_rotate_by(parix::Proc& proc, const parix::Topology& topo,
+                               std::vector<T> payload, int drow, int dcol) {
+  const long tag = proc.fresh_tag();
+  const int row = topo.grid_row(proc.id());
+  const int col = topo.grid_col(proc.id());
+  const int dst = topo.at_grid(row + drow, col + dcol);
+  const int src = topo.at_grid(row - drow, col - dcol);
+  if (dst == proc.id()) return payload;
+  proc.send<std::vector<T>>(dst, tag, std::move(payload));
+  return proc.recv<std::vector<T>>(src, tag);
+}
+
+}  // namespace detail
+
+/// Generic Gentleman matrix multiplication; see the header comment.
+template <class T, class Add, class Mult>
+void array_gen_mult(DistArray<T>& a, DistArray<T>& b, Add gen_add,
+                    Mult gen_mult, DistArray<T>& c) {
+  SKIL_REQUIRE(a.valid() && b.valid() && c.valid(),
+               "array_gen_mult: invalid array");
+  SKIL_REQUIRE(&a.local() != &b.local() && &a.local() != &c.local() &&
+                   &b.local() != &c.local(),
+               "array_gen_mult: the arrays a, b and c must be distinct");
+  const Distribution& dist = a.dist();
+  SKIL_REQUIRE(dist.dims() == 2 && dist.layout() == Layout::kBlock,
+               "array_gen_mult needs 2-D block-distributed arrays");
+  SKIL_REQUIRE(dist.same_placement(b.dist()) && dist.same_placement(c.dist()),
+               "array_gen_mult: arrays must share one distribution");
+  const parix::Topology& topo = a.topology();
+  SKIL_REQUIRE(topo.kind() == parix::Distr::kTorus2D,
+               "array_gen_mult: arrays must be mapped onto DISTR_TORUS2D");
+  const int q_rows = topo.grid_rows();
+  const int q_cols = topo.grid_cols();
+  SKIL_REQUIRE(q_rows == q_cols,
+               "array_gen_mult needs a square processor grid (run with a "
+               "square processor count)");
+  SKIL_REQUIRE(dist.block_grid_matches(topo),
+               "array_gen_mult: block grid must match the processor grid");
+  const int n = dist.global_rows();
+  SKIL_REQUIRE(n == dist.global_cols(),
+               "array_gen_mult: arrays must be square");
+  const int q = q_rows;
+  SKIL_REQUIRE(n % q == 0,
+               "array_gen_mult: the matrix size must be divisible by the "
+               "processor grid side (the paper rounds n up accordingly)");
+  const int block = n / q;
+
+  parix::Proc& proc = a.proc();
+  const int my_row = topo.grid_row(proc.id());
+  const int my_col = topo.grid_col(proc.id());
+
+  // Working copies keep `a` and `b` intact even if a functional
+  // argument throws mid-round.
+  std::vector<T> a_block = a.local();
+  std::vector<T> b_block = b.local();
+  const std::uint64_t block_words =
+      (a_block.size() * sizeof(T)) / sizeof(long) + 1;
+  proc.charge(parix::Op::kCopyWord, 2 * block_words);
+
+  // Skew: block row i of A moves i positions left; block column j of B
+  // moves j positions up (single direct messages).
+  a_block = detail::torus_rotate_by(proc, topo, std::move(a_block), 0, -my_row);
+  b_block = detail::torus_rotate_by(proc, topo, std::move(b_block), -my_col, 0);
+
+  const int a_dst = topo.torus_neighbor(proc.id(), 0, -1);
+  const int a_src = topo.torus_neighbor(proc.id(), 0, +1);
+  const int b_dst = topo.torus_neighbor(proc.id(), -1, 0);
+  const int b_src = topo.torus_neighbor(proc.id(), +1, 0);
+  const bool rotating = a_dst != proc.id() || b_dst != proc.id();
+
+  std::vector<T>& c_block = c.local();
+  std::uint64_t fused_ops = 0;
+  for (int round = 0; round < q; ++round) {
+    // Asynchronous overlap (the optimization Table 1's footnote
+    // credits the skeleton implementation with): post this round's
+    // rotations *before* the local multiplication, so the transfers
+    // proceed while the processor computes.  The send buffers are
+    // copies; the resident tiles stay available for the computation.
+    const long tag = proc.fresh_tag();
+    if (rotating) {
+      proc.send_mode<std::vector<T>>(a_dst, tag, a_block,
+                                     parix::SendMode::kAsync);
+      proc.send_mode<std::vector<T>>(b_dst, tag + 1, b_block,
+                                     parix::SendMode::kAsync);
+      proc.charge(parix::Op::kCopyWord, 2 * block_words);
+    }
+
+    // Local generalized multiply-accumulate of the (block x block)
+    // tiles currently resident: c += A_tile (*) B_tile under
+    // (gen_add, gen_mult).  The accumulation includes c's previous
+    // content, so round 0 folds in c's initial elements.
+    for (int i = 0; i < block; ++i)
+      for (int k = 0; k < block; ++k) {
+        const T& aik = a_block[static_cast<std::size_t>(i) * block + k];
+        const T* brow = &b_block[static_cast<std::size_t>(k) * block];
+        T* crow = &c_block[static_cast<std::size_t>(i) * block];
+        for (int j = 0; j < block; ++j)
+          crow[j] = gen_add(crow[j], gen_mult(aik, brow[j]));
+      }
+    fused_ops += static_cast<std::uint64_t>(block) * block * block;
+    // Charge the round's arithmetic before receiving, so the virtual
+    // receive time reflects the computation that overlapped it.
+    proc.charge(parix::Op::kCall,
+                2 * static_cast<std::uint64_t>(block) * block * block);
+    proc.charge(op_kind<T>(),
+                2 * static_cast<std::uint64_t>(block) * block * block);
+
+    // Complete the rotation (also after the last round: q single-step
+    // rotations return the blocks to their skewed start, which the
+    // unskew below undoes).
+    if (rotating) {
+      a_block = proc.recv<std::vector<T>>(a_src, tag);
+      b_block = proc.recv<std::vector<T>>(b_src, tag + 1);
+    }
+  }
+  // (Per-round charging above totals two functional-argument calls and
+  // two element operations per fused multiply-add, as the instantiated
+  // Skil code would execute.)
+  (void)fused_ops;
+
+  // Unskew (restores the caller's a and b placements).
+  a_block = detail::torus_rotate_by(proc, topo, std::move(a_block), 0, my_row);
+  b_block = detail::torus_rotate_by(proc, topo, std::move(b_block), my_col, 0);
+  a.local() = std::move(a_block);
+  b.local() = std::move(b_block);
+}
+
+}  // namespace skil

@@ -1,0 +1,160 @@
+// Overlapping partition borders (paper section 6, future work).
+//
+// "In the case of block distributions, it should be possible to define
+// overlapping areas for the single partitions, in order to reduce
+// communication in operations which require more than one element at a
+// time.  Such operations are used for instance in solving partial
+// differential equations or in image processing."
+//
+// This header implements that extension for row-block distributed
+// arrays (full-width rows, the layout Gaussian elimination uses):
+// array_exchange_borders fetches a halo of neighbouring rows in one
+// message per neighbour, and array_map_stencil maps a neighbourhood
+// function over the array, giving it access to a (2*halo+1)-row
+// window.  The heat-equation example and the image-smoothing tests
+// build on it.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "parix/collectives.h"
+#include "parix/proc.h"
+#include "skil/dist_array.h"
+
+namespace skil {
+
+/// Halo rows fetched from the neighbouring partitions.
+template <class T>
+struct Borders {
+  int halo = 0;          ///< requested halo width in rows
+  int top_rows = 0;      ///< rows actually present above the partition
+  int bottom_rows = 0;   ///< rows actually present below the partition
+  std::vector<T> top;    ///< row-major, the last `top_rows` rows above
+  std::vector<T> bottom; ///< row-major, the first `bottom_rows` rows below
+};
+
+/// Exchanges `halo` boundary rows with the neighbouring partitions
+/// (non-periodic: the global top/bottom partitions receive shorter or
+/// empty halos).  Requires a row-block distribution.
+template <class T>
+Borders<T> array_exchange_borders(const DistArray<T>& a, int halo) {
+  SKIL_REQUIRE(a.valid(), "array_exchange_borders: invalid array");
+  const Distribution& dist = a.dist();
+  SKIL_REQUIRE(dist.layout() == Layout::kBlock &&
+                   dist.block_grid_cols() == 1,
+               "array_exchange_borders requires a row-block distribution");
+  SKIL_REQUIRE(halo >= 1, "array_exchange_borders: halo must be >= 1");
+  parix::Proc& proc = a.proc();
+  const parix::Topology& topo = a.topology();
+  const long tag = proc.fresh_tag();
+  const int p = topo.nprocs();
+  const int me = a.my_vrank();
+  const Bounds bounds = a.part_bounds();
+  const int my_rows = bounds.extent(0);
+  const int width = dist.global_cols();
+  const auto& local = a.local();
+
+  // A halo wider than a partition would need multi-neighbour
+  // forwarding; one-partition halos cover the paper's use cases.
+  SKIL_REQUIRE(halo <= my_rows,
+               "array_exchange_borders: halo exceeds the partition height");
+
+  Borders<T> borders;
+  borders.halo = halo;
+
+  // Send my top rows up and my bottom rows down (asynchronously), then
+  // receive the matching halos.  Ranks at the global edges skip the
+  // missing neighbour.
+  if (me > 0) {
+    std::vector<T> rows(local.begin(),
+                        local.begin() + static_cast<long>(halo) * width);
+    proc.send<std::vector<T>>(topo.hw_of(me - 1), tag, std::move(rows));
+  }
+  if (me + 1 < p) {
+    std::vector<T> rows(local.end() - static_cast<long>(halo) * width,
+                        local.end());
+    proc.send<std::vector<T>>(topo.hw_of(me + 1), tag + 1, std::move(rows));
+  }
+  if (me + 1 < p) {
+    borders.bottom = proc.recv<std::vector<T>>(topo.hw_of(me + 1), tag);
+    borders.bottom_rows = static_cast<int>(borders.bottom.size()) / width;
+  }
+  if (me > 0) {
+    borders.top = proc.recv<std::vector<T>>(topo.hw_of(me - 1), tag + 1);
+    borders.top_rows = static_cast<int>(borders.top.size()) / width;
+  }
+  return borders;
+}
+
+/// Read-only window over a partition plus its exchanged borders.
+/// get(row, col) accepts *global* coordinates within the halo range;
+/// in_domain says whether a coordinate is inside the global array.
+template <class T>
+class StencilView {
+ public:
+  StencilView(const DistArray<T>& a, const Borders<T>& borders)
+      : local_(&a.local()), borders_(&borders),
+        bounds_(a.part_bounds()), width_(a.dist().global_cols()),
+        global_rows_(a.dist().global_rows()) {}
+
+  bool in_domain(int row, int col) const {
+    return row >= 0 && row < global_rows_ && col >= 0 && col < width_;
+  }
+
+  /// Element at global (row, col); the row must lie inside the
+  /// partition or its halo.
+  const T& get(int row, int col) const {
+    if (row >= bounds_.lower[0] && row < bounds_.upper[0])
+      return (*local_)[static_cast<std::size_t>(row - bounds_.lower[0]) *
+                           width_ +
+                       col];
+    if (row < bounds_.lower[0]) {
+      const int from_top = bounds_.lower[0] - row;
+      SKIL_REQUIRE(from_top <= borders_->top_rows,
+                   "stencil access above the exchanged halo");
+      const int halo_row = borders_->top_rows - from_top;
+      return borders_->top[static_cast<std::size_t>(halo_row) * width_ + col];
+    }
+    const int below = row - bounds_.upper[0];
+    SKIL_REQUIRE(below < borders_->bottom_rows,
+                 "stencil access below the exchanged halo");
+    return borders_->bottom[static_cast<std::size_t>(below) * width_ + col];
+  }
+
+ private:
+  const std::vector<T>* local_;
+  const Borders<T>* borders_;
+  Bounds bounds_;
+  int width_;
+  int global_rows_;
+};
+
+/// Maps a neighbourhood function over the array: for every element,
+/// `stencil_f(view, ix)` may read any element within `halo` rows of
+/// ix (and any column).  `from` and `to` must be distinct.
+template <class F, class T>
+void array_map_stencil(F stencil_f, const DistArray<T>& from,
+                       DistArray<T>& to, int halo) {
+  SKIL_REQUIRE(from.valid() && to.valid(),
+               "array_map_stencil: invalid array");
+  SKIL_REQUIRE(&from.local() != &to.local(),
+               "array_map_stencil: arrays must be distinct (the window "
+               "reads neighbours that an in-place update would clobber)");
+  SKIL_REQUIRE(from.dist().same_placement(to.dist()),
+               "array_map_stencil: arrays must share one distribution");
+  const Borders<T> borders = array_exchange_borders(from, halo);
+  const StencilView<T> view(from, borders);
+  auto& dst = to.local();
+  std::size_t offset = 0;
+  std::uint64_t elems = 0;
+  for (const RowRun& run : from.my_runs())
+    for (int c = 0; c < run.col_count; ++c) {
+      dst[offset++] = stencil_f(view, Index{run.row, run.col_begin + c});
+      ++elems;
+    }
+  from.proc().charge(parix::Op::kCall, elems);
+  from.proc().charge(op_kind<T>(), elems);
+}
+
+}  // namespace skil

@@ -1,0 +1,68 @@
+// array_transpose: matrix transposition over the torus (extension).
+//
+// For a square array in the square block grid array_gen_mult uses,
+// the transpose is one message per processor: block (R,C) is
+// transposed locally and sent to the processor holding block (C,R).
+// A natural companion of array_gen_mult (e.g. for forming A^T A) and a
+// further example of coordinated non-local data movement behind a
+// skeleton interface.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "parix/proc.h"
+#include "skil/dist_array.h"
+
+namespace skil {
+
+/// Writes the transpose of `from` into `to`; the arrays must be
+/// distinct, square, and block-distributed on a square processor grid
+/// with matching block and processor grids (as array_gen_mult needs).
+template <class T>
+void array_transpose(const DistArray<T>& from, DistArray<T>& to) {
+  SKIL_REQUIRE(from.valid() && to.valid(), "array_transpose: invalid array");
+  SKIL_REQUIRE(&from.local() != &to.local(),
+               "array_transpose: arrays must be distinct");
+  const Distribution& dist = from.dist();
+  SKIL_REQUIRE(dist.dims() == 2 && dist.layout() == Layout::kBlock,
+               "array_transpose needs a 2-D block-distributed array");
+  SKIL_REQUIRE(dist.same_placement(to.dist()),
+               "array_transpose: arrays must share one distribution");
+  const parix::Topology& topo = from.topology();
+  SKIL_REQUIRE(dist.block_grid_matches(topo),
+               "array_transpose: block grid must match the processor grid");
+  SKIL_REQUIRE(topo.grid_rows() == topo.grid_cols(),
+               "array_transpose needs a square processor grid");
+  const int n = dist.global_rows();
+  SKIL_REQUIRE(n == dist.global_cols(), "array_transpose: array not square");
+  const int q = topo.grid_rows();
+  SKIL_REQUIRE(n % q == 0,
+               "array_transpose: the grid side must divide the array size");
+  const int block = n / q;
+
+  parix::Proc& proc = from.proc();
+  const int my_row = topo.grid_row(proc.id());
+  const int my_col = topo.grid_col(proc.id());
+
+  // Transpose the local block into a send buffer.
+  const auto& src = from.local();
+  std::vector<T> buffer(src.size());
+  for (int i = 0; i < block; ++i)
+    for (int j = 0; j < block; ++j)
+      buffer[static_cast<std::size_t>(j) * block + i] =
+          src[static_cast<std::size_t>(i) * block + j];
+  proc.charge(parix::Op::kCopyWord,
+              buffer.size() * sizeof(T) / sizeof(long) + 1);
+
+  const long tag = proc.fresh_tag();
+  const int partner = topo.at_grid(my_col, my_row);
+  if (partner == proc.id()) {
+    to.local() = std::move(buffer);
+    return;
+  }
+  proc.send<std::vector<T>>(partner, tag, std::move(buffer));
+  to.local() = proc.recv<std::vector<T>>(partner, tag);
+}
+
+}  // namespace skil

@@ -1,0 +1,128 @@
+#include "skilc/ast.h"
+
+namespace skil::skilc {
+
+namespace {
+ExprPtr clone_or_null(const ExprPtr& expr) {
+  return expr ? expr->clone() : nullptr;
+}
+StmtPtr clone_or_null(const StmtPtr& stmt) {
+  return stmt ? stmt->clone() : nullptr;
+}
+}  // namespace
+
+ExprPtr Expr::clone() const {
+  auto copy = std::make_unique<Expr>();
+  copy->kind = kind;
+  copy->int_value = int_value;
+  copy->float_value = float_value;
+  copy->name = name;
+  copy->lhs = clone_or_null(lhs);
+  copy->rhs = clone_or_null(rhs);
+  copy->callee = clone_or_null(callee);
+  for (const ExprPtr& arg : args) copy->args.push_back(arg->clone());
+  copy->line = line;
+  copy->type = type;
+  return copy;
+}
+
+ExprPtr make_int_lit(long value) {
+  auto expr = std::make_unique<Expr>();
+  expr->kind = Expr::Kind::kIntLit;
+  expr->int_value = value;
+  return expr;
+}
+
+ExprPtr make_float_lit(double value) {
+  auto expr = std::make_unique<Expr>();
+  expr->kind = Expr::Kind::kFloatLit;
+  expr->float_value = value;
+  return expr;
+}
+
+ExprPtr make_name(std::string name) {
+  auto expr = std::make_unique<Expr>();
+  expr->kind = Expr::Kind::kName;
+  expr->name = std::move(name);
+  return expr;
+}
+
+ExprPtr make_call(ExprPtr callee, std::vector<ExprPtr> args) {
+  auto expr = std::make_unique<Expr>();
+  expr->kind = Expr::Kind::kCall;
+  expr->callee = std::move(callee);
+  expr->args = std::move(args);
+  return expr;
+}
+
+ExprPtr make_binary(std::string op, ExprPtr lhs, ExprPtr rhs) {
+  auto expr = std::make_unique<Expr>();
+  expr->kind = Expr::Kind::kBinary;
+  expr->name = std::move(op);
+  expr->lhs = std::move(lhs);
+  expr->rhs = std::move(rhs);
+  return expr;
+}
+
+ExprPtr make_unary(std::string op, ExprPtr operand) {
+  auto expr = std::make_unique<Expr>();
+  expr->kind = Expr::Kind::kUnary;
+  expr->name = std::move(op);
+  expr->lhs = std::move(operand);
+  return expr;
+}
+
+ExprPtr make_section(std::string op) {
+  auto expr = std::make_unique<Expr>();
+  expr->kind = Expr::Kind::kSection;
+  expr->name = std::move(op);
+  return expr;
+}
+
+ExprPtr make_assign(ExprPtr lhs, ExprPtr rhs) {
+  auto expr = std::make_unique<Expr>();
+  expr->kind = Expr::Kind::kAssign;
+  expr->lhs = std::move(lhs);
+  expr->rhs = std::move(rhs);
+  return expr;
+}
+
+ExprPtr make_index(ExprPtr base, ExprPtr index) {
+  auto expr = std::make_unique<Expr>();
+  expr->kind = Expr::Kind::kIndex;
+  expr->lhs = std::move(base);
+  expr->rhs = std::move(index);
+  return expr;
+}
+
+StmtPtr Stmt::clone() const {
+  auto copy = std::make_unique<Stmt>();
+  copy->kind = kind;
+  copy->expr = clone_or_null(expr);
+  copy->decl_type = decl_type;
+  copy->decl_name = decl_name;
+  copy->init = clone_or_null(init);
+  copy->for_init = clone_or_null(for_init);
+  copy->body = clone_stmts(body);
+  copy->else_body = clone_stmts(else_body);
+  return copy;
+}
+
+std::vector<StmtPtr> clone_stmts(const std::vector<StmtPtr>& stmts) {
+  std::vector<StmtPtr> copies;
+  copies.reserve(stmts.size());
+  for (const StmtPtr& stmt : stmts) copies.push_back(stmt->clone());
+  return copies;
+}
+
+Function Function::clone() const {
+  Function copy;
+  copy.ret = ret;
+  copy.name = name;
+  copy.params = params;
+  copy.body = clone_stmts(body);
+  copy.is_prototype = is_prototype;
+  return copy;
+}
+
+}  // namespace skil::skilc

@@ -1,0 +1,19 @@
+#include "skilc/compiler.h"
+
+#include "skilc/emit.h"
+#include "skilc/instantiate.h"
+#include "skilc/parser.h"
+#include "skilc/typecheck.h"
+
+namespace skil::skilc {
+
+CompileResult compile(const std::string& source) {
+  CompileResult result;
+  result.typed = parse(source);
+  typecheck(result.typed);
+  result.instantiated = instantiate(result.typed);
+  result.c_code = emit_program(result.instantiated);
+  return result;
+}
+
+}  // namespace skil::skilc

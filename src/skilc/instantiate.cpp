@@ -1,0 +1,373 @@
+#include "skilc/instantiate.h"
+
+#include <map>
+#include <sstream>
+
+#include "skilc/typecheck.h"
+
+namespace skil::skilc {
+
+namespace {
+
+/// Description of a functional argument at a call site: the underlying
+/// target (a named first-order function or an operator section) plus
+/// the value arguments bound by partial application.
+struct FnDesc {
+  bool is_section = false;
+  std::string name;              ///< function name or operator spelling
+  std::vector<ExprPtr> bound;    ///< lifted value arguments (owned clones)
+  std::vector<TypePtr> bound_types;
+
+  FnDesc clone() const {
+    FnDesc copy;
+    copy.is_section = is_section;
+    copy.name = name;
+    for (const ExprPtr& expr : bound) copy.bound.push_back(expr->clone());
+    copy.bound_types = bound_types;
+    return copy;
+  }
+
+  /// Structural signature for instance memoisation: the bound
+  /// argument *types* matter (their values become parameters), the
+  /// values do not.
+  std::string signature() const {
+    std::ostringstream os;
+    os << (is_section ? "op:" : "fn:") << name << '(';
+    for (const TypePtr& type : bound_types) os << type_to_string(type) << ',';
+    os << ')';
+    return os.str();
+  }
+};
+
+class Instantiator {
+ public:
+  explicit Instantiator(const Program& program)
+      : source_(program), pardata_names_(program.pardata_names()) {}
+
+  Program run() {
+    result_.pardatas = source_.pardatas;
+    // Roots: every function that needs no instantiation itself.
+    for (const Function& fn : source_.functions) {
+      if (fn.is_hof() || fn.is_polymorphic()) continue;
+      Function copy = fn.clone();
+      if (!copy.is_prototype) {
+        const std::map<std::string, FnDesc> no_env;
+        rewrite_stmts(copy.body, no_env);
+      }
+      result_.functions.push_back(std::move(copy));
+    }
+    return std::move(result_);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) {
+    throw InstantiationError("skil instantiation: " + message);
+  }
+
+  // --- descriptor extraction ---------------------------------------------
+
+  /// Is this expression a functional value (per its inferred type)?
+  static bool is_functional(const Expr& expr) {
+    return expr.type && expr.type->kind == Type::Kind::kFunction;
+  }
+
+  /// Builds the descriptor of a functional argument expression.
+  FnDesc describe(const Expr& expr,
+                  const std::map<std::string, FnDesc>& env) {
+    switch (expr.kind) {
+      case Expr::Kind::kSection: {
+        FnDesc desc;
+        desc.is_section = true;
+        desc.name = expr.name;
+        return desc;
+      }
+      case Expr::Kind::kName: {
+        const auto bound_param = env.find(expr.name);
+        if (bound_param != env.end()) return bound_param->second.clone();
+        const Function* target = source_.find_function(expr.name);
+        if (!target)
+          fail("functional argument '" + expr.name +
+               "' is not a known function");
+        if (target->is_hof())
+          fail("passing the higher-order function '" + expr.name +
+               "' as a functional argument is the recursively-defined "
+               "class the paper's restriction excludes (see [1])");
+        FnDesc desc;
+        desc.name = expr.name;
+        return desc;
+      }
+      case Expr::Kind::kCall: {
+        // A partial application: describe the callee, then append the
+        // bound value arguments (rewritten, so nested instantiable
+        // calls inside them are handled too).
+        FnDesc desc = describe(*expr.callee, env);
+        for (const ExprPtr& arg : expr.args) {
+          if (is_functional(*arg))
+            fail("a functional value bound inside a partial application "
+                 "is the recursively-defined class the paper's "
+                 "restriction excludes (see [1])");
+          desc.bound.push_back(rewrite_expr(arg->clone(), env));
+          desc.bound_types.push_back(arg->type);
+        }
+        return desc;
+      }
+      default:
+        fail("unsupported functional argument expression");
+    }
+  }
+
+  // --- instance construction ----------------------------------------------
+
+  struct LiftedParam {
+    std::string name;
+    TypePtr type;
+  };
+
+  std::string instance_for(const Function& callee, const Subst& subst,
+                           const std::vector<FnDesc*>& descs) {
+    std::ostringstream key;
+    key << callee.name << '|' << type_to_string(substitute(callee.type(),
+                                                           subst));
+    for (const FnDesc* desc : descs) key << '|' << desc->signature();
+    const auto memo = instances_.find(key.str());
+    if (memo != instances_.end()) return memo->second;
+
+    const std::string name =
+        callee.name + "_" + std::to_string(++instance_counter_[callee.name]);
+    instances_[key.str()] = name;
+
+    Function instance;
+    instance.name = name;
+    instance.ret = substitute(callee.ret, subst);
+    instance.is_prototype = callee.is_prototype;
+
+    // Parameters: every functional parameter disappears; its bound
+    // values become leading lifted parameters (the paper lifts the
+    // threshold `t` of above_thresh(t) into `float x`).
+    std::map<std::string, FnDesc> env;
+    std::size_t desc_index = 0;
+    std::vector<Param> value_params;
+    std::vector<Param> lifted_params;
+    for (const Param& param : callee.params) {
+      if (!param.is_function()) {
+        value_params.push_back(
+            Param{substitute(param.type, subst), param.name});
+        continue;
+      }
+      FnDesc& desc = *descs[desc_index++];
+      // Inside the instance the bound values are reachable through the
+      // lifted parameters; the environment descriptor references them
+      // by name.
+      FnDesc inner;
+      inner.is_section = desc.is_section;
+      inner.name = desc.name;
+      inner.bound_types = desc.bound_types;
+      for (std::size_t i = 0; i < desc.bound.size(); ++i) {
+        LiftedParam lifted{param.name + "_" + std::to_string(i),
+                           substitute(desc.bound_types[i], subst)};
+        lifted_params.push_back(Param{lifted.type, lifted.name});
+        auto ref = make_name(lifted.name);
+        ref->type = lifted.type;
+        inner.bound.push_back(std::move(ref));
+      }
+      env[param.name] = std::move(inner);
+    }
+    instance.params = std::move(lifted_params);
+    instance.params.insert(instance.params.end(), value_params.begin(),
+                           value_params.end());
+
+    if (!callee.is_prototype) {
+      instance.body = clone_stmts(callee.body);
+      substitute_types_in_stmts(instance.body, subst);
+      rewrite_stmts(instance.body, env);
+    }
+    result_.functions.push_back(std::move(instance));
+    return name;
+  }
+
+  // --- rewriting ------------------------------------------------------------
+
+  void rewrite_stmts(std::vector<StmtPtr>& stmts,
+                     const std::map<std::string, FnDesc>& env) {
+    for (StmtPtr& stmt : stmts) {
+      if (stmt->expr) stmt->expr = rewrite_expr(std::move(stmt->expr), env);
+      if (stmt->init) stmt->init = rewrite_expr(std::move(stmt->init), env);
+      if (stmt->for_init) {
+        std::vector<StmtPtr> one;
+        one.push_back(std::move(stmt->for_init));
+        rewrite_stmts(one, env);
+        stmt->for_init = std::move(one.front());
+      }
+      rewrite_stmts(stmt->body, env);
+      rewrite_stmts(stmt->else_body, env);
+    }
+  }
+
+  /// Applies a type substitution to every declared type in a cloned
+  /// body (the monomorphisation half of the translation).
+  void substitute_types_in_stmts(std::vector<StmtPtr>& stmts,
+                                 const Subst& subst) {
+    for (StmtPtr& stmt : stmts) {
+      if (stmt->decl_type) stmt->decl_type = substitute(stmt->decl_type, subst);
+      if (stmt->expr) substitute_types_in_expr(*stmt->expr, subst);
+      if (stmt->init) substitute_types_in_expr(*stmt->init, subst);
+      if (stmt->for_init) {
+        std::vector<StmtPtr> one;
+        one.push_back(std::move(stmt->for_init));
+        substitute_types_in_stmts(one, subst);
+        stmt->for_init = std::move(one.front());
+      }
+      substitute_types_in_stmts(stmt->body, subst);
+      substitute_types_in_stmts(stmt->else_body, subst);
+    }
+  }
+
+  void substitute_types_in_expr(Expr& expr, const Subst& subst) {
+    if (expr.type) expr.type = substitute(expr.type, subst);
+    if (expr.lhs) substitute_types_in_expr(*expr.lhs, subst);
+    if (expr.rhs) substitute_types_in_expr(*expr.rhs, subst);
+    if (expr.callee) substitute_types_in_expr(*expr.callee, subst);
+    for (const ExprPtr& arg : expr.args)
+      substitute_types_in_expr(*arg, subst);
+  }
+
+  ExprPtr rewrite_expr(ExprPtr expr,
+                       const std::map<std::string, FnDesc>& env) {
+    // Collapse curried direct application: f(a)(b) -> f(a, b).
+    while (expr->kind == Expr::Kind::kCall &&
+           expr->callee->kind == Expr::Kind::kCall) {
+      ExprPtr inner = std::move(expr->callee);
+      for (ExprPtr& arg : expr->args) inner->args.push_back(std::move(arg));
+      inner->type = expr->type;
+      expr = std::move(inner);
+    }
+
+    switch (expr->kind) {
+      case Expr::Kind::kCall:
+        return rewrite_call(std::move(expr), env);
+      case Expr::Kind::kSection:
+        fail("an operator section must be applied or passed to a "
+             "higher-order function");
+      default:
+        break;
+    }
+    if (expr->lhs) expr->lhs = rewrite_expr(std::move(expr->lhs), env);
+    if (expr->rhs) expr->rhs = rewrite_expr(std::move(expr->rhs), env);
+    for (ExprPtr& arg : expr->args) arg = rewrite_expr(std::move(arg), env);
+    return expr;
+  }
+
+  ExprPtr rewrite_call(ExprPtr call,
+                       const std::map<std::string, FnDesc>& env) {
+    // A fully applied section: (+)(a, b) -> a + b.
+    if (call->callee->kind == Expr::Kind::kSection) {
+      if (call->args.size() != 2)
+        fail("operator section applied to " +
+             std::to_string(call->args.size()) + " arguments");
+      auto lhs = rewrite_expr(std::move(call->args[0]), env);
+      auto rhs = rewrite_expr(std::move(call->args[1]), env);
+      auto binary =
+          make_binary(call->callee->name, std::move(lhs), std::move(rhs));
+      binary->type = call->type;
+      return binary;
+    }
+
+    if (call->callee->kind != Expr::Kind::kName)
+      fail("unsupported call form");
+    const std::string& callee_name = call->callee->name;
+
+    // Invocation of a functional parameter: inline the descriptor
+    // (the instantiated above_thresh call of the paper's example).
+    const auto bound = env.find(callee_name);
+    if (bound != env.end()) {
+      const FnDesc& desc = bound->second;
+      std::vector<ExprPtr> args;
+      for (const ExprPtr& lift : desc.bound) args.push_back(lift->clone());
+      for (ExprPtr& arg : call->args)
+        args.push_back(rewrite_expr(std::move(arg), env));
+      if (desc.is_section) {
+        if (args.size() != 2)
+          fail("operator '" + desc.name + "' needs two arguments, got " +
+               std::to_string(args.size()));
+        auto binary = make_binary(desc.name, std::move(args[0]),
+                                  std::move(args[1]));
+        binary->type = call->type;
+        return binary;
+      }
+      auto direct = make_call(make_name(desc.name), std::move(args));
+      direct->type = call->type;
+      // The inlined target may itself be polymorphic; run the direct
+      // call through instantiation.
+      return rewrite_expr(std::move(direct), env);
+    }
+
+    const Function* callee = source_.find_function(callee_name);
+    if (!callee) {
+      // A local variable of function type cannot occur in first-order
+      // output; anything else (locals, unknown externs) passes through.
+      for (ExprPtr& arg : call->args)
+        arg = rewrite_expr(std::move(arg), env);
+      return call;
+    }
+
+    if (call->args.size() < callee->params.size())
+      fail("a partial application of '" + callee_name +
+           "' may only appear as a functional argument");
+
+    if (!callee->is_hof() && !callee->is_polymorphic()) {
+      for (ExprPtr& arg : call->args)
+        arg = rewrite_expr(std::move(arg), env);
+      return call;
+    }
+
+    // Unify the callee's signature with the call's argument/result
+    // types to obtain the monomorphising substitution.
+    Subst subst;
+    for (std::size_t i = 0; i < call->args.size(); ++i) {
+      if (!call->args[i]->type) continue;
+      if (!unify(callee->params[i].type, call->args[i]->type, subst,
+                 pardata_names_))
+        fail("argument " + std::to_string(i + 1) + " of '" + callee_name +
+             "' does not unify");
+    }
+    if (call->type) unify(callee->ret, call->type, subst, pardata_names_);
+
+    // Split the arguments: functional ones become descriptors, value
+    // ones stay; the new call passes the lifted values first.
+    std::vector<FnDesc> descs;
+    std::vector<ExprPtr> lifted_values;
+    std::vector<ExprPtr> value_args;
+    for (std::size_t i = 0; i < call->args.size(); ++i) {
+      if (callee->params[i].is_function()) {
+        descs.push_back(describe(*call->args[i], env));
+        for (const ExprPtr& bound_value : descs.back().bound)
+          lifted_values.push_back(bound_value->clone());
+      } else {
+        value_args.push_back(rewrite_expr(std::move(call->args[i]), env));
+      }
+    }
+    std::vector<FnDesc*> desc_ptrs;
+    for (FnDesc& desc : descs) desc_ptrs.push_back(&desc);
+    const std::string instance = instance_for(*callee, subst, desc_ptrs);
+
+    std::vector<ExprPtr> args = std::move(lifted_values);
+    for (ExprPtr& arg : value_args) args.push_back(std::move(arg));
+    auto rewritten = make_call(make_name(instance), std::move(args));
+    rewritten->type = call->type;
+    return rewritten;
+  }
+
+  const Program& source_;
+  std::set<std::string> pardata_names_;
+  Program result_;
+  std::map<std::string, std::string> instances_;
+  std::map<std::string, int> instance_counter_;
+};
+
+}  // namespace
+
+Program instantiate(const Program& typed) {
+  return Instantiator(typed).run();
+}
+
+}  // namespace skil::skilc

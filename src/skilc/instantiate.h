@@ -1,0 +1,53 @@
+// Translation by instantiation (paper section 2.4, reference [1]).
+//
+// "We therefore use an instantiation procedure, which translates a
+// (polymorphic) higher-order function (HOF), possibly with partial
+// applications, to one or more specialized first-order monomorphic
+// functions, as follows:
+//   - functional arguments of HOFs are inlined into the definitions of
+//     these HOFs
+//   - HOFs with functional result are converted to functions with
+//     non-functional result by eta-expansion, i.e. by supplying
+//     additional parameters
+//   - partial applications are translated by inlining and lifting of
+//     their arguments
+//   - a polymorphic function is translated to one or more monomorphic
+//     functions, as determined by the calls of this function"
+//
+// The pass takes a type-checked program and returns a first-order,
+// monomorphic program: every call of a polymorphic or higher-order
+// function is redirected to a generated instance (array_map becomes
+// array_map_1 etc., exactly as in the paper's worked example), with
+// partially-applied arguments lifted to leading value parameters.
+// Instances are memoised on (callee, functional arguments, type
+// instantiation), which is also what lets the self-recursive HOF
+// pattern (d&c calling itself with the same customizing functions)
+// terminate.
+//
+// The paper's restriction is enforced here too: "a restriction has to
+// be made regarding the functional arguments of HOFs ... this
+// restriction concerns only a special class of recursively-defined
+// HOFs" -- passing a partially-applied *higher-order* function as a
+// functional argument (d&c handed to map) raises InstantiationError.
+#pragma once
+
+#include <string>
+
+#include "skilc/ast.h"
+#include "support/error.h"
+
+namespace skil::skilc {
+
+class InstantiationError : public support::Error {
+ public:
+  explicit InstantiationError(const std::string& what)
+      : support::Error(what) {}
+};
+
+/// Translates a type-checked program into first-order monomorphic
+/// form.  Functions that are neither polymorphic nor higher-order are
+/// kept (with rewritten bodies); reachable polymorphic/higher-order
+/// functions become generated instances.
+Program instantiate(const Program& typed);
+
+}  // namespace skil::skilc

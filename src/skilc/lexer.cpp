@@ -1,0 +1,276 @@
+#include "skilc/lexer.h"
+
+#include <cctype>
+#include <map>
+
+#include "support/error.h"
+
+namespace skil::skilc {
+
+const char* tok_name(Tok tok) {
+  switch (tok) {
+    case Tok::kEnd: return "end of input";
+    case Tok::kIntLit: return "integer literal";
+    case Tok::kFloatLit: return "float literal";
+    case Tok::kName: return "identifier";
+    case Tok::kTypeVar: return "type variable";
+    case Tok::kInt: return "'int'";
+    case Tok::kFloat: return "'float'";
+    case Tok::kVoid: return "'void'";
+    case Tok::kIf: return "'if'";
+    case Tok::kElse: return "'else'";
+    case Tok::kWhile: return "'while'";
+    case Tok::kFor: return "'for'";
+    case Tok::kReturn: return "'return'";
+    case Tok::kPardata: return "'pardata'";
+    case Tok::kTypedef: return "'typedef'";
+    case Tok::kStruct: return "'struct'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kLAngle: return "'<'";
+    case Tok::kRAngle: return "'>'";
+    case Tok::kComma: return "','";
+    case Tok::kSemicolon: return "';'";
+    case Tok::kStar: return "'*'";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPercent: return "'%'";
+    case Tok::kAssign: return "'='";
+    case Tok::kEq: return "'=='";
+    case Tok::kNe: return "'!='";
+    case Tok::kLe: return "'<='";
+    case Tok::kGe: return "'>='";
+    case Tok::kAndAnd: return "'&&'";
+    case Tok::kOrOr: return "'||'";
+    case Tok::kNot: return "'!'";
+    case Tok::kDot: return "'.'";
+    case Tok::kArrow: return "'->'";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string, Tok>& keywords() {
+  static const std::map<std::string, Tok> map = {
+      {"int", Tok::kInt},         {"float", Tok::kFloat},
+      {"double", Tok::kFloat},    {"void", Tok::kVoid},
+      {"if", Tok::kIf},           {"else", Tok::kElse},
+      {"while", Tok::kWhile},     {"for", Tok::kFor},
+      {"return", Tok::kReturn},   {"pardata", Tok::kPardata},
+      {"typedef", Tok::kTypedef}, {"struct", Tok::kStruct},
+  };
+  return map;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : src_(source) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> tokens;
+    for (;;) {
+      skip_space_and_comments();
+      Token token = next();
+      tokens.push_back(token);
+      if (token.kind == Tok::kEnd) break;
+    }
+    return tokens;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) {
+    throw support::ContractError("skil lexer: line " + std::to_string(line_) +
+                                 ":" + std::to_string(column_) + ": " +
+                                 message);
+  }
+
+  bool done() const { return pos_ >= src_.size(); }
+  char peek(int ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char ch = src_[pos_++];
+    if (ch == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return ch;
+  }
+
+  void skip_space_and_comments() {
+    for (;;) {
+      while (!done() && std::isspace(static_cast<unsigned char>(peek())))
+        advance();
+      if (peek() == '/' && peek(1) == '/') {
+        while (!done() && peek() != '\n') advance();
+        continue;
+      }
+      if (peek() == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        while (!done() && !(peek() == '*' && peek(1) == '/')) advance();
+        if (done()) fail("unterminated comment");
+        advance();
+        advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token make(Tok kind) {
+    Token token;
+    token.kind = kind;
+    token.line = line_;
+    token.column = column_;
+    return token;
+  }
+
+  Token next() {
+    if (done()) return make(Tok::kEnd);
+    Token token = make(Tok::kEnd);
+    const char ch = peek();
+
+    if (std::isdigit(static_cast<unsigned char>(ch))) return number(token);
+    if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_')
+      return word(token);
+    if (ch == '$') return type_var(token);
+
+    advance();
+    switch (ch) {
+      case '(': token.kind = Tok::kLParen; return token;
+      case ')': token.kind = Tok::kRParen; return token;
+      case '{': token.kind = Tok::kLBrace; return token;
+      case '}': token.kind = Tok::kRBrace; return token;
+      case '[': token.kind = Tok::kLBracket; return token;
+      case ']': token.kind = Tok::kRBracket; return token;
+      case ',': token.kind = Tok::kComma; return token;
+      case ';': token.kind = Tok::kSemicolon; return token;
+      case '*': token.kind = Tok::kStar; return token;
+      case '+': token.kind = Tok::kPlus; return token;
+      case '%': token.kind = Tok::kPercent; return token;
+      case '.': token.kind = Tok::kDot; return token;
+      case '/': token.kind = Tok::kSlash; return token;
+      case '-':
+        if (peek() == '>') {
+          advance();
+          token.kind = Tok::kArrow;
+        } else {
+          token.kind = Tok::kMinus;
+        }
+        return token;
+      case '=':
+        if (peek() == '=') {
+          advance();
+          token.kind = Tok::kEq;
+        } else {
+          token.kind = Tok::kAssign;
+        }
+        return token;
+      case '!':
+        if (peek() == '=') {
+          advance();
+          token.kind = Tok::kNe;
+        } else {
+          token.kind = Tok::kNot;
+        }
+        return token;
+      case '<':
+        if (peek() == '=') {
+          advance();
+          token.kind = Tok::kLe;
+        } else {
+          token.kind = Tok::kLAngle;
+        }
+        return token;
+      case '>':
+        if (peek() == '=') {
+          advance();
+          token.kind = Tok::kGe;
+        } else {
+          token.kind = Tok::kRAngle;
+        }
+        return token;
+      case '&':
+        if (peek() == '&') {
+          advance();
+          token.kind = Tok::kAndAnd;
+          return token;
+        }
+        fail("stray '&'");
+      case '|':
+        if (peek() == '|') {
+          advance();
+          token.kind = Tok::kOrOr;
+          return token;
+        }
+        fail("stray '|'");
+      default:
+        fail(std::string("unexpected character '") + ch + "'");
+    }
+  }
+
+  Token number(Token token) {
+    std::string text;
+    bool is_float = false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      is_float = true;
+      text += advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        text += advance();
+    }
+    token.text = text;
+    if (is_float) {
+      token.kind = Tok::kFloatLit;
+      token.float_value = std::stod(text);
+    } else {
+      token.kind = Tok::kIntLit;
+      token.int_value = std::stol(text);
+    }
+    return token;
+  }
+
+  Token word(Token token) {
+    std::string text;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      text += advance();
+    const auto it = keywords().find(text);
+    token.kind = it == keywords().end() ? Tok::kName : it->second;
+    token.text = text;
+    return token;
+  }
+
+  Token type_var(Token token) {
+    advance();  // '$'
+    std::string text = "$";
+    if (!std::isalpha(static_cast<unsigned char>(peek())))
+      fail("type variable needs a name after '$'");
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      text += advance();
+    token.kind = Tok::kTypeVar;
+    token.text = text;
+    return token;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) {
+  return Lexer(source).run();
+}
+
+}  // namespace skil::skilc

@@ -1,0 +1,16 @@
+// Lexer for the Skil subset.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "skilc/token.h"
+
+namespace skil::skilc {
+
+/// Tokenises a whole source text; raises support::ContractError with
+/// line/column information on malformed input.  C and C++ style
+/// comments are skipped.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace skil::skilc

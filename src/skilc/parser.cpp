@@ -1,0 +1,409 @@
+#include "skilc/parser.h"
+
+#include "skilc/lexer.h"
+#include "support/error.h"
+
+namespace skil::skilc {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Program run() {
+    Program program;
+    while (!at(Tok::kEnd)) {
+      if (at(Tok::kPardata)) {
+        program.pardatas.push_back(pardata_decl());
+      } else {
+        program.functions.push_back(function());
+      }
+    }
+    return program;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) {
+    throw support::ContractError(
+        "skil parser: line " + std::to_string(peek().line) + ": " + message +
+        " (found " + tok_name(peek().kind) +
+        (peek().text.empty() ? "" : " '" + peek().text + "'") + ")");
+  }
+
+  const Token& peek(int ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool at(Tok kind) const { return peek().kind == kind; }
+  Token advance() { return tokens_[pos_++]; }
+  Token expect(Tok kind, const std::string& what) {
+    if (!at(kind)) fail("expected " + what);
+    return advance();
+  }
+  bool accept(Tok kind) {
+    if (!at(kind)) return false;
+    advance();
+    return true;
+  }
+
+  // --- types ------------------------------------------------------------
+
+  bool starts_type() const {
+    switch (peek().kind) {
+      case Tok::kInt:
+      case Tok::kFloat:
+      case Tok::kVoid:
+      case Tok::kTypeVar:
+        return true;
+      case Tok::kName:
+        // A name starts a type in declaration position when followed
+        // by another name ("Index ix"), a '<' type-argument list, or a
+        // '*' ("list * l").
+        return peek(1).kind == Tok::kName || peek(1).kind == Tok::kLAngle ||
+               peek(1).kind == Tok::kStar;
+      default:
+        return false;
+    }
+  }
+
+  TypePtr type() {
+    TypePtr base;
+    switch (peek().kind) {
+      case Tok::kInt:
+        advance();
+        base = Type::make_int();
+        break;
+      case Tok::kFloat:
+        advance();
+        base = Type::make_float();
+        break;
+      case Tok::kVoid:
+        advance();
+        base = Type::make_void();
+        break;
+      case Tok::kTypeVar:
+        base = Type::make_var(advance().text);
+        break;
+      case Tok::kName: {
+        const std::string name = advance().text;
+        std::vector<TypePtr> args;
+        if (accept(Tok::kLAngle)) {
+          args.push_back(type());
+          while (accept(Tok::kComma)) args.push_back(type());
+          expect(Tok::kRAngle, "'>' after type arguments");
+        }
+        base = Type::make_named(name, std::move(args));
+        break;
+      }
+      default:
+        fail("expected a type");
+    }
+    while (accept(Tok::kStar)) base = Type::make_pointer(base);
+    return base;
+  }
+
+  // --- declarations -----------------------------------------------------
+
+  PardataDecl pardata_decl() {
+    expect(Tok::kPardata, "'pardata'");
+    PardataDecl decl;
+    decl.name = expect(Tok::kName, "pardata name").text;
+    expect(Tok::kLAngle, "'<' after pardata name");
+    decl.type_params.push_back(expect(Tok::kTypeVar, "type variable").text);
+    while (accept(Tok::kComma))
+      decl.type_params.push_back(expect(Tok::kTypeVar, "type variable").text);
+    expect(Tok::kRAngle, "'>' after pardata type parameters");
+    // The implementation part stays hidden (paper section 2.3): accept
+    // and discard anything up to the ';'.
+    while (!at(Tok::kSemicolon) && !at(Tok::kEnd)) advance();
+    expect(Tok::kSemicolon, "';' after pardata declaration");
+    return decl;
+  }
+
+  Param param() {
+    Param p;
+    p.type = type();
+    p.name = expect(Tok::kName, "parameter name").text;
+    if (accept(Tok::kLParen)) {
+      // A functional parameter: `$t2 map_f ($t1, Index)`.
+      std::vector<TypePtr> fn_params;
+      if (!at(Tok::kRParen)) {
+        fn_params.push_back(type());
+        if (at(Tok::kName)) advance();  // optional parameter name
+        while (accept(Tok::kComma)) {
+          fn_params.push_back(type());
+          if (at(Tok::kName)) advance();
+        }
+      }
+      expect(Tok::kRParen, "')' after functional parameter types");
+      p.type = Type::make_function(std::move(fn_params), p.type);
+    }
+    return p;
+  }
+
+  Function function() {
+    Function fn;
+    fn.ret = type();
+    fn.name = expect(Tok::kName, "function name").text;
+    expect(Tok::kLParen, "'(' after function name");
+    if (!at(Tok::kRParen)) {
+      fn.params.push_back(param());
+      while (accept(Tok::kComma)) fn.params.push_back(param());
+    }
+    expect(Tok::kRParen, "')' after parameters");
+    if (accept(Tok::kSemicolon)) {
+      fn.is_prototype = true;
+      return fn;
+    }
+    expect(Tok::kLBrace, "function body");
+    while (!at(Tok::kRBrace)) fn.body.push_back(statement());
+    expect(Tok::kRBrace, "'}' at end of function body");
+    return fn;
+  }
+
+  // --- statements ---------------------------------------------------------
+
+  StmtPtr statement() {
+    auto stmt = std::make_unique<Stmt>();
+    if (accept(Tok::kLBrace)) {
+      stmt->kind = Stmt::Kind::kBlock;
+      while (!at(Tok::kRBrace)) stmt->body.push_back(statement());
+      expect(Tok::kRBrace, "'}'");
+      return stmt;
+    }
+    if (accept(Tok::kIf)) {
+      stmt->kind = Stmt::Kind::kIf;
+      expect(Tok::kLParen, "'(' after if");
+      stmt->expr = expression();
+      expect(Tok::kRParen, "')' after condition");
+      stmt->body.push_back(statement());
+      if (accept(Tok::kElse)) stmt->else_body.push_back(statement());
+      return stmt;
+    }
+    if (accept(Tok::kWhile)) {
+      stmt->kind = Stmt::Kind::kWhile;
+      expect(Tok::kLParen, "'(' after while");
+      stmt->expr = expression();
+      expect(Tok::kRParen, "')' after condition");
+      stmt->body.push_back(statement());
+      return stmt;
+    }
+    if (accept(Tok::kFor)) {
+      stmt->kind = Stmt::Kind::kFor;
+      expect(Tok::kLParen, "'(' after for");
+      if (!at(Tok::kSemicolon)) {
+        stmt->for_init = starts_type() ? var_decl() : expr_statement();
+      } else {
+        advance();
+      }
+      if (!at(Tok::kSemicolon)) stmt->expr = expression();
+      expect(Tok::kSemicolon, "';' after for condition");
+      if (!at(Tok::kRParen)) stmt->init = expression();  // step expression
+      expect(Tok::kRParen, "')' after for header");
+      stmt->body.push_back(statement());
+      return stmt;
+    }
+    if (accept(Tok::kReturn)) {
+      stmt->kind = Stmt::Kind::kReturn;
+      if (!at(Tok::kSemicolon)) stmt->expr = expression();
+      expect(Tok::kSemicolon, "';' after return");
+      return stmt;
+    }
+    if (starts_type()) return var_decl();
+    return expr_statement();
+  }
+
+  StmtPtr var_decl() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kVarDecl;
+    stmt->decl_type = type();
+    stmt->decl_name = expect(Tok::kName, "variable name").text;
+    if (accept(Tok::kAssign)) stmt->init = expression();
+    expect(Tok::kSemicolon, "';' after declaration");
+    return stmt;
+  }
+
+  StmtPtr expr_statement() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kExpr;
+    stmt->expr = expression();
+    expect(Tok::kSemicolon, "';' after expression");
+    return stmt;
+  }
+
+  // --- expressions --------------------------------------------------------
+
+  ExprPtr expression() { return assignment(); }
+
+  ExprPtr assignment() {
+    ExprPtr lhs = logical_or();
+    if (accept(Tok::kAssign)) return make_assign(std::move(lhs), assignment());
+    return lhs;
+  }
+
+  ExprPtr logical_or() {
+    ExprPtr lhs = logical_and();
+    while (accept(Tok::kOrOr))
+      lhs = make_binary("||", std::move(lhs), logical_and());
+    return lhs;
+  }
+
+  ExprPtr logical_and() {
+    ExprPtr lhs = equality();
+    while (accept(Tok::kAndAnd))
+      lhs = make_binary("&&", std::move(lhs), equality());
+    return lhs;
+  }
+
+  ExprPtr equality() {
+    ExprPtr lhs = relational();
+    for (;;) {
+      if (accept(Tok::kEq))
+        lhs = make_binary("==", std::move(lhs), relational());
+      else if (accept(Tok::kNe))
+        lhs = make_binary("!=", std::move(lhs), relational());
+      else
+        return lhs;
+    }
+  }
+
+  ExprPtr relational() {
+    ExprPtr lhs = additive();
+    for (;;) {
+      if (accept(Tok::kLAngle))
+        lhs = make_binary("<", std::move(lhs), additive());
+      else if (accept(Tok::kRAngle))
+        lhs = make_binary(">", std::move(lhs), additive());
+      else if (accept(Tok::kLe))
+        lhs = make_binary("<=", std::move(lhs), additive());
+      else if (accept(Tok::kGe))
+        lhs = make_binary(">=", std::move(lhs), additive());
+      else
+        return lhs;
+    }
+  }
+
+  ExprPtr additive() {
+    ExprPtr lhs = multiplicative();
+    for (;;) {
+      if (accept(Tok::kPlus))
+        lhs = make_binary("+", std::move(lhs), multiplicative());
+      else if (accept(Tok::kMinus))
+        lhs = make_binary("-", std::move(lhs), multiplicative());
+      else
+        return lhs;
+    }
+  }
+
+  ExprPtr multiplicative() {
+    ExprPtr lhs = unary();
+    for (;;) {
+      if (accept(Tok::kStar))
+        lhs = make_binary("*", std::move(lhs), unary());
+      else if (accept(Tok::kSlash))
+        lhs = make_binary("/", std::move(lhs), unary());
+      else if (accept(Tok::kPercent))
+        lhs = make_binary("%", std::move(lhs), unary());
+      else
+        return lhs;
+    }
+  }
+
+  ExprPtr unary() {
+    if (accept(Tok::kMinus)) return make_unary("-", unary());
+    if (accept(Tok::kNot)) return make_unary("!", unary());
+    return postfix();
+  }
+
+  ExprPtr postfix() {
+    ExprPtr expr = primary();
+    for (;;) {
+      if (accept(Tok::kLParen)) {
+        std::vector<ExprPtr> args;
+        if (!at(Tok::kRParen)) {
+          args.push_back(expression());
+          while (accept(Tok::kComma)) args.push_back(expression());
+        }
+        expect(Tok::kRParen, "')' after arguments");
+        expr = make_call(std::move(expr), std::move(args));
+      } else if (accept(Tok::kLBracket)) {
+        ExprPtr index = expression();
+        expect(Tok::kRBracket, "']' after index");
+        expr = make_index(std::move(expr), std::move(index));
+      } else {
+        return expr;
+      }
+    }
+  }
+
+  /// The paper's operator sections: '(' op ')' turns an operator into
+  /// a function value, e.g. fold((+), lst) or map((*)(2), lst).
+  bool at_section() const {
+    if (!at(Tok::kLParen)) return false;
+    const Tok op = peek(1).kind;
+    const bool is_op = op == Tok::kPlus || op == Tok::kMinus ||
+                       op == Tok::kStar || op == Tok::kSlash ||
+                       op == Tok::kPercent || op == Tok::kLAngle ||
+                       op == Tok::kRAngle || op == Tok::kEq ||
+                       op == Tok::kNe || op == Tok::kLe || op == Tok::kGe;
+    return is_op && peek(2).kind == Tok::kRParen;
+  }
+
+  ExprPtr primary() {
+    if (at_section()) {
+      advance();  // (
+      const Token op = advance();
+      advance();  // )
+      switch (op.kind) {
+        case Tok::kPlus: return make_section("+");
+        case Tok::kMinus: return make_section("-");
+        case Tok::kStar: return make_section("*");
+        case Tok::kSlash: return make_section("/");
+        case Tok::kPercent: return make_section("%");
+        case Tok::kLAngle: return make_section("<");
+        case Tok::kRAngle: return make_section(">");
+        case Tok::kEq: return make_section("==");
+        case Tok::kNe: return make_section("!=");
+        case Tok::kLe: return make_section("<=");
+        case Tok::kGe: return make_section(">=");
+        default: fail("bad operator section");
+      }
+    }
+    if (at(Tok::kIntLit)) {
+      Token token = advance();
+      auto expr = make_int_lit(token.int_value);
+      expr->line = token.line;
+      return expr;
+    }
+    if (at(Tok::kFloatLit)) {
+      Token token = advance();
+      auto expr = make_float_lit(token.float_value);
+      expr->line = token.line;
+      return expr;
+    }
+    if (at(Tok::kName)) {
+      Token token = advance();
+      auto expr = make_name(token.text);
+      expr->line = token.line;
+      return expr;
+    }
+    if (accept(Tok::kLParen)) {
+      ExprPtr expr = expression();
+      expect(Tok::kRParen, "')'");
+      return expr;
+    }
+    fail("expected an expression");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse(const std::string& source) {
+  return Parser(lex(source)).run();
+}
+
+}  // namespace skil::skilc

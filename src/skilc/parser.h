@@ -1,0 +1,14 @@
+// Recursive-descent parser for the Skil subset.
+#pragma once
+
+#include <string>
+
+#include "skilc/ast.h"
+
+namespace skil::skilc {
+
+/// Parses a whole translation unit.  Raises support::ContractError
+/// with location info on syntax errors.
+Program parse(const std::string& source);
+
+}  // namespace skil::skilc

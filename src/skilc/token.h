@@ -1,0 +1,74 @@
+// Tokens of the Skil language subset (paper section 2).
+//
+// Skil is "a subset of the language C" extended with: type variables
+// written `$t`, the `pardata` construct, operator-to-function
+// conversion `(op)`, higher-order function types in declarations, and
+// partial application.  The token set below covers the language of
+// the paper's examples (the d&c skeleton, quicksort, the array_map /
+// above_thresh translation example of section 2.4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace skil::skilc {
+
+enum class Tok {
+  kEnd,
+  // literals and names
+  kIntLit,
+  kFloatLit,
+  kName,
+  kTypeVar,  // $identifier
+  // keywords
+  kInt,
+  kFloat,
+  kVoid,
+  kIf,
+  kElse,
+  kWhile,
+  kFor,
+  kReturn,
+  kPardata,
+  kTypedef,
+  kStruct,
+  // punctuation
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kLAngle,   // <  (also less-than; disambiguated by the parser)
+  kRAngle,   // >
+  kComma,
+  kSemicolon,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kAssign,
+  kEq,
+  kNe,
+  kLe,
+  kGe,
+  kAndAnd,
+  kOrOr,
+  kNot,
+  kDot,
+  kArrow,
+};
+
+const char* tok_name(Tok tok);
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;   // names, type variables, literal spellings
+  long int_value = 0;
+  double float_value = 0.0;
+  int line = 1;
+  int column = 1;
+};
+
+}  // namespace skil::skilc

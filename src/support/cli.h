@@ -1,0 +1,38 @@
+// Minimal command-line flag parsing for bench and example binaries.
+//
+// Accepted syntax: --name=value, --name value, --flag (boolean true).
+// Unknown flags raise an error so typos in benchmark invocations are
+// caught instead of silently running the default configuration.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace skil::support {
+
+/// Parsed command line.
+class Cli {
+ public:
+  /// `spec` lists the allowed flag names (without leading dashes).
+  Cli(int argc, char** argv, std::vector<std::string> allowed);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  int get_int(const std::string& name, int fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace skil::support

@@ -1,0 +1,39 @@
+// CSV emission for benchmark results.
+//
+// Every bench binary writes its reproduced table/figure data both to the
+// console (support/table.h) and to a CSV file so the series can be
+// re-plotted and diffed against the paper's numbers.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace skil::support {
+
+/// Streaming CSV writer with minimal quoting.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Appends one data row (sizes may differ from the header).
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Flushes and closes; also called by the destructor.
+  void close();
+
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+  std::ofstream out_;
+};
+
+/// Quotes a CSV field if needed.
+std::string csv_escape(const std::string& field);
+
+}  // namespace skil::support

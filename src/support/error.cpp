@@ -1,0 +1,26 @@
+#include "support/error.h"
+
+#include <sstream>
+
+namespace skil::support {
+
+namespace {
+std::string decorate(const char* file, int line, const std::string& message) {
+  std::ostringstream os;
+  const std::string path(file);
+  const auto slash = path.find_last_of('/');
+  os << (slash == std::string::npos ? path : path.substr(slash + 1)) << ':'
+     << line << ": " << message;
+  return os.str();
+}
+}  // namespace
+
+void raise_contract(const char* file, int line, const std::string& message) {
+  throw ContractError(decorate(file, line, message));
+}
+
+void raise_fault(const char* file, int line, const std::string& message) {
+  throw RuntimeFault(decorate(file, line, message));
+}
+
+}  // namespace skil::support

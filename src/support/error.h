@@ -1,0 +1,74 @@
+// Error handling for the Skil reproduction.
+//
+// The paper specifies several run-time errors (non-bijective permutation
+// functions, singular matrices, aliased gen_mult arguments, non-local
+// element access).  All of them are reported through the exception
+// hierarchy below so that tests can assert on the precise failure class.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace skil::support {
+
+/// Base class of every error raised by the Skil runtime and skeletons.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A program violated a skeleton precondition (paper section 3), e.g.
+/// calling array_gen_mult with aliased arguments or passing a
+/// non-bijective permutation function to array_permute_rows.
+class ContractError : public Error {
+ public:
+  explicit ContractError(const std::string& what) : Error(what) {}
+};
+
+/// Access to a distributed-array element that is not stored on the
+/// calling processor (the paper forbids remote single-element access).
+class NonLocalAccessError : public ContractError {
+ public:
+  explicit NonLocalAccessError(const std::string& what)
+      : ContractError(what) {}
+};
+
+/// Failure inside the message-passing substrate (bad processor id,
+/// type-mismatched receive, topology construction failure, ...).
+class RuntimeFault : public Error {
+ public:
+  explicit RuntimeFault(const std::string& what) : Error(what) {}
+};
+
+/// Application-level error, e.g. "Matrix is singular" in the paper's
+/// Gaussian elimination example.
+class AppError : public Error {
+ public:
+  explicit AppError(const std::string& what) : Error(what) {}
+};
+
+/// Throws ContractError with a formatted location prefix.
+[[noreturn]] void raise_contract(const char* file, int line,
+                                 const std::string& message);
+
+/// Throws RuntimeFault with a formatted location prefix.
+[[noreturn]] void raise_fault(const char* file, int line,
+                              const std::string& message);
+
+}  // namespace skil::support
+
+/// Precondition check used throughout skeletons; raises ContractError.
+#define SKIL_REQUIRE(cond, message)                                 \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::skil::support::raise_contract(__FILE__, __LINE__, message); \
+    }                                                               \
+  } while (0)
+
+/// Internal-consistency check; raises RuntimeFault.
+#define SKIL_ASSERT(cond, message)                               \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      ::skil::support::raise_fault(__FILE__, __LINE__, message); \
+    }                                                            \
+  } while (0)

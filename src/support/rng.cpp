@@ -1,0 +1,68 @@
+#include "support/rng.h"
+
+namespace skil::support {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  // Lemire-style rejection-free multiply-shift; bias is negligible for
+  // the bounds used in tests and workload generation.
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+}
+
+int Rng::next_int(int lo, int hi) {
+  return lo + static_cast<int>(next_below(
+                  static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_double(double lo, double hi) {
+  return lo + next_double() * (hi - lo);
+}
+
+bool Rng::next_bool(double p) { return next_double() < p; }
+
+std::uint64_t hash_mix(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  std::uint64_t x = a * 0x9e3779b97f4a7c15ULL + b;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x += c;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace skil::support

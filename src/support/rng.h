@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation.
+//
+// Benchmarks and tests must be reproducible across runs and across the
+// three language baselines (Skil / DPFL / Parix-C), so all workload
+// generators derive their streams from this splitmix64-seeded
+// xoshiro256** generator rather than from std::random_device.
+#pragma once
+
+#include <cstdint>
+
+namespace skil::support {
+
+/// splitmix64 step; used for seeding and as a cheap stateless hash.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** -- fast, high-quality, deterministic PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform value in [0, bound) for bound >= 1.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform int in the inclusive range [lo, hi].
+  int next_int(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi);
+
+  /// Bernoulli draw with probability p of true.
+  bool next_bool(double p = 0.5);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Stateless mixing hash: maps (seed, index...) to a 64-bit value.
+/// Used by index-driven array initialisers so that every language
+/// baseline initialises identical data without sharing generator state.
+std::uint64_t hash_mix(std::uint64_t a, std::uint64_t b = 0x9e3779b97f4a7c15ULL,
+                       std::uint64_t c = 0xbf58476d1ce4e5b9ULL);
+
+}  // namespace skil::support

@@ -1,0 +1,123 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace skil::support {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void Table::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const Row& row : rows_)
+    for (std::size_t c = 0; c < row.cells.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], row.cells[c].size());
+
+  std::ostringstream os;
+  auto emit_line = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << ' ' << cell << std::string(widths[c] - cell.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  emit_line();
+  emit_row(header_);
+  emit_line();
+  for (const Row& row : rows_) {
+    if (row.separator)
+      emit_line();
+    else
+      emit_row(row.cells);
+  }
+  emit_line();
+  return os.str();
+}
+
+void Table::print() const { std::fputs(render().c_str(), stdout); }
+
+std::string fmt_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string fmt_ratio(double value, int digits) {
+  if (!std::isfinite(value)) return "-";
+  return fmt_fixed(value, digits);
+}
+
+std::string ascii_plot(const std::vector<std::string>& series_labels,
+                       const std::vector<double>& xs,
+                       const std::vector<std::vector<double>>& ys,
+                       const std::string& x_label, const std::string& y_label,
+                       int width, int height) {
+  double ymin = 0.0, ymax = 1.0, xmin = 0.0, xmax = 1.0;
+  bool first = true;
+  for (const auto& series : ys)
+    for (std::size_t i = 0; i < series.size() && i < xs.size(); ++i) {
+      if (!std::isfinite(series[i])) continue;
+      if (first) {
+        ymin = ymax = series[i];
+        xmin = xmax = xs[i];
+        first = false;
+      } else {
+        ymin = std::min(ymin, series[i]);
+        ymax = std::max(ymax, series[i]);
+        xmin = std::min(xmin, xs[i]);
+        xmax = std::max(xmax, xs[i]);
+      }
+    }
+  if (ymax == ymin) ymax = ymin + 1.0;
+  if (xmax == xmin) xmax = xmin + 1.0;
+  ymin = std::min(ymin, 0.0);  // anchor the axis at zero like the paper
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  const char* marks = "*o+x#@%&";
+  for (std::size_t s = 0; s < ys.size(); ++s) {
+    const char mark = marks[s % 8];
+    for (std::size_t i = 0; i < ys[s].size() && i < xs.size(); ++i) {
+      if (!std::isfinite(ys[s][i])) continue;
+      const int col = static_cast<int>(
+          std::lround((xs[i] - xmin) / (xmax - xmin) * (width - 1)));
+      const int row = static_cast<int>(
+          std::lround((ys[s][i] - ymin) / (ymax - ymin) * (height - 1)));
+      grid[height - 1 - row][col] = mark;
+    }
+  }
+
+  std::ostringstream os;
+  os << y_label << '\n';
+  for (int r = 0; r < height; ++r) {
+    const double yv = ymax - (ymax - ymin) * r / (height - 1);
+    char axis[32];
+    std::snprintf(axis, sizeof axis, "%8.2f |", yv);
+    os << axis << grid[r] << '\n';
+  }
+  os << std::string(10, ' ') << std::string(width, '-') << '\n';
+  char xinfo[128];
+  std::snprintf(xinfo, sizeof xinfo, "%10s%-.0f%*s%.0f   (%s)", "", xmin,
+                width - 6, "", xmax, x_label.c_str());
+  os << xinfo << '\n';
+  for (std::size_t s = 0; s < series_labels.size(); ++s)
+    os << "  " << marks[s % 8] << " = " << series_labels[s] << '\n';
+  return os.str();
+}
+
+}  // namespace skil::support

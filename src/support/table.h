@@ -1,0 +1,55 @@
+// Console table rendering for the benchmark harness.
+//
+// The paper reports its evaluation as two tables and one figure; the
+// bench binaries print the reproduced rows with this helper so the
+// output can be compared side by side with the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace skil::support {
+
+/// A simple left/right-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; the row may be shorter than the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  /// Renders the table with aligned columns.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places.
+std::string fmt_fixed(double value, int digits = 2);
+
+/// Formats a ratio such as the paper's "6.51" speedup entries; returns
+/// "-" for non-finite values (matching the paper's empty cells).
+std::string fmt_ratio(double value, int digits = 2);
+
+/// Renders a crude ASCII scatter/line plot: one series per label, values
+/// plotted against x positions.  Used by bench_figure1 to mirror the
+/// paper's two graphics in terminal output.
+std::string ascii_plot(const std::vector<std::string>& series_labels,
+                       const std::vector<double>& xs,
+                       const std::vector<std::vector<double>>& ys,
+                       const std::string& x_label, const std::string& y_label,
+                       int width = 64, int height = 20);
+
+}  // namespace skil::support

@@ -1,0 +1,72 @@
+// Tests pinning down the cost model's structural properties (the
+// calibration constants themselves are documented in DESIGN.md; these
+// tests check relationships, not absolute values).
+#include <gtest/gtest.h>
+
+#include "parix/cost_model.h"
+
+namespace {
+
+using namespace skil::parix;
+
+TEST(CostModel, UnitLookupMatchesFields) {
+  const CostModel cm = CostModel::t800();
+  EXPECT_DOUBLE_EQ(cm.unit(Op::kIntOp), cm.int_op_us);
+  EXPECT_DOUBLE_EQ(cm.unit(Op::kFloatOp), cm.float_op_us);
+  EXPECT_DOUBLE_EQ(cm.unit(Op::kCall), cm.call_us);
+  EXPECT_DOUBLE_EQ(cm.unit(Op::kIndirectCall), cm.indirect_call_us);
+  EXPECT_DOUBLE_EQ(cm.unit(Op::kAlloc), cm.alloc_us);
+  EXPECT_DOUBLE_EQ(cm.unit(Op::kCopyWord), cm.copy_word_us);
+}
+
+TEST(CostModel, TransferGrowsWithBytesAndHops) {
+  const CostModel cm = CostModel::t800();
+  EXPECT_LT(cm.transfer_us(8, 1), cm.transfer_us(8000, 1));
+  EXPECT_LT(cm.transfer_us(8, 1), cm.transfer_us(8, 5));
+  // One hop carries no store-and-forward penalty beyond startup.
+  EXPECT_DOUBLE_EQ(cm.transfer_us(0, 1), cm.msg_startup_us);
+  EXPECT_DOUBLE_EQ(cm.transfer_us(0, 0), cm.msg_startup_us);
+  EXPECT_DOUBLE_EQ(cm.transfer_us(0, 3), cm.msg_startup_us +
+                                             2 * cm.msg_per_hop_us);
+}
+
+TEST(CostModel, MechanismOrdering) {
+  // The language-mechanism hierarchy the reproduction relies on:
+  // instantiated-call residual < plain element ops < graph-reduction
+  // apply; a nursery cell allocation is cheap, a reducer application
+  // is not.
+  const CostModel cm = CostModel::t800();
+  EXPECT_LT(cm.call_us, cm.int_op_us);
+  EXPECT_LT(cm.int_op_us, cm.float_op_us + 1e-12);
+  EXPECT_LT(cm.float_op_us, cm.indirect_call_us + 1e-12);
+  EXPECT_LT(cm.alloc_us, cm.indirect_call_us);
+  EXPECT_LT(cm.copy_word_us, cm.call_us);
+}
+
+TEST(CostModel, MessageStartupDominatesSmallMessages) {
+  // Parix software overhead: a small message is almost all startup --
+  // the regime in which small partitions on large networks lose
+  // efficiency (paper section 5.2's discussion of Figure 1).
+  const CostModel cm = CostModel::t800();
+  EXPECT_GT(cm.msg_startup_us, 100 * cm.msg_per_byte_us);
+}
+
+TEST(Stats, AggregationSums) {
+  Stats a, b;
+  a.ops[0] = 5;
+  a.messages_sent = 2;
+  a.bytes_sent = 100;
+  a.compute_us = 1.5;
+  b.ops[0] = 7;
+  b.messages_received = 3;
+  b.comm_us = 2.5;
+  a += b;
+  EXPECT_EQ(a.ops[0], 12u);
+  EXPECT_EQ(a.messages_sent, 2u);
+  EXPECT_EQ(a.messages_received, 3u);
+  EXPECT_EQ(a.bytes_sent, 100u);
+  EXPECT_DOUBLE_EQ(a.compute_us, 1.5);
+  EXPECT_DOUBLE_EQ(a.comm_us, 2.5);
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+// Tests for virtual topology embeddings and their dilation properties.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "parix/machine.h"
+#include "parix/topology.h"
+#include "support/error.h"
+
+namespace {
+
+using namespace skil::parix;
+
+class TopologyBijections : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopologyBijections, VrankMappingIsABijection) {
+  const int p = GetParam();
+  Machine machine(p, CostModel::t800());
+  for (Distr kind : {Distr::kDefault, Distr::kRing, Distr::kTorus2D}) {
+    Topology topo(machine, kind);
+    std::set<int> vranks;
+    for (int hw = 0; hw < p; ++hw) {
+      const int v = topo.vrank_of(hw);
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, p);
+      EXPECT_EQ(topo.hw_of(v), hw);
+      vranks.insert(v);
+    }
+    EXPECT_EQ(static_cast<int>(vranks.size()), p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TopologyBijections,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 9, 12, 16, 25,
+                                           32, 36, 49, 64));
+
+TEST(Topology, DefaultIsIdentity) {
+  Machine machine(16, CostModel::t800());
+  Topology topo(machine, Distr::kDefault);
+  for (int hw = 0; hw < 16; ++hw) EXPECT_EQ(topo.vrank_of(hw), hw);
+}
+
+TEST(Topology, RingStepsAreSingleHopExceptWrap) {
+  Machine machine(16, CostModel::t800());  // 4x4 mesh
+  Topology topo(machine, Distr::kRing);
+  int long_edges = 0;
+  for (int hw = 0; hw < 16; ++hw) {
+    const int next = topo.ring_next(hw);
+    EXPECT_EQ(topo.ring_prev(next), hw);
+    if (topo.hops(hw, next) > 1) ++long_edges;
+  }
+  EXPECT_EQ(long_edges, 1);  // only the wrap-around edge is long
+}
+
+TEST(Topology, DefaultRingHasManyLongEdges) {
+  // Without the snake embedding, row-major rank order wraps across the
+  // mesh every row; this is the difference the paper's "virtual
+  // topologies" remark in Table 1 is about.
+  Machine machine(16, CostModel::t800());
+  Topology topo(machine, Distr::kDefault);
+  int long_edges = 0;
+  for (int hw = 0; hw < 16; ++hw)
+    if (topo.hops(hw, topo.ring_next(hw)) > 1) ++long_edges;
+  EXPECT_GE(long_edges, 3);
+}
+
+TEST(Topology, TorusLinksHaveDilationAtMostTwo) {
+  for (int p : {4, 16, 36, 64}) {
+    Machine machine(p, CostModel::t800());
+    Topology topo(machine, Distr::kTorus2D);
+    for (int hw = 0; hw < p; ++hw) {
+      for (auto [dr, dc] :
+           {std::pair{0, 1}, {0, -1}, {1, 0}, {-1, 0}}) {
+        const int nb = topo.torus_neighbor(hw, dr, dc);
+        EXPECT_LE(topo.hops(hw, nb), 2)
+            << "p=" << p << " hw=" << hw << " d=(" << dr << "," << dc << ")";
+      }
+    }
+  }
+}
+
+TEST(Topology, DefaultTorusWrapIsLong) {
+  Machine machine(64, CostModel::t800());  // 8x8
+  Topology topo(machine, Distr::kDefault);
+  // Wrap-around neighbour of grid position (0,7) is (0,0): 7 hops on
+  // the raw mesh.
+  const int right_edge = topo.at_grid(0, 7);
+  const int wrapped = topo.torus_neighbor(right_edge, 0, 1);
+  EXPECT_EQ(topo.hops(right_edge, wrapped), 7);
+}
+
+TEST(Topology, TorusNeighborsAreConsistentInverse) {
+  Machine machine(36, CostModel::t800());
+  Topology topo(machine, Distr::kTorus2D);
+  for (int hw = 0; hw < 36; ++hw) {
+    EXPECT_EQ(topo.torus_neighbor(topo.torus_neighbor(hw, 0, 1), 0, -1), hw);
+    EXPECT_EQ(topo.torus_neighbor(topo.torus_neighbor(hw, 1, 0), -1, 0), hw);
+  }
+}
+
+TEST(Topology, GridCoordinatesRoundTrip) {
+  Machine machine(24, CostModel::t800());
+  Topology topo(machine, Distr::kTorus2D);
+  for (int hw = 0; hw < 24; ++hw)
+    EXPECT_EQ(topo.at_grid(topo.grid_row(hw), topo.grid_col(hw)), hw);
+}
+
+TEST(Topology, HypercubeNeighborsDifferInOneBit) {
+  Machine machine(16, CostModel::t800());
+  Topology topo(machine, Distr::kHypercube);
+  EXPECT_EQ(topo.cube_dims(), 4);
+  for (int hw = 0; hw < 16; ++hw)
+    for (int d = 0; d < 4; ++d) {
+      const int nb = topo.cube_neighbor(hw, d);
+      EXPECT_EQ(topo.vrank_of(hw) ^ topo.vrank_of(nb), 1 << d);
+      EXPECT_EQ(topo.cube_neighbor(nb, d), hw);
+    }
+}
+
+TEST(Topology, HypercubeRejectsNonPowerOfTwo) {
+  Machine machine(12, CostModel::t800());
+  EXPECT_THROW(Topology(machine, Distr::kHypercube),
+               skil::support::ContractError);
+}
+
+TEST(Topology, HypercubeRejectsBadDimension) {
+  Machine machine(8, CostModel::t800());
+  Topology topo(machine, Distr::kHypercube);
+  EXPECT_THROW(topo.cube_neighbor(0, 3), skil::support::ContractError);
+  EXPECT_THROW(Topology(machine, Distr::kRing).cube_neighbor(0, 0),
+               skil::support::ContractError);
+}
+
+TEST(Topology, DistrNamesAreStable) {
+  EXPECT_STREQ(distr_name(Distr::kDefault), "DISTR_DEFAULT");
+  EXPECT_STREQ(distr_name(Distr::kRing), "DISTR_RING");
+  EXPECT_STREQ(distr_name(Distr::kTorus2D), "DISTR_TORUS2D");
+  EXPECT_STREQ(distr_name(Distr::kHypercube), "DISTR_HYPERCUBE");
+}
+
+TEST(Topology, SingleProcessorDegenerates) {
+  Machine machine(1, CostModel::t800());
+  Topology topo(machine, Distr::kTorus2D);
+  EXPECT_EQ(topo.ring_next(0), 0);
+  EXPECT_EQ(topo.torus_neighbor(0, 1, 0), 0);
+}
+
+}  // namespace

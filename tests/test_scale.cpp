@@ -1,0 +1,111 @@
+// Full-machine-scale integration tests: the paper's 64-processor
+// configuration, exercised end to end with verification against the
+// sequential oracles.
+#include <gtest/gtest.h>
+
+#include "apps/gauss.h"
+#include "apps/matmul.h"
+#include "apps/shortest_paths.h"
+#include "parix/collectives.h"
+#include "parix/runtime.h"
+#include "skil/skil.h"
+#include "support/matrix.h"
+
+namespace {
+
+using namespace skil;
+using parix::CostModel;
+using parix::Distr;
+using parix::Proc;
+using parix::RunConfig;
+
+TEST(Scale64, ShortestPathsMatchesOracle) {
+  const int p = 64, n = 40;
+  const auto result = apps::shpaths_skil(p, n, 99);
+  support::Matrix<std::uint32_t> dist(
+      apps::shpaths_round_up(n, p), apps::shpaths_round_up(n, p));
+  for (int i = 0; i < dist.rows(); ++i)
+    for (int j = 0; j < dist.cols(); ++j) {
+      if (i >= n || j >= n)
+        dist(i, j) = i == j ? 0 : support::kDistInf;
+      else
+        dist(i, j) = support::distance_entry(n, 99, i, j);
+    }
+  EXPECT_EQ(result.distances, support::seq_shortest_paths(std::move(dist)));
+}
+
+TEST(Scale64, GaussSolvesWithOneRowPerProcessor) {
+  const int p = 64, n = 64;  // exactly one matrix row per processor
+  const auto result = apps::gauss_skil(p, n, 77, /*pivoting=*/false);
+  const auto oracle =
+      support::seq_gauss_nopivot(support::random_linear_system(n, 77));
+  EXPECT_LT(support::max_abs_diff(
+                std::vector<double>(result.x.begin(), result.x.begin() + n),
+                oracle),
+            1e-8);
+}
+
+TEST(Scale64, GaussWithPivotingAtScale) {
+  const int p = 64, n = 64;
+  const auto result = apps::gauss_skil(p, n, 78, /*pivoting=*/true);
+  const auto oracle =
+      support::seq_gauss_pivot(support::random_pivoting_system(n, 78));
+  EXPECT_LT(support::max_abs_diff(
+                std::vector<double>(result.x.begin(), result.x.begin() + n),
+                oracle),
+            1e-8);
+}
+
+TEST(Scale64, MatmulOnTheFullGrid) {
+  const int p = 64, n = 32;
+  const auto skil = apps::matmul_skil(p, n, 5);
+  const auto c = apps::matmul_c(p, n, 5);
+  for (int i = 0; i < skil.product.rows(); ++i)
+    for (int j = 0; j < skil.product.cols(); ++j)
+      EXPECT_NEAR(skil.product(i, j), c.product(i, j), 1e-9);
+}
+
+TEST(Scale64, CollectivesAcrossTheWholeMachine) {
+  RunConfig config{64, CostModel::t800()};
+  parix::spmd_run(config, [](Proc& proc) {
+    const parix::Topology topo(proc.machine(), Distr::kTorus2D);
+    const long sum = parix::allreduce(
+        proc, topo, static_cast<long>(proc.id()),
+        [](long a, long b) { return a + b; });
+    EXPECT_EQ(sum, 64L * 63 / 2);
+    const auto all = parix::allgather(proc, topo, proc.id());
+    for (int v = 0; v < 64; ++v)
+      EXPECT_EQ(all[v], topo.hw_of(v));
+    const int prefix = parix::scan_inclusive(
+        proc, topo, 1, [](int a, int b) { return a + b; });
+    EXPECT_EQ(prefix, topo.vrank_of(proc.id()) + 1);
+  });
+}
+
+TEST(Scale64, SkeletonPipelineOnTinyArray) {
+  // An array *smaller* than the machine: 48 of 64 partitions are
+  // empty; map/fold/permute must all survive.
+  RunConfig config{64, CostModel::t800()};
+  parix::spmd_run(config, [](Proc& proc) {
+    auto a = array_create<int>(proc, 2, Size{4, 4},
+                               [](Index ix) { return ix[0] * 4 + ix[1]; });
+    auto b = array_create<int>(proc, 2, Size{4, 4}, [](Index) { return 0; });
+    array_map([](int v) { return v + 1; }, a, b);
+    const int total = array_fold([](int v, Index) { return v; },
+                                 fn::plus, b);
+    EXPECT_EQ(total, 16 * 17 / 2);  // 1..16
+    auto c = array_create<int>(proc, 2, Size{4, 4}, [](Index) { return 0; });
+    array_permute_rows(b, [](int row) { return 3 - row; }, c);
+    const int total_permuted = array_fold(
+        [](int v, Index) { return v; }, fn::plus, c);
+    EXPECT_EQ(total_permuted, total);
+  });
+}
+
+TEST(Scale64, DeterministicTimingAtFullScale) {
+  const double a = apps::gauss_skil(64, 64, 3, false).run.vtime_us;
+  const double b = apps::gauss_skil(64, 64, 3, false).run.vtime_us;
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace

@@ -1,0 +1,235 @@
+// Tests for index types and distributions: partitioning must be an
+// exhaustive, disjoint cover of the global index space, and the owner
+// and local-offset arithmetic must agree with the run enumeration.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "parix/machine.h"
+#include "skil/distribution.h"
+#include "support/error.h"
+
+namespace {
+
+using namespace skil;
+using parix::CostModel;
+using parix::Distr;
+using parix::Machine;
+using parix::Topology;
+
+std::shared_ptr<const Topology> make_topo(int p, Distr d = Distr::kDefault) {
+  // Machines must outlive the topologies that reference them.
+  static std::vector<std::shared_ptr<Machine>> keepalive;
+  auto machine = std::make_shared<Machine>(p, CostModel::t800());
+  keepalive.push_back(machine);
+  return std::make_shared<const Topology>(*machine, d);
+}
+
+TEST(Index, ConstructionAndAccess) {
+  Index one(5);
+  EXPECT_EQ(one[0], 5);
+  EXPECT_EQ(one[1], 0);
+  Index two(3, 4);
+  EXPECT_EQ(two[0], 3);
+  EXPECT_EQ(two[1], 4);
+  EXPECT_EQ(Index(1, 2), Index(1, 2));
+  EXPECT_FALSE(Index(1, 2) == Index(2, 1));
+}
+
+TEST(Bounds, ContainsAndVolume) {
+  Bounds b{Index{2, 3}, Index{5, 7}};
+  EXPECT_TRUE(b.contains(Index{2, 3}, 2));
+  EXPECT_TRUE(b.contains(Index{4, 6}, 2));
+  EXPECT_FALSE(b.contains(Index{5, 3}, 2));
+  EXPECT_FALSE(b.contains(Index{2, 7}, 2));
+  EXPECT_EQ(b.extent(0), 3);
+  EXPECT_EQ(b.extent(1), 4);
+  EXPECT_EQ(b.volume(2), 12);
+}
+
+TEST(Bounds, ToStringIsReadable) {
+  Bounds b{Index{0, 0}, Index{2, 3}};
+  EXPECT_EQ(to_string(b, 2), "(0, 0)..(2, 3)");
+}
+
+struct DistCase {
+  int p;
+  int rows;
+  int cols;  // 0 => 1-D array
+  Layout layout;
+  int cyclic_block;
+};
+
+class DistributionCover : public ::testing::TestWithParam<DistCase> {};
+
+Distribution make_dist(const DistCase& c) {
+  auto topo = make_topo(c.p);
+  const int dims = c.cols > 0 ? 2 : 1;
+  const Size size = c.cols > 0 ? Size{c.rows, c.cols} : Size{c.rows};
+  switch (c.layout) {
+    case Layout::kBlock:
+      return Distribution::block(topo, dims, size);
+    case Layout::kCyclic:
+      return Distribution::cyclic(topo, dims, size);
+    case Layout::kBlockCyclic:
+      return Distribution::block_cyclic(topo, dims, size, c.cyclic_block);
+  }
+  throw std::logic_error("unreachable");
+}
+
+TEST_P(DistributionCover, RunsCoverIndexSpaceExactlyOnce) {
+  const DistCase c = GetParam();
+  const Distribution dist = make_dist(c);
+  std::map<std::pair<int, int>, int> seen;
+  long total = 0;
+  for (int v = 0; v < c.p; ++v) {
+    long count = 0;
+    for (const RowRun& run : dist.local_runs(v))
+      for (int cc = 0; cc < run.col_count; ++cc) {
+        ++seen[{run.row, run.col_begin + cc}];
+        ++count;
+      }
+    EXPECT_EQ(count, dist.local_count(v)) << "vrank " << v;
+    total += count;
+  }
+  const int cols = c.cols > 0 ? c.cols : 1;
+  EXPECT_EQ(total, static_cast<long>(c.rows) * cols);
+  for (const auto& [pos, count] : seen) EXPECT_EQ(count, 1)
+      << "(" << pos.first << "," << pos.second << ")";
+}
+
+TEST_P(DistributionCover, OwnerAgreesWithRunEnumeration) {
+  const DistCase c = GetParam();
+  const Distribution dist = make_dist(c);
+  for (int v = 0; v < c.p; ++v)
+    for (const RowRun& run : dist.local_runs(v))
+      for (int cc = 0; cc < run.col_count; ++cc) {
+        const Index ix = c.cols > 0 ? Index{run.row, run.col_begin + cc}
+                                    : Index{run.row};
+        EXPECT_EQ(dist.owner_vrank(ix), v);
+      }
+}
+
+TEST_P(DistributionCover, LocalOffsetsAreDenseAndOrdered) {
+  const DistCase c = GetParam();
+  const Distribution dist = make_dist(c);
+  for (int v = 0; v < c.p; ++v) {
+    long expected = 0;
+    for (const RowRun& run : dist.local_runs(v))
+      for (int cc = 0; cc < run.col_count; ++cc) {
+        const Index ix = c.cols > 0 ? Index{run.row, run.col_begin + cc}
+                                    : Index{run.row};
+        EXPECT_EQ(dist.local_offset(v, ix), expected) << to_string(ix, 2);
+        ++expected;
+      }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DistributionCover,
+    ::testing::Values(
+        DistCase{1, 5, 5, Layout::kBlock, 0},
+        DistCase{4, 8, 8, Layout::kBlock, 0},
+        DistCase{4, 7, 9, Layout::kBlock, 0},    // uneven blocks
+        DistCase{6, 12, 12, Layout::kBlock, 0},  // 2x3 grid
+        DistCase{8, 16, 0, Layout::kBlock, 0},   // 1-D
+        DistCase{5, 17, 0, Layout::kBlock, 0},   // 1-D uneven
+        DistCase{4, 10, 3, Layout::kCyclic, 1},
+        DistCase{3, 7, 2, Layout::kCyclic, 1},
+        DistCase{4, 16, 4, Layout::kBlockCyclic, 2},
+        DistCase{3, 10, 5, Layout::kBlockCyclic, 4},
+        DistCase{2, 9, 0, Layout::kCyclic, 1}));
+
+TEST(Distribution, BlockBoundsMatchRuns) {
+  auto dist = Distribution::block(make_topo(4), 2, Size{8, 6});
+  // 2x2 machine mesh -> 2x2 block grid: blocks of 4x3.
+  for (int v = 0; v < 4; ++v) {
+    const Bounds b = dist.partition_bounds(v);
+    EXPECT_EQ(b.volume(2), dist.local_count(v));
+  }
+  EXPECT_EQ(dist.partition_bounds(0).lower, (Index{0, 0}));
+  EXPECT_EQ(dist.partition_bounds(3).upper, (Index{8, 6}));
+}
+
+TEST(Distribution, ExplicitBlocksizeMakesRowBlocks) {
+  auto dist = Distribution::block(make_topo(4), 2, Size{8, 5},
+                                  Size{2, 5});
+  EXPECT_EQ(dist.block_grid_rows(), 4);
+  EXPECT_EQ(dist.block_grid_cols(), 1);
+  EXPECT_EQ(dist.owner_vrank(Index{7, 4}), 3);
+  EXPECT_EQ(dist.owner_vrank(Index{0, 0}), 0);
+}
+
+TEST(Distribution, RejectsBlocksizeNotMatchingProcessorCount) {
+  // Explicit 2x4 blocks on an 8x8 array give 4x2 = 8 blocks != 4 procs.
+  EXPECT_THROW(
+      Distribution::block(make_topo(4), 2, Size{8, 8}, Size{2, 4}),
+      skil::support::ContractError);
+  // Explicit 3-row blocks on 8 rows give 3 blocks != 2 processors.
+  EXPECT_THROW(Distribution::block(make_topo(2), 1, Size{8}, Size{3}),
+               skil::support::ContractError);
+}
+
+TEST(Distribution, SmallArraysGetEmptyTrailingPartitions) {
+  auto dist = Distribution::block(make_topo(4), 1, Size{3});
+  EXPECT_EQ(dist.local_count(0), 1);
+  EXPECT_EQ(dist.local_count(3), 0);
+  EXPECT_EQ(dist.partition_bounds(3).volume(1), 0);
+  long total = 0;
+  for (int v = 0; v < 4; ++v) total += dist.local_count(v);
+  EXPECT_EQ(total, 3);
+}
+
+TEST(Distribution, RejectsBadSizes) {
+  EXPECT_THROW(Distribution::block(make_topo(2), 3, Size{2, 2}),
+               skil::support::ContractError);
+  EXPECT_THROW(Distribution::block(make_topo(2), 1, Size{0}),
+               skil::support::ContractError);
+  EXPECT_THROW(Distribution::block_cyclic(make_topo(2), 1, Size{4}, 0),
+               skil::support::ContractError);
+}
+
+TEST(Distribution, ExplicitLowerBoundMustMatchDerivedPartitioning) {
+  EXPECT_NO_THROW(Distribution::block(make_topo(4), 2, Size{8, 8},
+                                      Size{0, 0}, Index{4, 4}));
+  EXPECT_THROW(Distribution::block(make_topo(4), 2, Size{8, 8}, Size{0, 0},
+                                   Index{3, 0}),
+               skil::support::ContractError);
+}
+
+TEST(Distribution, OwnerRejectsOutOfRangeIndex) {
+  auto dist = Distribution::block(make_topo(2), 2, Size{4, 4});
+  EXPECT_THROW(dist.owner_vrank(Index{4, 0}), skil::support::ContractError);
+  EXPECT_THROW(dist.owner_vrank(Index{0, -1}), skil::support::ContractError);
+}
+
+TEST(Distribution, UniformityDetection) {
+  EXPECT_TRUE(
+      Distribution::block(make_topo(4), 2, Size{8, 8}).uniform_partitions());
+  EXPECT_FALSE(
+      Distribution::block(make_topo(4), 2, Size{7, 8}).uniform_partitions());
+}
+
+TEST(Distribution, PartitionBoundsUndefinedForCyclic) {
+  auto dist = Distribution::cyclic(make_topo(2), 1, Size{8});
+  EXPECT_THROW(dist.partition_bounds(0), skil::support::ContractError);
+}
+
+TEST(Distribution, SamePlacementDistinguishesLayouts) {
+  auto topo = make_topo(4);
+  const auto block = Distribution::block(topo, 2, Size{8, 8});
+  const auto block2 = Distribution::block(topo, 2, Size{8, 8});
+  const auto cyclic = Distribution::cyclic(topo, 2, Size{8, 8});
+  EXPECT_TRUE(block.same_placement(block2));
+  EXPECT_FALSE(block.same_placement(cyclic));
+}
+
+TEST(Distribution, LayoutNames) {
+  EXPECT_STREQ(layout_name(Layout::kBlock), "block");
+  EXPECT_STREQ(layout_name(Layout::kCyclic), "cyclic");
+  EXPECT_STREQ(layout_name(Layout::kBlockCyclic), "block-cyclic");
+}
+
+}  // namespace

@@ -1,0 +1,210 @@
+// Tests for the future-work extensions: border exchange / stencil map,
+// scan, gather / I-O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "parix/runtime.h"
+#include "skil/skil.h"
+#include "support/error.h"
+
+namespace {
+
+using namespace skil;
+using parix::CostModel;
+using parix::Distr;
+using parix::Proc;
+using parix::RunConfig;
+
+TEST(Borders, ExchangeDeliversNeighbourRows) {
+  RunConfig config{4, CostModel::t800()};
+  parix::spmd_run(config, [](Proc& proc) {
+    auto a = array_create<int>(proc, 2, Size{8, 3}, Size{2, 3},
+                               Index{-1, -1},
+                               [](Index ix) { return ix[0] * 10 + ix[1]; },
+                               Distr::kDefault);
+    const Borders<int> borders = array_exchange_borders(a, 1);
+    const Bounds mine = a.part_bounds();
+    if (mine.lower[0] > 0) {
+      ASSERT_EQ(borders.top_rows, 1);
+      EXPECT_EQ(borders.top[0], (mine.lower[0] - 1) * 10);
+      EXPECT_EQ(borders.top[2], (mine.lower[0] - 1) * 10 + 2);
+    } else {
+      EXPECT_EQ(borders.top_rows, 0);
+    }
+    if (mine.upper[0] < 8) {
+      ASSERT_EQ(borders.bottom_rows, 1);
+      EXPECT_EQ(borders.bottom[1], mine.upper[0] * 10 + 1);
+    } else {
+      EXPECT_EQ(borders.bottom_rows, 0);
+    }
+  });
+}
+
+TEST(Borders, WideHaloUpToPartitionHeight) {
+  RunConfig config{2, CostModel::t800()};
+  parix::spmd_run(config, [](Proc& proc) {
+    auto a = array_create<int>(proc, 2, Size{8, 2}, Size{4, 2},
+                               Index{-1, -1},
+                               [](Index ix) { return ix[0]; },
+                               Distr::kDefault);
+    const Borders<int> borders = array_exchange_borders(a, 3);
+    if (proc.id() == 0) {
+      EXPECT_EQ(borders.bottom_rows, 3);
+      EXPECT_EQ(borders.bottom[0], 4);  // rows 4,5,6
+      EXPECT_EQ(borders.bottom[4], 6);
+    } else {
+      EXPECT_EQ(borders.top_rows, 3);
+      EXPECT_EQ(borders.top[0], 1);  // rows 1,2,3
+    }
+    EXPECT_THROW(array_exchange_borders(a, 5),
+                 skil::support::ContractError);
+  });
+}
+
+TEST(Stencil, ThreePointAverageMatchesSequential) {
+  const int n = 16, cols = 4, p = 4;
+  // Sequential reference: x'(i,j) = mean of row-neighbours (clamped).
+  std::vector<double> init(n * cols), expected(n * cols);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < cols; ++j)
+      init[i * cols + j] = i * 1.25 + j * 0.5;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < cols; ++j) {
+      const double up = init[(i > 0 ? i - 1 : i) * cols + j];
+      const double down = init[(i < n - 1 ? i + 1 : i) * cols + j];
+      expected[i * cols + j] = (up + init[i * cols + j] + down) / 3.0;
+    }
+
+  RunConfig config{p, CostModel::t800()};
+  parix::spmd_run(config, [&](Proc& proc) {
+    auto a = array_create<double>(
+        proc, 2, Size{n, cols}, Size{n / p, cols}, Index{-1, -1},
+        [&](Index ix) { return init[ix[0] * cols + ix[1]]; },
+        Distr::kDefault);
+    auto b = array_create<double>(proc, 2, Size{n, cols}, Size{n / p, cols},
+                                  Index{-1, -1}, [](Index) { return 0.0; },
+                                  Distr::kDefault);
+    array_map_stencil(
+        [n](const StencilView<double>& view, Index ix) {
+          const int i = ix[0], j = ix[1];
+          const double up = view.get(i > 0 ? i - 1 : i, j);
+          const double down = view.get(i < n - 1 ? i + 1 : i, j);
+          return (up + view.get(i, j) + down) / 3.0;
+        },
+        a, b, 1);
+    const auto global = array_gather_all(b);
+    for (int k = 0; k < n * cols; ++k)
+      EXPECT_NEAR(global[k], expected[k], 1e-12) << k;
+  });
+}
+
+TEST(Stencil, RepeatedSmoothingConverges) {
+  // Heat-equation-style relaxation must monotonically shrink the range.
+  RunConfig config{4, CostModel::t800()};
+  parix::spmd_run(config, [](Proc& proc) {
+    const int n = 16;
+    auto a = array_create<double>(
+        proc, 2, Size{n, 2}, Size{n / 4, 2}, Index{-1, -1},
+        [n](Index ix) { return ix[0] == 0 ? 100.0 : 0.0; }, Distr::kDefault);
+    auto b = array_create<double>(proc, 2, Size{n, 2}, Size{n / 4, 2},
+                                  Index{-1, -1}, [](Index) { return 0.0; },
+                                  Distr::kDefault);
+    auto smooth = [n](const StencilView<double>& view, Index ix) {
+      const int i = ix[0];
+      const double up = view.get(i > 0 ? i - 1 : i, ix[1]);
+      const double down = view.get(i < n - 1 ? i + 1 : i, ix[1]);
+      return 0.25 * up + 0.5 * view.get(i, ix[1]) + 0.25 * down;
+    };
+    for (int step = 0; step < 8; ++step) {
+      array_map_stencil(smooth, a, b, 1);
+      array_copy(b, a);
+    }
+    const double total = array_fold([](double v, Index) { return v; },
+                                    fn::plus, a);
+    EXPECT_NEAR(total, 200.0, 1e-9);  // heat is conserved away from edges?
+    const double maximum = array_fold([](double v, Index) { return v; },
+                                      fn::max, a);
+    EXPECT_LT(maximum, 100.0);  // and the peak has diffused
+    EXPECT_GT(maximum, 0.0);
+  });
+}
+
+TEST(Stencil, RejectsAliasedArrays) {
+  RunConfig config{2, CostModel::t800()};
+  parix::spmd_run(config, [](Proc& proc) {
+    auto a = array_create<double>(proc, 2, Size{4, 2}, Size{2, 2},
+                                  Index{-1, -1}, [](Index) { return 0.0; },
+                                  Distr::kDefault);
+    EXPECT_THROW(
+        array_map_stencil(
+            [](const StencilView<double>& v, Index ix) { return v.get(ix[0], ix[1]); },
+            a, a, 1),
+        skil::support::ContractError);
+  });
+}
+
+class ScanSizes : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ScanSizes, InclusivePrefixSumMatchesSequential) {
+  const auto [p, n] = GetParam();
+  RunConfig config{p, CostModel::t800()};
+  parix::spmd_run(config, [&](Proc& proc) {
+    auto a = array_create<int>(proc, 1, Size{n},
+                               [](Index ix) { return ix[0] + 1; });
+    auto out = array_create<long>(proc, 1, Size{n}, [](Index) { return 0L; });
+    array_scan([](int v, Index) { return static_cast<long>(v); },
+               fn::plus, a, out);
+    const auto global = array_gather_all(out);
+    long running = 0;
+    for (int i = 0; i < n; ++i) {
+      running += i + 1;
+      EXPECT_EQ(global[i], running) << "at " << i;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ScanSizes,
+                         ::testing::Values(std::pair{1, 7}, std::pair{2, 8},
+                                           std::pair{3, 9}, std::pair{4, 4},
+                                           std::pair{4, 19},
+                                           std::pair{8, 64}));
+
+TEST(Scan, MaxScanIsMonotone) {
+  RunConfig config{4, CostModel::t800()};
+  parix::spmd_run(config, [](Proc& proc) {
+    auto a = array_create<int>(proc, 1, Size{16}, [](Index ix) {
+      return (ix[0] * 7919) % 23;  // scrambled values
+    });
+    auto out = array_create<int>(proc, 1, Size{16}, [](Index) { return 0; });
+    array_scan([](int v, Index) { return v; }, fn::max, a, out);
+    const auto global = array_gather_all(out);
+    for (std::size_t i = 1; i < global.size(); ++i)
+      EXPECT_GE(global[i], global[i - 1]);
+  });
+}
+
+TEST(GatherAll, ReassemblesTorusBlocks) {
+  RunConfig config{4, CostModel::t800()};
+  parix::spmd_run(config, [](Proc& proc) {
+    auto a = array_create<int>(proc, 2, Size{6, 6},
+                               [](Index ix) { return ix[0] * 6 + ix[1]; },
+                               Distr::kTorus2D);
+    const auto global = array_gather_all(a);
+    for (int k = 0; k < 36; ++k) EXPECT_EQ(global[k], k);
+  });
+}
+
+TEST(ArrayWrite, PrintsRowsFromProcessorZero) {
+  RunConfig config{2, CostModel::t800()};
+  std::ostringstream out;
+  parix::spmd_run(config, [&](Proc& proc) {
+    auto a = array_create<int>(proc, 2, Size{2, 3},
+                               [](Index ix) { return ix[0] * 3 + ix[1]; });
+    array_write(a, out);
+  });
+  EXPECT_EQ(out.str(), "0 1 2\n3 4 5\n");
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+// Tests for the functional features: currying, partial application,
+// operator sections (paper section 2.1).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "skil/functional.h"
+
+namespace {
+
+using namespace skil;
+
+int add3(int a, int b, int c) { return a + b + c; }
+
+TEST(Partial, BindsLeadingArguments) {
+  auto add_1_2 = partial(add3, 1, 2);
+  EXPECT_EQ(add_1_2(3), 6);
+  auto add_10 = partial(add3, 10);
+  EXPECT_EQ(add_10(20, 30), 60);
+}
+
+TEST(Partial, WorksWithLambdasAndCaptures) {
+  int base = 100;
+  auto f = [base](int x, int y) { return base + x * y; };
+  auto f6 = partial(f, 6);
+  EXPECT_EQ(f6(7), 142);
+}
+
+TEST(Partial, ZeroBoundArgumentsIsIdentityWrapping) {
+  auto f = partial(add3);
+  EXPECT_EQ(f(1, 2, 3), 6);
+}
+
+TEST(Curry, OneArgumentAtATime) {
+  auto curried = curry(add3);
+  EXPECT_EQ(curried(1)(2)(3), 6);
+}
+
+TEST(Curry, SeveralArgumentsAtOnce) {
+  auto curried = curry(add3);
+  EXPECT_EQ(curried(1, 2)(3), 6);
+  EXPECT_EQ(curried(1)(2, 3), 6);
+  EXPECT_EQ(curried(1, 2, 3), 6);
+}
+
+TEST(Curry, PartialApplicationsAreReusable) {
+  auto curried = curry(add3);
+  auto plus_ten = curried(10);
+  EXPECT_EQ(plus_ten(1)(2), 13);
+  EXPECT_EQ(plus_ten(5)(5), 20);  // the partial application is a value
+}
+
+TEST(Curry, MirrorsThePapersDivideAndConquer) {
+  // The d&c skeleton from the paper's introduction, curried like the
+  // Skil call d&c(is_trivial, solve, split, join)(problem).
+  std::function<int(std::function<bool(int)>, std::function<int(int)>,
+                    int)>
+      dc_impl = [&dc_impl](std::function<bool(int)> trivial,
+                           std::function<int(int)> solve, int problem) -> int {
+    if (trivial(problem)) return solve(problem);
+    return dc_impl(trivial, solve, problem / 2) +
+           dc_impl(trivial, solve, problem - problem / 2);
+  };
+  auto dc = curry(dc_impl);
+  // Sum 1 for every unit: counts the leaves = problem size.
+  auto count = dc([](int n) { return n <= 1; })([](int n) { return n; });
+  EXPECT_EQ(count(10), 10);
+  EXPECT_EQ(count(1), 1);
+}
+
+TEST(Sections, OperatorObjects) {
+  EXPECT_EQ(fn::plus(2, 3), 5);
+  EXPECT_EQ(fn::minus(2, 3), -1);
+  EXPECT_EQ(fn::times(4, 5), 20);
+  EXPECT_EQ(fn::divide(20, 5), 4);
+  EXPECT_EQ(fn::min(2, 3), 2);
+  EXPECT_EQ(fn::max(2, 3), 3);
+  EXPECT_EQ(fn::identity(42), 42);
+  EXPECT_DOUBLE_EQ(fn::plus(1.5, 2.25), 3.75);
+}
+
+TEST(Sections, LeftSectionLikeTimesTwo) {
+  // The paper's map((*)(2), lst2).
+  auto times2 = fn::section(fn::times, 2);
+  EXPECT_EQ(times2(21), 42);
+  auto hundred_minus = fn::section(fn::minus, 100);
+  EXPECT_EQ(hundred_minus(1), 99);
+}
+
+TEST(Sections, ComposeWithPartial) {
+  auto clamp = [](int lo, int hi, int v) {
+    return fn::max(lo, fn::min(hi, v));
+  };
+  auto clamp01 = partial(clamp, 0, 1);
+  EXPECT_EQ(clamp01(-5), 0);
+  EXPECT_EQ(clamp01(5), 1);
+  EXPECT_EQ(clamp01(1), 1);
+}
+
+TEST(Sections, StringConcatenationIsPolymorphic) {
+  const std::string hello = "hello ";
+  EXPECT_EQ(fn::plus(hello, std::string("world")), "hello world");
+}
+
+}  // namespace

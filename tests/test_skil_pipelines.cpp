@@ -1,0 +1,176 @@
+// Cross-skeleton integration properties: pipelines combining several
+// skeletons must satisfy algebraic identities, across processor counts
+// and topologies.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "parix/runtime.h"
+#include "skil/skil.h"
+#include "support/matrix.h"
+
+namespace {
+
+using namespace skil;
+using parix::CostModel;
+using parix::Distr;
+using parix::Proc;
+using parix::RunConfig;
+
+class Pipelines : public ::testing::TestWithParam<int> {};
+
+TEST_P(Pipelines, FoldAfterMapEqualsFoldWithConversion) {
+  // fold(conv . f) == fold over map(f) -- the paper's footnote 3 says
+  // the fused form is how array_fold is implemented; both must agree.
+  const int p = GetParam();
+  RunConfig config{p, CostModel::t800()};
+  parix::spmd_run(config, [](Proc& proc) {
+    auto a = array_create<int>(proc, 2, Size{12, 6},
+                               [](Index ix) { return ix[0] * 3 - ix[1]; });
+    auto b = array_create<long>(proc, 2, Size{12, 6},
+                                [](Index) { return 0L; });
+    array_map([](int v, Index) { return static_cast<long>(v) * v; }, a, b);
+    const long mapped_then_folded =
+        array_fold([](long v, Index) { return v; }, fn::plus, b);
+    const long fused = array_fold(
+        [](int v, Index) { return static_cast<long>(v) * v; }, fn::plus, a);
+    EXPECT_EQ(mapped_then_folded, fused);
+  });
+}
+
+TEST_P(Pipelines, ScanLastElementEqualsFold) {
+  const int p = GetParam();
+  RunConfig config{p, CostModel::t800()};
+  parix::spmd_run(config, [&](Proc& proc) {
+    const int n = 24;
+    auto a = array_create<int>(proc, 1, Size{n},
+                               [](Index ix) { return (ix[0] * 7) % 11; });
+    auto prefix = array_create<long>(proc, 1, Size{n},
+                                     [](Index) { return 0L; });
+    array_scan([](int v, Index) { return static_cast<long>(v); },
+               fn::plus, a, prefix);
+    const long total = array_fold(
+        [](int v, Index) { return static_cast<long>(v); }, fn::plus, a);
+    const auto global = array_gather_all(prefix);
+    EXPECT_EQ(global.back(), total);
+  });
+}
+
+TEST_P(Pipelines, FoldRowsThenFoldEqualsGlobalFold) {
+  const int p = GetParam();
+  RunConfig config{p, CostModel::t800()};
+  parix::spmd_run(config, [&](Proc& proc) {
+    const int n = 4 * p, cols = 5;
+    auto a = array_create<int>(proc, 2, Size{n, cols}, Size{n / p, cols},
+                               Index{-1, -1},
+                               [](Index ix) { return ix[0] ^ ix[1]; },
+                               Distr::kDefault);
+    auto rows = array_create<long>(proc, 1, Size{n}, [](Index) { return 0L; });
+    array_fold_rows([](int v, Index) { return static_cast<long>(v); },
+                    fn::plus, a, rows);
+    const long via_rows =
+        array_fold([](long v, Index) { return v; }, fn::plus, rows);
+    const long direct = array_fold(
+        [](int v, Index) { return static_cast<long>(v); }, fn::plus, a);
+    EXPECT_EQ(via_rows, direct);
+  });
+}
+
+TEST_P(Pipelines, PermutationPreservesFold) {
+  const int p = GetParam();
+  RunConfig config{p, CostModel::t800()};
+  parix::spmd_run(config, [&](Proc& proc) {
+    const int n = 2 * p;
+    auto a = array_create<int>(proc, 2, Size{n, 4},
+                               [](Index ix) { return ix[0] * 13 + ix[1]; });
+    auto b = array_create<int>(proc, 2, Size{n, 4}, [](Index) { return 0; });
+    array_permute_rows(a, [n](int row) { return (row + 1) % n; }, b);
+    const long sum_a = array_fold(
+        [](int v, Index) { return static_cast<long>(v); }, fn::plus, a);
+    const long sum_b = array_fold(
+        [](int v, Index) { return static_cast<long>(v); }, fn::plus, b);
+    EXPECT_EQ(sum_a, sum_b);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, Pipelines, ::testing::Values(1, 2, 3, 4, 8),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+TEST(Pipelines, MinPlusPowerViaGenMultEqualsOracleClosure) {
+  // Three successive squarings through the skeleton equal the oracle's
+  // shortest-paths closure for n = 8 (2^3 = 8 >= n).
+  RunConfig config{4, CostModel::t800()};
+  parix::spmd_run(config, [](Proc& proc) {
+    const int n = 8;
+    auto init = [n](Index ix) {
+      return support::distance_entry(n, 123, ix[0], ix[1]);
+    };
+    auto a = array_create<std::uint32_t>(proc, 2, Size{n, n}, init,
+                                         Distr::kTorus2D);
+    auto b = array_create<std::uint32_t>(
+        proc, 2, Size{n, n}, [](Index) { return 0u; }, Distr::kTorus2D);
+    auto c = array_create<std::uint32_t>(
+        proc, 2, Size{n, n}, [](Index) { return support::kDistInf; },
+        Distr::kTorus2D);
+    for (int step = 0; step < 3; ++step) {
+      array_copy(a, b);
+      array_gen_mult(a, b, fn::min,
+                     [](std::uint32_t x, std::uint32_t y) {
+                       return support::dist_add(x, y);
+                     },
+                     c);
+      array_copy(c, a);
+    }
+    const auto got = array_gather_matrix(a);
+    const auto expected =
+        support::seq_shortest_paths(support::random_distance_matrix(n, 123));
+    EXPECT_EQ(got, expected);
+  });
+}
+
+TEST(Pipelines, TransposeCommutesWithMap) {
+  // map(f) . transpose == transpose . map(f) for index-free f.
+  RunConfig config{4, CostModel::t800()};
+  parix::spmd_run(config, [](Proc& proc) {
+    const int n = 8;
+    auto a = array_create<double>(
+        proc, 2, Size{n, n},
+        [](Index ix) { return support::dense_entry(3, ix[0], ix[1]); },
+        Distr::kTorus2D);
+    auto left = array_create<double>(proc, 2, Size{n, n},
+                                     [](Index) { return 0.0; },
+                                     Distr::kTorus2D);
+    auto right = array_create<double>(proc, 2, Size{n, n},
+                                      [](Index) { return 0.0; },
+                                      Distr::kTorus2D);
+    auto tmp = array_create<double>(proc, 2, Size{n, n},
+                                    [](Index) { return 0.0; },
+                                    Distr::kTorus2D);
+    auto f = [](double v) { return v * 2.0 + 1.0; };
+    // left = transpose(map(f, a))
+    array_map(f, a, tmp);
+    array_transpose(tmp, left);
+    // right = map(f, transpose(a))
+    array_transpose(a, tmp);
+    array_map(f, tmp, right);
+    EXPECT_EQ(array_gather_all(left), array_gather_all(right));
+  });
+}
+
+TEST(Pipelines, BroadcastPartThenFoldSeesOnlyTheRootPartition) {
+  RunConfig config{4, CostModel::t800()};
+  parix::spmd_run(config, [](Proc& proc) {
+    auto a = array_create<int>(proc, 2, Size{4, 4}, Size{1, 4},
+                               Index{-1, -1},
+                               [](Index ix) { return ix[0] + 1; },
+                               Distr::kDefault);
+    array_broadcast_part(a, Index{2, 0});  // row 2 holds value 3
+    const int total = array_fold([](int v, Index) { return v; },
+                                 fn::plus, a);
+    EXPECT_EQ(total, 3 * 16);  // every partition now holds four 3s
+  });
+}
+
+}  // namespace

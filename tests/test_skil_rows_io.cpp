@@ -1,0 +1,168 @@
+// Tests for the row skeletons (fold_rows, rotate_rows) and the I/O
+// skeletons (scatter, read, write round trips).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "parix/runtime.h"
+#include "skil/skil.h"
+#include "support/error.h"
+
+namespace {
+
+using namespace skil;
+using parix::CostModel;
+using parix::Distr;
+using parix::Proc;
+using parix::RunConfig;
+
+TEST(FoldRows, RowSumsMatchSequential) {
+  RunConfig config{4, CostModel::t800()};
+  parix::spmd_run(config, [](Proc& proc) {
+    const int n = 8, cols = 5;
+    auto a = array_create<int>(proc, 2, Size{n, cols}, Size{n / 4, cols},
+                               Index{-1, -1},
+                               [](Index ix) { return ix[0] * 10 + ix[1]; },
+                               Distr::kDefault);
+    auto sums = array_create<long>(proc, 1, Size{n}, [](Index) { return 0L; });
+    array_fold_rows([](int v, Index) { return static_cast<long>(v); },
+                    fn::plus, a, sums);
+    const auto global = array_gather_all(sums);
+    for (int i = 0; i < n; ++i) {
+      long expected = 0;
+      for (int j = 0; j < cols; ++j) expected += i * 10 + j;
+      EXPECT_EQ(global[i], expected);
+    }
+  });
+}
+
+TEST(FoldRows, RowMaximaAndIndexAwareConversion) {
+  RunConfig config{2, CostModel::t800()};
+  parix::spmd_run(config, [](Proc& proc) {
+    const int n = 6, cols = 4;
+    auto a = array_create<double>(
+        proc, 2, Size{n, cols}, Size{n / 2, cols}, Index{-1, -1},
+        [](Index ix) { return (ix[0] == ix[1]) ? 100.0 : ix[1] * 1.0; },
+        Distr::kDefault);
+    auto maxima =
+        array_create<double>(proc, 1, Size{n}, [](Index) { return 0.0; });
+    array_fold_rows([](double v, Index) { return v; }, fn::max, a, maxima);
+    const auto global = array_gather_all(maxima);
+    for (int i = 0; i < n; ++i)
+      EXPECT_DOUBLE_EQ(global[i], i < cols ? 100.0 : 3.0);
+  });
+}
+
+TEST(FoldRows, RejectsColumnSplitDistributions) {
+  RunConfig config{4, CostModel::t800()};
+  parix::spmd_run(config, [](Proc& proc) {
+    auto a = array_create<int>(proc, 2, Size{8, 8}, [](Index) { return 0; },
+                               Distr::kTorus2D);  // 2x2 block grid
+    auto sums = array_create<int>(proc, 1, Size{8}, [](Index) { return 0; });
+    EXPECT_THROW(array_fold_rows([](int v, Index) { return v; }, fn::plus,
+                                 a, sums),
+                 skil::support::ContractError);
+  });
+}
+
+TEST(RotateRows, ShiftForwardAndBackward) {
+  RunConfig config{4, CostModel::t800()};
+  parix::spmd_run(config, [](Proc& proc) {
+    const int n = 8;
+    auto a = array_create<int>(proc, 2, Size{n, 3},
+                               [](Index ix) { return ix[0]; });
+    auto b = array_create<int>(proc, 2, Size{n, 3}, [](Index) { return -1; });
+    array_rotate_rows(a, 3, b);
+    auto gb = array_gather_all(b);
+    for (int i = 0; i < n; ++i)
+      EXPECT_EQ(gb[static_cast<std::size_t>(i) * 3], ((i - 3) + n) % n);
+
+    // Negative shifts and full-cycle shifts.
+    array_rotate_rows(a, -1, b);
+    gb = array_gather_all(b);
+    for (int i = 0; i < n; ++i)
+      EXPECT_EQ(gb[static_cast<std::size_t>(i) * 3], (i + 1) % n);
+
+    array_rotate_rows(a, n, b);
+    EXPECT_EQ(array_gather_all(b), array_gather_all(a));
+    array_rotate_rows(a, -3 * n + 1, b);
+    gb = array_gather_all(b);
+    EXPECT_EQ(gb[0], n - 1);
+  });
+}
+
+TEST(Scatter, InverseOfGather) {
+  RunConfig config{4, CostModel::t800()};
+  parix::spmd_run(config, [](Proc& proc) {
+    auto a = array_create<int>(proc, 2, Size{6, 6},
+                               [](Index ix) { return ix[0] * 6 + ix[1]; },
+                               Distr::kTorus2D);
+    auto b = array_create<int>(proc, 2, Size{6, 6}, [](Index) { return 0; },
+                               Distr::kTorus2D);
+    // Gather on the root, scatter into b: b must equal a everywhere.
+    std::vector<int> global = array_gather_root(a);
+    array_scatter_root(global, b);
+    EXPECT_EQ(array_gather_all(a), array_gather_all(b));
+  });
+}
+
+TEST(Scatter, RootSizeMismatchIsRejected) {
+  RunConfig config{2, CostModel::t800()};
+  EXPECT_THROW(
+      parix::spmd_run(config,
+                      [](Proc& proc) {
+                        auto a = array_create<int>(proc, 1, Size{8},
+                                                   [](Index) { return 0; });
+                        std::vector<int> wrong(3);
+                        array_scatter_root(wrong, a);
+                      }),
+      skil::support::Error);
+}
+
+TEST(ReadWrite, RoundTripThroughStreams) {
+  RunConfig config{4, CostModel::t800()};
+  std::stringstream stream;
+  parix::spmd_run(config, [&](Proc& proc) {
+    auto a = array_create<int>(proc, 2, Size{4, 4},
+                               [](Index ix) { return ix[0] * 4 + ix[1] + 1; });
+    array_write(a, stream);
+  });
+  parix::spmd_run(config, [&](Proc& proc) {
+    auto b = array_create<int>(proc, 2, Size{4, 4}, [](Index) { return 0; });
+    array_read(stream, b);
+    const auto global = array_gather_all(b);
+    for (int k = 0; k < 16; ++k) EXPECT_EQ(global[k], k + 1);
+  });
+}
+
+TEST(ReadWrite, TruncatedStreamIsRejected) {
+  RunConfig config{2, CostModel::t800()};
+  std::istringstream stream("1 2 3");  // array needs 8 values
+  EXPECT_THROW(
+      parix::spmd_run(config,
+                      [&](Proc& proc) {
+                        auto a = array_create<int>(proc, 1, Size{8},
+                                                   [](Index) { return 0; });
+                        array_read(stream, a);
+                      }),
+      skil::support::Error);
+}
+
+TEST(ReadWrite, FloatRoundTripKeepsPrecision) {
+  RunConfig config{2, CostModel::t800()};
+  std::stringstream stream;
+  stream.precision(17);
+  parix::spmd_run(config, [&](Proc& proc) {
+    auto a = array_create<double>(proc, 1, Size{6},
+                                  [](Index ix) { return ix[0] / 7.0; });
+    array_write(a, stream);
+    auto b = array_create<double>(proc, 1, Size{6},
+                                  [](Index) { return 0.0; });
+    array_read(stream, b);
+    const auto ga = array_gather_all(a);
+    const auto gb = array_gather_all(b);
+    for (int i = 0; i < 6; ++i) EXPECT_DOUBLE_EQ(ga[i], gb[i]);
+  });
+}
+
+}  // namespace

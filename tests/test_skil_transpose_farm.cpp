@@ -1,0 +1,167 @@
+// Tests for the transpose and farm extension skeletons.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "parix/runtime.h"
+#include "skil/skil.h"
+#include "support/error.h"
+#include "support/matrix.h"
+
+namespace {
+
+using namespace skil;
+using parix::CostModel;
+using parix::Distr;
+using parix::Proc;
+using parix::RunConfig;
+
+class Transpose : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(Transpose, MatchesSequentialTranspose) {
+  const auto [p, n] = GetParam();
+  RunConfig config{p, CostModel::t800()};
+  parix::spmd_run(config, [&](Proc& proc) {
+    auto a = array_create<int>(proc, 2, Size{n, n},
+                               [](Index ix) { return ix[0] * 100 + ix[1]; },
+                               Distr::kTorus2D);
+    auto b = array_create<int>(proc, 2, Size{n, n}, [](Index) { return -1; },
+                               Distr::kTorus2D);
+    array_transpose(a, b);
+    const auto global = array_gather_all(b);
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j)
+        EXPECT_EQ(global[static_cast<std::size_t>(i) * n + j], j * 100 + i);
+  });
+}
+
+TEST_P(Transpose, DoubleTransposeIsIdentity) {
+  const auto [p, n] = GetParam();
+  RunConfig config{p, CostModel::t800()};
+  parix::spmd_run(config, [&](Proc& proc) {
+    auto a = array_create<double>(
+        proc, 2, Size{n, n},
+        [](Index ix) { return support::dense_entry(9, ix[0], ix[1]); },
+        Distr::kTorus2D);
+    auto b = array_create<double>(proc, 2, Size{n, n},
+                                  [](Index) { return 0.0; }, Distr::kTorus2D);
+    auto c = array_create<double>(proc, 2, Size{n, n},
+                                  [](Index) { return 0.0; }, Distr::kTorus2D);
+    array_transpose(a, b);
+    array_transpose(b, c);
+    EXPECT_EQ(array_gather_all(a), array_gather_all(c));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, Transpose,
+                         ::testing::Values(std::pair{1, 4}, std::pair{4, 8},
+                                           std::pair{4, 6}, std::pair{9, 9},
+                                           std::pair{16, 8}));
+
+TEST(TransposeContract, RejectsAliasAndNonSquare) {
+  RunConfig config{4, CostModel::t800()};
+  parix::spmd_run(config, [](Proc& proc) {
+    auto a = array_create<int>(proc, 2, Size{4, 4}, [](Index) { return 0; },
+                               Distr::kTorus2D);
+    EXPECT_THROW(array_transpose(a, a), skil::support::ContractError);
+    auto r = array_create<int>(proc, 2, Size{4, 6}, [](Index) { return 0; },
+                               Distr::kTorus2D);
+    auto r2 = array_create<int>(proc, 2, Size{4, 6}, [](Index) { return 0; },
+                                Distr::kTorus2D);
+    EXPECT_THROW(array_transpose(r, r2), skil::support::ContractError);
+  });
+}
+
+TEST(TransposeWithGenMult, GramMatrixIsSymmetric) {
+  // A^T * A must come out symmetric: transpose feeding gen_mult.
+  RunConfig config{4, CostModel::t800()};
+  parix::spmd_run(config, [](Proc& proc) {
+    const int n = 8;
+    auto a = array_create<double>(
+        proc, 2, Size{n, n},
+        [](Index ix) { return support::dense_entry(4, ix[0], ix[1]); },
+        Distr::kTorus2D);
+    auto at = array_create<double>(proc, 2, Size{n, n},
+                                   [](Index) { return 0.0; },
+                                   Distr::kTorus2D);
+    auto gram = array_create<double>(proc, 2, Size{n, n},
+                                     [](Index) { return 0.0; },
+                                     Distr::kTorus2D);
+    array_transpose(a, at);
+    array_gen_mult(at, a, fn::plus, fn::times, gram);
+    const auto g = array_gather_all(gram);
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j)
+        EXPECT_NEAR(g[static_cast<std::size_t>(i) * n + j],
+                    g[static_cast<std::size_t>(j) * n + i], 1e-9);
+  });
+}
+
+class Farm : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(Farm, ResultsComeBackInTaskOrder) {
+  const auto [p, ntasks] = GetParam();
+  RunConfig config{p, CostModel::t800()};
+  parix::spmd_run(config, [&](Proc& proc) {
+    const parix::Topology topo(proc.machine(), parix::Distr::kDefault);
+    std::vector<int> tasks;
+    if (topo.vrank_of(proc.id()) == 0)
+      for (int t = 0; t < ntasks; ++t) tasks.push_back(t);
+    const auto results =
+        farm(proc, topo, [](int t) { return t * t + 1; }, tasks);
+    if (proc.id() == topo.hw_of(0)) {
+      ASSERT_EQ(static_cast<int>(results.size()), ntasks);
+      for (int t = 0; t < ntasks; ++t) EXPECT_EQ(results[t], t * t + 1);
+    } else {
+      EXPECT_TRUE(results.empty());
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Farm,
+                         ::testing::Values(std::pair{1, 5}, std::pair{2, 0},
+                                           std::pair{4, 3}, std::pair{4, 16},
+                                           std::pair{8, 100},
+                                           std::pair{16, 7}),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param.first) +
+                                  "_t" + std::to_string(info.param.second);
+                         });
+
+TEST(Farm, WorkIsActuallyDistributed) {
+  // With more tasks than processors, every processor must perform a
+  // share of the worker calls (visible in the per-processor stats).
+  RunConfig config{4, CostModel::t800()};
+  const auto run = parix::spmd_run(config, [](Proc& proc) {
+    const parix::Topology topo(proc.machine(), parix::Distr::kDefault);
+    std::vector<int> tasks(16, 1);
+    farm(proc, topo, [&proc](int t) {
+      proc.charge(parix::Op::kIntOp, 100);
+      return t;
+    }, proc.id() == 0 ? tasks : std::vector<int>{});
+  });
+  for (const auto& stats : run.proc_stats)
+    EXPECT_GE(stats.ops[static_cast<int>(parix::Op::kIntOp)], 400u);
+}
+
+TEST(Farm, SpeedsUpEmbarrassinglyParallelWork) {
+  // The farm's modeled time must shrink as processors are added.
+  auto run_with = [](int p) {
+    RunConfig config{p, CostModel::t800()};
+    return parix::spmd_run(config, [](Proc& proc) {
+      const parix::Topology topo(proc.machine(), parix::Distr::kDefault);
+      std::vector<int> tasks(64, 0);
+      farm(proc, topo, [&proc](int t) {
+        proc.charge(parix::Op::kFloatOp, 1000);  // a heavy task
+        return t;
+      }, proc.id() == 0 ? tasks : std::vector<int>{});
+    });
+  };
+  const double t1 = run_with(1).vtime_us;
+  const double t4 = run_with(4).vtime_us;
+  const double t16 = run_with(16).vtime_us;
+  EXPECT_GT(t1 / t4, 2.5);
+  EXPECT_GT(t4 / t16, 2.0);
+}
+
+}  // namespace

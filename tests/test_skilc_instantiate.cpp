@@ -1,0 +1,227 @@
+// Tests for the translation by instantiation (paper section 2.4),
+// including the paper's worked array_map / above_thresh example as a
+// golden test.
+#include <gtest/gtest.h>
+
+#include "skilc/compiler.h"
+#include "skilc/instantiate.h"
+#include "skilc/typecheck.h"
+
+namespace {
+
+using namespace skil::skilc;
+
+// The paper's section 2.4 program: the map skeleton (with the paper's
+// SPMD body sketched via partition-bound prototypes), the customizing
+// function above_thresh, and the call
+//     array_map (above_thresh (t), A, B);
+const char* kPaperExample = R"(
+pardata array <$t> implementation_hidden;
+
+Index mk_index(int i);
+int part_lower(array <$t> a);
+int part_upper(array <$t> a);
+
+void array_map ($t2 map_f ($t1, Index), array <$t1> a, array <$t2> b) {
+  int i;
+  for (i = part_lower(a); i < part_upper(a); i = i + 1)
+    b[i] = map_f(a[i], mk_index(i));
+}
+
+int above_thresh (float thresh, float elem, Index ix) {
+  return elem >= thresh;
+}
+
+void threshold_all (float t, array <float> A, array <int> B) {
+  array_map(above_thresh(t), A, B);
+}
+)";
+
+TEST(Instantiate, ThePaperSection24Example) {
+  const CompileResult result = compile(kPaperExample);
+
+  // "the compiler generates the following instance of this skeleton,
+  // in which the functional argument above_thresh has been inlined,
+  // its argument t has been lifted and the polymorphic types $t1 and
+  // $t2 have been instantiated"
+  const Function* instance = result.instantiated.find_function("array_map_1");
+  ASSERT_NE(instance, nullptr);
+  EXPECT_FALSE(instance->is_hof());
+  EXPECT_FALSE(instance->is_polymorphic());
+  ASSERT_EQ(instance->params.size(), 3u);
+  EXPECT_EQ(type_to_string(instance->params[0].type), "float");  // lifted t
+  EXPECT_EQ(type_to_string(instance->params[1].type), "array <float>");
+  EXPECT_EQ(type_to_string(instance->params[2].type), "array <int>");
+
+  // "the skeleton call is transformed to array_map_1 (t, A, B)"
+  EXPECT_NE(result.c_code.find("array_map_1(t, A, B)"), std::string::npos);
+
+  // The body inlines above_thresh with the lifted argument first, and
+  // the emitted types are the paper's floatarray / intarray manglings.
+  EXPECT_NE(result.c_code.find(
+                "void array_map_1(float map_f_0, floatarray a, intarray b)"),
+            std::string::npos);
+  EXPECT_NE(result.c_code.find("above_thresh(map_f_0, a[i]"),
+            std::string::npos);
+
+  // The polymorphic partition-bound helpers were monomorphised too.
+  EXPECT_NE(result.c_code.find("int part_lower_1(floatarray a);"),
+            std::string::npos);
+}
+
+TEST(Instantiate, OutputIsFirstOrderAndMonomorphic) {
+  const CompileResult result = compile(kPaperExample);
+  for (const Function& fn : result.instantiated.functions) {
+    EXPECT_FALSE(fn.is_hof()) << fn.name;
+    EXPECT_FALSE(fn.is_polymorphic()) << fn.name;
+  }
+}
+
+TEST(Instantiate, InstancesAreMemoisedAcrossCallSites) {
+  // Two calls with the same functional argument shape (different bound
+  // *values*) share one instance; a different element type makes a
+  // second instance.
+  const CompileResult result = compile(R"(
+    pardata array <$t> impl;
+    void array_map ($t2 map_f ($t1, Index), array <$t1> a, array <$t2> b);
+    int above (float t, float e, Index ix) { return e >= t; }
+    float scale (float f, float e, Index ix) { return f * e; }
+    void use (float t1, float t2, array <float> A, array <int> B,
+              array <float> C) {
+      array_map(above(t1), A, B);
+      array_map(above(t2), A, B);
+      array_map(scale(2.5), A, C);
+    }
+  )");
+  EXPECT_NE(result.instantiated.find_function("array_map_1"), nullptr);
+  EXPECT_NE(result.instantiated.find_function("array_map_2"), nullptr);
+  EXPECT_EQ(result.instantiated.find_function("array_map_3"), nullptr);
+  EXPECT_NE(result.c_code.find("array_map_1(t1, A, B)"), std::string::npos);
+  EXPECT_NE(result.c_code.find("array_map_1(t2, A, B)"), std::string::npos);
+}
+
+TEST(Instantiate, OperatorSectionsInlineAsOperators) {
+  // fold((+), l) : the section becomes a genuine '+' in the instance.
+  const CompileResult result = compile(R"(
+    pardata array <$t> impl;
+    int len(array <$t> a);
+    $t2 fold ($t2 f ($t2, $t2), array <$t2> a) {
+      $t2 acc = a[0];
+      int i;
+      for (i = 1; i < len(a); i = i + 1)
+        acc = f(acc, a[i]);
+      return acc;
+    }
+    int sum (array <int> l) { return fold((+), l); }
+  )");
+  const Function* instance = result.instantiated.find_function("fold_1");
+  ASSERT_NE(instance, nullptr);
+  EXPECT_NE(result.c_code.find("acc = acc + a[i];"), std::string::npos);
+  EXPECT_NE(result.c_code.find("return fold_1(l);"), std::string::npos);
+}
+
+TEST(Instantiate, PartiallyAppliedSections) {
+  // map((*)(2), l): the bound 2 is lifted and the body multiplies.
+  const CompileResult result = compile(R"(
+    pardata array <$t> impl;
+    int len(array <$t> a);
+    void map ($t2 f ($t1), array <$t1> a, array <$t2> b) {
+      int i;
+      for (i = 0; i < len(a); i = i + 1)
+        b[i] = f(a[i]);
+    }
+    void doubled (array <int> l, array <int> out) { map((*)(2), l, out); }
+  )");
+  EXPECT_NE(result.c_code.find("b[i] = f_0 * a[i];"), std::string::npos);
+  EXPECT_NE(result.c_code.find("map_1(2, l, out)"), std::string::npos);
+}
+
+TEST(Instantiate, SelfRecursiveHofTerminatesViaMemoisation) {
+  // A d&c-style skeleton that recurses on itself with the same
+  // customizing functions: the recursive call must resolve to the same
+  // instance (the paper's translation terminates on this pattern).
+  const CompileResult result = compile(R"(
+    int reduce (int f (int, int), int solve (int), int n) {
+      if (n <= 1) return solve(n);
+      return f(reduce(f, solve, n - 1), solve(n));
+    }
+    int add (int a, int b) { return a + b; }
+    int id (int x) { return x; }
+    int total (int n) { return reduce(add, id, n); }
+  )");
+  const Function* instance = result.instantiated.find_function("reduce_1");
+  ASSERT_NE(instance, nullptr);
+  EXPECT_EQ(result.instantiated.find_function("reduce_2"), nullptr);
+  EXPECT_NE(result.c_code.find("add(reduce_1(n - 1), id(n))"),
+            std::string::npos);
+}
+
+TEST(Instantiate, DirectCurriedApplicationCollapses) {
+  const CompileResult result = compile(
+      "int add (int a, int b) { return a + b; }"
+      "int f () { return add(1)(2); }");
+  EXPECT_NE(result.c_code.find("return add(1, 2);"), std::string::npos);
+}
+
+TEST(Instantiate, PolymorphicFirstOrderFunctionsAreMonomorphised) {
+  const CompileResult result = compile(
+      "$t id ($t x) { return x; }"
+      "int f () { return id(7); }"
+      "float g () { return id(2.5); }");
+  EXPECT_NE(result.instantiated.find_function("id_1"), nullptr);
+  EXPECT_NE(result.instantiated.find_function("id_2"), nullptr);
+  for (const Function& fn : result.instantiated.functions)
+    EXPECT_FALSE(fn.is_polymorphic()) << fn.name;
+}
+
+TEST(Instantiate, ThePapersRestrictionIsDiagnosed) {
+  // Passing a partially applied *higher-order* function as a
+  // functional argument is the "special class of recursively-defined
+  // HOFs" the paper's restriction excludes.
+  EXPECT_THROW(compile(R"(
+                 int apply (int f (int), int x) { return f(x); }
+                 int twice (int g (int), int x) { return g(g(x)); }
+                 int inc (int x) { return x + 1; }
+                 int use (int x) { return apply(twice(inc), x); }
+               )"),
+               InstantiationError);
+}
+
+TEST(Instantiate, GaussStylePartialApplicationLiftsArrayAndIndex) {
+  // Paper section 4.2: "copy_pivot was partially applied to the array
+  // b and the row number k in the procedure gauss.  Partial
+  // applications thus allow passing additional parameters to functions
+  // called from within skeletons."
+  const CompileResult result = compile(R"(
+    pardata array <$t> impl;
+    $t get_elem (array <$t> a, Index ix);
+    void array_map ($t2 map_f ($t1, Index), array <$t1> a, array <$t2> b);
+    float copy_pivot (array <float> b, int k, float v, Index ix) {
+      return get_elem(b, ix) / v;
+    }
+    void gauss_step (array <float> b, array <float> piv, int k) {
+      array_map(copy_pivot(b, k), piv, piv);
+    }
+  )");
+  // The lifted parameters are the bound array and the bound int, in
+  // order, ahead of the skeleton's own array arguments.
+  EXPECT_NE(result.c_code.find(
+                "void array_map_1(floatarray map_f_0, int map_f_1, "
+                "floatarray a, floatarray b);"),
+            std::string::npos)
+      << result.c_code;
+  EXPECT_NE(result.c_code.find("array_map_1(b, k, piv, piv);"),
+            std::string::npos);
+  // The polymorphic element access was monomorphised along the way.
+  const Function* get_instance =
+      result.instantiated.find_function("get_elem_1");
+  ASSERT_NE(get_instance, nullptr);
+  EXPECT_EQ(type_to_string(get_instance->ret), "float");
+}
+
+TEST(Instantiate, EmittedCodeIsStable) {
+  // Compiling twice yields identical output (determinism).
+  EXPECT_EQ(compile(kPaperExample).c_code, compile(kPaperExample).c_code);
+}
+
+}  // namespace

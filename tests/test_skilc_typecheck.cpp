@@ -1,0 +1,143 @@
+// Tests for the polymorphic type checker (paper section 2.2).
+#include <gtest/gtest.h>
+
+#include "skilc/parser.h"
+#include "skilc/typecheck.h"
+
+namespace {
+
+using namespace skil::skilc;
+
+Program check(const std::string& source) {
+  Program program = parse(source);
+  typecheck(program);
+  return program;
+}
+
+TEST(Typecheck, AcceptsSimpleMonomorphicCode) {
+  EXPECT_NO_THROW(check("int add(int a, int b) { return a + b; }"
+                        "int use() { return add(1, 2); }"));
+}
+
+TEST(Typecheck, RejectsWrongArgumentType) {
+  EXPECT_THROW(check("int id(int a) { return a; }"
+                     "float g() { return 1.5; }"
+                     "int use() { return id(g()); }"),
+               TypeError);
+}
+
+TEST(Typecheck, RejectsWrongReturnType) {
+  EXPECT_THROW(check("float g() { return 1.5; }"
+                     "int f() { return g(); }"),
+               TypeError);
+}
+
+TEST(Typecheck, RejectsUnknownNamesAndNonFunctions) {
+  EXPECT_THROW(check("int f() { return missing(1); }"), TypeError);
+  EXPECT_THROW(check("int f(int x) { return x(1); }"), TypeError);
+}
+
+TEST(Typecheck, RejectsTooManyArguments) {
+  EXPECT_THROW(check("int id(int a) { return a; }"
+                     "int f() { return id(1, 2); }"),
+               TypeError);
+}
+
+TEST(Typecheck, PolymorphicIdentityInstantiatesPerUse) {
+  const Program program =
+      check("$t id($t x) { return x; }"
+            "int f() { return id(1); }"
+            "float g() { return id(1.5); }");
+  (void)program;  // both uses type check with different instantiations
+}
+
+TEST(Typecheck, PartialApplicationYieldsFunctionType) {
+  const Program program =
+      check("int at(float thresh, float elem, Index ix) "
+            "{ return elem >= thresh; }"
+            "void apply(int f (float, Index));"
+            "void use(float t) { apply(at(t)); }");
+  // The argument of apply is typed as a function over the remaining
+  // parameters.
+  const Function* use = program.find_function("use");
+  const Expr& call = *use->body[0]->expr;
+  EXPECT_EQ(type_to_string(call.args[0]->type), "int (float, Index)");
+}
+
+TEST(Typecheck, PartialApplicationWithWrongBoundTypeFails) {
+  EXPECT_THROW(
+      check("int at(float thresh, float elem) { return 1; }"
+            "void apply(int f (float));"
+            "void use(Index i) { apply(at(i)); }"),
+      TypeError);
+}
+
+TEST(Typecheck, HigherOrderUnificationBindsTypeVariables) {
+  const Program program = check(
+      "pardata array <$t> impl;"
+      "void array_map ($t2 map_f ($t1, Index), array <$t1> a, "
+      "array <$t2> b);"
+      "int at(float thresh, float elem, Index ix) { return 1; }"
+      "void use(float t, array <float> A, array <int> B) "
+      "{ array_map(at(t), A, B); }");
+  const Function* use = program.find_function("use");
+  ASSERT_NE(use, nullptr);
+}
+
+TEST(Typecheck, HigherOrderMismatchIsRejected) {
+  // B has the wrong element type for the map result.
+  EXPECT_THROW(
+      check("pardata array <$t> impl;"
+            "void array_map ($t2 map_f ($t1, Index), array <$t1> a, "
+            "array <$t2> b);"
+            "int at(float thresh, float elem, Index ix) { return 1; }"
+            "void use(float t, array <float> A, array <float> B) "
+            "{ array_map(at(t), A, B); }"),
+      TypeError);
+}
+
+TEST(Typecheck, SectionsActAsPolymorphicOperators) {
+  EXPECT_NO_THROW(
+      check("$t fold($t f ($t, $t), $t init);"
+            "int use() { return fold((+), 0); }"));
+  EXPECT_NO_THROW(
+      check("$t fold($t f ($t, $t), $t init);"
+            "float use() { return fold((*), 1.5); }"));
+}
+
+TEST(Typecheck, ComparisonSectionsReturnInt) {
+  EXPECT_NO_THROW(
+      check("int fold2(int f (float, float), float init);"
+            "int use() { return fold2((<=), 0.5); }"));
+}
+
+TEST(Typecheck, IndexingArraysAndPointers) {
+  EXPECT_NO_THROW(
+      check("pardata array <$t> impl;"
+            "float first(array <float> a) { return a[0]; }"
+            "int deref(int * p) { return p[1]; }"));
+  EXPECT_THROW(check("int f(int x) { return x[0]; }"), TypeError);
+}
+
+TEST(Typecheck, AssignmentAndDeclarationsMustAgree) {
+  EXPECT_NO_THROW(check("int f() { int x = 1; x = x + 1; return x; }"));
+  EXPECT_THROW(check("float g() { return 1.5; } "
+                     "int f() { int x = g(); return x; }"),
+               TypeError);
+  EXPECT_THROW(check("float g() { return 1.5; } "
+                     "int f() { int x = 0; x = g(); return x; }"),
+               TypeError);
+}
+
+TEST(Typecheck, VoidFunctionsMayNotReturnValuesImplicitly) {
+  EXPECT_NO_THROW(check("void f() { return; }"));
+  EXPECT_THROW(check("int f() { return; }"), TypeError);
+}
+
+TEST(Typecheck, CurriedDirectApplication) {
+  // add(1)(2): the first application yields int(int), the second int.
+  EXPECT_NO_THROW(check("int add(int a, int b) { return a + b; }"
+                        "int f() { return add(1)(2); }"));
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+// Unit tests for the deterministic RNG and stateless hash.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace {
+
+using skil::support::hash_mix;
+using skil::support::Rng;
+using skil::support::splitmix64;
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LE(equal, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextIntCoversInclusiveRange) {
+  Rng rng(9);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values should appear in 2000 draws
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, DoubleRangeRespected) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double(2.5, 3.5);
+    EXPECT_GE(v, 2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(Rng, BoolProbabilityRoughlyHolds) {
+  Rng rng(17);
+  int trues = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.next_bool(0.25)) ++trues;
+  EXPECT_NEAR(trues / 10000.0, 0.25, 0.03);
+}
+
+TEST(Rng, MeanOfUniformIsHalf) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / draws, 0.5, 0.01);
+}
+
+TEST(SplitMix, AdvancesState) {
+  std::uint64_t state = 5;
+  const auto v1 = splitmix64(state);
+  const auto v2 = splitmix64(state);
+  EXPECT_NE(v1, v2);
+  EXPECT_NE(state, 5u);
+}
+
+TEST(HashMix, IsDeterministic) {
+  EXPECT_EQ(hash_mix(1, 2, 3), hash_mix(1, 2, 3));
+}
+
+TEST(HashMix, SensitiveToEveryArgument) {
+  const auto base = hash_mix(1, 2, 3);
+  EXPECT_NE(base, hash_mix(2, 2, 3));
+  EXPECT_NE(base, hash_mix(1, 3, 3));
+  EXPECT_NE(base, hash_mix(1, 2, 4));
+}
+
+TEST(HashMix, LowCollisionOnGrid) {
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 100; ++i)
+    for (int j = 0; j < 100; ++j) values.insert(hash_mix(77, i, j));
+  EXPECT_EQ(values.size(), 10000u);
+}
+
+}  // namespace
