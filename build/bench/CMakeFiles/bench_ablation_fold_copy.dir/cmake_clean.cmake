@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fold_copy.dir/bench_ablation_fold_copy.cpp.o"
+  "CMakeFiles/bench_ablation_fold_copy.dir/bench_ablation_fold_copy.cpp.o.d"
+  "bench_ablation_fold_copy"
+  "bench_ablation_fold_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fold_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

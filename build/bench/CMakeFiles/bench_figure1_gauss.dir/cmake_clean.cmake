@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure1_gauss.dir/bench_figure1_gauss.cpp.o"
+  "CMakeFiles/bench_figure1_gauss.dir/bench_figure1_gauss.cpp.o.d"
+  "bench_figure1_gauss"
+  "bench_figure1_gauss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure1_gauss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

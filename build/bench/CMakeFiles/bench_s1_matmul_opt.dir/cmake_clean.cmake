@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s1_matmul_opt.dir/bench_s1_matmul_opt.cpp.o"
+  "CMakeFiles/bench_s1_matmul_opt.dir/bench_s1_matmul_opt.cpp.o.d"
+  "bench_s1_matmul_opt"
+  "bench_s1_matmul_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s1_matmul_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

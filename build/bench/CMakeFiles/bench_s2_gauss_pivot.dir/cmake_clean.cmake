@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s2_gauss_pivot.dir/bench_s2_gauss_pivot.cpp.o"
+  "CMakeFiles/bench_s2_gauss_pivot.dir/bench_s2_gauss_pivot.cpp.o.d"
+  "bench_s2_gauss_pivot"
+  "bench_s2_gauss_pivot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s2_gauss_pivot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

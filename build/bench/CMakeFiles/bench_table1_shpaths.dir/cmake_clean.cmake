@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_shpaths.dir/bench_table1_shpaths.cpp.o"
+  "CMakeFiles/bench_table1_shpaths.dir/bench_table1_shpaths.cpp.o.d"
+  "bench_table1_shpaths"
+  "bench_table1_shpaths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_shpaths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_gauss.dir/bench_table2_gauss.cpp.o"
+  "CMakeFiles/bench_table2_gauss.dir/bench_table2_gauss.cpp.o.d"
+  "bench_table2_gauss"
+  "bench_table2_gauss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_gauss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

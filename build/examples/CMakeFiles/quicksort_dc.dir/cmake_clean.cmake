@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quicksort_dc.dir/quicksort_dc.cpp.o"
+  "CMakeFiles/quicksort_dc.dir/quicksort_dc.cpp.o.d"
+  "quicksort_dc"
+  "quicksort_dc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quicksort_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

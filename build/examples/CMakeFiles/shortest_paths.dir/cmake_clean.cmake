@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shortest_paths.dir/shortest_paths.cpp.o"
+  "CMakeFiles/shortest_paths.dir/shortest_paths.cpp.o.d"
+  "shortest_paths"
+  "shortest_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shortest_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skilc_demo.dir/skilc_demo.cpp.o"
+  "CMakeFiles/skilc_demo.dir/skilc_demo.cpp.o.d"
+  "skilc_demo"
+  "skilc_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skilc_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skil_apps.dir/gauss.cpp.o"
+  "CMakeFiles/skil_apps.dir/gauss.cpp.o.d"
+  "CMakeFiles/skil_apps.dir/matmul.cpp.o"
+  "CMakeFiles/skil_apps.dir/matmul.cpp.o.d"
+  "CMakeFiles/skil_apps.dir/shortest_paths.cpp.o"
+  "CMakeFiles/skil_apps.dir/shortest_paths.cpp.o.d"
+  "libskil_apps.a"
+  "libskil_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skil_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skil_dpfl.dir/dpfl.cpp.o"
+  "CMakeFiles/skil_dpfl.dir/dpfl.cpp.o.d"
+  "libskil_dpfl.a"
+  "libskil_dpfl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skil_dpfl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for skil_dpfl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parix/cost_model.cpp" "src/parix/CMakeFiles/skil_parix.dir/cost_model.cpp.o" "gcc" "src/parix/CMakeFiles/skil_parix.dir/cost_model.cpp.o.d"
+  "/root/repo/src/parix/machine.cpp" "src/parix/CMakeFiles/skil_parix.dir/machine.cpp.o" "gcc" "src/parix/CMakeFiles/skil_parix.dir/machine.cpp.o.d"
+  "/root/repo/src/parix/mailbox.cpp" "src/parix/CMakeFiles/skil_parix.dir/mailbox.cpp.o" "gcc" "src/parix/CMakeFiles/skil_parix.dir/mailbox.cpp.o.d"
+  "/root/repo/src/parix/runtime.cpp" "src/parix/CMakeFiles/skil_parix.dir/runtime.cpp.o" "gcc" "src/parix/CMakeFiles/skil_parix.dir/runtime.cpp.o.d"
+  "/root/repo/src/parix/topology.cpp" "src/parix/CMakeFiles/skil_parix.dir/topology.cpp.o" "gcc" "src/parix/CMakeFiles/skil_parix.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/skil_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

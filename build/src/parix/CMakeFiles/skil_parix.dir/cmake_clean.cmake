@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skil_parix.dir/cost_model.cpp.o"
+  "CMakeFiles/skil_parix.dir/cost_model.cpp.o.d"
+  "CMakeFiles/skil_parix.dir/machine.cpp.o"
+  "CMakeFiles/skil_parix.dir/machine.cpp.o.d"
+  "CMakeFiles/skil_parix.dir/mailbox.cpp.o"
+  "CMakeFiles/skil_parix.dir/mailbox.cpp.o.d"
+  "CMakeFiles/skil_parix.dir/runtime.cpp.o"
+  "CMakeFiles/skil_parix.dir/runtime.cpp.o.d"
+  "CMakeFiles/skil_parix.dir/topology.cpp.o"
+  "CMakeFiles/skil_parix.dir/topology.cpp.o.d"
+  "libskil_parix.a"
+  "libskil_parix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skil_parix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

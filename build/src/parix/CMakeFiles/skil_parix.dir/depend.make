@@ -1,0 +1,2 @@
+# Empty dependencies file for skil_parix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/skil/distribution.cpp" "src/skil/CMakeFiles/skil_core.dir/distribution.cpp.o" "gcc" "src/skil/CMakeFiles/skil_core.dir/distribution.cpp.o.d"
+  "/root/repo/src/skil/index.cpp" "src/skil/CMakeFiles/skil_core.dir/index.cpp.o" "gcc" "src/skil/CMakeFiles/skil_core.dir/index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parix/CMakeFiles/skil_parix.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/skil_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

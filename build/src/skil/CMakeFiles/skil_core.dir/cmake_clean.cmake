@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skil_core.dir/distribution.cpp.o"
+  "CMakeFiles/skil_core.dir/distribution.cpp.o.d"
+  "CMakeFiles/skil_core.dir/index.cpp.o"
+  "CMakeFiles/skil_core.dir/index.cpp.o.d"
+  "libskil_core.a"
+  "libskil_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skil_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/skilc/ast.cpp" "src/skilc/CMakeFiles/skil_skilc.dir/ast.cpp.o" "gcc" "src/skilc/CMakeFiles/skil_skilc.dir/ast.cpp.o.d"
+  "/root/repo/src/skilc/compiler.cpp" "src/skilc/CMakeFiles/skil_skilc.dir/compiler.cpp.o" "gcc" "src/skilc/CMakeFiles/skil_skilc.dir/compiler.cpp.o.d"
+  "/root/repo/src/skilc/emit.cpp" "src/skilc/CMakeFiles/skil_skilc.dir/emit.cpp.o" "gcc" "src/skilc/CMakeFiles/skil_skilc.dir/emit.cpp.o.d"
+  "/root/repo/src/skilc/instantiate.cpp" "src/skilc/CMakeFiles/skil_skilc.dir/instantiate.cpp.o" "gcc" "src/skilc/CMakeFiles/skil_skilc.dir/instantiate.cpp.o.d"
+  "/root/repo/src/skilc/lexer.cpp" "src/skilc/CMakeFiles/skil_skilc.dir/lexer.cpp.o" "gcc" "src/skilc/CMakeFiles/skil_skilc.dir/lexer.cpp.o.d"
+  "/root/repo/src/skilc/parser.cpp" "src/skilc/CMakeFiles/skil_skilc.dir/parser.cpp.o" "gcc" "src/skilc/CMakeFiles/skil_skilc.dir/parser.cpp.o.d"
+  "/root/repo/src/skilc/typecheck.cpp" "src/skilc/CMakeFiles/skil_skilc.dir/typecheck.cpp.o" "gcc" "src/skilc/CMakeFiles/skil_skilc.dir/typecheck.cpp.o.d"
+  "/root/repo/src/skilc/types.cpp" "src/skilc/CMakeFiles/skil_skilc.dir/types.cpp.o" "gcc" "src/skilc/CMakeFiles/skil_skilc.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/skil_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

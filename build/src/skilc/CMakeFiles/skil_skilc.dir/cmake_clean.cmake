@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skil_skilc.dir/ast.cpp.o"
+  "CMakeFiles/skil_skilc.dir/ast.cpp.o.d"
+  "CMakeFiles/skil_skilc.dir/compiler.cpp.o"
+  "CMakeFiles/skil_skilc.dir/compiler.cpp.o.d"
+  "CMakeFiles/skil_skilc.dir/emit.cpp.o"
+  "CMakeFiles/skil_skilc.dir/emit.cpp.o.d"
+  "CMakeFiles/skil_skilc.dir/instantiate.cpp.o"
+  "CMakeFiles/skil_skilc.dir/instantiate.cpp.o.d"
+  "CMakeFiles/skil_skilc.dir/lexer.cpp.o"
+  "CMakeFiles/skil_skilc.dir/lexer.cpp.o.d"
+  "CMakeFiles/skil_skilc.dir/parser.cpp.o"
+  "CMakeFiles/skil_skilc.dir/parser.cpp.o.d"
+  "CMakeFiles/skil_skilc.dir/typecheck.cpp.o"
+  "CMakeFiles/skil_skilc.dir/typecheck.cpp.o.d"
+  "CMakeFiles/skil_skilc.dir/types.cpp.o"
+  "CMakeFiles/skil_skilc.dir/types.cpp.o.d"
+  "libskil_skilc.a"
+  "libskil_skilc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skil_skilc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skil_support.dir/cli.cpp.o"
+  "CMakeFiles/skil_support.dir/cli.cpp.o.d"
+  "CMakeFiles/skil_support.dir/csv.cpp.o"
+  "CMakeFiles/skil_support.dir/csv.cpp.o.d"
+  "CMakeFiles/skil_support.dir/error.cpp.o"
+  "CMakeFiles/skil_support.dir/error.cpp.o.d"
+  "CMakeFiles/skil_support.dir/matrix.cpp.o"
+  "CMakeFiles/skil_support.dir/matrix.cpp.o.d"
+  "CMakeFiles/skil_support.dir/rng.cpp.o"
+  "CMakeFiles/skil_support.dir/rng.cpp.o.d"
+  "CMakeFiles/skil_support.dir/table.cpp.o"
+  "CMakeFiles/skil_support.dir/table.cpp.o.d"
+  "libskil_support.a"
+  "libskil_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skil_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

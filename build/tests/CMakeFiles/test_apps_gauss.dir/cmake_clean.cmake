@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_gauss.dir/test_apps_gauss.cpp.o"
+  "CMakeFiles/test_apps_gauss.dir/test_apps_gauss.cpp.o.d"
+  "test_apps_gauss"
+  "test_apps_gauss.pdb"
+  "test_apps_gauss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_gauss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpfl.dir/test_dpfl.cpp.o"
+  "CMakeFiles/test_dpfl.dir/test_dpfl.cpp.o.d"
+  "test_dpfl"
+  "test_dpfl.pdb"
+  "test_dpfl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpfl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

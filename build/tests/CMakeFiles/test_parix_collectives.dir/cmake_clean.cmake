@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parix_collectives.dir/test_parix_collectives.cpp.o"
+  "CMakeFiles/test_parix_collectives.dir/test_parix_collectives.cpp.o.d"
+  "test_parix_collectives"
+  "test_parix_collectives.pdb"
+  "test_parix_collectives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parix_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parix_mailbox.dir/test_parix_mailbox.cpp.o"
+  "CMakeFiles/test_parix_mailbox.dir/test_parix_mailbox.cpp.o.d"
+  "test_parix_mailbox"
+  "test_parix_mailbox.pdb"
+  "test_parix_mailbox[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parix_mailbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

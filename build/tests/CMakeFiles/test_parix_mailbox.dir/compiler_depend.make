@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_parix_mailbox.
+# This may be replaced when dependencies are built.

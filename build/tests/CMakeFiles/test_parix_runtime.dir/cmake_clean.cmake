@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parix_runtime.dir/test_parix_runtime.cpp.o"
+  "CMakeFiles/test_parix_runtime.dir/test_parix_runtime.cpp.o.d"
+  "test_parix_runtime"
+  "test_parix_runtime.pdb"
+  "test_parix_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parix_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skil_array.dir/test_skil_array.cpp.o"
+  "CMakeFiles/test_skil_array.dir/test_skil_array.cpp.o.d"
+  "test_skil_array"
+  "test_skil_array.pdb"
+  "test_skil_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skil_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skil_distribution.dir/test_skil_distribution.cpp.o"
+  "CMakeFiles/test_skil_distribution.dir/test_skil_distribution.cpp.o.d"
+  "test_skil_distribution"
+  "test_skil_distribution.pdb"
+  "test_skil_distribution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skil_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

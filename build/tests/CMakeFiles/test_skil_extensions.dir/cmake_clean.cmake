@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skil_extensions.dir/test_skil_extensions.cpp.o"
+  "CMakeFiles/test_skil_extensions.dir/test_skil_extensions.cpp.o.d"
+  "test_skil_extensions"
+  "test_skil_extensions.pdb"
+  "test_skil_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skil_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

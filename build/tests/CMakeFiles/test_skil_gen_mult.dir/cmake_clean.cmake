@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skil_gen_mult.dir/test_skil_gen_mult.cpp.o"
+  "CMakeFiles/test_skil_gen_mult.dir/test_skil_gen_mult.cpp.o.d"
+  "test_skil_gen_mult"
+  "test_skil_gen_mult.pdb"
+  "test_skil_gen_mult[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skil_gen_mult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

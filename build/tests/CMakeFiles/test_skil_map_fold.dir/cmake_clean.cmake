@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skil_map_fold.dir/test_skil_map_fold.cpp.o"
+  "CMakeFiles/test_skil_map_fold.dir/test_skil_map_fold.cpp.o.d"
+  "test_skil_map_fold"
+  "test_skil_map_fold.pdb"
+  "test_skil_map_fold[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skil_map_fold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_skil_map_fold.
+# This may be replaced when dependencies are built.

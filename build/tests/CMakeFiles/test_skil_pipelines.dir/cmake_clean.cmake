@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skil_pipelines.dir/test_skil_pipelines.cpp.o"
+  "CMakeFiles/test_skil_pipelines.dir/test_skil_pipelines.cpp.o.d"
+  "test_skil_pipelines"
+  "test_skil_pipelines.pdb"
+  "test_skil_pipelines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skil_pipelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

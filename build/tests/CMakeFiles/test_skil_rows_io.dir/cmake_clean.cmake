@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skil_rows_io.dir/test_skil_rows_io.cpp.o"
+  "CMakeFiles/test_skil_rows_io.dir/test_skil_rows_io.cpp.o.d"
+  "test_skil_rows_io"
+  "test_skil_rows_io.pdb"
+  "test_skil_rows_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skil_rows_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_skil_transpose_farm.cpp" "tests/CMakeFiles/test_skil_transpose_farm.dir/test_skil_transpose_farm.cpp.o" "gcc" "tests/CMakeFiles/test_skil_transpose_farm.dir/test_skil_transpose_farm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/skil_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/skil/CMakeFiles/skil_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpfl/CMakeFiles/skil_dpfl.dir/DependInfo.cmake"
+  "/root/repo/build/src/parix/CMakeFiles/skil_parix.dir/DependInfo.cmake"
+  "/root/repo/build/src/skilc/CMakeFiles/skil_skilc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/skil_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

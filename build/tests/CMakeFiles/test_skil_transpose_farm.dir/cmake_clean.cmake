@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skil_transpose_farm.dir/test_skil_transpose_farm.cpp.o"
+  "CMakeFiles/test_skil_transpose_farm.dir/test_skil_transpose_farm.cpp.o.d"
+  "test_skil_transpose_farm"
+  "test_skil_transpose_farm.pdb"
+  "test_skil_transpose_farm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skil_transpose_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skilc_frontend.dir/test_skilc_frontend.cpp.o"
+  "CMakeFiles/test_skilc_frontend.dir/test_skilc_frontend.cpp.o.d"
+  "test_skilc_frontend"
+  "test_skilc_frontend.pdb"
+  "test_skilc_frontend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skilc_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skilc_instantiate.dir/test_skilc_instantiate.cpp.o"
+  "CMakeFiles/test_skilc_instantiate.dir/test_skilc_instantiate.cpp.o.d"
+  "test_skilc_instantiate"
+  "test_skilc_instantiate.pdb"
+  "test_skilc_instantiate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skilc_instantiate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skilc_roundtrip.dir/test_skilc_roundtrip.cpp.o"
+  "CMakeFiles/test_skilc_roundtrip.dir/test_skilc_roundtrip.cpp.o.d"
+  "test_skilc_roundtrip"
+  "test_skilc_roundtrip.pdb"
+  "test_skilc_roundtrip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skilc_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skilc_typecheck.dir/test_skilc_typecheck.cpp.o"
+  "CMakeFiles/test_skilc_typecheck.dir/test_skilc_typecheck.cpp.o.d"
+  "test_skilc_typecheck"
+  "test_skilc_typecheck.pdb"
+  "test_skilc_typecheck[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skilc_typecheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_support_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_support_table_csv_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_parix_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_parix_mailbox[1]_include.cmake")
+include("/root/repo/build/tests/test_parix_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_parix_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_skil_distribution[1]_include.cmake")
+include("/root/repo/build/tests/test_skil_array[1]_include.cmake")
+include("/root/repo/build/tests/test_skil_map_fold[1]_include.cmake")
+include("/root/repo/build/tests/test_skil_comm[1]_include.cmake")
+include("/root/repo/build/tests/test_skil_gen_mult[1]_include.cmake")
+include("/root/repo/build/tests/test_skil_functional[1]_include.cmake")
+include("/root/repo/build/tests/test_skil_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_skil_rows_io[1]_include.cmake")
+include("/root/repo/build/tests/test_skil_transpose_farm[1]_include.cmake")
+include("/root/repo/build/tests/test_dpfl[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_shortest_paths[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_gauss[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_matmul[1]_include.cmake")
+include("/root/repo/build/tests/test_cost_model[1]_include.cmake")
+include("/root/repo/build/tests/test_skilc_frontend[1]_include.cmake")
+include("/root/repo/build/tests/test_skilc_typecheck[1]_include.cmake")
+include("/root/repo/build/tests/test_skilc_instantiate[1]_include.cmake")
+include("/root/repo/build/tests/test_skilc_roundtrip[1]_include.cmake")
+include("/root/repo/build/tests/test_skil_pipelines[1]_include.cmake")
+include("/root/repo/build/tests/test_scale[1]_include.cmake")
