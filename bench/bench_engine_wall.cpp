@@ -1,0 +1,124 @@
+// Execution-engine wall-clock comparison on the Table 2 grid.
+//
+// Runs the full Gaussian-elimination sweep (Skil + DPFL + Parix-C, no
+// pivoting) once under the legacy one-OS-thread-per-virtual-processor
+// engine and once under the pooled fiber engine, reports host wall
+// seconds for each, and checks that the *virtual* times -- the
+// scientific artefact -- are bit-identical across engines.
+//
+// Usage: bench_engine_wall [--quick] [--json=path] [--baseline=secs]
+//
+// The JSON report (default BENCH_engine.json) records both wall times
+// so EXPERIMENTS.md can cite the engine speedup from a committed
+// artefact; scripts/bench_trajectory.sh appends runs to it.
+// --baseline records an externally measured wall time of the same
+// workload (e.g. the pre-refactor build's bench_table2_gauss) so the
+// improvement over that build is part of the record.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "gauss_sweep.h"
+#include "parix/runtime.h"
+#include "support/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace skil;
+  using namespace skil::bench;
+
+  const support::Cli cli(argc, argv, {"quick", "json", "baseline", "reps"});
+  const bool quick = cli.get_bool("quick");
+  const double baseline_s = std::atof(cli.get("baseline", "0").c_str());
+  // The host timer is noisy (shared machine); the minimum over reps is
+  // the standard robust estimator of the undisturbed wall time.
+  const int reps = std::max(1, std::atoi(cli.get("reps", "1").c_str()));
+  const std::uint64_t seed = 19960528;
+  const auto ns = paper_ns(quick);
+  const auto ps = paper_ps();
+
+  banner("Execution engines -- wall clock on the Table 2 grid");
+  std::printf("grid: n in {%d..%d}, p in {4, 16, 32, 64}; host threads: %u\n\n",
+              ns.front(), ns.back(), std::thread::hardware_concurrency());
+
+  struct EngineRun {
+    const char* name;
+    parix::ExecutionEngine engine;
+    double wall_s = 0.0;
+    std::vector<GaussCell> cells;
+  };
+  std::vector<EngineRun> runs = {
+      {"threads", parix::ExecutionEngine::kThreads, 0.0, {}},
+      {"pooled", parix::ExecutionEngine::kPooled, 0.0, {}},
+  };
+
+  const parix::ExecutionEngine saved = parix::default_execution_engine();
+  for (int rep = 0; rep < reps; ++rep) {
+    for (auto& run : runs) {
+      parix::set_default_execution_engine(run.engine);
+      std::fprintf(stderr, "engine %s (rep %d):\n", run.name, rep + 1);
+      const auto start = std::chrono::steady_clock::now();
+      auto cells = run_gauss_grid(ns, ps, seed);
+      const auto stop = std::chrono::steady_clock::now();
+      const double wall = std::chrono::duration<double>(stop - start).count();
+      if (rep == 0 || wall < run.wall_s) run.wall_s = wall;
+      run.cells = std::move(cells);
+    }
+  }
+  parix::set_default_execution_engine(saved);
+  for (const auto& run : runs)
+    std::printf("  %-8s engine: %8.2f s wall (min of %d)\n", run.name,
+                run.wall_s, reps);
+
+  // The engines must agree on every virtual time to the last bit --
+  // virtual time derives only from charge sequences and message
+  // timestamps, never from host scheduling.
+  bool identical = runs[0].cells.size() == runs[1].cells.size();
+  for (std::size_t i = 0; identical && i < runs[0].cells.size(); ++i) {
+    const GaussCell& lhs = runs[0].cells[i];
+    const GaussCell& rhs = runs[1].cells[i];
+    identical = lhs.skil_s == rhs.skil_s && lhs.dpfl_s == rhs.dpfl_s &&
+                lhs.c_s == rhs.c_s;
+  }
+
+  const double speedup = runs[0].wall_s / runs[1].wall_s;
+  std::printf("\npooled speedup over threads: %.2fx\n", speedup);
+  if (baseline_s > 0.0)
+    std::printf("pooled speedup over baseline (%.1f s): %.2fx\n", baseline_s,
+                baseline_s / runs[1].wall_s);
+  shape_check("virtual times bit-identical across engines", identical);
+
+  const std::string path = cli.get("json", "BENCH_engine.json");
+  if (FILE* out = std::fopen(path.c_str(), "w")) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"benchmark\": \"bench_engine_wall\",\n"
+                 "  \"grid\": \"table2_gauss%s\",\n"
+                 "  \"reps\": %d,\n"
+                 "  \"hardware_concurrency\": %u,\n"
+                 "  \"engines\": [\n"
+                 "    {\"engine\": \"threads\", \"wall_seconds\": %.3f},\n"
+                 "    {\"engine\": \"pooled\", \"wall_seconds\": %.3f}\n"
+                 "  ],\n"
+                 "  \"pooled_speedup_over_threads\": %.3f,\n",
+                 quick ? "_quick" : "", reps,
+                 std::thread::hardware_concurrency(), runs[0].wall_s,
+                 runs[1].wall_s, speedup);
+    if (baseline_s > 0.0)
+      std::fprintf(out,
+                   "  \"baseline_wall_seconds\": %.3f,\n"
+                   "  \"pooled_speedup_over_baseline\": %.3f,\n",
+                   baseline_s, baseline_s / runs[1].wall_s);
+    std::fprintf(out,
+                 "  \"vtimes_identical_across_engines\": %s\n"
+                 "}\n",
+                 identical ? "true" : "false");
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return identical ? 0 : 1;
+}

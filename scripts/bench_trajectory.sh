@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Appends one record to the engine wall-clock trajectory.
+#
+# Builds (if needed) and runs bench_engine_wall on the Table-2 sweep
+# under both execution engines, then appends the result as one compact
+# JSON record per line to BENCH_engine.json at the repo root.  Pass
+# --quick to restrict the grid to n in {64, 128} while iterating; the
+# committed trajectory should only gain full-grid records.
+#
+# Usage: scripts/bench_trajectory.sh [--quick]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target bench_engine_wall >/dev/null
+
+record=$(mktemp)
+trap 'rm -f "$record"' EXIT
+./build/bench/bench_engine_wall "$@" --json="$record"
+
+# One record per line: the first line alone is a valid JSON object,
+# the file as a whole reads as JSON lines.
+tr -s ' \n' ' ' < "$record" | sed 's/ $//' >> BENCH_engine.json
+printf '\n' >> BENCH_engine.json
+echo "appended to $repo_root/BENCH_engine.json"

@@ -22,12 +22,14 @@
 // broadcasts) is identical to the Skil skeletons, as it was in DPFL.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "dpfl/fn.h"
+#include "parix/buffer_pool.h"
 #include "parix/collectives.h"
 #include "parix/proc.h"
 #include "skil/distribution.h"
@@ -76,36 +78,74 @@ class FArray {
   FArray(parix::Proc& proc, std::shared_ptr<const Distribution> dist,
          std::vector<T> local)
       : proc_(&proc), dist_(std::move(dist)),
-        local_(std::make_shared<const std::vector<T>>(std::move(local))) {}
+        local_(std::make_shared<const std::vector<T>>(std::move(local))) {
+    // Same partition-geometry cache as skil::DistArray: locality and
+    // offsets of block layouts resolve from these fields instead of
+    // calling into the Distribution per element.
+    my_vrank_ = dist_->topology().vrank_of(proc.id());
+    dims_ = dist_->dims();
+    data_ = local_->data();
+    block_ = dist_->layout() == skil::Layout::kBlock;
+    if (block_) {
+      bounds_ = dist_->partition_bounds(my_vrank_);
+      row0_ = bounds_.lower[0];
+      col0_ = dims_ >= 2 ? bounds_.lower[1] : 0;
+      width_ = dims_ >= 2 ? bounds_.extent(1) : 1;
+    }
+  }
 
   bool valid() const { return dist_ != nullptr; }
   parix::Proc& proc() const { return *proc_; }
   const Distribution& dist() const { return *dist_; }
   std::shared_ptr<const Distribution> dist_ptr() const { return dist_; }
   const parix::Topology& topology() const { return dist_->topology(); }
-  int my_vrank() const { return topology().vrank_of(proc_->id()); }
-  Bounds part_bounds() const { return dist_->partition_bounds(my_vrank()); }
+  int my_vrank() const { return my_vrank_; }
+  Bounds part_bounds() const {
+    if (block_) return bounds_;
+    return dist_->partition_bounds(my_vrank_);
+  }
   const std::vector<T>& local() const { return *local_; }
   const std::vector<RowRun>& my_runs() const {
-    return dist_->local_runs(my_vrank());
+    return dist_->local_runs(my_vrank_);
   }
 
   /// Boxed local element access: a selector application that forces
   /// the graph node and allocates the returned box.
   T get_elem(const Index& ix) const {
-    SKIL_REQUIRE(dist_->owner_vrank(ix) == my_vrank(),
+    if (block_ && bounds_.contains(ix, dims_)) [[likely]] {
+      charge_get_elem();
+      const int col = dims_ >= 2 ? ix[1] : 0;
+      return data_[static_cast<std::size_t>(
+          static_cast<long>(ix[0] - row0_) * width_ + (col - col0_))];
+    }
+    SKIL_REQUIRE(dist_->owner_vrank(ix) == my_vrank_,
                  "fa_get_elem: element is not local");
+    charge_get_elem();
+    return (*local_)[dist_->local_offset(my_vrank_, ix)];
+  }
+
+ private:
+  void charge_get_elem() const {
     proc_->charge(op_kind<T>());
     proc_->charge(parix::Op::kIndirectCall);
     proc_->charge(parix::Op::kAlloc);
     charge_unbox(*proc_);
-    return (*local_)[dist_->local_offset(my_vrank(), ix)];
   }
 
- private:
   parix::Proc* proc_ = nullptr;
   std::shared_ptr<const Distribution> dist_;
   std::shared_ptr<const std::vector<T>> local_;
+  // Cached partition geometry (see the constructor).  data_ aliases
+  // local_->data(): the vector is immutable for the FArray's lifetime,
+  // and the raw pointer spares get_elem two dependent loads.
+  const T* data_ = nullptr;
+  Bounds bounds_;
+  int my_vrank_ = 0;
+  int dims_ = 1;
+  int row0_ = 0;
+  int col0_ = 0;
+  int width_ = 1;
+  bool block_ = false;
 };
 
 /// Creates a block-distributed functional array.  `blocksize`
@@ -141,13 +181,17 @@ FArray<T2> fa_map(const Closure<T2(T1, Index)>& map_f, const FArray<T1>& a) {
   SKIL_REQUIRE(a.valid(), "fa_map: invalid array");
   parix::Proc& proc = a.proc();
   const auto& src = a.local();
-  std::vector<T2> fresh(src.size());
+  // reserve + push_back: every element is written exactly once, so the
+  // value-initialising vector(n) constructor would zero megabytes per
+  // step for nothing.
+  std::vector<T2> fresh;
+  fresh.reserve(src.size());
   std::size_t offset = 0;
   std::uint64_t elems = 0;
   for (const RowRun& run : a.my_runs())
     for (int c = 0; c < run.col_count; ++c) {
-      fresh[offset] = map_f.apply_uncharged(src[offset],
-                                            Index{run.row, run.col_begin + c});
+      fresh.push_back(map_f.apply_uncharged(
+          src[offset], Index{run.row, run.col_begin + c}));
       ++offset;
       ++elems;
     }
@@ -328,10 +372,15 @@ FArray<T> fa_gen_mult(const FArray<T>& a, const FArray<T>& b,
     return proc.recv<std::vector<T>>(src, tag);
   };
 
-  std::vector<T> a_block = a.local();
-  std::vector<T> b_block = b.local();
-  a_block = rotate(std::move(a_block), 0, -my_row);
-  b_block = rotate(std::move(b_block), -my_col, 0);
+  // Rotation payloads travel as shared zero-copy buffers: a round's
+  // send references the same block the multiply loop reads, so the
+  // host no longer copies q blocks per processor.  The pool recycles
+  // the vector nodes once the receiving side has drained them.
+  parix::BufferPool<T> pool;
+  std::shared_ptr<const std::vector<T>> a_buf =
+      pool.share(rotate(a.local(), 0, -my_row));
+  std::shared_ptr<const std::vector<T>> b_buf =
+      pool.share(rotate(b.local(), -my_col, 0));
 
   const int a_dst = topo.torus_neighbor(proc.id(), 0, -1);
   const int a_src = topo.torus_neighbor(proc.id(), 0, +1);
@@ -339,31 +388,41 @@ FArray<T> fa_gen_mult(const FArray<T>& a, const FArray<T>& b,
   const int b_src = topo.torus_neighbor(proc.id(), +1, 0);
   const bool rotating = a_dst != proc.id() || b_dst != proc.id();
 
+  // Column tile sized to keep the walked c/b rows resident in cache
+  // across the k loop.  Per (i, j) cell the k order is unchanged, so
+  // every boxed combine sequence -- and thus every FP rounding -- is
+  // identical to the untiled loop.
+  constexpr int kTileCols = 64;
+
   std::vector<T> c_block(static_cast<std::size_t>(block) * block);
   for (int round = 0; round < q; ++round) {
     // The DPFL skeleton uses the same asynchronous overlap as Skil's
     // (both run on the same Parix communication layer).
     const long tag = proc.fresh_tag();
     if (rotating) {
-      proc.send_mode<std::vector<T>>(a_dst, tag, a_block,
-                                     parix::SendMode::kAsync);
-      proc.send_mode<std::vector<T>>(b_dst, tag + 1, b_block,
-                                     parix::SendMode::kAsync);
+      proc.send_buffer<T>(a_dst, tag, a_buf, parix::SendMode::kAsync);
+      proc.send_buffer<T>(b_dst, tag + 1, b_buf, parix::SendMode::kAsync);
     }
-    for (int i = 0; i < block; ++i)
-      for (int k = 0; k < block; ++k) {
-        const T& aik = a_block[static_cast<std::size_t>(i) * block + k];
-        const T* brow = &b_block[static_cast<std::size_t>(k) * block];
+    const std::vector<T>& a_block = *a_buf;
+    const std::vector<T>& b_block = *b_buf;
+    for (int j0 = 0; j0 < block; j0 += kTileCols) {
+      const int j1 = std::min(j0 + kTileCols, block);
+      for (int i = 0; i < block; ++i) {
         T* crow = &c_block[static_cast<std::size_t>(i) * block];
-        if (round == 0 && k == 0) {
-          for (int j = 0; j < block; ++j)
-            crow[j] = gen_mult.apply_uncharged(aik, brow[j]);
-        } else {
-          for (int j = 0; j < block; ++j)
-            crow[j] = gen_add.apply_uncharged(
-                crow[j], gen_mult.apply_uncharged(aik, brow[j]));
+        for (int k = 0; k < block; ++k) {
+          const T& aik = a_block[static_cast<std::size_t>(i) * block + k];
+          const T* brow = &b_block[static_cast<std::size_t>(k) * block];
+          if (round == 0 && k == 0) {
+            for (int j = j0; j < j1; ++j)
+              crow[j] = gen_mult.apply_uncharged(aik, brow[j]);
+          } else {
+            for (int j = j0; j < j1; ++j)
+              crow[j] = gen_add.apply_uncharged(
+                  crow[j], gen_mult.apply_uncharged(aik, brow[j]));
+          }
         }
       }
+    }
     const std::uint64_t fused = static_cast<std::uint64_t>(block) * block *
                                 block;
     charge_apply(proc, 2 * fused);
@@ -372,8 +431,8 @@ FArray<T> fa_gen_mult(const FArray<T>& a, const FArray<T>& b,
     // structure in the reduction graph.
     proc.charge(parix::Op::kAlloc, c_block.size());
     if (rotating) {
-      a_block = proc.recv<std::vector<T>>(a_src, tag);
-      b_block = proc.recv<std::vector<T>>(b_src, tag + 1);
+      a_buf = pool.share(proc.recv<std::vector<T>>(a_src, tag));
+      b_buf = pool.share(proc.recv<std::vector<T>>(b_src, tag + 1));
     }
   }
 

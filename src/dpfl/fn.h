@@ -13,7 +13,8 @@
 // instantiation procedure eliminates (paper section 2.4).
 #pragma once
 
-#include <functional>
+#include <memory>
+#include <type_traits>
 #include <utility>
 
 #include "parix/proc.h"
@@ -42,27 +43,46 @@ template <class R, class... Args>
 class Closure<R(Args...)> {
  public:
   template <class F>
-  Closure(parix::Proc& proc, F&& f)
-      : proc_(&proc), fn_(std::forward<F>(f)) {
+    requires(!std::is_same_v<std::remove_cvref_t<F>, Closure>)
+  Closure(parix::Proc& proc, F&& f) : proc_(&proc) {
+    // Hand-rolled type erasure instead of std::function: skeleton
+    // inner loops call apply_uncharged once per element, and this
+    // keeps each application a single indirect call through a plain
+    // function pointer (the *modeled* dispatch cost is charged
+    // separately; the host-side dispatch should cost as little as
+    // possible).
+    using Fn = std::remove_cvref_t<F>;
+    auto owned = std::make_shared<Fn>(std::forward<F>(f));
+    target_ = owned.get();
+    owner_ = std::move(owned);
+    // Arguments cross the erasure boundary by value, not by reference:
+    // the skeletons apply closures to scalars and small Index tuples,
+    // which then travel in registers instead of being spilled to the
+    // stack for an rvalue-reference to point at.
+    invoke_ = [](const void* target, Args... args) -> R {
+      return (*static_cast<const Fn*>(target))(std::move(args)...);
+    };
     proc.charge(parix::Op::kAlloc);  // closure record
   }
 
   R operator()(Args... args) const {
     charge_apply(*proc_);
-    return fn_(std::forward<Args>(args)...);
+    return invoke_(target_, std::forward<Args>(args)...);
   }
 
   /// Invokes without the per-call charge (callers that bulk-charge a
   /// whole loop use this to keep host overhead low).
   R apply_uncharged(Args... args) const {
-    return fn_(std::forward<Args>(args)...);
+    return invoke_(target_, std::forward<Args>(args)...);
   }
 
   parix::Proc& proc() const { return *proc_; }
 
  private:
   parix::Proc* proc_;
-  std::function<R(Args...)> fn_;
+  std::shared_ptr<const void> owner_;
+  const void* target_ = nullptr;
+  R (*invoke_)(const void*, Args...) = nullptr;
 };
 
 }  // namespace skil::dpfl

@@ -1,0 +1,71 @@
+// Reusable buffer pool for zero-copy message payloads.
+//
+// share() wraps a vector in an immutable shared buffer suitable for
+// Proc::send_buffer: the sender and any in-flight messages reference
+// the same storage, so posting a rotation no longer copies a whole
+// block per round.  When the last reference drops -- usually on the
+// receiver's side after take_payload moved the data on -- the vector
+// node returns to the pool's free list instead of the heap, so
+// steady-state rotation loops stop allocating per message.  The free
+// list is mutex-guarded because that last release happens on another
+// processor's thread; the deleter shares ownership of the pool state,
+// so buffers may safely outlive the pool (e.g. messages still queued
+// in a mailbox after an exception).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace skil::parix {
+
+template <class T>
+class BufferPool {
+ public:
+  using Buffer = std::vector<T>;
+
+  /// Wraps `data` in a shared immutable buffer whose node recycles
+  /// through this pool.
+  std::shared_ptr<const Buffer> share(Buffer&& data) {
+    std::unique_ptr<Buffer> node;
+    {
+      const std::scoped_lock lock(state_->mutex);
+      if (!state_->free_nodes.empty()) {
+        node = std::move(state_->free_nodes.back());
+        state_->free_nodes.pop_back();
+      }
+    }
+    if (node) {
+      *node = std::move(data);
+    } else {
+      node = std::make_unique<Buffer>(std::move(data));
+    }
+    const std::shared_ptr<State> state = state_;
+    Buffer* raw = node.release();
+    return std::shared_ptr<const Buffer>(raw, [state](const Buffer* buf) {
+      std::unique_ptr<Buffer> owned(const_cast<Buffer*>(buf));
+      const std::scoped_lock lock(state->mutex);
+      state->free_nodes.push_back(std::move(owned));
+    });
+  }
+
+ private:
+  struct State {
+    std::mutex mutex;
+    std::vector<std::unique_ptr<Buffer>> free_nodes;
+  };
+  std::shared_ptr<State> state_ = std::make_shared<State>();
+};
+
+/// Extracts the vector from a shared buffer: moves when the caller
+/// holds the last reference (the buffer object was never actually
+/// const), copies otherwise.
+template <class T>
+std::vector<T> take_buffer(std::shared_ptr<const std::vector<T>> buf) {
+  if (buf.use_count() == 1)
+    return std::move(const_cast<std::vector<T>&>(*buf));
+  return *buf;
+}
+
+}  // namespace skil::parix

@@ -86,12 +86,20 @@ struct CostModel {
 
   SendMode default_send_mode = SendMode::kAsync;
 
-  /// Cost per operation kind.
+  /// Cost per operation kind.  This sits on the charging hot path (one
+  /// call per skeleton loop and per element access), so it must not
+  /// materialise a lookup table per call.
   double unit(Op kind) const {
-    const std::array<double, kOpKinds> units = {
-        int_op_us, float_op_us, call_us, indirect_call_us,
-        alloc_us,  copy_word_us};
-    return units[static_cast<int>(kind)];
+    switch (kind) {
+      case Op::kIntOp: return int_op_us;
+      case Op::kFloatOp: return float_op_us;
+      case Op::kCall: return call_us;
+      case Op::kIndirectCall: return indirect_call_us;
+      case Op::kAlloc: return alloc_us;
+      case Op::kCopyWord: return copy_word_us;
+      case Op::kCount_: break;
+    }
+    return 0.0;
   }
 
   /// Wire time of one message of `bytes` payload over `hops` mesh
@@ -124,6 +132,10 @@ struct Stats {
   double comm_us = 0.0;     ///< virtual time spent in communication
 
   Stats& operator+=(const Stats& other);
+
+  /// Bitwise comparison (the differential engine tests assert that the
+  /// two execution engines produce identical accounting).
+  bool operator==(const Stats&) const = default;
 };
 
 }  // namespace skil::parix

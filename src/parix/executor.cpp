@@ -1,0 +1,345 @@
+#include "parix/executor.h"
+
+#include <ucontext.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "parix/machine.h"
+#include "parix/mailbox.h"
+#include "parix/proc.h"
+#include "support/error.h"
+
+namespace skil::parix {
+namespace {
+
+// Fiber stacks are touched lazily (plain new[] without value-init),
+// so a 64-processor run commits only the pages it actually uses.
+constexpr std::size_t kFiberStackBytes = std::size_t{1} << 20;
+
+// Park/unpark protocol (all transitions under Scheduler::mutex_):
+//
+//   kReady    in the ready queue, waiting for a worker
+//   kRunning  executing on a worker thread
+//   kParking  asked to park; its worker has not yet swapped off the
+//             fiber stack, so it cannot be enqueued yet
+//   kParked   off-stack, waiting for a wake()
+//   kFinished body returned; the worker recycles the fiber object
+//
+// A wake() that catches the fiber kRunning (the waiter was already
+// deregistered, but the fiber has not reached park_current yet) sets
+// notify_pending, which park_current consumes instead of parking --
+// the classic missed-wakeup race, resolved without spinning.
+enum class FiberState { kReady, kRunning, kParking, kParked, kFinished };
+
+struct RunState;
+
+struct Fiber {
+  ucontext_t context;
+  std::unique_ptr<char[]> stack;
+  FiberState state = FiberState::kReady;
+  bool notify_pending = false;
+  RunState* run = nullptr;
+  Proc* proc = nullptr;
+};
+
+struct RunState {
+  Machine* machine = nullptr;
+  const detail::BodyRef* body = nullptr;
+  bool deadlock_poisoned = false;  // guarded by Scheduler::mutex_
+
+  std::mutex failure_mutex;
+  std::exception_ptr first_failure;
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+};
+
+thread_local Fiber* tl_fiber = nullptr;
+thread_local ucontext_t* tl_worker_context = nullptr;
+
+class Scheduler {
+ public:
+  static Scheduler& instance() {
+    static Scheduler scheduler;
+    return scheduler;
+  }
+
+  std::exception_ptr run(Machine& machine,
+                         const std::vector<std::unique_ptr<Proc>>& procs,
+                         const detail::BodyRef& body);
+
+  /// Parks the calling fiber until wake(); returns immediately when a
+  /// wake already raced ahead.
+  void park_current();
+
+  /// Makes `fiber` runnable again (called from Mailbox::put/poison via
+  /// the fiber's registered waiter, possibly on another worker).
+  void wake(Fiber* fiber);
+
+  /// Marks the calling fiber finished and swaps back to its worker for
+  /// good.  Signals run completion when it is the last one.
+  [[noreturn]] void finish_current();
+
+ private:
+  Scheduler() = default;
+  ~Scheduler();
+
+  void worker_main();
+  void enqueue_locked(Fiber* fiber);
+  void detect_deadlock_locked(std::unique_lock<std::mutex>& lock);
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<Fiber*> ready_;
+  std::vector<std::unique_ptr<Fiber>> all_fibers_;  // ownership
+  std::vector<Fiber*> free_fibers_;                 // recycled, off-stack
+  std::vector<std::thread> workers_;
+  int running_ = 0;
+  int parked_ = 0;
+  int live_ = 0;
+  RunState* current_run_ = nullptr;
+  bool shutdown_ = false;
+
+  /// One spmd run owns the pool at a time; concurrent host callers
+  /// queue here.
+  std::mutex run_serial_;
+};
+
+void fiber_trampoline() {
+  Fiber* fiber = tl_fiber;
+  RunState* run = fiber->run;
+  try {
+    (*run->body)(*fiber->proc);
+  } catch (...) {
+    {
+      const std::scoped_lock lock(run->failure_mutex);
+      if (!run->first_failure) run->first_failure = std::current_exception();
+    }
+    run->machine->poison_all("processor " + std::to_string(fiber->proc->id()) +
+                             " terminated with an error");
+  }
+  Scheduler::instance().finish_current();
+}
+
+void Scheduler::enqueue_locked(Fiber* fiber) {
+  ready_.push_back(fiber);
+  work_cv_.notify_one();
+}
+
+void Scheduler::detect_deadlock_locked(std::unique_lock<std::mutex>& lock) {
+  if (!ready_.empty() || running_ > 0 || live_ == 0 || parked_ != live_)
+    return;
+  RunState* run = current_run_;
+  if (run == nullptr || run->deadlock_poisoned) return;
+  run->deadlock_poisoned = true;
+  // poison_all wakes the parked fibers through their mailbox waiters,
+  // which re-enters wake() -> mutex_, so release the lock first.
+  lock.unlock();
+  run->machine->poison_all(
+      "deadlock: every virtual processor is blocked in recv");
+  lock.lock();
+}
+
+void Scheduler::worker_main() {
+  ucontext_t worker_context;
+  tl_worker_context = &worker_context;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return shutdown_ || !ready_.empty(); });
+    if (shutdown_) return;
+    Fiber* fiber = ready_.front();
+    ready_.pop_front();
+    fiber->state = FiberState::kRunning;
+    ++running_;
+    lock.unlock();
+
+    tl_fiber = fiber;
+    swapcontext(&worker_context, &fiber->context);
+    tl_fiber = nullptr;
+
+    lock.lock();
+    --running_;
+    switch (fiber->state) {
+      case FiberState::kFinished:
+        // Safe to recycle: the fiber has left its stack for good.
+        free_fibers_.push_back(fiber);
+        break;
+      case FiberState::kParking:
+        if (fiber->notify_pending) {
+          fiber->notify_pending = false;
+          fiber->state = FiberState::kReady;
+          enqueue_locked(fiber);
+        } else {
+          fiber->state = FiberState::kParked;
+          ++parked_;
+          detect_deadlock_locked(lock);
+        }
+        break;
+      case FiberState::kReady:
+        // A wake() arrived while the fiber was mid-park; it could not
+        // enqueue (we were still on the fiber's stack), so we do.
+        enqueue_locked(fiber);
+        break;
+      default:
+        SKIL_ASSERT(false, "executor: fiber yielded in impossible state");
+    }
+  }
+}
+
+void Scheduler::park_current() {
+  Fiber* fiber = tl_fiber;
+  SKIL_ASSERT(fiber != nullptr, "executor: park outside a fiber");
+  {
+    const std::scoped_lock lock(mutex_);
+    if (fiber->notify_pending) {
+      fiber->notify_pending = false;
+      return;
+    }
+    fiber->state = FiberState::kParking;
+  }
+  swapcontext(&fiber->context, tl_worker_context);
+}
+
+void Scheduler::wake(Fiber* fiber) {
+  const std::scoped_lock lock(mutex_);
+  switch (fiber->state) {
+    case FiberState::kParked:
+      fiber->state = FiberState::kReady;
+      --parked_;
+      enqueue_locked(fiber);
+      break;
+    case FiberState::kParking:
+      // Its worker is still swapping off the fiber stack and will
+      // enqueue when it observes the state change.
+      fiber->state = FiberState::kReady;
+      break;
+    default:
+      fiber->notify_pending = true;
+      break;
+  }
+}
+
+void Scheduler::finish_current() {
+  Fiber* fiber = tl_fiber;
+  RunState* run = fiber->run;
+  bool last = false;
+  {
+    const std::scoped_lock lock(mutex_);
+    fiber->state = FiberState::kFinished;
+    --live_;
+    last = live_ == 0;
+  }
+  if (last) {
+    const std::scoped_lock lock(run->done_mutex);
+    run->done = true;
+    run->done_cv.notify_one();
+  }
+  // From here the fiber touches nothing of the run (the caller may
+  // already be tearing it down); it only leaves its stack.
+  swapcontext(&fiber->context, tl_worker_context);
+  SKIL_ASSERT(false, "executor: finished fiber resumed");
+  std::abort();
+}
+
+std::exception_ptr Scheduler::run(
+    Machine& machine, const std::vector<std::unique_ptr<Proc>>& procs,
+    const detail::BodyRef& body) {
+  const std::scoped_lock serial(run_serial_);
+  RunState run;
+  run.machine = &machine;
+  run.body = &body;
+
+  {
+    std::unique_lock lock(mutex_);
+    if (workers_.empty()) {
+      unsigned n = std::thread::hardware_concurrency();
+      n = std::clamp(n, 1u, 16u);
+      workers_.reserve(n);
+      for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { worker_main(); });
+    }
+    live_ = static_cast<int>(procs.size());
+    current_run_ = &run;
+    for (const auto& proc : procs) {
+      Fiber* fiber;
+      if (!free_fibers_.empty()) {
+        fiber = free_fibers_.back();
+        free_fibers_.pop_back();
+      } else {
+        all_fibers_.push_back(std::make_unique<Fiber>());
+        fiber = all_fibers_.back().get();
+        fiber->stack.reset(new char[kFiberStackBytes]);
+      }
+      fiber->run = &run;
+      fiber->proc = proc.get();
+      fiber->state = FiberState::kReady;
+      fiber->notify_pending = false;
+      getcontext(&fiber->context);
+      fiber->context.uc_stack.ss_sp = fiber->stack.get();
+      fiber->context.uc_stack.ss_size = kFiberStackBytes;
+      fiber->context.uc_link = nullptr;
+      makecontext(&fiber->context, fiber_trampoline, 0);
+      ready_.push_back(fiber);
+    }
+    work_cv_.notify_all();
+  }
+
+  {
+    std::unique_lock done_lock(run.done_mutex);
+    run.done_cv.wait(done_lock, [&] { return run.done; });
+  }
+  {
+    const std::scoped_lock lock(mutex_);
+    current_run_ = nullptr;
+  }
+  const std::scoped_lock lock(run.failure_mutex);
+  return run.first_failure;
+}
+
+Scheduler::~Scheduler() {
+  {
+    const std::scoped_lock lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+/// The pooled engine's mailbox waiter: wakes its fiber on notify.
+struct FiberWaiter final : Mailbox::Waiter {
+  Fiber* fiber = nullptr;
+  void notify() override { Scheduler::instance().wake(fiber); }
+};
+
+}  // namespace
+
+bool executor_in_fiber() { return tl_fiber != nullptr; }
+
+std::exception_ptr executor_run(Machine& machine,
+                                const std::vector<std::unique_ptr<Proc>>& procs,
+                                const detail::BodyRef& body) {
+  return Scheduler::instance().run(machine, procs, body);
+}
+
+Message executor_fiber_get(Mailbox& box, int src, long tag) {
+  FiberWaiter waiter;
+  waiter.fiber = tl_fiber;
+  SKIL_ASSERT(waiter.fiber != nullptr,
+              "executor: fiber receive outside the pooled engine");
+  for (;;) {
+    // take_or_wait either hands over the message or registers the
+    // waiter; the matching put() deregisters it and wakes the fiber.
+    if (auto msg = box.take_or_wait(src, tag, waiter))
+      return std::move(*msg);
+    Scheduler::instance().park_current();
+  }
+}
+
+}  // namespace skil::parix

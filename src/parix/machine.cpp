@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "parix/executor.h"
 #include "support/error.h"
 
 namespace skil::parix {
@@ -27,6 +28,11 @@ int Machine::hops(int a, int b) const {
               "hops: processor id out of range");
   return std::abs(mesh_row(a) - mesh_row(b)) +
          std::abs(mesh_col(a) - mesh_col(b));
+}
+
+Message Machine::blocking_get(int p, int src, long tag) {
+  if (fiber_wait_) return executor_fiber_get(*mailboxes_[p], src, tag);
+  return mailboxes_[p]->get(src, tag);
 }
 
 void Machine::poison_all(const std::string& reason) {

@@ -43,6 +43,15 @@ class Machine {
 
   Mailbox& mailbox(int p) { return *mailboxes_[p]; }
 
+  /// Engine-aware blocking receive for processor `p`: the threads
+  /// engine blocks on the mailbox's condition variable, the pooled
+  /// engine parks the calling fiber on the executor instead.
+  Message blocking_get(int p, int src, long tag);
+
+  /// Switches blocking_get to fiber parking (set by the pooled engine
+  /// before the run starts; single-threaded at that point).
+  void set_fiber_wait(bool on) { fiber_wait_ = on; }
+
   /// Aborts all pending and future receives; called when an SPMD thread
   /// terminates with an exception.
   void poison_all(const std::string& reason);
@@ -51,6 +60,7 @@ class Machine {
   int nprocs_;
   CostModel cost_;
   MeshShape shape_;
+  bool fiber_wait_ = false;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 };
 

@@ -1,5 +1,18 @@
 // Per-processor mailbox with (source, tag) matched receive.
 //
+// Messages are bucketed by their (src, tag) key, so matching a receive
+// is one hash lookup instead of a linear scan of everything queued,
+// and FIFO order per (src, tag) pair is the bucket's queue order.
+//
+// Receivers that find their bucket empty register a Waiter carrying
+// the key they wait for; put() notifies only the waiter whose key
+// matches the arriving message.  This kills the thundering-herd
+// wakeups the old single condition_variable caused during tree folds
+// and broadcasts on large processor counts.  Two waiter flavours plug
+// into the same list: the blocking get() below parks on a per-call
+// condition_variable (the `threads` engine), and the pooled engine's
+// fibers park on the executor's scheduler (see parix/executor.h).
+//
 // Follows the C++ Core Guidelines concurrency rules: the mutex lives
 // next to the data it guards, waits always use a predicate, and locks
 // are scoped (CP.42, CP.44, CP.50).
@@ -7,8 +20,12 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
 
 #include "parix/message.h"
 
@@ -16,7 +33,22 @@ namespace skil::parix {
 
 class Mailbox {
  public:
-  /// Enqueues a message (called from the sender's thread).
+  /// A parked receiver waiting for one (src, tag) key.  notify() is
+  /// called with the mailbox lock held and must not block; one-shot
+  /// waiters are deregistered by the notifying side, persistent ones
+  /// deregister themselves (the condition-variable path below).
+  struct Waiter {
+    int src = -1;
+    long tag = 0;
+    bool one_shot = false;
+    virtual void notify() = 0;
+
+   protected:
+    ~Waiter() = default;
+  };
+
+  /// Enqueues a message (called from the sender's thread) and wakes
+  /// the matching waiter, if any.
   void put(Message msg);
 
   /// Blocks until a message with matching (src, tag) is available and
@@ -29,17 +61,46 @@ class Mailbox {
   Message get(int src, long tag,
               std::chrono::milliseconds timeout = std::chrono::minutes(4));
 
+  /// Non-blocking variant for schedulers that park the caller
+  /// themselves: returns the matching message, or registers `waiter`
+  /// and returns nullopt.  The caller must suspend until notified and
+  /// then retry.  Throws RuntimeFault if the mailbox is poisoned.
+  std::optional<Message> take_or_wait(int src, long tag, Waiter& waiter);
+
   /// Wakes all blocked receivers with an error; used when any SPMD
-  /// thread terminates exceptionally so its peers do not hang forever.
+  /// processor terminates exceptionally so its peers do not hang
+  /// forever.
   void poison(const std::string& reason);
 
   /// Number of queued messages (for tests/diagnostics).
   std::size_t pending() const;
 
  private:
+  struct Key {
+    int src;
+    long tag;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // splitmix-style mix of the two fields; tags are sparse (the
+      // collective tag space starts at 2^40) so mixing matters.
+      std::uint64_t x = static_cast<std::uint64_t>(k.tag) * 0x9E3779B97F4A7C15u;
+      x ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.src)) +
+           (x >> 29);
+      return static_cast<std::size_t>(x ^ (x >> 32));
+    }
+  };
+
+  /// Pops the front of the (src, tag) bucket, erasing emptied buckets
+  /// so monotonically growing tag spaces do not accumulate tombstones.
+  /// Requires the lock; returns nullopt when nothing matches.
+  std::optional<Message> pop_match(int src, long tag);
+
   mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Message> queue_;
+  std::unordered_map<Key, std::deque<Message>, KeyHash> buckets_;
+  std::vector<Waiter*> waiters_;
+  std::size_t pending_ = 0;
   bool poisoned_ = false;
   std::string poison_reason_;
 };

@@ -5,8 +5,16 @@
 // program error (unmatched send/recv pair) and raises RuntimeFault.
 // The payload size in "wire bytes" is computed by the payload_bytes
 // customisation point below so the cost model can price the transfer.
+//
+// Large payloads can also travel as *shared buffers*
+// (make_shared_message): sender and message reference one immutable
+// vector, so posting a send does not copy the data.  The receiver
+// moves the buffer out if it is the last owner and copies otherwise
+// -- either way the modeled wire cost is unchanged (the 1996 machine
+// did copy into send buffers; only the host-side copy disappears).
 #pragma once
 
+#include <concepts>
 #include <cstddef>
 #include <memory>
 #include <string>
@@ -19,7 +27,7 @@ namespace skil::parix {
 /// Wire-size estimate of a payload, used by the cost model.
 /// Trivially copyable values cost their object size; vectors cost the
 /// element data plus a small length header.  Other payload types must
-/// overload payload_bytes in this namespace.
+/// overload payload_bytes in their own namespace (found by ADL).
 template <class T>
   requires std::is_trivially_copyable_v<T>
 std::size_t payload_bytes(const T&) {
@@ -36,12 +44,41 @@ inline std::size_t payload_bytes(const std::string& s) {
   return s.size() + 8;
 }
 
+/// Std-only element types the generic vector overload below supports.
+/// They need this explicit list because a requires-clause cannot find
+/// that overload recursively: unqualified lookup inside it predates
+/// the overload's own declaration, and ADL for std types only reaches
+/// namespace std.  User types rely on ADL instead (see below).
 template <class T>
-std::size_t payload_bytes(const std::vector<std::vector<T>>& vv) {
+inline constexpr bool builtin_wire_element_v = false;
+template <>
+inline constexpr bool builtin_wire_element_v<std::string> = true;
+template <class T>
+inline constexpr bool builtin_wire_element_v<std::vector<T>> =
+    std::is_trivially_copyable_v<T> || builtin_wire_element_v<T>;
+
+/// Vectors of non-trivially-copyable elements (vector<string>,
+/// vector<vector<T>>, vector of an ADL-priced user type, ...): a
+/// length header plus the wire size of every element, recursively.
+template <class T>
+  requires(!std::is_trivially_copyable_v<T> &&
+           (builtin_wire_element_v<T> ||
+            requires(const T& t) {
+              { payload_bytes(t) } -> std::convertible_to<std::size_t>;
+            }))
+std::size_t payload_bytes(const std::vector<T>& v) {
   std::size_t total = 8;
-  for (const auto& v : vv) total += payload_bytes(v);
+  for (const auto& elem : v) total += payload_bytes(elem);
   return total;
 }
+
+/// Satisfied by every type the message layer can price.  make_message
+/// checks it so an unsupported payload fails with a readable
+/// diagnostic instead of an overload-resolution dump.
+template <class T>
+concept WirePayload = requires(const T& t) {
+  { payload_bytes(t) } -> std::convertible_to<std::size_t>;
+};
 
 /// A message in flight or queued in a mailbox.
 struct Message {
@@ -51,11 +88,16 @@ struct Message {
   const std::type_info* type = nullptr;
   std::size_t bytes = 0;               ///< modeled wire size
   double arrival_vtime = 0.0;          ///< virtual delivery timestamp
+  bool shared = false;                 ///< payload may have other owners
 };
 
 /// Builds a message from a payload value (moved in).
 template <class T>
 Message make_message(int src, long tag, T value, double arrival_vtime) {
+  static_assert(WirePayload<T>,
+                "message payload type has no payload_bytes overload; "
+                "define std::size_t payload_bytes(const T&) in the "
+                "payload's namespace so the cost model can price it");
   Message msg;
   msg.src = src;
   msg.tag = tag;
@@ -66,10 +108,37 @@ Message make_message(int src, long tag, T value, double arrival_vtime) {
   return msg;
 }
 
-/// Extracts the payload, moving it out of the (uniquely owned) message.
+/// Builds a message around an existing immutable buffer without
+/// copying it.  The type_info is that of T itself, so the receiver's
+/// recv<T> matches messages from make_message<T> interchangeably.
+template <class T>
+Message make_shared_message(int src, long tag, std::shared_ptr<const T> value,
+                            double arrival_vtime) {
+  static_assert(WirePayload<T>,
+                "message payload type has no payload_bytes overload; "
+                "define std::size_t payload_bytes(const T&) in the "
+                "payload's namespace so the cost model can price it");
+  Message msg;
+  msg.src = src;
+  msg.tag = tag;
+  msg.bytes = payload_bytes(*value);
+  msg.type = &typeid(T);
+  // The buffer is never mutated through this pointer unless the
+  // receiver is its sole owner (see take_payload), so shedding the
+  // const for type-erased storage is safe.
+  msg.payload = std::const_pointer_cast<T>(std::move(value));
+  msg.arrival_vtime = arrival_vtime;
+  msg.shared = true;
+  return msg;
+}
+
+/// Extracts the payload: moves it out when the message is the sole
+/// owner, copies when the sender still shares the buffer.
 template <class T>
 T take_payload(Message& msg) {
-  return std::move(*static_cast<T*>(msg.payload.get()));
+  T* value = static_cast<T*>(msg.payload.get());
+  if (msg.shared && msg.payload.use_count() > 1) return *value;
+  return std::move(*value);
 }
 
 }  // namespace skil::parix

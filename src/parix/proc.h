@@ -10,7 +10,9 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "parix/machine.h"
 #include "support/error.h"
@@ -20,7 +22,13 @@ namespace skil::parix {
 class Proc {
  public:
   Proc(Machine& machine, int id)
-      : machine_(&machine), id_(id), nprocs_(machine.nprocs()) {}
+      : machine_(&machine), id_(id), nprocs_(machine.nprocs()) {
+    // Unit costs are immutable per run; the flat table turns the
+    // per-charge cost lookup into one indexed load (charge sits on
+    // the per-element hot path of every skeleton).
+    for (int k = 0; k < kOpKinds; ++k)
+      unit_[k] = machine.cost().unit(static_cast<Op>(k));
+  }
 
   Proc(const Proc&) = delete;
   Proc& operator=(const Proc&) = delete;
@@ -37,10 +45,24 @@ class Proc {
   /// Skeleton inner loops call this once per loop with the element
   /// count, keeping host-side overhead negligible.
   void charge(Op kind, std::uint64_t count = 1) {
-    const double us = cost().unit(kind) * static_cast<double>(count);
+    const double us =
+        unit_[static_cast<int>(kind)] * static_cast<double>(count);
     vtime_ += us;
     stats_.compute_us += us;
     stats_.ops[static_cast<int>(kind)] += count;
+  }
+
+  /// Bulk charge for skeleton loops: `elems` elements, each costing
+  /// `ops_per_elem` operations of `kind`, booked as one clock tick.
+  ///
+  /// Invariant (DESIGN.md, "Execution engine"): this must be
+  /// arithmetic-identical to charge(kind, elems * ops_per_elem) --
+  /// both perform exactly one unit * count multiply and one vtime
+  /// addition, so replacing a loop's charges with charge_elems never
+  /// moves the virtual clock by even an ulp.
+  void charge_elems(Op kind, std::uint64_t elems,
+                    std::uint64_t ops_per_elem = 1) {
+    charge(kind, elems * ops_per_elem);
   }
 
   /// Charges raw virtual microseconds of computation (used by tests and
@@ -66,30 +88,23 @@ class Proc {
   void send_mode(int dst, long tag, T value, SendMode mode) {
     SKIL_ASSERT(dst >= 0 && dst < nprocs_, "send: bad destination " +
                                                std::to_string(dst));
-    const int hops = machine_->hops(id_, dst);
-    Message msg = make_message<T>(id_, tag, std::move(value), 0.0);
-    // Software startup on the sender, then the first hop occupies one
-    // of the node's four outgoing link channels: a burst of sends from
-    // one processor serialises once all channels are streaming (this
-    // is what makes a flat "send to everyone" broadcast degrade on
-    // large networks, unlike the skeletons' trees).
-    const double ready = vtime_ + cost().msg_startup_us;
-    const double first_hop_us =
-        cost().msg_per_byte_us * static_cast<double>(msg.bytes);
-    double& channel = earliest(out_links_);
-    const double link_start = std::max(ready, channel);
-    channel = link_start + first_hop_us;
-    // Remaining hops: store-and-forward through intermediate nodes.
-    const double arrival = link_start +
-                           cost().transfer_us(msg.bytes, hops) -
-                           cost().msg_startup_us;
-    msg.arrival_vtime = arrival;
-    const double sender_done = mode == SendMode::kSync ? arrival : ready;
-    stats_.comm_us += sender_done - vtime_;
-    vtime_ = sender_done;
-    stats_.messages_sent += 1;
-    stats_.bytes_sent += msg.bytes;
-    machine_->mailbox(dst).put(std::move(msg));
+    dispatch(make_message<T>(id_, tag, std::move(value), 0.0), dst, mode);
+  }
+
+  /// Sends a shared immutable buffer without copying the payload: the
+  /// message references the caller's buffer, which the caller keeps
+  /// reading while the message is in flight.  The receiver's
+  /// recv<std::vector<T>> matches it like any other vector message.
+  /// Host-side only the copy disappears; whatever send-buffer copy the
+  /// modeled 1996 machine performed must still be charged by the
+  /// caller (see skeleton_gen_mult.h).
+  template <class T>
+  void send_buffer(int dst, long tag,
+                   std::shared_ptr<const std::vector<T>> buf, SendMode mode) {
+    SKIL_ASSERT(dst >= 0 && dst < nprocs_, "send: bad destination " +
+                                               std::to_string(dst));
+    dispatch(make_shared_message<std::vector<T>>(id_, tag, std::move(buf), 0.0),
+             dst, mode);
   }
 
   /// Receives a value of type T from `src` under `tag`.  The virtual
@@ -103,7 +118,7 @@ class Proc {
   T recv(int src, long tag) {
     SKIL_ASSERT(src >= 0 && src < nprocs_,
                 "recv: bad source " + std::to_string(src));
-    Message msg = machine_->mailbox(id_).get(src, tag);
+    Message msg = machine_->blocking_get(id_, src, tag);
     SKIL_ASSERT(msg.type != nullptr && *msg.type == typeid(T),
                 std::string("recv: payload type mismatch for tag ") +
                     std::to_string(tag));
@@ -136,6 +151,34 @@ class Proc {
  private:
   static constexpr long kCollectiveTagBase = 1L << 40;
 
+  /// Timestamping and accounting shared by every send flavour.  The
+  /// arithmetic sequence here is the vtime artefact -- do not reorder.
+  void dispatch(Message msg, int dst, SendMode mode) {
+    const int hops = machine_->hops(id_, dst);
+    // Software startup on the sender, then the first hop occupies one
+    // of the node's four outgoing link channels: a burst of sends from
+    // one processor serialises once all channels are streaming (this
+    // is what makes a flat "send to everyone" broadcast degrade on
+    // large networks, unlike the skeletons' trees).
+    const double ready = vtime_ + cost().msg_startup_us;
+    const double first_hop_us =
+        cost().msg_per_byte_us * static_cast<double>(msg.bytes);
+    double& channel = earliest(out_links_);
+    const double link_start = std::max(ready, channel);
+    channel = link_start + first_hop_us;
+    // Remaining hops: store-and-forward through intermediate nodes.
+    const double arrival = link_start +
+                           cost().transfer_us(msg.bytes, hops) -
+                           cost().msg_startup_us;
+    msg.arrival_vtime = arrival;
+    const double sender_done = mode == SendMode::kSync ? arrival : ready;
+    stats_.comm_us += sender_done - vtime_;
+    vtime_ = sender_done;
+    stats_.messages_sent += 1;
+    stats_.bytes_sent += msg.bytes;
+    machine_->mailbox(dst).put(std::move(msg));
+  }
+
   Machine* machine_;
   int id_;
   int nprocs_;
@@ -149,6 +192,7 @@ class Proc {
   }
 
   double vtime_ = 0.0;
+  std::array<double, kOpKinds> unit_{};
   std::array<double, 4> out_links_{};
   std::array<double, 4> in_links_{};
   long next_collective_seq_ = 0;

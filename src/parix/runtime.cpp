@@ -2,19 +2,109 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#ifdef __GLIBC__
+#include <malloc.h>
+#endif
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <thread>
 
+#include "parix/executor.h"
 #include "parix/machine.h"
 #include "support/error.h"
 
+// Fiber context switches are invisible to thread/address sanitizers
+// unless annotated, so sanitizer builds default to the threads engine
+// (SKIL_ENGINE=pooled still forces the pool for targeted debugging).
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define SKIL_SANITIZED_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define SKIL_SANITIZED_BUILD 1
+#endif
+#endif
+
 namespace skil::parix {
 
-RunResult spmd_run(const RunConfig& config,
-                   const std::function<void(Proc&)>& body) {
+namespace {
+
+ExecutionEngine initial_default_engine() {
+  if (const char* env = std::getenv("SKIL_ENGINE")) {
+    const std::string_view name(env);
+    if (name == "threads") return ExecutionEngine::kThreads;
+    if (name == "pooled") return ExecutionEngine::kPooled;
+  }
+#ifdef SKIL_SANITIZED_BUILD
+  return ExecutionEngine::kThreads;
+#else
+  return ExecutionEngine::kPooled;
+#endif
+}
+
+ExecutionEngine& default_engine_slot() {
+  static ExecutionEngine engine = initial_default_engine();
+  return engine;
+}
+
+/// The per-step skeleton allocations (fresh FArray partitions, rotate
+/// buffers) are a few MB each -- above glibc's default mmap threshold,
+/// so every step would pay page faults on first touch and an munmap on
+/// free.  Pinning the threshold keeps those blocks on the free lists,
+/// where they recycle instantly.  Host-side only; virtual times do not
+/// observe the allocator.
+void tune_host_allocator() {
+#ifdef __GLIBC__
+  static const bool done = [] {
+    mallopt(M_MMAP_THRESHOLD, 64 << 20);
+    return true;
+  }();
+  (void)done;
+#endif
+}
+
+/// Legacy engine: one OS thread per virtual processor.  Kept as the
+/// differential-testing oracle for the pooled engine.
+std::exception_ptr run_on_threads(Machine& machine,
+                                  const std::vector<std::unique_ptr<Proc>>& procs,
+                                  const detail::BodyRef& body) {
+  std::mutex failure_mutex;
+  std::exception_ptr first_failure;
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(procs.size());
+    for (const auto& proc_ptr : procs) {
+      Proc* proc = proc_ptr.get();
+      threads.emplace_back([&, proc] {
+        try {
+          body(*proc);
+        } catch (...) {
+          {
+            const std::scoped_lock lock(failure_mutex);
+            if (!first_failure) first_failure = std::current_exception();
+          }
+          machine.poison_all("processor " + std::to_string(proc->id()) +
+                             " terminated with an error");
+        }
+      });
+    }
+  }  // jthreads join here
+  return first_failure;
+}
+
+}  // namespace
+
+ExecutionEngine default_execution_engine() { return default_engine_slot(); }
+
+void set_default_execution_engine(ExecutionEngine engine) {
+  default_engine_slot() = engine;
+}
+
+RunResult spmd_run_ref(const RunConfig& config, const detail::BodyRef& body) {
   SKIL_REQUIRE(config.nprocs >= 1, "spmd_run: need at least one processor");
+  tune_host_allocator();
   Machine machine(config.nprocs, config.cost);
 
   std::vector<std::unique_ptr<Proc>> procs;
@@ -22,28 +112,20 @@ RunResult spmd_run(const RunConfig& config,
   for (int p = 0; p < config.nprocs; ++p)
     procs.push_back(std::make_unique<Proc>(machine, p));
 
-  std::mutex failure_mutex;
-  std::exception_ptr first_failure;
+  ExecutionEngine engine = config.engine;
+  // A body that itself calls spmd_run would deadlock the fiber pool
+  // (the outer run holds it); nested runs drop to the threads engine.
+  if (engine == ExecutionEngine::kPooled && executor_in_fiber())
+    engine = ExecutionEngine::kThreads;
 
+  std::exception_ptr first_failure;
   const auto wall_start = std::chrono::steady_clock::now();
-  {
-    std::vector<std::jthread> threads;
-    threads.reserve(config.nprocs);
-    for (int p = 0; p < config.nprocs; ++p) {
-      threads.emplace_back([&, p] {
-        try {
-          body(*procs[p]);
-        } catch (...) {
-          {
-            const std::scoped_lock lock(failure_mutex);
-            if (!first_failure) first_failure = std::current_exception();
-          }
-          machine.poison_all("processor " + std::to_string(p) +
-                             " terminated with an error");
-        }
-      });
-    }
-  }  // jthreads join here
+  if (engine == ExecutionEngine::kPooled) {
+    machine.set_fiber_wait(true);
+    first_failure = executor_run(machine, procs, body);
+  } else {
+    first_failure = run_on_threads(machine, procs, body);
+  }
   const auto wall_end = std::chrono::steady_clock::now();
 
   if (first_failure) std::rethrow_exception(first_failure);

@@ -1,13 +1,28 @@
 // SPMD launcher: runs one program body on every virtual processor.
 //
-// The body executes on real host threads (one per virtual processor),
-// performing real computation and real message exchange; timing comes
-// from the deterministic virtual clocks (see cost_model.h).  If any
-// processor's body throws, all mailboxes are poisoned so blocked peers
-// terminate, and the first exception is rethrown to the caller.
+// The body executes real computation and real message exchange on the
+// host; timing comes from the deterministic virtual clocks (see
+// cost_model.h).  Two host execution engines are available:
+//
+//  * kPooled (default): a persistent worker pool (capped at the host's
+//    hardware concurrency) multiplexes the virtual processors as
+//    run-to-completion fibers that park on mailbox waits -- no thread
+//    spawn/join per run, no kernel wakeups per message
+//    (parix/executor.h).
+//  * kThreads (legacy): one OS thread per virtual processor, kept as a
+//    differential-testing oracle for the pooled engine.
+//
+// Virtual time is schedule-independent -- it derives from charged
+// operation counts and exact (src, tag)-matched message timestamps --
+// so both engines produce bit-identical results
+// (tests/test_parix_engines.cpp enforces this).  If any processor's
+// body throws, all mailboxes are poisoned so blocked peers terminate,
+// and the first exception is rethrown to the caller.
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "parix/cost_model.h"
@@ -15,10 +30,25 @@
 
 namespace skil::parix {
 
+/// How spmd_run executes the virtual processors on the host.
+enum class ExecutionEngine {
+  kThreads,  ///< legacy: one OS thread per virtual processor
+  kPooled,   ///< persistent worker pool, processors as parked fibers
+};
+
+/// Process-wide default engine: kPooled, overridable with the
+/// SKIL_ENGINE environment variable ("threads" / "pooled") or
+/// set_default_execution_engine.  Sanitizer builds default to
+/// kThreads because fiber context switches confuse thread/address
+/// sanitizers unless specially annotated.
+ExecutionEngine default_execution_engine();
+void set_default_execution_engine(ExecutionEngine engine);
+
 /// Configuration of one SPMD run.
 struct RunConfig {
   int nprocs = 4;
   CostModel cost = CostModel::t800();
+  ExecutionEngine engine = default_execution_engine();
 };
 
 /// Timing and accounting of a completed run.
@@ -37,9 +67,50 @@ struct RunResult {
   double vtime_seconds() const { return vtime_us * 1e-6; }
 };
 
+namespace detail {
+
+/// Non-owning type-erased reference to the SPMD body: one indirect
+/// call per processor instead of a std::function dispatch per call
+/// level, and no copy of the body's captures.
+struct BodyRef {
+  void* obj = nullptr;
+  void (*invoke)(void*, Proc&) = nullptr;
+
+  void operator()(Proc& proc) const { invoke(obj, proc); }
+};
+
+}  // namespace detail
+
 /// Runs `body` on `config.nprocs` virtual processors and returns the
 /// accounting.  Rethrows the first exception raised by any processor.
-RunResult spmd_run(const RunConfig& config,
-                   const std::function<void(Proc&)>& body);
+/// `body` must outlive the call (it does: the call is synchronous).
+RunResult spmd_run_ref(const RunConfig& config, const detail::BodyRef& body);
+
+/// Type-erased entry point, kept as ABI surface for existing callers.
+inline RunResult spmd_run(const RunConfig& config,
+                          const std::function<void(Proc&)>& body) {
+  detail::BodyRef ref;
+  ref.obj = const_cast<void*>(static_cast<const void*>(&body));
+  ref.invoke = [](void* obj, Proc& proc) {
+    (*static_cast<const std::function<void(Proc&)>*>(obj))(proc);
+  };
+  return spmd_run_ref(config, ref);
+}
+
+/// Direct entry point for lambdas and other callables: invokes the
+/// body through one flat function pointer without materialising a
+/// std::function.
+template <class Body>
+  requires std::is_invocable_v<Body&, Proc&>
+RunResult spmd_run(const RunConfig& config, Body&& body) {
+  using Obj = std::remove_reference_t<Body>;
+  detail::BodyRef ref;
+  ref.obj = const_cast<void*>(
+      static_cast<const void*>(std::addressof(body)));
+  ref.invoke = [](void* obj, Proc& proc) {
+    (*static_cast<Obj*>(obj))(proc);
+  };
+  return spmd_run_ref(config, ref);
+}
 
 }  // namespace skil::parix

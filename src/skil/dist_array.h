@@ -39,7 +39,21 @@ class DistArray {
   DistArray(parix::Proc& proc, std::shared_ptr<const Distribution> dist)
       : proc_(&proc), dist_(std::move(dist)),
         local_(static_cast<std::size_t>(
-            dist_->local_count(dist_->topology().vrank_of(proc.id())))) {}
+            dist_->local_count(dist_->topology().vrank_of(proc.id())))) {
+    // Partition geometry is immutable, so the per-access macros below
+    // resolve locality and offsets from these cached values instead of
+    // recomputing partition_bounds per element (the dominant host cost
+    // of element-wise skeleton arguments before this cache existed).
+    my_vrank_ = dist_->topology().vrank_of(proc.id());
+    dims_ = dist_->dims();
+    block_ = dist_->layout() == Layout::kBlock;
+    if (block_) {
+      bounds_ = dist_->partition_bounds(my_vrank_);
+      row0_ = bounds_.lower[0];
+      col0_ = dims_ >= 2 ? bounds_.lower[1] : 0;
+      width_ = dims_ >= 2 ? bounds_.extent(1) : 1;
+    }
+  }
 
   bool valid() const { return dist_ != nullptr; }
 
@@ -58,24 +72,39 @@ class DistArray {
   const parix::Topology& topology() const { return dist().topology(); }
 
   /// Virtual rank of the owning processor within the array's topology.
-  int my_vrank() const { return topology().vrank_of(proc().id()); }
+  int my_vrank() const {
+    SKIL_REQUIRE(valid(), "array was destroyed or never created");
+    return my_vrank_;
+  }
 
   /// The paper's array_part_bounds macro: the local partition's index
   /// box (block layout).
-  Bounds part_bounds() const { return dist().partition_bounds(my_vrank()); }
+  Bounds part_bounds() const {
+    if (block_) return bounds_;
+    return dist().partition_bounds(my_vrank());
+  }
 
   /// The paper's array_get_elem macro: reads a *local* element.
   T get_elem(const Index& ix) const {
-    check_local(ix);
+    if (block_ && bounds_.contains(ix, dims_)) [[likely]] {
+      proc_->charge(op_kind<T>());
+      return local_[local_offset_fast(ix)];
+    }
+    check_local(ix);  // throws for non-local / invalid; cyclic falls through
     proc_->charge(op_kind<T>());
-    return local_[dist_->local_offset(my_vrank(), ix)];
+    return local_[dist_->local_offset(my_vrank_, ix)];
   }
 
   /// The paper's array_put_elem macro: overwrites a *local* element.
   void put_elem(const Index& ix, T value) {
+    if (block_ && bounds_.contains(ix, dims_)) [[likely]] {
+      proc_->charge(op_kind<T>());
+      local_[local_offset_fast(ix)] = std::move(value);
+      return;
+    }
     check_local(ix);
     proc_->charge(op_kind<T>());
-    local_[dist_->local_offset(my_vrank(), ix)] = std::move(value);
+    local_[dist_->local_offset(my_vrank_, ix)] = std::move(value);
   }
 
   /// Direct access to the partition storage (used by skeletons and by
@@ -98,6 +127,7 @@ class DistArray {
   /// paper's array_destroy (RAII destroys unreleased arrays anyway).
   void destroy() {
     dist_.reset();
+    block_ = false;  // disable the cached fast path with the handle
     local_.clear();
     local_.shrink_to_fit();
   }
@@ -110,6 +140,13 @@ class DistArray {
   }
 
  private:
+  /// Storage offset of a contained index (block layout only).
+  std::size_t local_offset_fast(const Index& ix) const {
+    const int col = dims_ >= 2 ? ix[1] : 0;
+    return static_cast<std::size_t>(
+        static_cast<long>(ix[0] - row0_) * width_ + (col - col0_));
+  }
+
   void check_local(const Index& ix) const {
     SKIL_REQUIRE(valid(), "array was destroyed or never created");
     const int vrank = my_vrank();
@@ -130,6 +167,14 @@ class DistArray {
   parix::Proc* proc_ = nullptr;
   std::shared_ptr<const Distribution> dist_;
   std::vector<T> local_;
+  // Cached partition geometry (see the array_create constructor).
+  Bounds bounds_;
+  int my_vrank_ = 0;
+  int dims_ = 1;
+  int row0_ = 0;
+  int col0_ = 0;
+  int width_ = 1;
+  bool block_ = false;
 };
 
 }  // namespace skil

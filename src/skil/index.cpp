@@ -4,23 +4,6 @@
 
 namespace skil {
 
-bool Bounds::contains(const Index& ix, int dims) const {
-  for (int d = 0; d < dims; ++d)
-    if (ix[d] < lower[d] || ix[d] >= upper[d]) return false;
-  return true;
-}
-
-int Bounds::extent(int d) const {
-  const int e = upper[d] - lower[d];
-  return e > 0 ? e : 0;
-}
-
-long Bounds::volume(int dims) const {
-  long vol = 1;
-  for (int d = 0; d < dims; ++d) vol *= extent(d);
-  return vol;
-}
-
 std::string to_string(const Index& ix, int dims) {
   std::ostringstream os;
   os << '(';

@@ -39,13 +39,25 @@ struct Bounds {
   Index upper;
 
   /// Does the box contain `ix` in its first `dims` dimensions?
-  bool contains(const Index& ix, int dims) const;
+  /// (Inline: this sits on the per-element fast path of get_elem.)
+  bool contains(const Index& ix, int dims) const {
+    for (int d = 0; d < dims; ++d)
+      if (ix.v[d] < lower.v[d] || ix.v[d] >= upper.v[d]) return false;
+    return true;
+  }
 
   /// Extent along dimension `d` (zero when empty).
-  int extent(int d) const;
+  int extent(int d) const {
+    const int e = upper.v[d] - lower.v[d];
+    return e > 0 ? e : 0;
+  }
 
   /// Number of contained elements over `dims` dimensions.
-  long volume(int dims) const;
+  long volume(int dims) const {
+    long vol = 1;
+    for (int d = 0; d < dims; ++d) vol *= extent(d);
+    return vol;
+  }
 
   bool operator==(const Bounds&) const = default;
 };

@@ -65,8 +65,8 @@ auto array_fold(Conv conv_f, Fold fold_f, const DistArray<T1>& a) {
       ++offset;
       ++elems;
     }
-  a.proc().charge(parix::Op::kCall, 2 * elems);
-  a.proc().charge(op_kind<T1>(), elems);
+  a.proc().charge_elems(parix::Op::kCall, elems, 2);
+  a.proc().charge_elems(op_kind<T1>(), elems);
 
   // Partitions can be empty when the array is smaller than the
   // machine; optional-merging keeps the tree fold well-defined.

@@ -63,8 +63,8 @@ void array_map(F map_f, const DistArray<T1>& from, DistArray<T2>& to) {
       ++offset;
       ++elems;
     }
-  from.proc().charge(parix::Op::kCall, elems);
-  from.proc().charge(op_kind<T2>(), elems);
+  from.proc().charge_elems(parix::Op::kCall, elems);
+  from.proc().charge_elems(op_kind<T2>(), elems);
 }
 
 /// Two-source map: to[i] = zip_f(a[i], b[i], i).  Extension skeleton.
@@ -92,8 +92,8 @@ void array_zip(F zip_f, const DistArray<T1>& a, const DistArray<T2>& b,
       ++offset;
       ++elems;
     }
-  a.proc().charge(parix::Op::kCall, elems);
-  a.proc().charge(op_kind<T3>(), elems);
+  a.proc().charge_elems(parix::Op::kCall, elems);
+  a.proc().charge_elems(op_kind<T3>(), elems);
 }
 
 /// Copies `from` into the previously created `to`.  "As array

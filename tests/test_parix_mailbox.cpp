@@ -30,6 +30,25 @@ TEST(PayloadBytes, TrivialAndVectorSizes) {
   EXPECT_EQ(payload_bytes(std::string("abc")), 3 + 8);
 }
 
+TEST(PayloadBytes, VectorOfStringsSumsElementPayloads) {
+  // The generic non-trivial-element overload must sum the elements'
+  // own payload_bytes (it used to fall through to the sizeof-based
+  // formula, pricing a vector<string> by the string header size).
+  std::vector<std::string> names{"ab", "", "cdef"};
+  EXPECT_EQ(payload_bytes(names), 8 + (2 + 8) + (0 + 8) + (4 + 8));
+  std::vector<std::vector<std::string>> nested{{"x"}, {"yz", "w"}};
+  EXPECT_EQ(payload_bytes(nested),
+            8 + (8 + (1 + 8)) + (8 + (2 + 8) + (1 + 8)));
+}
+
+TEST(PayloadBytes, VectorOfStringsTravelsWithSummedSize) {
+  Message msg = make_message<std::vector<std::string>>(
+      0, 1, {"hello", "world"}, 0.0);
+  EXPECT_EQ(msg.bytes, 8 + (5 + 8) + (5 + 8));
+  const auto payload = take_payload<std::vector<std::string>>(msg);
+  EXPECT_EQ(payload, (std::vector<std::string>{"hello", "world"}));
+}
+
 TEST(Message, RoundTripPreservesPayload) {
   Message msg = make_message<std::vector<int>>(3, 7, {1, 2, 3}, 99.0);
   EXPECT_EQ(msg.src, 3);
