@@ -6,7 +6,7 @@
 //  * array_copy copies contiguous partitions wholesale -- versus a
 //    "correspondingly parameterized array_map".
 //
-// Usage: bench_ablation_fold_copy [--elems=100000] [--csv=path]
+// Usage: bench_ablation_fold_copy [--elems=100000] [--csv=path] [--out-dir=dir]
 #include <cstdio>
 #include <vector>
 
@@ -42,14 +42,14 @@ T linear_allreduce(parix::Proc& proc, const parix::Topology& topo, T local,
 
 int main(int argc, char** argv) {
   using namespace skil::bench;
-  const support::Cli cli(argc, argv, {"elems", "csv"});
+  const support::Cli cli(argc, argv, {"elems", "csv", "out-dir"});
   const int elems = cli.get_int("elems", 100000);
 
   banner("A3 -- tree fold vs linear fold; memcpy copy vs map copy");
 
   support::Table fold_table(
       {"p", "tree fold [ms]", "linear fold [ms]", "linear/tree"});
-  support::CsvWriter csv(cli.get("csv", "bench_ablation_fold_copy.csv"),
+  support::CsvWriter csv(out_path(cli, "csv", "bench_ablation_fold_copy.csv"),
                          {"experiment", "p", "fast_ms", "slow_ms", "ratio"});
 
   bool tree_wins_large = true;

@@ -12,7 +12,7 @@
 //                        avoids), modeled with indirect-call prices;
 //   3. graph reduction-- the DPFL baseline (closures + boxing).
 //
-// Usage: bench_ablation_instantiation [--elems=200000] [--csv=path]
+// Usage: bench_ablation_instantiation [--elems=200000] [--csv=path] [--out-dir=dir]
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -41,7 +41,7 @@ double wall_seconds(const std::function<void()>& fn) {
 
 int main(int argc, char** argv) {
   using namespace skil::bench;
-  const support::Cli cli(argc, argv, {"elems", "csv"});
+  const support::Cli cli(argc, argv, {"elems", "csv", "out-dir"});
   const int elems = cli.get_int("elems", 200000);
   const int p = 4;
 
@@ -111,7 +111,7 @@ int main(int argc, char** argv) {
                           "graph reduction (DPFL)"};
   support::Table table({"mechanism", "modeled T800 [s]", "vs instantiated",
                         "host wall [ms]", "host ratio"});
-  support::CsvWriter csv(cli.get("csv", "bench_ablation_instantiation.csv"),
+  support::CsvWriter csv(out_path(cli, "csv", "bench_ablation_instantiation.csv"),
                          {"mechanism", "modeled_s", "modeled_ratio",
                           "wall_ms", "wall_ratio"});
   for (int i = 0; i < 3; ++i) {

@@ -4,7 +4,7 @@
 // hand-tuned inner loop) independently on the hand-written C shortest
 // paths and shows each one's contribution.
 //
-// Usage: bench_ablation_topology [--n=120] [--p=16] [--csv=path]
+// Usage: bench_ablation_topology [--n=120] [--p=16] [--csv=path] [--out-dir=dir]
 #include <cstdio>
 
 #include "apps/shortest_paths.h"
@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   using namespace skil;
   using namespace skil::bench;
 
-  const support::Cli cli(argc, argv, {"n", "p", "csv"});
+  const support::Cli cli(argc, argv, {"n", "p", "csv", "out-dir"});
   const int n = cli.get_int("n", 120);
   const int p = cli.get_int("p", 16);
   const std::uint64_t seed = 555;
@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   };
 
   support::Table table({"variant", "time [s]", "vs old C", "comm share"});
-  support::CsvWriter csv(cli.get("csv", "bench_ablation_topology.csv"),
+  support::CsvWriter csv(out_path(cli, "csv", "bench_ablation_topology.csv"),
                          {"variant", "seconds", "speedup_vs_old",
                           "comm_share"});
   double old_time = 0.0;

@@ -10,9 +10,22 @@
 #include <string>
 #include <vector>
 
+#include "support/cli.h"
 #include "support/table.h"
 
 namespace skil::bench {
+
+/// Output path for a bench artefact.  An explicit `--<flag>=path`
+/// wins verbatim; otherwise the default file name lands in
+/// `--out-dir` (default: the working directory).  Benches passing
+/// their outputs through this accept both flags.
+inline std::string out_path(const support::Cli& cli, const std::string& flag,
+                            const std::string& default_name) {
+  if (cli.has(flag)) return cli.get(flag, default_name);
+  const std::string dir = cli.get("out-dir", "");
+  if (dir.empty()) return default_name;
+  return dir.back() == '/' ? dir + default_name : dir + "/" + default_name;
+}
 
 /// Seconds of modeled time, formatted like the paper's tables.
 inline std::string secs(double vtime_us, int digits = 2) {

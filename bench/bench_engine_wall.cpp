@@ -6,14 +6,23 @@
 // seconds for each, and checks that the *virtual* times -- the
 // scientific artefact -- are bit-identical across engines.
 //
-// Usage: bench_engine_wall [--quick] [--json=path] [--baseline=secs]
+// Usage: bench_engine_wall [--quick] [--json=path] [--out-dir=dir]
+//                          [--baseline=secs] [--reps=N] [--jobs=N]
+//                          [--charge=interp|tape]
 //
-// The JSON report (default BENCH_engine.json) records both wall times
-// so EXPERIMENTS.md can cite the engine speedup from a committed
+// --jobs forks one worker process per (p, n) cell, up to N at a time
+// (virtual times are per-cell deterministic, so the assembled grid is
+// identical).  --charge selects the accounting path of the skeleton
+// hot loops (default: the process default, i.e. SKIL_CHARGE or tape).
+//
+// The JSON report (default BENCH_engine.json, schema_version 2)
+// records the run configuration (reps, jobs, nproc, charge path) and
+// per-cell wall seconds alongside both engines' totals, so
+// EXPERIMENTS.md can cite the engine speedup from a committed
 // artefact; scripts/bench_trajectory.sh appends runs to it.
 // --baseline records an externally measured wall time of the same
-// workload (e.g. the pre-refactor build's bench_table2_gauss) so the
-// improvement over that build is part of the record.
+// workload (e.g. a pre-refactor build) so the improvement over that
+// build is part of the record.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -24,6 +33,7 @@
 
 #include "bench_common.h"
 #include "gauss_sweep.h"
+#include "parix/charge_tape.h"
 #include "parix/runtime.h"
 #include "support/cli.h"
 
@@ -31,19 +41,29 @@ int main(int argc, char** argv) {
   using namespace skil;
   using namespace skil::bench;
 
-  const support::Cli cli(argc, argv, {"quick", "json", "baseline", "reps"});
+  const support::Cli cli(argc, argv, {"quick", "json", "out-dir", "baseline",
+                                      "reps", "jobs", "charge"});
   const bool quick = cli.get_bool("quick");
   const double baseline_s = std::atof(cli.get("baseline", "0").c_str());
   // The host timer is noisy (shared machine); the minimum over reps is
   // the standard robust estimator of the undisturbed wall time.
   const int reps = std::max(1, std::atoi(cli.get("reps", "1").c_str()));
+  const int jobs = std::max(1, std::atoi(cli.get("jobs", "1").c_str()));
+  if (cli.has("charge"))
+    parix::set_default_charge_path(
+        parix::parse_charge_path(cli.get("charge", "tape")));
+  const char* charge_name =
+      parix::default_charge_path() == parix::ChargePath::kTape ? "tape"
+                                                               : "interp";
   const std::uint64_t seed = 19960528;
   const auto ns = paper_ns(quick);
   const auto ps = paper_ps();
 
   banner("Execution engines -- wall clock on the Table 2 grid");
-  std::printf("grid: n in {%d..%d}, p in {4, 16, 32, 64}; host threads: %u\n\n",
-              ns.front(), ns.back(), std::thread::hardware_concurrency());
+  std::printf("grid: n in {%d..%d}, p in {4, 16, 32, 64}; host threads: %u; "
+              "jobs: %d; charge path: %s\n\n",
+              ns.front(), ns.back(), std::thread::hardware_concurrency(),
+              jobs, charge_name);
 
   struct EngineRun {
     const char* name;
@@ -62,11 +82,13 @@ int main(int argc, char** argv) {
       parix::set_default_execution_engine(run.engine);
       std::fprintf(stderr, "engine %s (rep %d):\n", run.name, rep + 1);
       const auto start = std::chrono::steady_clock::now();
-      auto cells = run_gauss_grid(ns, ps, seed);
+      auto cells = run_gauss_grid_jobs(ns, ps, seed, jobs);
       const auto stop = std::chrono::steady_clock::now();
       const double wall = std::chrono::duration<double>(stop - start).count();
-      if (rep == 0 || wall < run.wall_s) run.wall_s = wall;
-      run.cells = std::move(cells);
+      if (rep == 0 || wall < run.wall_s) {
+        run.wall_s = wall;
+        run.cells = std::move(cells);
+      }
     }
   }
   parix::set_default_execution_engine(saved);
@@ -92,22 +114,37 @@ int main(int argc, char** argv) {
                 baseline_s / runs[1].wall_s);
   shape_check("virtual times bit-identical across engines", identical);
 
-  const std::string path = cli.get("json", "BENCH_engine.json");
+  const std::string path = out_path(cli, "json", "BENCH_engine.json");
   if (FILE* out = std::fopen(path.c_str(), "w")) {
     std::fprintf(out,
                  "{\n"
+                 "  \"schema_version\": 2,\n"
                  "  \"benchmark\": \"bench_engine_wall\",\n"
                  "  \"grid\": \"table2_gauss%s\",\n"
                  "  \"reps\": %d,\n"
-                 "  \"hardware_concurrency\": %u,\n"
-                 "  \"engines\": [\n"
-                 "    {\"engine\": \"threads\", \"wall_seconds\": %.3f},\n"
-                 "    {\"engine\": \"pooled\", \"wall_seconds\": %.3f}\n"
+                 "  \"jobs\": %d,\n"
+                 "  \"nproc\": %u,\n"
+                 "  \"charge\": \"%s\",\n"
+                 "  \"engines\": [\n",
+                 quick ? "_quick" : "", reps, jobs,
+                 std::thread::hardware_concurrency(), charge_name);
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      const EngineRun& run = runs[r];
+      std::fprintf(out,
+                   "    {\"engine\": \"%s\", \"wall_seconds\": %.3f, "
+                   "\"cells\": [",
+                   run.name, run.wall_s);
+      for (std::size_t i = 0; i < run.cells.size(); ++i) {
+        const GaussCell& cell = run.cells[i];
+        std::fprintf(out, "%s{\"p\": %d, \"n\": %d, \"wall_seconds\": %.3f}",
+                     i == 0 ? "" : ", ", cell.p, cell.n, cell.wall_s);
+      }
+      std::fprintf(out, "]}%s\n", r + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(out,
                  "  ],\n"
                  "  \"pooled_speedup_over_threads\": %.3f,\n",
-                 quick ? "_quick" : "", reps,
-                 std::thread::hardware_concurrency(), runs[0].wall_s,
-                 runs[1].wall_s, speedup);
+                 speedup);
     if (baseline_s > 0.0)
       std::fprintf(out,
                    "  \"baseline_wall_seconds\": %.3f,\n"

@@ -11,7 +11,7 @@
 // relative to C are mainly grouped around 2, in some cases (generally,
 // for large networks) going down to 1").
 //
-// Usage: bench_figure1_gauss [--quick] [--csv=path]
+// Usage: bench_figure1_gauss [--quick] [--csv=path] [--out-dir=dir]
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   using namespace skil;
   using namespace skil::bench;
 
-  const support::Cli cli(argc, argv, {"quick", "csv"});
+  const support::Cli cli(argc, argv, {"quick", "csv", "out-dir"});
   const bool quick = cli.get_bool("quick");
   const std::uint64_t seed = 19960528;
 
@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
   for (int p : ps) header.push_back(std::to_string(p));
   support::Table left(header);
   support::Table right(header);
-  support::CsvWriter csv(cli.get("csv", "bench_figure1_gauss.csv"),
+  support::CsvWriter csv(out_path(cli, "csv", "bench_figure1_gauss.csv"),
                          {"n", "p", "speedup_vs_dpfl", "slowdown_vs_c"});
   for (std::size_t i = 0; i < ns.size(); ++i) {
     std::vector<std::string> lrow{std::to_string(ns[i])};

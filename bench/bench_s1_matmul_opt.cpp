@@ -3,7 +3,7 @@
 // matrix multiplication algorithm, and obtained Skil times around 20%
 // slower than direct C times."
 //
-// Usage: bench_s1_matmul_opt [--quick] [--csv=path]
+// Usage: bench_s1_matmul_opt [--quick] [--csv=path] [--out-dir=dir]
 #include <cstdio>
 
 #include "apps/matmul.h"
@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   using namespace skil;
   using namespace skil::bench;
 
-  const support::Cli cli(argc, argv, {"quick", "csv"});
+  const support::Cli cli(argc, argv, {"quick", "csv", "out-dir"});
   const bool quick = cli.get_bool("quick");
   const std::uint64_t seed = 31337;
 
@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   const std::vector<int> ps = {4, 16, 64};
 
   support::Table table({"p", "n", "Skil [s]", "opt C [s]", "Skil/C"});
-  support::CsvWriter csv(cli.get("csv", "bench_s1_matmul.csv"),
+  support::CsvWriter csv(out_path(cli, "csv", "bench_s1_matmul.csv"),
                          {"p", "n", "skil_s", "c_s", "skil_over_c"});
   bool in_band = true;
   double worst = 0.0;

@@ -4,7 +4,7 @@
 // version, which is satisfactory, since ... this brings considerable
 // communication overhead."
 //
-// Usage: bench_s2_gauss_pivot [--quick] [--csv=path]
+// Usage: bench_s2_gauss_pivot [--quick] [--csv=path] [--out-dir=dir]
 #include <cstdio>
 
 #include "apps/gauss.h"
@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   using namespace skil;
   using namespace skil::bench;
 
-  const support::Cli cli(argc, argv, {"quick", "csv"});
+  const support::Cli cli(argc, argv, {"quick", "csv", "out-dir"});
   const bool quick = cli.get_bool("quick");
   const std::uint64_t seed = 29972;
 
@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
 
   support::Table table(
       {"p", "n", "no pivot [s]", "with pivot [s]", "factor"});
-  support::CsvWriter csv(cli.get("csv", "bench_s2_gauss_pivot.csv"),
+  support::CsvWriter csv(out_path(cli, "csv", "bench_s2_gauss_pivot.csv"),
                          {"p", "n", "nopivot_s", "pivot_s", "factor"});
   bool in_band = true;
   for (int p : ps)

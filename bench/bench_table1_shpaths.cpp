@@ -7,7 +7,7 @@
 // (no virtual topologies, no asynchronous communication) which Skil
 // *beats*.  The paper measured DPFL on the even grids only.
 //
-// Usage: bench_table1_shpaths [--n=200] [--quick] [--csv=path]
+// Usage: bench_table1_shpaths [--n=200] [--quick] [--csv=path] [--out-dir=dir]
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -42,7 +42,7 @@ const std::vector<PaperRow> kPaper = {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const support::Cli cli(argc, argv, {"n", "quick", "csv"});
+  const support::Cli cli(argc, argv, {"n", "quick", "csv", "out-dir"});
   const int n = cli.get_int("n", cli.get_bool("quick") ? 60 : 200);
   const std::uint64_t seed = 20260704;
 
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
 
   support::Table table({"p", "n used", "DPFL [s]", "Skil [s]", "DPFL/Skil",
                         "old C [s]", "Skil/old C"});
-  support::CsvWriter csv(cli.get("csv", "bench_table1_shpaths.csv"),
+  support::CsvWriter csv(out_path(cli, "csv", "bench_table1_shpaths.csv"),
                          {"p", "n", "dpfl_s", "skil_s", "dpfl_over_skil",
                           "oldc_s", "skil_over_oldc", "paper_dpfl_s",
                           "paper_skil_s", "paper_oldc_s"});

@@ -4,8 +4,14 @@
 // Paper cell format: absolute Skil seconds (bold), the DPFL/Skil
 // speedup (roman), and the Skil/Parix-C slow-down (italics).
 //
-// Usage: bench_table2_gauss [--quick] [--csv=path]
+// Usage: bench_table2_gauss [--quick] [--csv=path] [--out-dir=dir]
+//                           [--jobs=N]
+//
+// --jobs forks one worker process per (p, n) cell, up to N at a time;
+// virtual times are per-cell deterministic, so the table is identical.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "bench_common.h"
@@ -18,8 +24,9 @@ int main(int argc, char** argv) {
   using namespace skil;
   using namespace skil::bench;
 
-  const support::Cli cli(argc, argv, {"quick", "csv"});
+  const support::Cli cli(argc, argv, {"quick", "csv", "out-dir", "jobs"});
   const bool quick = cli.get_bool("quick");
+  const int jobs = std::max(1, std::atoi(cli.get("jobs", "1").c_str()));
   const std::uint64_t seed = 19960528;
 
   banner("Table 2 -- Gaussian elimination (no pivoting)");
@@ -28,12 +35,12 @@ int main(int argc, char** argv) {
               "(p = 4 exceeded the 1 MB/node memory beyond n = 384)\n\n");
 
   const auto ns = paper_ns(quick);
-  const auto cells = run_gauss_grid(ns, paper_ps(), seed);
+  const auto cells = run_gauss_grid_jobs(ns, paper_ps(), seed, jobs);
 
   std::vector<std::string> header{"p \\ n"};
   for (int n : ns) header.push_back(std::to_string(n));
   support::Table table(header);
-  support::CsvWriter csv(cli.get("csv", "bench_table2_gauss.csv"),
+  support::CsvWriter csv(out_path(cli, "csv", "bench_table2_gauss.csv"),
                          {"p", "n", "skil_s", "dpfl_s", "c_s",
                           "dpfl_over_skil", "skil_over_c", "paper_skil_s",
                           "paper_dpfl_over_skil", "paper_skil_over_c"});

@@ -3,11 +3,17 @@
 // {4, 16, 32, 64}, no-pivot variant, all three languages).
 #pragma once
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "apps/gauss.h"
+#include "support/error.h"
 
 namespace skil::bench {
 
@@ -17,6 +23,8 @@ struct GaussCell {
   double skil_s = 0.0;
   double dpfl_s = 0.0;
   double c_s = 0.0;
+  /// Host wall seconds this cell took (all three variants).
+  double wall_s = 0.0;
   double dpfl_over_skil() const { return dpfl_s / skil_s; }
   double skil_over_c() const { return skil_s / c_s; }
 };
@@ -58,6 +66,23 @@ inline std::vector<int> paper_ns(bool quick) {
 
 inline std::vector<int> paper_ps() { return {4, 16, 32, 64}; }
 
+/// Runs one (p, n) cell: all three variants, with the host wall time
+/// recorded on the cell.
+inline GaussCell run_gauss_cell(int p, int n, std::uint64_t seed) {
+  GaussCell cell;
+  cell.p = p;
+  cell.n = n;
+  const auto start = std::chrono::steady_clock::now();
+  cell.skil_s =
+      apps::gauss_skil(p, n, seed, /*pivoting=*/false).run.vtime_seconds();
+  cell.dpfl_s = apps::gauss_dpfl(p, n, seed).run.vtime_seconds();
+  cell.c_s = apps::gauss_c(p, n, seed).run.vtime_seconds();
+  cell.wall_s = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  return cell;
+}
+
 /// Runs the full grid (Skil + DPFL + C, no pivoting) and returns one
 /// cell per (p, n).  Progress goes to stderr so table output stays
 /// clean.
@@ -68,15 +93,90 @@ inline std::vector<GaussCell> run_gauss_grid(const std::vector<int>& ns,
   for (int p : ps)
     for (int n : ns) {
       std::fprintf(stderr, "  running gauss p=%d n=%d ...\n", p, n);
+      cells.push_back(run_gauss_cell(p, n, seed));
+    }
+  return cells;
+}
+
+/// Process-per-cell parallel grid: forks up to `jobs` workers, each
+/// computing one (p, n) cell and shipping its result doubles back
+/// through a pipe.  Virtual times are deterministic per cell, so the
+/// assembled grid is identical to run_gauss_grid's no matter how the
+/// host schedules the workers.
+///
+/// Fork safety: the parent process must not have executed an SPMD run
+/// before calling this (the pooled engine's worker threads are created
+/// lazily on first use and would not survive fork).  The bench mains
+/// satisfy this by forking before any in-process sweep.
+inline std::vector<GaussCell> run_gauss_grid_jobs(const std::vector<int>& ns,
+                                                  const std::vector<int>& ps,
+                                                  std::uint64_t seed,
+                                                  int jobs) {
+  if (jobs <= 1) return run_gauss_grid(ns, ps, seed);
+
+  std::vector<GaussCell> cells;
+  for (int p : ps)
+    for (int n : ns) {
       GaussCell cell;
       cell.p = p;
       cell.n = n;
-      cell.skil_s =
-          apps::gauss_skil(p, n, seed, /*pivoting=*/false).run.vtime_seconds();
-      cell.dpfl_s = apps::gauss_dpfl(p, n, seed).run.vtime_seconds();
-      cell.c_s = apps::gauss_c(p, n, seed).run.vtime_seconds();
       cells.push_back(cell);
     }
+
+  struct Worker {
+    pid_t pid = -1;
+    int read_fd = -1;
+    std::size_t cell = 0;
+  };
+  std::vector<Worker> active;
+
+  auto reap_one = [&cells, &active]() {
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, 0);
+    SKIL_ASSERT(pid > 0, "run_gauss_grid_jobs: waitpid failed");
+    for (std::size_t w = 0; w < active.size(); ++w) {
+      if (active[w].pid != pid) continue;
+      SKIL_ASSERT(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+                  "run_gauss_grid_jobs: worker failed for cell p=" +
+                      std::to_string(cells[active[w].cell].p) +
+                      " n=" + std::to_string(cells[active[w].cell].n));
+      double payload[4] = {0, 0, 0, 0};
+      const ssize_t got =
+          ::read(active[w].read_fd, payload, sizeof(payload));
+      ::close(active[w].read_fd);
+      SKIL_ASSERT(got == static_cast<ssize_t>(sizeof(payload)),
+                  "run_gauss_grid_jobs: short read from worker");
+      GaussCell& cell = cells[active[w].cell];
+      cell.skil_s = payload[0];
+      cell.dpfl_s = payload[1];
+      cell.c_s = payload[2];
+      cell.wall_s = payload[3];
+      active.erase(active.begin() + static_cast<long>(w));
+      return;
+    }
+    // An unrelated child (none are spawned here); ignore it.
+  };
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    while (active.size() >= static_cast<std::size_t>(jobs)) reap_one();
+    int fds[2];
+    SKIL_ASSERT(::pipe(fds) == 0, "run_gauss_grid_jobs: pipe failed");
+    std::fprintf(stderr, "  running gauss p=%d n=%d ...\n", cells[i].p,
+                 cells[i].n);
+    const pid_t pid = ::fork();
+    SKIL_ASSERT(pid >= 0, "run_gauss_grid_jobs: fork failed");
+    if (pid == 0) {
+      ::close(fds[0]);
+      const GaussCell cell = run_gauss_cell(cells[i].p, cells[i].n, seed);
+      const double payload[4] = {cell.skil_s, cell.dpfl_s, cell.c_s,
+                                 cell.wall_s};
+      const ssize_t wrote = ::write(fds[1], payload, sizeof(payload));
+      ::_exit(wrote == static_cast<ssize_t>(sizeof(payload)) ? 0 : 1);
+    }
+    ::close(fds[1]);
+    active.push_back(Worker{pid, fds[0], i});
+  }
+  while (!active.empty()) reap_one();
   return cells;
 }
 

@@ -3,11 +3,19 @@
 #
 # Builds (if needed) and runs bench_engine_wall on the Table-2 sweep
 # under both execution engines, then appends the result as one compact
-# JSON record per line to BENCH_engine.json at the repo root.  Pass
-# --quick to restrict the grid to n in {64, 128} while iterating; the
-# committed trajectory should only gain full-grid records.
+# JSON record per line to BENCH_engine.json at the repo root.  Records
+# are schema_version 2: run config (reps, jobs, nproc, charge path),
+# per-cell wall seconds per engine, and the engine totals.
 #
-# Usage: scripts/bench_trajectory.sh [--quick]
+# Pass --quick to restrict the grid to n in {64, 128} while iterating
+# (the committed trajectory should only gain full-grid records),
+# --reps=N for a min-of-N measurement, --jobs=N for process-per-cell
+# parallelism, and --charge=interp|tape to pin the accounting path
+# (default: tape, the specialized fast path; interp is the
+# interpretive oracle).
+#
+# Usage: scripts/bench_trajectory.sh [--quick] [--reps=N] [--jobs=N]
+#                                    [--charge=interp|tape] [--baseline=secs]
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)

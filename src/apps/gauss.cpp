@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "dpfl/dpfl.h"
+#include "parix/charge_tape.h"
 #include "parix/collectives.h"
 #include "skil/skil.h"
 
@@ -94,6 +95,26 @@ GaussResult gauss_skil_impl(int nprocs, int size, EntryFn&& entry,
     return v / a.get_elem(Index{ix[0], ix[0]});
   };
 
+  // Charge tapes of the three customizing functions above: the exact
+  // per-active-element charge sequence each interpretive body books
+  // (tests/test_parix_charge_tape.cpp pins the two paths bit-for-bit).
+  // Both operands of the interp bodies' binary expressions charge the
+  // identical (kFloatOp, 1), so their unspecified evaluation order
+  // cannot move the chain.
+  const bool taped =
+      parix::default_charge_path() == parix::ChargePath::kTape;
+  parix::ChargeTape pivot_tape;   // the division, then two get_elem reads
+  pivot_tape.charge(parix::Op::kFloatOp);
+  pivot_tape.charge(parix::Op::kFloatOp);
+  pivot_tape.charge(parix::Op::kFloatOp);
+  parix::ChargeTape elim_tape;    // multiply+subtract, then two reads
+  elim_tape.charge(parix::Op::kFloatOp, 2);
+  elim_tape.charge(parix::Op::kFloatOp);
+  elim_tape.charge(parix::Op::kFloatOp);
+  parix::ChargeTape norm_tape;    // the division, then one read
+  norm_tape.charge(parix::Op::kFloatOp);
+  norm_tape.charge(parix::Op::kFloatOp);
+
   result.run = parix::spmd_run(config, [&](parix::Proc& proc) {
     auto init_f = [&](Index ix) { return entry(ix[0], ix[1]); };
     auto zero = [](Index) { return 0.0; };
@@ -122,11 +143,64 @@ GaussResult gauss_skil_impl(int nprocs, int size, EntryFn&& entry,
       } else {
         array_copy(a, b);
       }
-      array_map(partial(copy_pivot, std::cref(b), k), piv, piv);
+      if (taped) {
+        // Flat replay kernel: the reads the interp body performs
+        // through the charged get_elem macro become raw partition
+        // loads (the tape carries the charges).  The owner test and
+        // the pivot-row base resolve once per step, not per element.
+        const Bounds bb = b.part_bounds();
+        const bool owner = bb.lower[0] <= k && k < bb.upper[0];
+        const double* krow =
+            owner ? b.local().data() +
+                        static_cast<std::size_t>(k - bb.lower[0]) *
+                            bb.extent(1)
+                  : nullptr;
+        array_map_taped(
+            [owner, krow, k](double v, Index ix, std::uint64_t& tapped) {
+              if (!owner) return v;
+              ++tapped;
+              return krow[ix[1]] / krow[k];
+            },
+            pivot_tape, piv, piv);
+      } else {
+        array_map(partial(copy_pivot, std::cref(b), k), piv, piv);
+      }
       array_broadcast_part(piv, Index{k / rows_per_proc, 0});
-      array_map(partial(eliminate, k, std::cref(b), std::cref(piv)), b, a);
+      if (taped) {
+        const Bounds bb = b.part_bounds();
+        const int brow0 = bb.lower[0];
+        const int bw = bb.extent(1);
+        const double* bd = b.local().data();
+        const double* prow = piv.local().data();  // one row, col0 = 0
+        array_map_taped(
+            [bd, prow, brow0, bw, k](double v, Index ix,
+                                     std::uint64_t& tapped) {
+              if (ix[0] == k || ix[1] < k) return v;
+              ++tapped;
+              return v - bd[static_cast<std::size_t>(ix[0] - brow0) * bw + k] *
+                             prow[ix[1]];
+            },
+            elim_tape, b, a);
+      } else {
+        array_map(partial(eliminate, k, std::cref(b), std::cref(piv)), b, a);
+      }
     }
-    array_map(partial(normalize, std::cref(a), size), a, b);
+    if (taped) {
+      const Bounds ab = a.part_bounds();
+      const int arow0 = ab.lower[0];
+      const int aw = ab.extent(1);
+      const double* ad = a.local().data();
+      array_map_taped(
+          [ad, arow0, aw, size](double v, Index ix, std::uint64_t& tapped) {
+            if (ix[1] != size) return v;
+            ++tapped;
+            return v / ad[static_cast<std::size_t>(ix[0] - arow0) * aw +
+                          ix[0]];
+          },
+          norm_tape, a, b);
+    } else {
+      array_map(partial(normalize, std::cref(a), size), a, b);
+    }
 
     const std::vector<double> solved = array_gather_root(b);
     if (proc.id() == 0) {
@@ -171,6 +245,24 @@ GaussResult gauss_dpfl(int nprocs, int n, std::uint64_t seed,
   GaussResult result;
   parix::RunConfig config{nprocs, cost};
 
+  // DPFL charge tapes, recorded through the same sink-templated
+  // helpers the interpretive closure bodies charge through (fn.h,
+  // farray.h), so the sequences cannot drift apart.
+  const bool taped =
+      parix::default_charge_path() == parix::ChargePath::kTape;
+  using DArray = dpfl::FArray<double>;
+  parix::ChargeTape pivot_tape;  // boxed division + two boxed reads
+  dpfl::charge_boxed_arith(pivot_tape, 1);
+  DArray::append_get_elem_charges(pivot_tape);
+  DArray::append_get_elem_charges(pivot_tape);
+  parix::ChargeTape elim_tape;   // boxed multiply+subtract + two reads
+  dpfl::charge_boxed_arith(elim_tape, 2);
+  DArray::append_get_elem_charges(elim_tape);
+  DArray::append_get_elem_charges(elim_tape);
+  parix::ChargeTape norm_tape;   // boxed division + one boxed read
+  dpfl::charge_boxed_arith(norm_tape, 1);
+  DArray::append_get_elem_charges(norm_tape);
+
   result.run = parix::spmd_run(config, [&](parix::Proc& proc) {
     using dpfl::Closure;
     using dpfl::FArray;
@@ -190,39 +282,95 @@ GaussResult gauss_dpfl(int nprocs, int n, std::uint64_t seed,
     for (int k = 0; k < size; ++k) {
       // copy_pivot: normalised pivot-row elements into this
       // processor's piv row when it owns the pivot row.
-      const Closure<double(double, Index)> copy_pivot(
-          proc, [&a, k, &proc](double v, Index ix) {
-            const Bounds bds = a.part_bounds();
-            if (bds.lower[0] <= k && k < bds.upper[0]) {
-              dpfl::charge_boxed_arith(proc, 1);
-              return a.get_elem(Index{k, ix[1]}) / a.get_elem(Index{k, k});
-            }
-            return v;
-          });
-      piv = dpfl::fa_map(copy_pivot, piv);
+      if (taped) {
+        // The closure record the interp path allocates when it
+        // constructs the copy_pivot Closure, charged at the same
+        // program point.  As in gauss_skil_impl, the kernel reads the
+        // partition raw -- the tape carries the boxed-access charges.
+        proc.charge(parix::Op::kAlloc);
+        const Bounds ab = a.part_bounds();
+        const bool owner = ab.lower[0] <= k && k < ab.upper[0];
+        const double* krow =
+            owner ? a.local().data() +
+                        static_cast<std::size_t>(k - ab.lower[0]) *
+                            ab.extent(1)
+                  : nullptr;
+        piv = dpfl::fa_map_taped(
+            [owner, krow, k](double v, Index ix, std::uint64_t& tapped) {
+              if (!owner) return v;
+              ++tapped;
+              return krow[ix[1]] / krow[k];
+            },
+            pivot_tape, piv);
+      } else {
+        const Closure<double(double, Index)> copy_pivot(
+            proc, [&a, k, &proc](double v, Index ix) {
+              const Bounds bds = a.part_bounds();
+              if (bds.lower[0] <= k && k < bds.upper[0]) {
+                dpfl::charge_boxed_arith(proc, 1);
+                return a.get_elem(Index{k, ix[1]}) / a.get_elem(Index{k, k});
+              }
+              return v;
+            });
+        piv = dpfl::fa_map(copy_pivot, piv);
+      }
       piv = dpfl::fa_broadcast_part(piv, Index{k / rows_per_proc, 0});
 
       const FArray<double> source = a;
       const FArray<double> pivot_rows = piv;
-      const Closure<double(double, Index)> eliminate(
-          proc, [source, pivot_rows, k, &proc](double v, Index ix) {
-            if (ix[0] == k || ix[1] < k) return v;
-            const int my_piv_row = pivot_rows.part_bounds().lower[0];
-            dpfl::charge_boxed_arith(proc, 2);
-            return v - source.get_elem(Index{ix[0], k}) *
-                           pivot_rows.get_elem(Index{my_piv_row, ix[1]});
-          });
-      a = dpfl::fa_map(eliminate, a);
+      if (taped) {
+        proc.charge(parix::Op::kAlloc);  // eliminate closure record
+        const Bounds sb = source.part_bounds();
+        const int srow0 = sb.lower[0];
+        const int sw = sb.extent(1);
+        const double* sd = source.local().data();
+        const double* prow = pivot_rows.local().data();  // one row
+        a = dpfl::fa_map_taped(
+            [sd, prow, srow0, sw, k](double v, Index ix,
+                                     std::uint64_t& tapped) {
+              if (ix[0] == k || ix[1] < k) return v;
+              ++tapped;
+              return v - sd[static_cast<std::size_t>(ix[0] - srow0) * sw + k] *
+                             prow[ix[1]];
+            },
+            elim_tape, a);
+      } else {
+        const Closure<double(double, Index)> eliminate(
+            proc, [source, pivot_rows, k, &proc](double v, Index ix) {
+              if (ix[0] == k || ix[1] < k) return v;
+              const int my_piv_row = pivot_rows.part_bounds().lower[0];
+              dpfl::charge_boxed_arith(proc, 2);
+              return v - source.get_elem(Index{ix[0], k}) *
+                             pivot_rows.get_elem(Index{my_piv_row, ix[1]});
+            });
+        a = dpfl::fa_map(eliminate, a);
+      }
     }
 
     const FArray<double> final_a = a;
-    const Closure<double(double, Index)> normalize(
-        proc, [final_a, size, &proc](double v, Index ix) {
-          if (ix[1] != size) return v;
-          dpfl::charge_boxed_arith(proc, 1);
-          return v / final_a.get_elem(Index{ix[0], ix[0]});
-        });
-    a = dpfl::fa_map(normalize, a);
+    if (taped) {
+      proc.charge(parix::Op::kAlloc);  // normalize closure record
+      const Bounds fb = final_a.part_bounds();
+      const int frow0 = fb.lower[0];
+      const int fw = fb.extent(1);
+      const double* fd = final_a.local().data();
+      a = dpfl::fa_map_taped(
+          [fd, frow0, fw, size](double v, Index ix, std::uint64_t& tapped) {
+            if (ix[1] != size) return v;
+            ++tapped;
+            return v / fd[static_cast<std::size_t>(ix[0] - frow0) * fw +
+                          ix[0]];
+          },
+          norm_tape, a);
+    } else {
+      const Closure<double(double, Index)> normalize(
+          proc, [final_a, size, &proc](double v, Index ix) {
+            if (ix[1] != size) return v;
+            dpfl::charge_boxed_arith(proc, 1);
+            return v / final_a.get_elem(Index{ix[0], ix[0]});
+          });
+      a = dpfl::fa_map(normalize, a);
+    }
 
     std::vector<double> flat = dpfl::fa_gather_root(a);
     if (proc.id() == 0) {

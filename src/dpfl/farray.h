@@ -25,11 +25,13 @@
 #include <algorithm>
 #include <memory>
 #include <optional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "dpfl/fn.h"
 #include "parix/buffer_pool.h"
+#include "parix/charge_tape.h"
 #include "parix/collectives.h"
 #include "parix/proc.h"
 #include "skil/distribution.h"
@@ -45,21 +47,24 @@ using skil::Size;
 
 /// Per-element price of one lazy map application beyond the closure
 /// apply itself: the fresh array cell, the suspended thunk stored in
-/// it, and the force that evaluates it.
-inline void charge_map_cell(parix::Proc& proc, std::uint64_t count = 1) {
-  proc.charge(parix::Op::kAlloc, 2 * count);     // array cell box + thunk
-  proc.charge(parix::Op::kIndirectCall, count);  // thunk force
+/// it, and the force that evaluates it.  Templated over the charge
+/// sink (Proc or ChargeTape) -- see fn.h.
+template <class Sink>
+inline void charge_map_cell(Sink& sink, std::uint64_t count = 1) {
+  sink.charge(parix::Op::kAlloc, 2 * count);     // array cell box + thunk
+  sink.charge(parix::Op::kIndirectCall, count);  // thunk force
 }
 
 /// Boxed arithmetic: every scalar operation on boxed values is a
 /// primitive application in the reduction graph -- an indirect
 /// dispatch plus a result box on top of the arithmetic itself.
 /// Application kernels charge their flops through this.
-inline void charge_boxed_arith(parix::Proc& proc, std::uint64_t flops,
+template <class Sink>
+inline void charge_boxed_arith(Sink& sink, std::uint64_t flops,
                                bool floating = true) {
-  proc.charge(floating ? parix::Op::kFloatOp : parix::Op::kIntOp, flops);
-  proc.charge(parix::Op::kIndirectCall, flops);
-  proc.charge(parix::Op::kAlloc, 2 * flops);  // argument box + result box
+  sink.charge(floating ? parix::Op::kFloatOp : parix::Op::kIntOp, flops);
+  sink.charge(parix::Op::kIndirectCall, flops);
+  sink.charge(parix::Op::kAlloc, 2 * flops);  // argument box + result box
 }
 
 /// Cost-model op kind for T (mirrors skil::op_kind).
@@ -124,13 +129,33 @@ class FArray {
     return (*local_)[dist_->local_offset(my_vrank_, ix)];
   }
 
- private:
-  void charge_get_elem() const {
-    proc_->charge(op_kind<T>());
-    proc_->charge(parix::Op::kIndirectCall);
-    proc_->charge(parix::Op::kAlloc);
-    charge_unbox(*proc_);
+  /// The raw read of get_elem with no charges: tape-specialized loops
+  /// read through this and account through a replayed tape that
+  /// append_get_elem_charges contributed to.
+  T get_elem_uncharged(const Index& ix) const {
+    if (block_ && bounds_.contains(ix, dims_)) [[likely]] {
+      const int col = dims_ >= 2 ? ix[1] : 0;
+      return data_[static_cast<std::size_t>(
+          static_cast<long>(ix[0] - row0_) * width_ + (col - col0_))];
+    }
+    SKIL_REQUIRE(dist_->owner_vrank(ix) == my_vrank_,
+                 "fa_get_elem: element is not local");
+    return (*local_)[dist_->local_offset(my_vrank_, ix)];
   }
+
+  /// Appends the exact charge sequence of one get_elem to `sink`
+  /// (the single source of truth: the interpretive path charges
+  /// through this with sink = Proc).
+  template <class Sink>
+  static void append_get_elem_charges(Sink& sink) {
+    sink.charge(op_kind<T>());
+    sink.charge(parix::Op::kIndirectCall);
+    sink.charge(parix::Op::kAlloc);
+    charge_unbox(sink);
+  }
+
+ private:
+  void charge_get_elem() const { append_get_elem_charges(*proc_); }
 
   parix::Proc* proc_ = nullptr;
   std::shared_ptr<const Distribution> dist_;
@@ -201,6 +226,41 @@ FArray<T2> fa_map(const Closure<T2(T1, Index)>& map_f, const FArray<T1>& a) {
   return FArray<T2>(proc, a.dist_ptr(), std::move(fresh));
 }
 
+/// Tape-specialized fa_map.  `map_f` is a plain (inlinable) functor
+/// `T2(const T1&, Index, std::uint64_t& tapped)` that performs raw
+/// reads (get_elem_uncharged) and bumps `tapped` once per element
+/// whose interpretive body would have charged `tape`'s sequence; the
+/// loop then replays the tape `tapped` times before booking the same
+/// bulk tail charges as fa_map.  Chain-identical to fa_map with a
+/// closure whose active elements all charge `tape`'s sequence
+/// (DESIGN.md section 8).
+template <class T1, class MapF>
+auto fa_map_taped(MapF&& map_f, const parix::ChargeTape& tape,
+                  const FArray<T1>& a) {
+  using T2 = std::remove_cvref_t<
+      std::invoke_result_t<MapF&, const T1&, Index, std::uint64_t&>>;
+  SKIL_REQUIRE(a.valid(), "fa_map: invalid array");
+  parix::Proc& proc = a.proc();
+  const auto& src = a.local();
+  std::vector<T2> fresh;
+  fresh.reserve(src.size());
+  std::size_t offset = 0;
+  std::uint64_t elems = 0;
+  std::uint64_t tapped = 0;
+  for (const RowRun& run : a.my_runs())
+    for (int c = 0; c < run.col_count; ++c) {
+      fresh.push_back(
+          map_f(src[offset], Index{run.row, run.col_begin + c}, tapped));
+      ++offset;
+      ++elems;
+    }
+  proc.replay(tape, tapped);
+  charge_apply(proc, elems);
+  charge_map_cell(proc, elems);
+  proc.charge(op_kind<T2>(), elems);
+  return FArray<T2>(proc, a.dist_ptr(), std::move(fresh));
+}
+
 /// Functional fold: conversion + local fold + tree fold + broadcast.
 template <class T2, class T1>
 T2 fa_fold(const Closure<T2(T1, Index)>& conv_f,
@@ -231,6 +291,53 @@ T2 fa_fold(const Closure<T2(T1, Index)>& conv_f,
     if (!rhs.has_value()) return lhs;
     charge_apply(proc);
     return fold_f.apply_uncharged(std::move(*lhs), std::move(*rhs));
+  };
+  std::optional<T2> result =
+      parix::allreduce(proc, a.topology(), std::move(acc), merge);
+  SKIL_REQUIRE(result.has_value(), "fa_fold: array has no elements");
+  return *result;
+}
+
+/// Tape-specialized fa_fold.  `conv_f` is a raw (inlinable) functor
+/// `T2(const T1&, Index, std::uint64_t& tapped)` bumping `tapped` once
+/// per application whose interpretive body would have charged `tape`'s
+/// sequence; `fold_f` is a raw charge-free combiner `T2(T2, T2)`.  The
+/// local loop replays the tape before booking fa_fold's bulk tail
+/// charges; the (cold, log p) tree merge stays interpretive, charging
+/// exactly what fa_fold's merge charges.
+template <class T1, class ConvF, class FoldF>
+auto fa_fold_taped(ConvF&& conv_f, FoldF&& fold_f,
+                   const parix::ChargeTape& tape, const FArray<T1>& a) {
+  using T2 = std::remove_cvref_t<
+      std::invoke_result_t<ConvF&, const T1&, Index, std::uint64_t&>>;
+  SKIL_REQUIRE(a.valid(), "fa_fold: invalid array");
+  parix::Proc& proc = a.proc();
+  const auto& src = a.local();
+  std::optional<T2> acc;
+  std::size_t offset = 0;
+  std::uint64_t elems = 0;
+  std::uint64_t tapped = 0;
+  for (const RowRun& run : a.my_runs())
+    for (int c = 0; c < run.col_count; ++c) {
+      T2 converted =
+          conv_f(src[offset], Index{run.row, run.col_begin + c}, tapped);
+      acc = acc.has_value()
+                ? fold_f(std::move(*acc), std::move(converted))
+                : std::move(converted);
+      ++offset;
+      ++elems;
+    }
+  proc.replay(tape, tapped);
+  charge_apply(proc, 2 * elems);
+  charge_map_cell(proc, elems);
+  proc.charge(op_kind<T1>(), elems);
+
+  auto merge = [&](std::optional<T2> lhs,
+                   std::optional<T2> rhs) -> std::optional<T2> {
+    if (!lhs.has_value()) return rhs;
+    if (!rhs.has_value()) return lhs;
+    charge_apply(proc);
+    return fold_f(std::move(*lhs), std::move(*rhs));
   };
   std::optional<T2> result =
       parix::allreduce(proc, a.topology(), std::move(acc), merge);
@@ -340,13 +447,16 @@ FArray<T> fa_permute_rows(const FArray<T>& a,
   return FArray<T>(proc, a.dist_ptr(), std::move(fresh));
 }
 
-/// Functional Gentleman multiplication: same torus rotations as the
-/// Skil skeleton, but every round combines through closures on boxed
-/// values and the accumulator array is rebuilt persistently per round.
-template <class T>
-FArray<T> fa_gen_mult(const FArray<T>& a, const FArray<T>& b,
-                      const Closure<T(T, T)>& gen_add,
-                      const Closure<T(T, T)>& gen_mult) {
+namespace detail {
+
+/// Shared core of fa_gen_mult and fa_gen_mult_taped, templated over
+/// the combine functors.  The charges are already bulk (per round, not
+/// per element), so both paths book the identical sequence; the taped
+/// entry point only swaps the per-element closure dispatch for fully
+/// inlined functors.
+template <class T, class AddF, class MultF>
+FArray<T> fa_gen_mult_impl(const FArray<T>& a, const FArray<T>& b,
+                           AddF&& gen_add, MultF&& gen_mult) {
   SKIL_REQUIRE(a.valid() && b.valid(), "fa_gen_mult: invalid array");
   const Distribution& dist = a.dist();
   const parix::Topology& topo = a.topology();
@@ -413,12 +523,10 @@ FArray<T> fa_gen_mult(const FArray<T>& a, const FArray<T>& b,
           const T& aik = a_block[static_cast<std::size_t>(i) * block + k];
           const T* brow = &b_block[static_cast<std::size_t>(k) * block];
           if (round == 0 && k == 0) {
-            for (int j = j0; j < j1; ++j)
-              crow[j] = gen_mult.apply_uncharged(aik, brow[j]);
+            for (int j = j0; j < j1; ++j) crow[j] = gen_mult(aik, brow[j]);
           } else {
             for (int j = j0; j < j1; ++j)
-              crow[j] = gen_add.apply_uncharged(
-                  crow[j], gen_mult.apply_uncharged(aik, brow[j]));
+              crow[j] = gen_add(crow[j], gen_mult(aik, brow[j]));
           }
         }
       }
@@ -437,6 +545,32 @@ FArray<T> fa_gen_mult(const FArray<T>& a, const FArray<T>& b,
   }
 
   return FArray<T>(proc, a.dist_ptr(), std::move(c_block));
+}
+
+}  // namespace detail
+
+/// Functional Gentleman multiplication: same torus rotations as the
+/// Skil skeleton, but every round combines through closures on boxed
+/// values and the accumulator array is rebuilt persistently per round.
+template <class T>
+FArray<T> fa_gen_mult(const FArray<T>& a, const FArray<T>& b,
+                      const Closure<T(T, T)>& gen_add,
+                      const Closure<T(T, T)>& gen_mult) {
+  return detail::fa_gen_mult_impl(
+      a, b,
+      [&](T x, T y) { return gen_add.apply_uncharged(x, y); },
+      [&](T x, T y) { return gen_mult.apply_uncharged(x, y); });
+}
+
+/// Tape-path fa_gen_mult: the same rounds and the same bulk charges,
+/// with the combines supplied as plain functors that inline into the
+/// block-multiply loop (callers still construct their Closures so the
+/// closure-record allocations charge identically).
+template <class T, class AddF, class MultF>
+FArray<T> fa_gen_mult_taped(const FArray<T>& a, const FArray<T>& b,
+                            AddF&& gen_add, MultF&& gen_mult) {
+  return detail::fa_gen_mult_impl(a, b, std::forward<AddF>(gen_add),
+                                  std::forward<MultF>(gen_mult));
 }
 
 namespace detail {

@@ -17,21 +17,30 @@
 #include <type_traits>
 #include <utility>
 
+#include "parix/charge_tape.h"
 #include "parix/proc.h"
 
 namespace skil::dpfl {
 
+// The charge helpers are templated over a charge Sink -- parix::Proc
+// (the interpretive path charges the clock directly) or
+// parix::ChargeTape (the tape path records the identical sequence once
+// and replays it).  One definition serves both, so the sequences
+// cannot drift apart.
+
 /// Virtual-time prices of one closure application in a lazy
 /// graph-reduction runtime: the indirect call itself plus the thunk
 /// node and the boxed result cell it allocates.
-inline void charge_apply(parix::Proc& proc, std::uint64_t count = 1) {
-  proc.charge(parix::Op::kIndirectCall, count);
-  proc.charge(parix::Op::kAlloc, count);  // application node in the graph
+template <class Sink>
+inline void charge_apply(Sink& sink, std::uint64_t count = 1) {
+  sink.charge(parix::Op::kIndirectCall, count);
+  sink.charge(parix::Op::kAlloc, count);  // application node in the graph
 }
 
 /// Price of reading a boxed value out of the graph (pointer chase).
-inline void charge_unbox(parix::Proc& proc, std::uint64_t count = 1) {
-  proc.charge(parix::Op::kCopyWord, 2 * count);
+template <class Sink>
+inline void charge_unbox(Sink& sink, std::uint64_t count = 1) {
+  sink.charge(parix::Op::kCopyWord, 2 * count);
 }
 
 /// A first-class function value.  Building one allocates a closure

@@ -3,9 +3,8 @@
 // share() wraps a vector in an immutable shared buffer suitable for
 // Proc::send_buffer: the sender and any in-flight messages reference
 // the same storage, so posting a rotation no longer copies a whole
-// block per round.  When the last reference drops -- usually on the
-// receiver's side after take_payload moved the data on -- the vector
-// node returns to the pool's free list instead of the heap, so
+// block per round.  When the last reference drops, the vector node
+// returns to the pool's free list instead of the heap, so
 // steady-state rotation loops stop allocating per message.  The free
 // list is mutex-guarded because that last release happens on another
 // processor's thread; the deleter shares ownership of the pool state,
@@ -58,13 +57,14 @@ class BufferPool {
   std::shared_ptr<State> state_ = std::make_shared<State>();
 };
 
-/// Extracts the vector from a shared buffer: moves when the caller
-/// holds the last reference (the buffer object was never actually
-/// const), copies otherwise.
+/// Extracts the vector from a shared buffer by copying.  Like
+/// take_payload, this must not move even when use_count() reads 1:
+/// that relaxed observation of another owner's drop does not
+/// synchronize with the dropping thread's final reads of the buffer,
+/// so stealing the vector header would be a data race.  Callers hit
+/// this once per skeleton invocation (unskew), not per round.
 template <class T>
 std::vector<T> take_buffer(std::shared_ptr<const std::vector<T>> buf) {
-  if (buf.use_count() == 1)
-    return std::move(const_cast<std::vector<T>&>(*buf));
   return *buf;
 }
 

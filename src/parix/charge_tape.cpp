@@ -1,0 +1,40 @@
+#include "parix/charge_tape.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "support/error.h"
+
+namespace skil::parix {
+
+namespace {
+
+ChargePath initial_default_charge_path() {
+  if (const char* env = std::getenv("SKIL_CHARGE"))
+    return parse_charge_path(env);
+  return ChargePath::kTape;
+}
+
+ChargePath& default_charge_path_slot() {
+  static ChargePath path = initial_default_charge_path();
+  return path;
+}
+
+}  // namespace
+
+ChargePath parse_charge_path(std::string_view name) {
+  if (name == "interp") return ChargePath::kInterp;
+  if (name == "tape") return ChargePath::kTape;
+  SKIL_REQUIRE(false, "SKIL_CHARGE: unknown charge path '" +
+                          std::string(name) +
+                          "' (accepted values: interp, tape)");
+  return ChargePath::kTape;  // unreachable
+}
+
+ChargePath default_charge_path() { return default_charge_path_slot(); }
+
+void set_default_charge_path(ChargePath path) {
+  default_charge_path_slot() = path;
+}
+
+}  // namespace skil::parix

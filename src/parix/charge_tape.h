@@ -1,0 +1,94 @@
+// Charge-tape specialization of the virtual-clock hot loops.
+//
+// The hot loops of the skeleton baselines charge a fixed sequence of
+// operations per element (e.g. DPFL's boxed get_elem charges four ops
+// per access, eleven per active elimination element).  Each charge is
+// a dependent floating-point add into the processor's clock, and that
+// chain order *is* the scientific artefact: FP addition does not
+// reassociate, so the addends cannot be batched or reordered without
+// moving golden values by rounding (DESIGN.md section 8).
+//
+// What CAN go is everything around the chain: closure dispatch, boxed
+// element models, per-access geometry checks and per-charge stats
+// bookkeeping.  A ChargeTape records one element's exact addend
+// sequence (op kinds and counts, in program order); Proc::replay then
+// re-executes that sequence `times` times as a tight flat loop over
+// precomputed addends -- same multiplies, same adds, same order, so
+// the clock lands on bit-identical values -- and books the per-op
+// counts as one batched integer update per tape entry.
+//
+// Building tapes reuses the same charge-helper functions the
+// interpretive path calls (they are templated over a "charge sink":
+// a Proc or a ChargeTape), so the two paths cannot drift apart
+// silently; tests/test_parix_charge_tape.cpp additionally pins them
+// bit-for-bit against each other on every golden cell.
+//
+// The interpretive path stays compiled in as a differential oracle:
+// SKIL_CHARGE=interp|tape (or set_default_charge_path) selects which
+// one the applications' hot loops take.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "parix/cost_model.h"
+
+namespace skil::parix {
+
+/// Which accounting path the skeleton/application hot loops take.
+enum class ChargePath {
+  kInterp,  ///< per-element charge() calls through the interpretive models
+  kTape,    ///< recorded addend sequence replayed by Proc::replay
+};
+
+/// Process-wide default charge path: kTape, overridable with the
+/// SKIL_CHARGE environment variable ("interp" / "tape") or
+/// set_default_charge_path.  Unknown SKIL_CHARGE values fail loudly.
+ChargePath default_charge_path();
+void set_default_charge_path(ChargePath path);
+
+/// Strict switch parsers (shared by the environment readers and unit
+/// tests): unknown names raise ContractError listing the accepted
+/// values instead of silently falling back to a default.
+ChargePath parse_charge_path(std::string_view name);
+
+/// One element's recorded charge sequence: op kinds and counts in the
+/// exact order the interpretive path would charge them.
+class ChargeTape {
+ public:
+  struct Entry {
+    Op kind;
+    std::uint64_t count;
+  };
+
+  /// Appends one charge to the tape.  Named `charge` so the sink
+  /// interface matches Proc and the shared charge helpers (fn.h,
+  /// farray.h) can record into a tape exactly what they would charge
+  /// to a processor.
+  void charge(Op kind, std::uint64_t count = 1) {
+    entries_.push_back(Entry{kind, count});
+  }
+
+  /// Bulk-charge sink hook, mirroring Proc::charge_elems: one entry
+  /// with the multiplied count (the charge_elems identity -- see
+  /// proc.h -- makes this arithmetic-identical).
+  void charge_elems(Op kind, std::uint64_t elems,
+                    std::uint64_t ops_per_elem = 1) {
+    charge(kind, elems * ops_per_elem);
+  }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Upper bound accepted by Proc::replay (hot-loop tapes are at most
+  /// ~a dozen entries; the cap keeps replay's addend buffer on the
+  /// stack).
+  static constexpr std::size_t kMaxEntries = 32;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace skil::parix

@@ -9,9 +9,9 @@
 // Large payloads can also travel as *shared buffers*
 // (make_shared_message): sender and message reference one immutable
 // vector, so posting a send does not copy the data.  The receiver
-// moves the buffer out if it is the last owner and copies otherwise
-// -- either way the modeled wire cost is unchanged (the 1996 machine
-// did copy into send buffers; only the host-side copy disappears).
+// copies the buffer out (see take_payload for why it must not move) --
+// the modeled wire cost is unchanged either way (the 1996 machine did
+// copy into send buffers; only the sender-side host copy disappears).
 #pragma once
 
 #include <concepts>
@@ -123,21 +123,27 @@ Message make_shared_message(int src, long tag, std::shared_ptr<const T> value,
   msg.tag = tag;
   msg.bytes = payload_bytes(*value);
   msg.type = &typeid(T);
-  // The buffer is never mutated through this pointer unless the
-  // receiver is its sole owner (see take_payload), so shedding the
-  // const for type-erased storage is safe.
+  // The buffer is never mutated through this pointer (take_payload
+  // copies shared buffers), so shedding the const for type-erased
+  // storage is safe.
   msg.payload = std::const_pointer_cast<T>(std::move(value));
   msg.arrival_vtime = arrival_vtime;
   msg.shared = true;
   return msg;
 }
 
-/// Extracts the payload: moves it out when the message is the sole
-/// owner, copies when the sender still shares the buffer.
+/// Extracts the payload: moves it out of an exclusively owned message,
+/// copies from a shared buffer.  Shared buffers must be copied even
+/// when use_count() reads 1: the sender keeps reading the buffer
+/// through its own reference after posting the async send, and a
+/// relaxed use_count() observation of its drop does not synchronize
+/// with those final reads -- moving the vector header here would be a
+/// data race (caught by the TSan CI job).  Only the sender-side copy
+/// is elided; the modeled wire cost already includes the copy.
 template <class T>
 T take_payload(Message& msg) {
   T* value = static_cast<T*>(msg.payload.get());
-  if (msg.shared && msg.payload.use_count() > 1) return *value;
+  if (msg.shared) return *value;
   return std::move(*value);
 }
 

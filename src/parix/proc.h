@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "parix/charge_tape.h"
 #include "parix/machine.h"
 #include "support/error.h"
 
@@ -63,6 +64,45 @@ class Proc {
   void charge_elems(Op kind, std::uint64_t elems,
                     std::uint64_t ops_per_elem = 1) {
     charge(kind, elems * ops_per_elem);
+  }
+
+  /// Replays a recorded charge sequence `times` times, as if charge()
+  /// had been called for every tape entry, per repetition, in order.
+  ///
+  /// Invariant (DESIGN.md section 8): this is arithmetic-identical to
+  ///
+  ///   for (t = 0; t < times; ++t)
+  ///     for (entry : tape) charge(entry.kind, entry.count);
+  ///
+  /// Each addend is the same unit * count product charge() computes,
+  /// and vtime_ / compute_us advance through the identical dependent
+  /// FP-add chain -- only in registers, with the per-op counters
+  /// booked as one batched (integer, hence exact) update per entry.
+  /// Tape-specialized hot loops replace their per-element interpretive
+  /// charges with one replay per loop; the differential tests pin the
+  /// two paths bit-for-bit against each other.
+  void replay(const ChargeTape& tape, std::uint64_t times) {
+    const std::size_t n = tape.size();
+    SKIL_ASSERT(n <= ChargeTape::kMaxEntries,
+                "replay: tape exceeds kMaxEntries");
+    if (n == 0 || times == 0) return;
+    const ChargeTape::Entry* entries = tape.entries().data();
+    double addends[ChargeTape::kMaxEntries];
+    for (std::size_t i = 0; i < n; ++i)
+      addends[i] = unit_[static_cast<int>(entries[i].kind)] *
+                   static_cast<double>(entries[i].count);
+    double vt = vtime_;
+    double cu = stats_.compute_us;
+    for (std::uint64_t t = 0; t < times; ++t)
+      for (std::size_t i = 0; i < n; ++i) {
+        vt += addends[i];
+        cu += addends[i];
+      }
+    vtime_ = vt;
+    stats_.compute_us = cu;
+    for (std::size_t i = 0; i < n; ++i)
+      stats_.ops[static_cast<int>(entries[i].kind)] +=
+          entries[i].count * times;
   }
 
   /// Charges raw virtual microseconds of computation (used by tests and

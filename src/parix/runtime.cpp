@@ -9,6 +9,7 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <string_view>
 #include <thread>
 
@@ -32,11 +33,8 @@ namespace skil::parix {
 namespace {
 
 ExecutionEngine initial_default_engine() {
-  if (const char* env = std::getenv("SKIL_ENGINE")) {
-    const std::string_view name(env);
-    if (name == "threads") return ExecutionEngine::kThreads;
-    if (name == "pooled") return ExecutionEngine::kPooled;
-  }
+  if (const char* env = std::getenv("SKIL_ENGINE"))
+    return parse_execution_engine(env);
 #ifdef SKIL_SANITIZED_BUILD
   return ExecutionEngine::kThreads;
 #else
@@ -48,6 +46,19 @@ ExecutionEngine& default_engine_slot() {
   static ExecutionEngine engine = initial_default_engine();
   return engine;
 }
+
+}  // namespace
+
+ExecutionEngine parse_execution_engine(std::string_view name) {
+  if (name == "threads") return ExecutionEngine::kThreads;
+  if (name == "pooled") return ExecutionEngine::kPooled;
+  SKIL_REQUIRE(false, "SKIL_ENGINE: unknown execution engine '" +
+                          std::string(name) +
+                          "' (accepted values: threads, pooled)");
+  return ExecutionEngine::kPooled;  // unreachable
+}
+
+namespace {
 
 /// The per-step skeleton allocations (fresh FArray partitions, rotate
 /// buffers) are a few MB each -- above glibc's default mmap threshold,

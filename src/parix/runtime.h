@@ -22,6 +22,7 @@
 
 #include <functional>
 #include <memory>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
@@ -40,9 +41,16 @@ enum class ExecutionEngine {
 /// SKIL_ENGINE environment variable ("threads" / "pooled") or
 /// set_default_execution_engine.  Sanitizer builds default to
 /// kThreads because fiber context switches confuse thread/address
-/// sanitizers unless specially annotated.
+/// sanitizers unless specially annotated.  Unknown SKIL_ENGINE values
+/// fail loudly (ContractError) instead of silently running the
+/// default configuration.
 ExecutionEngine default_execution_engine();
 void set_default_execution_engine(ExecutionEngine engine);
+
+/// Strict engine-name parser shared by the environment reader and the
+/// unit tests: raises ContractError listing the accepted values on
+/// anything but "threads" / "pooled".
+ExecutionEngine parse_execution_engine(std::string_view name);
 
 /// Configuration of one SPMD run.
 struct RunConfig {

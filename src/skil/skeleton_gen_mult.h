@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "parix/buffer_pool.h"
+#include "parix/charge_tape.h"
 #include "parix/collectives.h"
 #include "parix/proc.h"
 #include "skil/dist_array.h"
@@ -128,6 +129,22 @@ void array_gen_mult(DistArray<T>& a, DistArray<T>& b, Add gen_add,
   // result (FP rounding included) is bit-identical to the naive loop.
   constexpr int kTileCols = 64;
 
+  // Every round books the same three bulk charges; the tape path
+  // records them once and replays the tape per round.  No virtual-time
+  // event separates the interp path's pre-compute kCopyWord charge
+  // from its post-compute charges (the compute loop charges nothing),
+  // so replaying all three after the compute walks the identical
+  // dependent FP-add chain (DESIGN.md section 8).
+  const std::uint64_t fused = static_cast<std::uint64_t>(block) * block * block;
+  const bool taped = parix::default_charge_path() == parix::ChargePath::kTape;
+  parix::ChargeTape round_tape;
+  if (taped) {
+    if (rotating)
+      round_tape.charge_elems(parix::Op::kCopyWord, block_words, 2);
+    round_tape.charge_elems(parix::Op::kCall, fused, 2);
+    round_tape.charge_elems(op_kind<T>(), fused, 2);
+  }
+
   std::vector<T>& c_block = c.local();
   for (int round = 0; round < q; ++round) {
     // Asynchronous overlap (the optimization Table 1's footnote
@@ -138,7 +155,7 @@ void array_gen_mult(DistArray<T>& a, DistArray<T>& b, Add gen_add,
     if (rotating) {
       proc.send_buffer<T>(a_dst, tag, a_buf, parix::SendMode::kAsync);
       proc.send_buffer<T>(b_dst, tag + 1, b_buf, parix::SendMode::kAsync);
-      proc.charge_elems(parix::Op::kCopyWord, block_words, 2);
+      if (!taped) proc.charge_elems(parix::Op::kCopyWord, block_words, 2);
     }
 
     // Local generalized multiply-accumulate of the (block x block)
@@ -163,10 +180,12 @@ void array_gen_mult(DistArray<T>& a, DistArray<T>& b, Add gen_add,
     // receive time reflects the computation that overlapped it: two
     // functional-argument calls and two element operations per fused
     // multiply-add, as the instantiated Skil code would execute.
-    const std::uint64_t fused =
-        static_cast<std::uint64_t>(block) * block * block;
-    proc.charge_elems(parix::Op::kCall, fused, 2);
-    proc.charge_elems(op_kind<T>(), fused, 2);
+    if (taped) {
+      proc.replay(round_tape, 1);
+    } else {
+      proc.charge_elems(parix::Op::kCall, fused, 2);
+      proc.charge_elems(op_kind<T>(), fused, 2);
+    }
 
     // Complete the rotation (also after the last round: q single-step
     // rotations return the blocks to their skewed start, which the

@@ -21,6 +21,7 @@
 #include <cstring>
 #include <type_traits>
 
+#include "parix/charge_tape.h"
 #include "parix/proc.h"
 #include "skil/dist_array.h"
 
@@ -38,6 +39,14 @@ decltype(auto) apply_map_f(F& map_f, const T& elem, const Index& ix) {
   } else {
     return map_f(elem);
   }
+}
+
+/// The bulk tail charges shared by array_map and array_map_taped (one
+/// first-order call plus one element operation per element).
+template <class T2>
+inline void array_map_charge_tail(parix::Proc& proc, std::uint64_t elems) {
+  proc.charge_elems(parix::Op::kCall, elems);
+  proc.charge_elems(op_kind<T2>(), elems);
 }
 
 }  // namespace detail
@@ -63,8 +72,37 @@ void array_map(F map_f, const DistArray<T1>& from, DistArray<T2>& to) {
       ++offset;
       ++elems;
     }
-  from.proc().charge_elems(parix::Op::kCall, elems);
-  from.proc().charge_elems(op_kind<T2>(), elems);
+  detail::array_map_charge_tail<T2>(from.proc(), elems);
+}
+
+/// Tape-specialized array_map.  `map_f` is a plain functor
+/// `T2(const T1&, Index, std::uint64_t& tapped)` performing raw reads
+/// (get_elem_uncharged) and bumping `tapped` once per element whose
+/// interpretive body would have charged `tape`'s sequence; the loop
+/// replays the tape `tapped` times, then books the same bulk tail
+/// charges as array_map.  Chain-identical to array_map with a functor
+/// whose active elements all charge `tape`'s sequence (DESIGN.md
+/// section 8).
+template <class F, class T1, class T2>
+void array_map_taped(F map_f, const parix::ChargeTape& tape,
+                     const DistArray<T1>& from, DistArray<T2>& to) {
+  SKIL_REQUIRE(from.valid() && to.valid(), "array_map: invalid array");
+  SKIL_REQUIRE(from.dist().same_placement(to.dist()),
+               "array_map: source and target must share one distribution");
+  const auto& src = from.local();
+  auto& dst = to.local();
+  std::size_t offset = 0;
+  std::uint64_t elems = 0;
+  std::uint64_t tapped = 0;
+  for (const RowRun& run : from.my_runs())
+    for (int c = 0; c < run.col_count; ++c) {
+      dst[offset] =
+          map_f(src[offset], Index{run.row, run.col_begin + c}, tapped);
+      ++offset;
+      ++elems;
+    }
+  from.proc().replay(tape, tapped);
+  detail::array_map_charge_tail<T2>(from.proc(), elems);
 }
 
 /// Two-source map: to[i] = zip_f(a[i], b[i], i).  Extension skeleton.

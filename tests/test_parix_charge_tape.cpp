@@ -1,0 +1,205 @@
+// Tests for the charge-tape specialization layer (parix/charge_tape.h,
+// Proc::replay, DESIGN.md section 8).
+//
+// The load-bearing property: for every golden application cell, the
+// tape path must reproduce the interpretive path's virtual times
+// BIT-FOR-BIT -- same vtime, same per-processor vtimes, same per-op
+// counters -- under both execution engines.  A tape that merely lands
+// "close" has reassociated the dependent FP-add chain and changed the
+// scientific artefact.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "parix/charge_tape.h"
+#include "parix/runtime.h"
+#include "parix_golden_cases.h"
+#include "support/error.h"
+
+namespace {
+
+using namespace skil;
+using namespace skil::parix;
+
+using skil::testing::GoldenCase;
+using skil::testing::golden_cases;
+using skil::testing::with_charge_path;
+using skil::testing::with_engine;
+
+// --- differential: interp vs tape on every golden cell --------------------
+
+void expect_paths_identical(ExecutionEngine engine) {
+  for (const GoldenCase& c : golden_cases()) {
+    SCOPED_TRACE(c.name);
+    const RunResult interp = with_engine(engine, [&] {
+      return with_charge_path(ChargePath::kInterp, [&] { return c.run(); });
+    });
+    const RunResult tape = with_engine(engine, [&] {
+      return with_charge_path(ChargePath::kTape, [&] { return c.run(); });
+    });
+    EXPECT_EQ(interp.vtime_us, tape.vtime_us);
+    EXPECT_EQ(interp.proc_vtimes, tape.proc_vtimes);
+    EXPECT_EQ(interp.total.compute_us, tape.total.compute_us);
+    EXPECT_EQ(interp.total.comm_us, tape.total.comm_us);
+    ASSERT_EQ(interp.proc_stats.size(), tape.proc_stats.size());
+    for (std::size_t p = 0; p < interp.proc_stats.size(); ++p) {
+      SCOPED_TRACE(p);
+      // Stats::operator== covers compute_us, comm_us, messages, bytes
+      // and the full per-op counter array.
+      EXPECT_EQ(interp.proc_stats[p], tape.proc_stats[p]);
+    }
+  }
+}
+
+TEST(ChargeTapeDifferential, InterpAndTapeAgreeBitForBitPooled) {
+  expect_paths_identical(ExecutionEngine::kPooled);
+}
+
+TEST(ChargeTapeDifferential, InterpAndTapeAgreeBitForBitThreads) {
+  expect_paths_identical(ExecutionEngine::kThreads);
+}
+
+TEST(ChargeTapeDifferential, BothPathsReproduceTheGoldenValues) {
+  for (const GoldenCase& c : golden_cases()) {
+    SCOPED_TRACE(c.name);
+    for (ChargePath path : {ChargePath::kInterp, ChargePath::kTape}) {
+      SCOPED_TRACE(path == ChargePath::kInterp ? "interp" : "tape");
+      const RunResult r =
+          with_charge_path(path, [&] { return c.run(); });
+      EXPECT_EQ(r.vtime_us, c.vtime_us);
+      EXPECT_EQ(r.proc_vtimes, c.proc_vtimes);
+      EXPECT_EQ(r.total.compute_us, c.compute_us);
+      EXPECT_EQ(r.total.comm_us, c.comm_us);
+    }
+  }
+}
+
+// --- replay identity ------------------------------------------------------
+
+TEST(ChargeTapeReplay, IdenticalToPerElementChargeSequence) {
+  // replay(tape, times) must equal the hand-rolled charge loop to the
+  // last bit: same multiplies, same adds, same order.
+  ChargeTape tape;
+  tape.charge(Op::kFloatOp, 2);
+  tape.charge(Op::kFloatOp);
+  tape.charge(Op::kIndirectCall);
+  tape.charge(Op::kAlloc, 2);
+  tape.charge(Op::kCopyWord, 4);
+
+  RunConfig config{1, CostModel::t800()};
+  const RunResult interp = spmd_run(config, [&](Proc& proc) {
+    for (int t = 0; t < 12345; ++t)
+      for (const ChargeTape::Entry& e : tape.entries())
+        proc.charge(e.kind, e.count);
+  });
+  const RunResult taped = spmd_run(config, [&](Proc& proc) {
+    proc.replay(tape, 12345);
+  });
+  EXPECT_EQ(interp.vtime_us, taped.vtime_us);
+  EXPECT_EQ(interp.total.compute_us, taped.total.compute_us);
+  EXPECT_EQ(interp.total.ops, taped.total.ops);
+}
+
+TEST(ChargeTapeReplay, InterleavedReplaysExtendTheSameChain) {
+  // Splitting one loop's replays (as data-dependent skeleton loops do:
+  // replay(tape, tapped) per map call) must still walk one chain.
+  ChargeTape tape;
+  tape.charge(Op::kFloatOp, 2);
+  tape.charge(Op::kFloatOp);
+
+  RunConfig config{1, CostModel::t800()};
+  const RunResult whole = spmd_run(config, [&](Proc& proc) {
+    proc.replay(tape, 1000);
+  });
+  const RunResult split = spmd_run(config, [&](Proc& proc) {
+    proc.replay(tape, 1);
+    proc.replay(tape, 998);
+    proc.replay(tape, 1);
+  });
+  EXPECT_EQ(whole.vtime_us, split.vtime_us);
+  EXPECT_EQ(whole.total.ops, split.total.ops);
+}
+
+TEST(ChargeTapeReplay, ZeroTimesAndEmptyTapeAreNoOps) {
+  ChargeTape tape;
+  tape.charge(Op::kFloatOp, 3);
+  ChargeTape empty;
+
+  RunConfig config{1, CostModel::t800()};
+  const RunResult r = spmd_run(config, [&](Proc& proc) {
+    proc.charge(Op::kIntOp, 7);
+    proc.replay(tape, 0);
+    proc.replay(empty, 12345);
+  });
+  const RunResult plain = spmd_run(config, [](Proc& proc) {
+    proc.charge(Op::kIntOp, 7);
+  });
+  EXPECT_EQ(r.vtime_us, plain.vtime_us);
+  EXPECT_EQ(r.total.ops, plain.total.ops);
+}
+
+TEST(ChargeTapeReplay, ChargeElemsEntryMatchesMultipliedCharge) {
+  // ChargeTape::charge_elems must fold into one entry exactly like
+  // Proc::charge_elems folds into one charge.
+  ChargeTape bulk;
+  bulk.charge_elems(Op::kCopyWord, 123, 2);
+  ChargeTape plain;
+  plain.charge(Op::kCopyWord, 246);
+  ASSERT_EQ(bulk.size(), 1u);
+  ASSERT_EQ(plain.size(), 1u);
+  EXPECT_EQ(bulk.entries()[0].kind, plain.entries()[0].kind);
+  EXPECT_EQ(bulk.entries()[0].count, plain.entries()[0].count);
+}
+
+// --- strict switch parsing ------------------------------------------------
+
+TEST(ChargePathParsing, AcceptsTheTwoKnownNames) {
+  EXPECT_EQ(parse_charge_path("interp"), ChargePath::kInterp);
+  EXPECT_EQ(parse_charge_path("tape"), ChargePath::kTape);
+}
+
+TEST(ChargePathParsing, RejectsUnknownNamesListingAcceptedValues) {
+  try {
+    parse_charge_path("fast");
+    FAIL() << "expected ContractError";
+  } catch (const support::ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("SKIL_CHARGE"), std::string::npos);
+    EXPECT_NE(what.find("fast"), std::string::npos);
+    EXPECT_NE(what.find("interp, tape"), std::string::npos);
+  }
+  EXPECT_THROW(parse_charge_path(""), support::ContractError);
+  EXPECT_THROW(parse_charge_path("Tape"), support::ContractError);
+}
+
+TEST(EngineParsing, AcceptsTheTwoKnownNames) {
+  EXPECT_EQ(parse_execution_engine("threads"), ExecutionEngine::kThreads);
+  EXPECT_EQ(parse_execution_engine("pooled"), ExecutionEngine::kPooled);
+}
+
+TEST(EngineParsing, RejectsUnknownNamesListingAcceptedValues) {
+  try {
+    parse_execution_engine("fibers");
+    FAIL() << "expected ContractError";
+  } catch (const support::ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("SKIL_ENGINE"), std::string::npos);
+    EXPECT_NE(what.find("fibers"), std::string::npos);
+    EXPECT_NE(what.find("threads, pooled"), std::string::npos);
+  }
+  EXPECT_THROW(parse_execution_engine(""), support::ContractError);
+}
+
+// --- default selection ----------------------------------------------------
+
+TEST(ChargePathDefault, SetDefaultRoundTrips) {
+  const ChargePath saved = default_charge_path();
+  set_default_charge_path(ChargePath::kInterp);
+  EXPECT_EQ(default_charge_path(), ChargePath::kInterp);
+  set_default_charge_path(ChargePath::kTape);
+  EXPECT_EQ(default_charge_path(), ChargePath::kTape);
+  set_default_charge_path(saved);
+}
+
+}  // namespace
