@@ -8,14 +8,17 @@
 //
 // Usage: bench_engine_wall [--quick] [--json=path] [--out-dir=dir]
 //                          [--baseline=secs] [--reps=N] [--jobs=N]
-//                          [--charge=interp|tape]
+//                          [--charge=interp|tape] [--trace-out=dir]
 //
 // --jobs forks one worker process per (p, n) cell, up to N at a time
 // (virtual times are per-cell deterministic, so the assembled grid is
 // identical).  --charge selects the accounting path of the skeleton
 // hot loops (default: the process default, i.e. SKIL_CHARGE or tape).
+// --trace-out runs one representative cell again under full tracing
+// (after the timed sweep, so the timings stay untraced) and writes its
+// Chrome trace + metrics JSON (parix/metrics.h) into the directory.
 //
-// The JSON report (default BENCH_engine.json, schema_version 2)
+// The JSON report (default BENCH_engine.json, schema_version 3)
 // records the run configuration (reps, jobs, nproc, charge path) and
 // per-cell wall seconds alongside both engines' totals, so
 // EXPERIMENTS.md can cite the engine speedup from a committed
@@ -23,18 +26,30 @@
 // --baseline records an externally measured wall time of the same
 // workload (e.g. a pre-refactor build) so the improvement over that
 // build is part of the record.
+//
+// Schema history:
+//   v3: adds per-engine "rep_wall_seconds" (every repetition's wall,
+//       not just the reported minimum) and, when --trace-out is given,
+//       a "trace" object naming the traced cell and the exported
+//       trace/metrics files.
+//   v2: adds reps/jobs/nproc/charge configuration and per-cell walls.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "apps/gauss.h"
 #include "bench_common.h"
 #include "gauss_sweep.h"
 #include "parix/charge_tape.h"
+#include "parix/metrics.h"
 #include "parix/runtime.h"
+#include "parix/trace.h"
 #include "support/cli.h"
 
 int main(int argc, char** argv) {
@@ -42,7 +57,7 @@ int main(int argc, char** argv) {
   using namespace skil::bench;
 
   const support::Cli cli(argc, argv, {"quick", "json", "out-dir", "baseline",
-                                      "reps", "jobs", "charge"});
+                                      "reps", "jobs", "charge", "trace-out"});
   const bool quick = cli.get_bool("quick");
   const double baseline_s = std::atof(cli.get("baseline", "0").c_str());
   // The host timer is noisy (shared machine); the minimum over reps is
@@ -69,11 +84,12 @@ int main(int argc, char** argv) {
     const char* name;
     parix::ExecutionEngine engine;
     double wall_s = 0.0;
+    std::vector<double> rep_walls;  // every repetition, in run order
     std::vector<GaussCell> cells;
   };
   std::vector<EngineRun> runs = {
-      {"threads", parix::ExecutionEngine::kThreads, 0.0, {}},
-      {"pooled", parix::ExecutionEngine::kPooled, 0.0, {}},
+      {"threads", parix::ExecutionEngine::kThreads, 0.0, {}, {}},
+      {"pooled", parix::ExecutionEngine::kPooled, 0.0, {}, {}},
   };
 
   const parix::ExecutionEngine saved = parix::default_execution_engine();
@@ -85,6 +101,7 @@ int main(int argc, char** argv) {
       auto cells = run_gauss_grid_jobs(ns, ps, seed, jobs);
       const auto stop = std::chrono::steady_clock::now();
       const double wall = std::chrono::duration<double>(stop - start).count();
+      run.rep_walls.push_back(wall);
       if (rep == 0 || wall < run.wall_s) {
         run.wall_s = wall;
         run.cells = std::move(cells);
@@ -107,6 +124,37 @@ int main(int argc, char** argv) {
                 lhs.c_s == rhs.c_s;
   }
 
+  // One representative cell re-run under full tracing: the exported
+  // Chrome trace + metrics JSON let a run's virtual timeline be
+  // inspected in Perfetto without perturbing the timings above.
+  std::string trace_path, metrics_path;
+  int trace_p = 0, trace_n = 0;
+  if (cli.has("trace-out")) {
+    const std::string dir = cli.get("trace-out", ".");
+    std::filesystem::create_directories(dir);
+    trace_p = quick ? 4 : 16;
+    trace_n = quick ? 64 : 128;
+    const parix::TraceMode saved_trace = parix::default_trace_mode();
+    parix::set_default_trace_mode(parix::TraceMode::kFull);
+    const apps::GaussResult traced =
+        apps::gauss_skil(trace_p, trace_n, seed, /*pivoting=*/false);
+    parix::set_default_trace_mode(saved_trace);
+    const std::string cell = "gauss_p" + std::to_string(trace_p) + "_n" +
+                             std::to_string(trace_n);
+    trace_path = dir + "/trace_" + cell + ".json";
+    metrics_path = dir + "/metrics_" + cell + ".json";
+    {
+      std::ofstream os(trace_path);
+      parix::write_chrome_trace(*traced.run.trace, os);
+    }
+    {
+      std::ofstream os(metrics_path);
+      parix::write_metrics_json(traced.run, os);
+    }
+    std::printf("wrote %s\nwrote %s\n", trace_path.c_str(),
+                metrics_path.c_str());
+  }
+
   const double speedup = runs[0].wall_s / runs[1].wall_s;
   std::printf("\npooled speedup over threads: %.2fx\n", speedup);
   if (baseline_s > 0.0)
@@ -118,7 +166,7 @@ int main(int argc, char** argv) {
   if (FILE* out = std::fopen(path.c_str(), "w")) {
     std::fprintf(out,
                  "{\n"
-                 "  \"schema_version\": 2,\n"
+                 "  \"schema_version\": 3,\n"
                  "  \"benchmark\": \"bench_engine_wall\",\n"
                  "  \"grid\": \"table2_gauss%s\",\n"
                  "  \"reps\": %d,\n"
@@ -132,8 +180,11 @@ int main(int argc, char** argv) {
       const EngineRun& run = runs[r];
       std::fprintf(out,
                    "    {\"engine\": \"%s\", \"wall_seconds\": %.3f, "
-                   "\"cells\": [",
+                   "\"rep_wall_seconds\": [",
                    run.name, run.wall_s);
+      for (std::size_t i = 0; i < run.rep_walls.size(); ++i)
+        std::fprintf(out, "%s%.3f", i == 0 ? "" : ", ", run.rep_walls[i]);
+      std::fprintf(out, "], \"cells\": [");
       for (std::size_t i = 0; i < run.cells.size(); ++i) {
         const GaussCell& cell = run.cells[i];
         std::fprintf(out, "%s{\"p\": %d, \"n\": %d, \"wall_seconds\": %.3f}",
@@ -150,6 +201,13 @@ int main(int argc, char** argv) {
                    "  \"baseline_wall_seconds\": %.3f,\n"
                    "  \"pooled_speedup_over_baseline\": %.3f,\n",
                    baseline_s, baseline_s / runs[1].wall_s);
+    if (!trace_path.empty())
+      std::fprintf(out,
+                   "  \"trace\": {\"app\": \"gauss_skil\", \"p\": %d, "
+                   "\"n\": %d, \"trace_json\": \"%s\", "
+                   "\"metrics_json\": \"%s\"},\n",
+                   trace_p, trace_n, trace_path.c_str(),
+                   metrics_path.c_str());
     std::fprintf(out,
                  "  \"vtimes_identical_across_engines\": %s\n"
                  "}\n",

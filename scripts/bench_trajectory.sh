@@ -4,18 +4,24 @@
 # Builds (if needed) and runs bench_engine_wall on the Table-2 sweep
 # under both execution engines, then appends the result as one compact
 # JSON record per line to BENCH_engine.json at the repo root.  Records
-# are schema_version 2: run config (reps, jobs, nproc, charge path),
-# per-cell wall seconds per engine, and the engine totals.
+# are schema_version 3: run config (reps, jobs, nproc, charge path),
+# per-cell wall seconds per engine, every repetition's wall time
+# ("rep_wall_seconds", v3), and the engine totals; with --trace-out
+# the record also names the exported trace/metrics files (v3).
 #
 # Pass --quick to restrict the grid to n in {64, 128} while iterating
 # (the committed trajectory should only gain full-grid records),
 # --reps=N for a min-of-N measurement, --jobs=N for process-per-cell
-# parallelism, and --charge=interp|tape to pin the accounting path
+# parallelism, --charge=interp|tape to pin the accounting path
 # (default: tape, the specialized fast path; interp is the
-# interpretive oracle).
+# interpretive oracle), and --trace-out=DIR to re-run one
+# representative cell under SKIL_TRACE=full and write its Chrome
+# trace + metrics JSON into DIR (created if missing; the timed sweep
+# itself stays untraced).
 #
 # Usage: scripts/bench_trajectory.sh [--quick] [--reps=N] [--jobs=N]
 #                                    [--charge=interp|tape] [--baseline=secs]
+#                                    [--trace-out=DIR]
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)

@@ -131,6 +131,7 @@ GaussResult gauss_skil_impl(int nprocs, int size, EntryFn&& entry,
         zero, parix::Distr::kDefault);
 
     for (int k = 0; k < size; ++k) {
+      const parix::TraceSpan step(proc, "gauss pivot round", k);
       if (pivoting) {
         const ElemRec e =
             array_fold(make_elemrec, partial(max_abs_in_col, k), a);
@@ -280,6 +281,7 @@ GaussResult gauss_dpfl(int nprocs, int n, std::uint64_t seed,
         Size{1, size + 1});
 
     for (int k = 0; k < size; ++k) {
+      const parix::TraceSpan step(proc, "gauss pivot round", k);
       // copy_pivot: normalised pivot-row elements into this
       // processor's piv row when it owns the pivot row.
       if (taped) {
@@ -407,6 +409,7 @@ GaussResult gauss_c(int nprocs, int n, std::uint64_t seed,
     proc.charge(parix::Op::kFloatOp, local.size());
 
     for (int k = 0; k < size; ++k) {
+      const parix::TraceSpan step(proc, "gauss pivot round", k);
       const int owner = k / rows_per_proc;
       // The broadcast ships the full normalised row (columns below k
       // are already zero); restricting it to the active columns would

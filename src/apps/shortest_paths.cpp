@@ -66,6 +66,7 @@ ShpathsResult shpaths_skil(int nprocs, int n, std::uint64_t seed,
 
     const int iterations = squaring_iterations(size);
     for (int i = 0; i < iterations; ++i) {
+      const parix::TraceSpan step(proc, "shpaths squaring", i);
       array_copy(a, b);
       array_gen_mult(
           a, b, fn::min,
@@ -110,6 +111,7 @@ ShpathsResult shpaths_dpfl(int nprocs, int n, std::uint64_t seed,
     const bool taped =
         parix::default_charge_path() == parix::ChargePath::kTape;
     for (int i = 0; i < iterations; ++i) {
+      const parix::TraceSpan step(proc, "shpaths squaring", i);
       // Immutability: the functional version squares a directly into a
       // fresh array (no copy-to-b dance, but every round allocates).
       // The tape path inlines the combines into the multiply loop; the
@@ -191,6 +193,7 @@ ShpathsResult shpaths_c_custom(int nprocs, int n, std::uint64_t seed,
 
     const int iterations = squaring_iterations(size);
     for (int it = 0; it < iterations; ++it) {
+      const parix::TraceSpan step(proc, "shpaths squaring", it);
       // Square `dist` into `next` with Cannon's algorithm.  Both
       // operand buffers start as copies of the current matrix.
       std::vector<std::uint32_t> a_block = dist;

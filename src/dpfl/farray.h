@@ -183,6 +183,7 @@ FArray<T> fa_create(parix::Proc& proc, int dim, Size size,
   auto topo = std::make_shared<const parix::Topology>(proc.machine(), distr);
   auto dist = std::make_shared<const Distribution>(
       Distribution::block(std::move(topo), dim, size, blocksize));
+  const parix::TraceSpan span(proc, "fa_create");
   const int vrank = dist->topology().vrank_of(proc.id());
   std::vector<T> local(static_cast<std::size_t>(dist->local_count(vrank)));
   std::size_t offset = 0;
@@ -205,6 +206,7 @@ template <class T2, class T1>
 FArray<T2> fa_map(const Closure<T2(T1, Index)>& map_f, const FArray<T1>& a) {
   SKIL_REQUIRE(a.valid(), "fa_map: invalid array");
   parix::Proc& proc = a.proc();
+  const parix::TraceSpan span(proc, "fa_map");
   const auto& src = a.local();
   // reserve + push_back: every element is written exactly once, so the
   // value-initialising vector(n) constructor would zero megabytes per
@@ -241,6 +243,7 @@ auto fa_map_taped(MapF&& map_f, const parix::ChargeTape& tape,
       std::invoke_result_t<MapF&, const T1&, Index, std::uint64_t&>>;
   SKIL_REQUIRE(a.valid(), "fa_map: invalid array");
   parix::Proc& proc = a.proc();
+  const parix::TraceSpan span(proc, "fa_map");
   const auto& src = a.local();
   std::vector<T2> fresh;
   fresh.reserve(src.size());
@@ -267,6 +270,7 @@ T2 fa_fold(const Closure<T2(T1, Index)>& conv_f,
            const Closure<T2(T2, T2)>& fold_f, const FArray<T1>& a) {
   SKIL_REQUIRE(a.valid(), "fa_fold: invalid array");
   parix::Proc& proc = a.proc();
+  const parix::TraceSpan span(proc, "fa_fold");
   const auto& src = a.local();
   std::optional<T2> acc;
   std::size_t offset = 0;
@@ -312,6 +316,7 @@ auto fa_fold_taped(ConvF&& conv_f, FoldF&& fold_f,
       std::invoke_result_t<ConvF&, const T1&, Index, std::uint64_t&>>;
   SKIL_REQUIRE(a.valid(), "fa_fold: invalid array");
   parix::Proc& proc = a.proc();
+  const parix::TraceSpan span(proc, "fa_fold");
   const auto& src = a.local();
   std::optional<T2> acc;
   std::size_t offset = 0;
@@ -353,6 +358,7 @@ FArray<T> fa_broadcast_part(const FArray<T>& a, Index ix) {
   SKIL_REQUIRE(a.dist().uniform_partitions(),
                "fa_broadcast_part: partitions must have equal size");
   parix::Proc& proc = a.proc();
+  const parix::TraceSpan span(proc, "fa_broadcast_part");
   const int root_hw = a.dist().owner_hw(ix);
   std::vector<T> part;
   if (proc.id() == root_hw) part = a.local();
@@ -374,6 +380,7 @@ FArray<T> fa_permute_rows(const FArray<T>& a,
                    a.dist().layout() == skil::Layout::kBlock,
                "fa_permute_rows needs a 2-D block-distributed array");
   parix::Proc& proc = a.proc();
+  const parix::TraceSpan span(proc, "fa_permute_rows");
   const Distribution& dist = a.dist();
   const parix::Topology& topo = a.topology();
   const int n = dist.global_rows();
@@ -468,6 +475,7 @@ FArray<T> fa_gen_mult_impl(const FArray<T>& a, const FArray<T>& b,
   SKIL_REQUIRE(n % q == 0, "fa_gen_mult: q must divide n");
   const int block = n / q;
   parix::Proc& proc = a.proc();
+  const parix::TraceSpan span(proc, "fa_gen_mult");
   const int my_row = topo.grid_row(proc.id());
   const int my_col = topo.grid_col(proc.id());
 
@@ -506,6 +514,7 @@ FArray<T> fa_gen_mult_impl(const FArray<T>& a, const FArray<T>& b,
 
   std::vector<T> c_block(static_cast<std::size_t>(block) * block);
   for (int round = 0; round < q; ++round) {
+    const parix::TraceSpan round_span(proc, "gen_mult round", round);
     // The DPFL skeleton uses the same asynchronous overlap as Skil's
     // (both run on the same Parix communication layer).
     const long tag = proc.fresh_tag();
@@ -600,6 +609,7 @@ template <class T>
 std::vector<T> fa_gather_root(const FArray<T>& a) {
   SKIL_REQUIRE(a.valid(), "fa_gather_root: invalid array");
   parix::Proc& proc = a.proc();
+  const parix::TraceSpan span(proc, "fa_gather_root");
   std::vector<std::vector<T>> parts =
       parix::gather(proc, a.topology(), /*root_hw=*/0, a.local());
   if (proc.id() != 0) return {};
@@ -611,6 +621,7 @@ template <class T>
 std::vector<T> fa_gather_all(const FArray<T>& a) {
   SKIL_REQUIRE(a.valid(), "fa_gather_all: invalid array");
   parix::Proc& proc = a.proc();
+  const parix::TraceSpan span(proc, "fa_gather_all");
   std::vector<std::vector<T>> parts =
       parix::allgather(proc, a.topology(), a.local());
   return detail::fa_assemble(a.dist(), parts);

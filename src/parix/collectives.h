@@ -26,6 +26,7 @@ namespace skil::parix {
 /// along a binomial tree; on return every processor holds the value.
 template <class T>
 void broadcast(Proc& proc, const Topology& topo, int root_hw, T& value) {
+  const TraceSpan span(proc, "broadcast");
   const long tag = proc.fresh_tag();
   const int p = topo.nprocs();
   const int vroot = topo.vrank_of(root_hw);
@@ -54,6 +55,7 @@ void broadcast(Proc& proc, const Topology& topo, int root_hw, T& value) {
 /// processors return their partial accumulation.
 template <class T, class BinOp>
 T reduce(Proc& proc, const Topology& topo, int root_hw, T local, BinOp op) {
+  const TraceSpan span(proc, "reduce");
   const long tag = proc.fresh_tag();
   const int p = topo.nprocs();
   const int vroot = topo.vrank_of(root_hw);
@@ -77,6 +79,7 @@ T reduce(Proc& proc, const Topology& topo, int root_hw, T local, BinOp op) {
 /// communication pattern.  Every processor returns the full result.
 template <class T, class BinOp>
 T allreduce(Proc& proc, const Topology& topo, T local, BinOp op) {
+  const TraceSpan span(proc, "allreduce");
   const int root_hw = topo.hw_of(0);
   T result = reduce(proc, topo, root_hw, std::move(local), op);
   broadcast(proc, topo, root_hw, result);
@@ -87,6 +90,7 @@ T allreduce(Proc& proc, const Topology& topo, T local, BinOp op) {
 /// (Hillis-Steele recursive doubling).  `op` must be associative.
 template <class T, class BinOp>
 T scan_inclusive(Proc& proc, const Topology& topo, T local, BinOp op) {
+  const TraceSpan span(proc, "scan_inclusive");
   const long tag = proc.fresh_tag();
   const int p = topo.nprocs();
   const int rel = topo.vrank_of(proc.id());
@@ -106,6 +110,7 @@ T scan_inclusive(Proc& proc, const Topology& topo, T local, BinOp op) {
 /// order.  The root returns the full vector; others return empty.
 template <class T>
 std::vector<T> gather(Proc& proc, const Topology& topo, int root_hw, T local) {
+  const TraceSpan span(proc, "gather");
   const long tag = proc.fresh_tag();
   const int p = topo.nprocs();
   if (proc.id() != root_hw) {
@@ -127,6 +132,7 @@ std::vector<T> gather(Proc& proc, const Topology& topo, int root_hw, T local) {
 /// Gather followed by broadcast of the gathered vector.
 template <class T>
 std::vector<T> allgather(Proc& proc, const Topology& topo, T local) {
+  const TraceSpan span(proc, "allgather");
   const int root_hw = topo.hw_of(0);
   std::vector<T> all = gather(proc, topo, root_hw, std::move(local));
   broadcast(proc, topo, root_hw, all);
@@ -139,6 +145,7 @@ std::vector<T> allgather(Proc& proc, const Topology& topo, T local) {
 template <class T>
 std::vector<T> all_to_all(Proc& proc, const Topology& topo,
                           std::vector<T> outgoing) {
+  const TraceSpan span(proc, "all_to_all");
   const long tag = proc.fresh_tag();
   const int p = topo.nprocs();
   SKIL_REQUIRE(static_cast<int>(outgoing.size()) == p,
@@ -167,6 +174,7 @@ inline void barrier(Proc& proc, const Topology& topo) {
 template <class T>
 T torus_rotate(Proc& proc, const Topology& topo, T payload, int drow,
                int dcol) {
+  const TraceSpan span(proc, "torus_rotate");
   const long tag = proc.fresh_tag();
   const int dst = topo.torus_neighbor(proc.id(), drow, dcol);
   const int src = topo.torus_neighbor(proc.id(), -drow, -dcol);
@@ -178,6 +186,7 @@ T torus_rotate(Proc& proc, const Topology& topo, T payload, int drow,
 /// Ring shift by one position in virtual-rank order.
 template <class T>
 T ring_shift(Proc& proc, const Topology& topo, T payload) {
+  const TraceSpan span(proc, "ring_shift");
   const long tag = proc.fresh_tag();
   const int dst = topo.ring_next(proc.id());
   const int src = topo.ring_prev(proc.id());

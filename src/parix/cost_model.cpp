@@ -15,6 +15,7 @@ Stats& Stats::operator+=(const Stats& other) {
   messages_sent += other.messages_sent;
   bytes_sent += other.bytes_sent;
   messages_received += other.messages_received;
+  bytes_received += other.bytes_received;
   compute_us += other.compute_us;
   comm_us += other.comm_us;
   return *this;

@@ -128,6 +128,7 @@ struct Stats {
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
   double compute_us = 0.0;  ///< virtual time spent in charged computation
   double comm_us = 0.0;     ///< virtual time spent in communication
 

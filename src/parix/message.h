@@ -16,6 +16,7 @@
 
 #include <concepts>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <type_traits>
@@ -89,6 +90,11 @@ struct Message {
   std::size_t bytes = 0;               ///< modeled wire size
   double arrival_vtime = 0.0;          ///< virtual delivery timestamp
   bool shared = false;                 ///< payload may have other owners
+  /// Sender-side trace sequence number (parix/trace.h): stamped only
+  /// when full tracing is on, so the receiver's event can reference
+  /// its exact causal predecessor.  Host-side bookkeeping only; the
+  /// cost model never reads it.
+  std::uint32_t trace_seq = 0;
 };
 
 /// Builds a message from a payload value (moved in).

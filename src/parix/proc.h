@@ -16,6 +16,7 @@
 
 #include "parix/charge_tape.h"
 #include "parix/machine.h"
+#include "parix/trace.h"
 #include "support/error.h"
 
 namespace skil::parix {
@@ -165,14 +166,29 @@ class Proc {
     const double last_hop_us =
         cost().msg_per_byte_us * static_cast<double>(msg.bytes);
     double& channel = earliest(in_links_);
-    const double delivered =
-        std::max(msg.arrival_vtime, channel + last_hop_us);
+    const double queued = channel + last_hop_us;
+    const double delivered = std::max(msg.arrival_vtime, queued);
     channel = delivered;
     const double ready =
         std::max(vtime_ + cost().recv_overhead_us, delivered);
+    if (trace_ != nullptr) [[unlikely]] {
+      if (trace_->full()) {
+        // Which constraint bound `ready` is the causal edge the
+        // critical-path analyzer follows; ties prefer the local clock,
+        // then the arrival (a tie means both paths are critical --
+        // either choice yields a maximal chain).
+        const RecvBound bound =
+            vtime_ + cost().recv_overhead_us >= delivered ? RecvBound::kLocal
+            : msg.arrival_vtime >= queued                 ? RecvBound::kArrival
+                                                          : RecvBound::kChannel;
+        trace_->record_recv(vtime_, ready, src, tag, msg.bytes,
+                            msg.trace_seq, bound);
+      }
+    }
     stats_.comm_us += ready - vtime_;
     vtime_ = ready;
     stats_.messages_received += 1;
+    stats_.bytes_received += msg.bytes;
     return take_payload<T>(msg);
   }
 
@@ -185,12 +201,31 @@ class Proc {
   /// Number of sub-tags a skeleton may derive from one fresh_tag().
   static constexpr long kTagStride = 16;
 
+  /// First tag of the collective tag space (public so the metrics
+  /// exporter can classify app vs collective tags in histograms).
+  static constexpr long kCollectiveTagBase = 1L << 40;
+
   Stats& stats() { return stats_; }
   const Stats& stats() const { return stats_; }
 
- private:
-  static constexpr long kCollectiveTagBase = 1L << 40;
+  /// Attaches a per-proc trace recorder (parix/trace.h); nullptr turns
+  /// tracing off.  Set by spmd_run before the body starts; single
+  /// threaded at that point.
+  void set_trace(ProcTrace* trace) { trace_ = trace; }
+  ProcTrace* trace() { return trace_; }
 
+  /// Opens an app/skeleton-level trace span (a point event on both
+  /// timelines; see TraceSpan for the RAII pairing).  With tracing off
+  /// this is one untaken branch -- it must stay cheap enough to sit in
+  /// every skeleton entry point.
+  void span_begin(const char* name, std::int64_t arg = -1) {
+    if (trace_ != nullptr) [[unlikely]] trace_->span_begin(vtime_, name, arg);
+  }
+  void span_end() {
+    if (trace_ != nullptr) [[unlikely]] trace_->span_end(vtime_);
+  }
+
+ private:
   /// Timestamping and accounting shared by every send flavour.  The
   /// arithmetic sequence here is the vtime artefact -- do not reorder.
   void dispatch(Message msg, int dst, SendMode mode) {
@@ -212,6 +247,13 @@ class Proc {
                            cost().msg_startup_us;
     msg.arrival_vtime = arrival;
     const double sender_done = mode == SendMode::kSync ? arrival : ready;
+    if (trace_ != nullptr) [[unlikely]] {
+      if (trace_->full()) {
+        msg.trace_seq = trace_->alloc_send_seq();
+        trace_->record_send(vtime_, sender_done, dst, msg.tag, msg.bytes,
+                            msg.trace_seq);
+      }
+    }
     stats_.comm_us += sender_done - vtime_;
     vtime_ = sender_done;
     stats_.messages_sent += 1;
@@ -237,6 +279,26 @@ class Proc {
   std::array<double, 4> in_links_{};
   long next_collective_seq_ = 0;
   Stats stats_;
+  /// Per-proc trace recorder; nullptr (the default) keeps every trace
+  /// hook down to one untaken branch so vtimes stay bit-identical.
+  ProcTrace* trace_ = nullptr;
+};
+
+/// RAII pairing for Proc::span_begin/span_end.  Skeletons and apps open
+/// one per logical phase; spans nest per processor and the recorder
+/// checks the pairing when traces are exported.
+class TraceSpan {
+ public:
+  TraceSpan(Proc& proc, const char* name, std::int64_t arg = -1)
+      : proc_(&proc) {
+    proc.span_begin(name, arg);
+  }
+  ~TraceSpan() { proc_->span_end(); }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Proc* proc_;
 };
 
 }  // namespace skil::parix

@@ -129,6 +129,22 @@ RunResult spmd_run_ref(const RunConfig& config, const detail::BodyRef& body) {
   if (engine == ExecutionEngine::kPooled && executor_in_fiber())
     engine = ExecutionEngine::kThreads;
 
+  // Trace recorders attach before any processor starts; each Proc's
+  // buffer is then touched only by the fiber/thread driving that Proc.
+  std::shared_ptr<Trace> trace;
+  if (config.trace != TraceMode::kOff) {
+    trace = std::make_shared<Trace>();
+    trace->mode = config.trace;
+    trace->nprocs = config.nprocs;
+    trace->wall_epoch = std::chrono::steady_clock::now();
+    trace->procs.resize(config.nprocs);
+    const bool full = config.trace == TraceMode::kFull;
+    for (int p = 0; p < config.nprocs; ++p) {
+      trace->procs[p].configure(p, full, trace->wall_epoch);
+      procs[p]->set_trace(&trace->procs[p]);
+    }
+  }
+
   std::exception_ptr first_failure;
   const auto wall_start = std::chrono::steady_clock::now();
   if (engine == ExecutionEngine::kPooled) {
@@ -140,6 +156,10 @@ RunResult spmd_run_ref(const RunConfig& config, const detail::BodyRef& body) {
   const auto wall_end = std::chrono::steady_clock::now();
 
   if (first_failure) std::rethrow_exception(first_failure);
+
+  if (trace)
+    for (int p = 0; p < config.nprocs; ++p)
+      trace->procs[p].finalize(procs[p]->vtime());
 
   RunResult result;
   result.proc_vtimes.reserve(config.nprocs);
@@ -153,6 +173,7 @@ RunResult spmd_run_ref(const RunConfig& config, const detail::BodyRef& body) {
       *std::max_element(result.proc_vtimes.begin(), result.proc_vtimes.end());
   result.wall_seconds =
       std::chrono::duration<double>(wall_end - wall_start).count();
+  result.trace = std::move(trace);
   return result;
 }
 

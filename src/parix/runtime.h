@@ -28,6 +28,7 @@
 
 #include "parix/cost_model.h"
 #include "parix/proc.h"
+#include "parix/trace.h"
 
 namespace skil::parix {
 
@@ -57,6 +58,10 @@ struct RunConfig {
   int nprocs = 4;
   CostModel cost = CostModel::t800();
   ExecutionEngine engine = default_execution_engine();
+  /// Event tracing (parix/trace.h).  kOff allocates nothing and leaves
+  /// a single untaken branch per communication/span site, so virtual
+  /// times are bit-identical across all modes.
+  TraceMode trace = default_trace_mode();
 };
 
 /// Timing and accounting of a completed run.
@@ -71,6 +76,9 @@ struct RunResult {
   /// Host wall-clock seconds (informational only; the host is not the
   /// modeled machine).
   double wall_seconds = 0.0;
+  /// Event trace (null unless RunConfig::trace != kOff).  Hand it to
+  /// the exporters in parix/metrics.h.
+  std::shared_ptr<const Trace> trace;
 
   double vtime_seconds() const { return vtime_us * 1e-6; }
 };

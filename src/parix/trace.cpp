@@ -1,0 +1,47 @@
+#include "parix/trace.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "support/error.h"
+
+namespace skil::parix {
+
+namespace {
+
+TraceMode initial_default_mode() {
+  if (const char* env = std::getenv("SKIL_TRACE"))
+    return parse_trace_mode(env);
+  return TraceMode::kOff;
+}
+
+TraceMode& default_mode_slot() {
+  static TraceMode mode = initial_default_mode();
+  return mode;
+}
+
+}  // namespace
+
+TraceMode parse_trace_mode(std::string_view name) {
+  if (name == "off") return TraceMode::kOff;
+  if (name == "spans") return TraceMode::kSpans;
+  if (name == "full") return TraceMode::kFull;
+  SKIL_REQUIRE(false, "SKIL_TRACE: unknown trace mode '" + std::string(name) +
+                          "' (accepted values: off, spans, full)");
+  return TraceMode::kOff;  // unreachable
+}
+
+std::string_view trace_mode_name(TraceMode mode) {
+  switch (mode) {
+    case TraceMode::kOff: return "off";
+    case TraceMode::kSpans: return "spans";
+    case TraceMode::kFull: return "full";
+  }
+  return "off";
+}
+
+TraceMode default_trace_mode() { return default_mode_slot(); }
+
+void set_default_trace_mode(TraceMode mode) { default_mode_slot() = mode; }
+
+}  // namespace skil::parix

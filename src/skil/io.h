@@ -52,6 +52,7 @@ template <class T>
 std::vector<T> array_gather_root(const DistArray<T>& a) {
   SKIL_REQUIRE(a.valid(), "array_gather_root: invalid array");
   parix::Proc& proc = a.proc();
+  const parix::TraceSpan span(proc, "array_gather_root");
   const parix::Topology& topo = a.topology();
   std::vector<std::vector<T>> parts =
       parix::gather(proc, topo, /*root_hw=*/0, a.local());

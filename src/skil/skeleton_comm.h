@@ -50,6 +50,7 @@ void array_broadcast_part(DistArray<T>& a, Index ix) {
   SKIL_REQUIRE(a.valid(), "array_broadcast_part: invalid array");
   SKIL_REQUIRE(a.dist().uniform_partitions(),
                "array_broadcast_part: partitions must have equal size");
+  const parix::TraceSpan span(a.proc(), "array_broadcast_part");
   const int root_hw = a.dist().owner_hw(ix);
   std::vector<T> part;
   if (a.proc().id() == root_hw) part = a.local();
@@ -84,6 +85,7 @@ void array_permute_rows(const DistArray<T>& from, PermF perm_f,
   SKIL_REQUIRE(&from.local() != &to.local(),
                "array_permute_rows: source and target must be distinct");
   parix::Proc& proc = from.proc();
+  const parix::TraceSpan span(proc, "array_permute_rows");
   const Distribution& dist = from.dist();
   const int n = dist.global_rows();
 

@@ -31,6 +31,7 @@ namespace detail {
 /// argument) plus one element store per element.
 template <class T, class InitFn>
 void fill_from_init(DistArray<T>& a, InitFn&& init_elem) {
+  const parix::TraceSpan span(a.proc(), "array_create");
   auto& local = a.local();
   std::size_t offset = 0;
   std::uint64_t elems = 0;

@@ -48,6 +48,7 @@ auto array_fold(Conv conv_f, Fold fold_f, const DistArray<T1>& a) {
   using T2 = std::decay_t<decltype(detail::apply_conv_f(
       conv_f, std::declval<const T1&>(), Index{}))>;
   SKIL_REQUIRE(a.valid(), "array_fold: invalid array");
+  const parix::TraceSpan span(a.proc(), "array_fold");
 
   const auto& src = a.local();
   std::optional<T2> acc;

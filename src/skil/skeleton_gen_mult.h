@@ -91,6 +91,7 @@ void array_gen_mult(DistArray<T>& a, DistArray<T>& b, Add gen_add,
   const int block = n / q;
 
   parix::Proc& proc = a.proc();
+  const parix::TraceSpan span(proc, "array_gen_mult");
   const int my_row = topo.grid_row(proc.id());
   const int my_col = topo.grid_col(proc.id());
 
@@ -147,6 +148,7 @@ void array_gen_mult(DistArray<T>& a, DistArray<T>& b, Add gen_add,
 
   std::vector<T>& c_block = c.local();
   for (int round = 0; round < q; ++round) {
+    const parix::TraceSpan round_span(proc, "gen_mult round", round);
     // Asynchronous overlap (the optimization Table 1's footnote
     // credits the skeleton implementation with): post this round's
     // rotations *before* the local multiplication, so the transfers

@@ -61,6 +61,7 @@ void array_map(F map_f, const DistArray<T1>& from, DistArray<T2>& to) {
   SKIL_REQUIRE(from.valid() && to.valid(), "array_map: invalid array");
   SKIL_REQUIRE(from.dist().same_placement(to.dist()),
                "array_map: source and target must share one distribution");
+  const parix::TraceSpan span(from.proc(), "array_map");
   const auto& src = from.local();
   auto& dst = to.local();
   std::size_t offset = 0;
@@ -89,6 +90,7 @@ void array_map_taped(F map_f, const parix::ChargeTape& tape,
   SKIL_REQUIRE(from.valid() && to.valid(), "array_map: invalid array");
   SKIL_REQUIRE(from.dist().same_placement(to.dist()),
                "array_map: source and target must share one distribution");
+  const parix::TraceSpan span(from.proc(), "array_map");
   const auto& src = from.local();
   auto& dst = to.local();
   std::size_t offset = 0;
@@ -114,6 +116,7 @@ void array_zip(F zip_f, const DistArray<T1>& a, const DistArray<T2>& b,
   SKIL_REQUIRE(a.dist().same_placement(b.dist()) &&
                    a.dist().same_placement(to.dist()),
                "array_zip: all arrays must share one distribution");
+  const parix::TraceSpan span(a.proc(), "array_zip");
   const auto& sa = a.local();
   const auto& sb = b.local();
   auto& dst = to.local();
@@ -144,6 +147,7 @@ void array_copy(const DistArray<T>& from, DistArray<T>& to) {
   if (&from.local() == &to.local()) return;  // self-copy is a no-op
   SKIL_REQUIRE(from.dist().same_placement(to.dist()),
                "array_copy: source and target must share one distribution");
+  const parix::TraceSpan span(from.proc(), "array_copy");
   to.local() = from.local();
   const std::uint64_t words =
       (from.local().size() * sizeof(T) + sizeof(long) - 1) / sizeof(long);
