@@ -7,18 +7,27 @@
 // scientific artefact -- are bit-identical across engines.
 //
 // Usage: bench_engine_wall [--quick] [--json=path] [--out-dir=dir]
-//                          [--baseline=secs] [--reps=N] [--jobs=N]
-//                          [--charge=interp|tape] [--trace-out=dir]
+//                          [--baseline=secs] [--reps=N] [--jobs=N|auto]
+//                          [--carriers=N|auto] [--charge=interp|tape]
+//                          [--engine=threads|pooled|both] [--trace-out=dir]
+//
+// --engine restricts the sweep to one engine (default: both).  With a
+// single engine there is no cross-engine vtime comparison, so the
+// report's vtimes_identical_across_engines is trivially true.
 //
 // --jobs forks one worker process per (p, n) cell, up to N at a time
 // (virtual times are per-cell deterministic, so the assembled grid is
-// identical).  --charge selects the accounting path of the skeleton
+// identical); --jobs=auto resolves to the host's hardware
+// concurrency.  --carriers pins the pooled engine's carrier-thread
+// count (exported as SKIL_CARRIERS so forked cell workers inherit
+// it); 'auto' resolves to hardware concurrency, >1 enables gang
+// settlement.  --charge selects the accounting path of the skeleton
 // hot loops (default: the process default, i.e. SKIL_CHARGE or tape).
 // --trace-out runs one representative cell again under full tracing
 // (after the timed sweep, so the timings stay untraced) and writes its
 // Chrome trace + metrics JSON (parix/metrics.h) into the directory.
 //
-// The JSON report (default BENCH_engine.json, schema_version 3)
+// The JSON report (default BENCH_engine.json, schema_version 4)
 // records the run configuration (reps, jobs, nproc, charge path) and
 // per-cell wall seconds alongside both engines' totals, so
 // EXPERIMENTS.md can cite the engine speedup from a committed
@@ -28,6 +37,9 @@
 // build is part of the record.
 //
 // Schema history:
+//   v4: adds "carriers" (the pooled engine's effective carrier-thread
+//       count for this run) and records the *resolved* jobs value
+//       (--jobs=auto is written as the number it resolved to).
 //   v3: adds per-engine "rep_wall_seconds" (every repetition's wall,
 //       not just the reported minimum) and, when --trace-out is given,
 //       a "trace" object naming the traced cell and the exported
@@ -47,6 +59,7 @@
 #include "bench_common.h"
 #include "gauss_sweep.h"
 #include "parix/charge_tape.h"
+#include "parix/executor.h"
 #include "parix/metrics.h"
 #include "parix/runtime.h"
 #include "parix/trace.h"
@@ -56,14 +69,28 @@ int main(int argc, char** argv) {
   using namespace skil;
   using namespace skil::bench;
 
-  const support::Cli cli(argc, argv, {"quick", "json", "out-dir", "baseline",
-                                      "reps", "jobs", "charge", "trace-out"});
+  const support::Cli cli(argc, argv,
+                         {"quick", "json", "out-dir", "baseline", "reps",
+                          "jobs", "carriers", "charge", "engine",
+                          "trace-out"});
   const bool quick = cli.get_bool("quick");
   const double baseline_s = std::atof(cli.get("baseline", "0").c_str());
   // The host timer is noisy (shared machine); the minimum over reps is
   // the standard robust estimator of the undisturbed wall time.
   const int reps = std::max(1, std::atoi(cli.get("reps", "1").c_str()));
-  const int jobs = std::max(1, std::atoi(cli.get("jobs", "1").c_str()));
+  const std::string jobs_arg = cli.get("jobs", "1");
+  const int jobs =
+      jobs_arg == "auto"
+          ? static_cast<int>(std::max(1u, std::thread::hardware_concurrency()))
+          : std::max(1, std::atoi(jobs_arg.c_str()));
+  if (cli.has("carriers")) {
+    // Exported instead of set in-process only: forked cell workers
+    // must resolve the same carrier count.  Invalid values fail
+    // loudly inside executor_carriers() below.
+    ::setenv("SKIL_CARRIERS", cli.get("carriers", "auto").c_str(), 1);
+    parix::executor_set_carriers(0);
+  }
+  const int carriers = parix::executor_carriers();
   if (cli.has("charge"))
     parix::set_default_charge_path(
         parix::parse_charge_path(cli.get("charge", "tape")));
@@ -76,9 +103,9 @@ int main(int argc, char** argv) {
 
   banner("Execution engines -- wall clock on the Table 2 grid");
   std::printf("grid: n in {%d..%d}, p in {4, 16, 32, 64}; host threads: %u; "
-              "jobs: %d; charge path: %s\n\n",
+              "jobs: %d; carriers: %d; charge path: %s\n\n",
               ns.front(), ns.back(), std::thread::hardware_concurrency(),
-              jobs, charge_name);
+              jobs, carriers, charge_name);
 
   struct EngineRun {
     const char* name;
@@ -91,16 +118,57 @@ int main(int argc, char** argv) {
       {"threads", parix::ExecutionEngine::kThreads, 0.0, {}, {}},
       {"pooled", parix::ExecutionEngine::kPooled, 0.0, {}, {}},
   };
+  const std::string engine_filter = cli.get("engine", "both");
+  if (engine_filter != "both") {
+    std::erase_if(runs, [&](const EngineRun& run) {
+      return engine_filter != run.name;
+    });
+    if (runs.empty()) {
+      std::fprintf(stderr,
+                   "bench_engine_wall: --engine must be threads, pooled or "
+                   "both, got '%s'\n",
+                   engine_filter.c_str());
+      return 2;
+    }
+  }
 
   const parix::ExecutionEngine saved = parix::default_execution_engine();
   for (int rep = 0; rep < reps; ++rep) {
     for (auto& run : runs) {
       parix::set_default_execution_engine(run.engine);
       std::fprintf(stderr, "engine %s (rep %d):\n", run.name, rep + 1);
+      const auto gang_before = parix::gang_counters();
       const auto start = std::chrono::steady_clock::now();
       auto cells = run_gauss_grid_jobs(ns, ps, seed, jobs);
       const auto stop = std::chrono::steady_clock::now();
       const double wall = std::chrono::duration<double>(stop - start).count();
+      const auto gang_after = parix::gang_counters();
+      const auto batches = gang_after.batches - gang_before.batches;
+      const auto gadds = gang_after.gang_adds - gang_before.gang_adds;
+      const auto iadds = gang_after.inline_adds - gang_before.inline_adds;
+      if (batches > 0 || iadds > 0)
+        std::fprintf(
+            stderr,
+            "  gang: %llu batches, %.2f lanes/batch, %llu M adds ganged, "
+            "%llu M adds inline\n",
+            static_cast<unsigned long long>(batches),
+            batches > 0 ? static_cast<double>(gang_after.lanes -
+                                              gang_before.lanes) /
+                              static_cast<double>(batches)
+                        : 0.0,
+            static_cast<unsigned long long>(gadds / 1000000),
+            static_cast<unsigned long long>(iadds / 1000000));
+      if (batches > 0)
+        std::fprintf(
+            stderr, "  gang rounds: %llu uniform, %llu padded (%llu M "
+            "pad slots)\n",
+            static_cast<unsigned long long>(gang_after.uniform_rounds -
+                                            gang_before.uniform_rounds),
+            static_cast<unsigned long long>(gang_after.divergent_rounds -
+                                            gang_before.divergent_rounds),
+            static_cast<unsigned long long>(
+                (gang_after.padded_slots - gang_before.padded_slots) /
+                1000000));
       run.rep_walls.push_back(wall);
       if (rep == 0 || wall < run.wall_s) {
         run.wall_s = wall;
@@ -116,12 +184,15 @@ int main(int argc, char** argv) {
   // The engines must agree on every virtual time to the last bit --
   // virtual time derives only from charge sequences and message
   // timestamps, never from host scheduling.
-  bool identical = runs[0].cells.size() == runs[1].cells.size();
-  for (std::size_t i = 0; identical && i < runs[0].cells.size(); ++i) {
-    const GaussCell& lhs = runs[0].cells[i];
-    const GaussCell& rhs = runs[1].cells[i];
-    identical = lhs.skil_s == rhs.skil_s && lhs.dpfl_s == rhs.dpfl_s &&
-                lhs.c_s == rhs.c_s;
+  bool identical = true;
+  if (runs.size() == 2) {
+    identical = runs[0].cells.size() == runs[1].cells.size();
+    for (std::size_t i = 0; identical && i < runs[0].cells.size(); ++i) {
+      const GaussCell& lhs = runs[0].cells[i];
+      const GaussCell& rhs = runs[1].cells[i];
+      identical = lhs.skil_s == rhs.skil_s && lhs.dpfl_s == rhs.dpfl_s &&
+                  lhs.c_s == rhs.c_s;
+    }
   }
 
   // One representative cell re-run under full tracing: the exported
@@ -155,26 +226,29 @@ int main(int argc, char** argv) {
                 metrics_path.c_str());
   }
 
-  const double speedup = runs[0].wall_s / runs[1].wall_s;
-  std::printf("\npooled speedup over threads: %.2fx\n", speedup);
+  const double speedup =
+      runs.size() == 2 ? runs[0].wall_s / runs[1].wall_s : 0.0;
+  if (runs.size() == 2)
+    std::printf("\npooled speedup over threads: %.2fx\n", speedup);
   if (baseline_s > 0.0)
-    std::printf("pooled speedup over baseline (%.1f s): %.2fx\n", baseline_s,
-                baseline_s / runs[1].wall_s);
+    std::printf("%s speedup over baseline (%.1f s): %.2fx\n",
+                runs.back().name, baseline_s, baseline_s / runs.back().wall_s);
   shape_check("virtual times bit-identical across engines", identical);
 
   const std::string path = out_path(cli, "json", "BENCH_engine.json");
   if (FILE* out = std::fopen(path.c_str(), "w")) {
     std::fprintf(out,
                  "{\n"
-                 "  \"schema_version\": 3,\n"
+                 "  \"schema_version\": 4,\n"
                  "  \"benchmark\": \"bench_engine_wall\",\n"
                  "  \"grid\": \"table2_gauss%s\",\n"
                  "  \"reps\": %d,\n"
                  "  \"jobs\": %d,\n"
+                 "  \"carriers\": %d,\n"
                  "  \"nproc\": %u,\n"
                  "  \"charge\": \"%s\",\n"
                  "  \"engines\": [\n",
-                 quick ? "_quick" : "", reps, jobs,
+                 quick ? "_quick" : "", reps, jobs, carriers,
                  std::thread::hardware_concurrency(), charge_name);
     for (std::size_t r = 0; r < runs.size(); ++r) {
       const EngineRun& run = runs[r];
@@ -192,15 +266,14 @@ int main(int argc, char** argv) {
       }
       std::fprintf(out, "]}%s\n", r + 1 < runs.size() ? "," : "");
     }
-    std::fprintf(out,
-                 "  ],\n"
-                 "  \"pooled_speedup_over_threads\": %.3f,\n",
-                 speedup);
+    std::fprintf(out, "  ],\n");
+    if (runs.size() == 2)
+      std::fprintf(out, "  \"pooled_speedup_over_threads\": %.3f,\n", speedup);
     if (baseline_s > 0.0)
       std::fprintf(out,
                    "  \"baseline_wall_seconds\": %.3f,\n"
                    "  \"pooled_speedup_over_baseline\": %.3f,\n",
-                   baseline_s, baseline_s / runs[1].wall_s);
+                   baseline_s, baseline_s / runs.back().wall_s);
     if (!trace_path.empty())
       std::fprintf(out,
                    "  \"trace\": {\"app\": \"gauss_skil\", \"p\": %d, "

@@ -4,22 +4,29 @@
 # Builds (if needed) and runs bench_engine_wall on the Table-2 sweep
 # under both execution engines, then appends the result as one compact
 # JSON record per line to BENCH_engine.json at the repo root.  Records
-# are schema_version 3: run config (reps, jobs, nproc, charge path),
-# per-cell wall seconds per engine, every repetition's wall time
-# ("rep_wall_seconds", v3), and the engine totals; with --trace-out
-# the record also names the exported trace/metrics files (v3).
+# are schema_version 4: run config (reps, resolved jobs, carriers,
+# nproc, charge path), per-cell wall seconds per engine, every
+# repetition's wall time ("rep_wall_seconds"), and the engine
+# totals; with --trace-out the record also names the exported
+# trace/metrics files.  scripts/validate_bench_json.py checks the
+# whole trajectory after every append.
 #
 # Pass --quick to restrict the grid to n in {64, 128} while iterating
 # (the committed trajectory should only gain full-grid records),
-# --reps=N for a min-of-N measurement, --jobs=N for process-per-cell
-# parallelism, --charge=interp|tape to pin the accounting path
+# --reps=N for a min-of-N measurement, --jobs=N|auto for
+# process-per-cell parallelism (auto = hardware concurrency),
+# --carriers=N|auto to pin the pooled engine's carrier threads
+# (>1 enables gang settlement; exported as SKIL_CARRIERS so forked
+# cell workers inherit it), --charge=interp|tape to pin the
+# accounting path
 # (default: tape, the specialized fast path; interp is the
 # interpretive oracle), and --trace-out=DIR to re-run one
 # representative cell under SKIL_TRACE=full and write its Chrome
 # trace + metrics JSON into DIR (created if missing; the timed sweep
 # itself stays untraced).
 #
-# Usage: scripts/bench_trajectory.sh [--quick] [--reps=N] [--jobs=N]
+# Usage: scripts/bench_trajectory.sh [--quick] [--reps=N] [--jobs=N|auto]
+#                                    [--carriers=N|auto]
 #                                    [--charge=interp|tape] [--baseline=secs]
 #                                    [--trace-out=DIR]
 set -eu
@@ -38,4 +45,5 @@ trap 'rm -f "$record"' EXIT
 # the file as a whole reads as JSON lines.
 tr -s ' \n' ' ' < "$record" | sed 's/ $//' >> BENCH_engine.json
 printf '\n' >> BENCH_engine.json
+python3 scripts/validate_bench_json.py BENCH_engine.json
 echo "appended to $repo_root/BENCH_engine.json"

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validates the benchmark trajectory files (JSON-lines records).
+
+Every non-empty line must parse as a standalone JSON object and carry
+an integer ``schema_version`` plus the fields that version promises
+(see the schema history in bench/bench_engine_wall.cpp).  The file is
+append-only across PRs, so old records keep validating under their own
+version's contract -- this script is what keeps a schema bump from
+silently orphaning the history.
+
+Usage: scripts/validate_bench_json.py [FILE ...]
+       (default: BENCH_engine.json at the repo root)
+
+Exits non-zero naming the file, line and violation on the first
+failure.
+"""
+
+import json
+import pathlib
+import sys
+
+# Fields every record must carry, by the schema version that introduced
+# them.  A record of version v must carry every field introduced at or
+# below v.
+FIELDS_BY_VERSION = {
+    1: ["benchmark", "grid", "engines", "vtimes_identical_across_engines"],
+    2: ["reps", "jobs", "nproc", "charge"],
+    3: [],  # v3 added per-engine rep_wall_seconds (checked below)
+    4: ["carriers"],
+}
+MAX_KNOWN_VERSION = max(FIELDS_BY_VERSION)
+
+
+def fail(path, lineno, message):
+    sys.exit(f"{path}:{lineno}: {message}")
+
+
+def validate_record(path, lineno, record):
+    if not isinstance(record, dict):
+        fail(path, lineno, f"expected a JSON object, got {type(record).__name__}")
+    version = record.get("schema_version")
+    if not isinstance(version, int) or version < 1:
+        fail(path, lineno,
+             f"missing or invalid schema_version: {version!r} "
+             "(every record must carry a positive integer schema_version)")
+    if version > MAX_KNOWN_VERSION:
+        fail(path, lineno,
+             f"schema_version {version} is newer than this validator "
+             f"(max known: {MAX_KNOWN_VERSION}); update "
+             "FIELDS_BY_VERSION alongside the schema bump")
+    for v, fields in FIELDS_BY_VERSION.items():
+        if v > version:
+            continue
+        for field in fields:
+            if field not in record:
+                fail(path, lineno,
+                     f"schema_version {version} record is missing "
+                     f"'{field}' (required since v{v})")
+    engines = record["engines"]
+    if not isinstance(engines, list) or not engines:
+        fail(path, lineno, "'engines' must be a non-empty array")
+    for engine in engines:
+        for field in ("engine", "wall_seconds"):
+            if field not in engine:
+                fail(path, lineno, f"engine record is missing '{field}'")
+        if version >= 3 and "rep_wall_seconds" not in engine:
+            fail(path, lineno,
+                 "v3+ engine record is missing 'rep_wall_seconds'")
+
+
+def validate_file(path):
+    text = path.read_text()
+    # A raw bench_engine_wall --json report is one pretty-printed
+    # object; the committed trajectory is one compact record per line
+    # (bench_trajectory.sh flattens on append).  Accept both.
+    try:
+        validate_record(path, 1, json.loads(text))
+        print(f"{path}: 1 record ok")
+        return
+    except json.JSONDecodeError:
+        pass
+    records = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as err:
+            fail(path, lineno, f"line does not parse as JSON: {err}")
+        validate_record(path, lineno, record)
+        records += 1
+    if records == 0:
+        sys.exit(f"{path}: no records")
+    print(f"{path}: {records} record(s) ok")
+
+
+def main(argv):
+    root = pathlib.Path(__file__).resolve().parent.parent
+    paths = [pathlib.Path(a) for a in argv[1:]] or [root / "BENCH_engine.json"]
+    for path in paths:
+        if not path.exists():
+            sys.exit(f"{path}: no such file")
+        validate_file(path)
+
+
+if __name__ == "__main__":
+    main(sys.argv)

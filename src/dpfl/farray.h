@@ -258,9 +258,13 @@ auto fa_map_taped(MapF&& map_f, const parix::ChargeTape& tape,
       ++elems;
     }
   proc.replay(tape, tapped);
-  charge_apply(proc, elems);
-  charge_map_cell(proc, elems);
-  proc.charge(op_kind<T2>(), elems);
+  // Tail charges ride the deferred ledger too: booking them eagerly
+  // would settle the just-deferred replay on the spot and collapse the
+  // gang-settlement window to nothing.
+  parix::DeferredCharges deferred(proc);
+  charge_apply(deferred, elems);
+  charge_map_cell(deferred, elems);
+  deferred.charge(op_kind<T2>(), elems);
   return FArray<T2>(proc, a.dist_ptr(), std::move(fresh));
 }
 
@@ -333,10 +337,14 @@ auto fa_fold_taped(ConvF&& conv_f, FoldF&& fold_f,
       ++elems;
     }
   proc.replay(tape, tapped);
-  charge_apply(proc, 2 * elems);
-  charge_map_cell(proc, elems);
-  proc.charge(op_kind<T1>(), elems);
+  parix::DeferredCharges deferred(proc);
+  charge_apply(deferred, 2 * elems);
+  charge_map_cell(deferred, elems);
+  deferred.charge(op_kind<T1>(), elems);
 
+  // The (cold, log p) tree merge stays eager: its first charge_apply
+  // is the fold-combine settlement point, and the allreduce sends
+  // settle anyway.
   auto merge = [&](std::optional<T2> lhs,
                    std::optional<T2> rhs) -> std::optional<T2> {
     if (!lhs.has_value()) return rhs;

@@ -91,4 +91,165 @@ class ChargeTape {
   std::vector<Entry> entries_;
 };
 
+/// Bumps the inline-settle add counter (relaxed; called by
+/// ChargeLedger::settle, defined out of line to keep the atomic out of
+/// the header).
+void note_inline_settle(std::uint64_t adds);
+
+/// Deferred charge ledger: the queue of replay and bulk-charge records
+/// a processor has accumulated but not yet folded into its clock.
+///
+/// Taped skeleton variants no longer advance the clock eagerly; they
+/// append records here and settlement happens lazily at the first
+/// point the vtime is observed (send, recv, fold combine, stats read,
+/// trace flush -- see Proc::maybe_settle).  Because settlement walks
+/// the records strictly in append order and each record replays the
+/// exact addend sequence Proc::replay would have executed, *when* the
+/// ledger settles cannot move the clock: the dependent FP-add chain is
+/// the same adds in the same order, only executed later (this is the
+/// interleaved-replay identity of DESIGN.md section 8, applied at the
+/// ledger level).
+///
+/// The ledger owns copies of the tape entries and the precomputed
+/// addends (one unit * count multiply per entry, performed at append
+/// time exactly as replay performs it), so a recorded tape may die
+/// before its settlement.
+class ChargeLedger {
+ public:
+  /// One deferred replay: `times` repetitions of the `n` entries
+  /// starting at `first` in the entry/addend pools.
+  struct Record {
+    std::uint32_t first;
+    std::uint32_t n;
+    std::uint64_t times;
+  };
+
+  bool empty() const { return records_.empty(); }
+
+  /// Number of dependent chain additions settlement will perform --
+  /// the gang scheduler's batching heuristic.
+  std::uint64_t pending_adds() const { return pending_adds_; }
+
+  /// Defers replay(tape, times): copies the entries and precomputes
+  /// the addends from the processor's unit-cost table.
+  void append_replay(const ChargeTape& tape, const double* unit,
+                     std::uint64_t times) {
+    const std::size_t n = tape.size();
+    if (n == 0 || times == 0) return;
+    const std::uint32_t first = static_cast<std::uint32_t>(entries_.size());
+    for (const ChargeTape::Entry& e : tape.entries()) {
+      entries_.push_back(e);
+      addends_.push_back(unit[static_cast<int>(e.kind)] *
+                         static_cast<double>(e.count));
+    }
+    records_.push_back(Record{first, static_cast<std::uint32_t>(n), times});
+    pending_adds_ += static_cast<std::uint64_t>(n) * times;
+  }
+
+  /// Defers one charge(kind, count) with its precomputed addend.
+  /// Consecutive deferred charges coalesce into the trailing record
+  /// when it is a times==1 record (appending an entry to a once-played
+  /// record is the same add sequence as a separate record), which
+  /// keeps skeleton tail charges gang-uniform across processors.
+  void append_charge(Op kind, std::uint64_t count, double addend) {
+    entries_.push_back(ChargeTape::Entry{kind, count});
+    addends_.push_back(addend);
+    if (!records_.empty()) {
+      Record& last = records_.back();
+      if (last.times == 1 && last.n < ChargeTape::kMaxEntries &&
+          last.first + last.n == entries_.size() - 1) {
+        ++last.n;
+        ++pending_adds_;
+        return;
+      }
+    }
+    records_.push_back(
+        Record{static_cast<std::uint32_t>(entries_.size() - 1), 1, 1});
+    ++pending_adds_;
+  }
+
+  /// Settles every pending record into (vtime, stats), in append
+  /// order.  Arithmetic-identical to having executed the deferred
+  /// replays/charges eagerly: same addends, same dependent-chain
+  /// order, with the per-op integer counters booked batched and exact.
+  void settle(double& vtime, Stats& stats) {
+    note_inline_settle(pending_adds_);
+    double vt = vtime;
+    double cu = stats.compute_us;
+    for (const Record& rec : records_) {
+      const double* a = addends_.data() + rec.first;
+      for (std::uint64_t t = 0; t < rec.times; ++t)
+        for (std::uint32_t i = 0; i < rec.n; ++i) {
+          vt += a[i];
+          cu += a[i];
+        }
+      const ChargeTape::Entry* e = entries_.data() + rec.first;
+      for (std::uint32_t i = 0; i < rec.n; ++i)
+        stats.ops[static_cast<int>(e[i].kind)] += e[i].count * rec.times;
+    }
+    vtime = vt;
+    stats.compute_us = cu;
+    clear();
+  }
+
+  void clear() {
+    entries_.clear();
+    addends_.clear();
+    records_.clear();
+    pending_adds_ = 0;
+  }
+
+  const std::vector<Record>& records() const { return records_; }
+  const std::vector<ChargeTape::Entry>& entries() const { return entries_; }
+  const std::vector<double>& addends() const { return addends_; }
+
+ private:
+  std::vector<ChargeTape::Entry> entries_;
+  std::vector<double> addends_;
+  std::vector<Record> records_;
+  std::uint64_t pending_adds_ = 0;
+};
+
+/// One processor's view for the gang settlement kernel: the pending
+/// ledger plus the clock and stats it settles into.
+struct GangLane {
+  ChargeLedger* ledger;
+  double* vtime;
+  Stats* stats;
+};
+
+/// Width of the gang settlement kernel: how many independent
+/// accumulator chains one fused settle loop interleaves.  Eight double
+/// lanes fill one 512-bit vector (or four SSE2 pairs) and comfortably
+/// cover the ~4-cycle FP-add latency with independent work.
+inline constexpr int kGangWidth = 8;
+
+/// Settles up to kGangWidth processors' pending ledgers in one fused
+/// loop that interleaves the lanes' independent accumulator chains.
+/// Within each lane the addends are applied in exactly the order
+/// ChargeLedger::settle applies them, and the vectorized path performs
+/// per-lane IEEE adds (lane i of a vector add is the scalar add of
+/// lane i's operands), so every lane's results are bit-identical to a
+/// scalar settle -- asserted lane-vs-scalar in
+/// tests/test_parix_charge_tape.cpp.
+void gang_settle(GangLane* lanes, int k);
+
+/// Cumulative gang settlement counters (process-wide): how many fused
+/// batches ran, how many lanes they settled in total, and how many
+/// dependent chain adds went through the gang kernel vs inline
+/// ChargeLedger::settle.  Tests use them to prove the gang path really
+/// engaged (a scheduler that always declines would still be
+/// bit-identical); the bench records them so a speedup claim can be
+/// traced to actual batching and coverage.
+struct GangCounters {
+  std::uint64_t batches = 0;
+  std::uint64_t lanes = 0;
+  std::uint64_t gang_adds = 0;
+  std::uint64_t inline_adds = 0;
+  std::uint64_t uniform_rounds = 0;
+  std::uint64_t divergent_rounds = 0;
+  std::uint64_t padded_slots = 0;
+};
+GangCounters gang_counters();
+
 }  // namespace skil::parix

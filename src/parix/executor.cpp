@@ -5,15 +5,37 @@
 #include <algorithm>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdlib>
 #include <deque>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <vector>
 
+#include "parix/charge_tape.h"
 #include "parix/machine.h"
 #include "parix/mailbox.h"
 #include "parix/proc.h"
 #include "support/error.h"
+
+// Fiber switches are invisible to the sanitizers unless announced:
+// ASan tracks which stack region is live (and its fake-stack state),
+// TSan models each fiber as its own logical thread.  With the
+// annotations below the pooled engine runs cleanly under both, which
+// is what lets CI exercise the multi-carrier scheduler and gang
+// settlement sanitized instead of falling back to the threads engine.
+#if defined(__SANITIZE_ADDRESS__) && __has_include(<sanitizer/common_interface_defs.h>)
+#define SKIL_ASAN_FIBERS 1
+#include <sanitizer/common_interface_defs.h>
+#endif
+#if defined(__SANITIZE_THREAD__) && __has_include(<sanitizer/tsan_interface.h>)
+#define SKIL_TSAN_FIBERS 1
+#include <sanitizer/tsan_interface.h>
+#endif
+#if SKIL_ASAN_FIBERS
+#include <pthread.h>
+#endif
 
 namespace skil::parix {
 namespace {
@@ -22,20 +44,37 @@ namespace {
 // so a 64-processor run commits only the pages it actually uses.
 constexpr std::size_t kFiberStackBytes = std::size_t{1} << 20;
 
+// A pending ledger below this many chain adds settles inline: parking
+// costs two context switches (~1us), and a gang batch can at best
+// hide seven eighths of the chain latency, so short chains lose.
+constexpr std::uint64_t kGangMinPendingAdds = 2048;
+
 // Park/unpark protocol (all transitions under Scheduler::mutex_):
 //
-//   kReady    in the ready queue, waiting for a worker
-//   kRunning  executing on a worker thread
-//   kParking  asked to park; its worker has not yet swapped off the
-//             fiber stack, so it cannot be enqueued yet
-//   kParked   off-stack, waiting for a wake()
-//   kFinished body returned; the worker recycles the fiber object
+//   kReady       in a carrier run queue, waiting for a carrier
+//   kRunning     executing on a carrier thread
+//   kParking     asked to park; its carrier has not yet swapped off
+//                the fiber stack, so it cannot be enqueued yet
+//   kParked      off-stack, waiting for a wake()
+//   kSettleWait  off-stack in the settle queue, waiting for a carrier
+//                to gang-settle its processor's charge ledger
+//   kFinished    body returned; the carrier recycles the fiber object
 //
 // A wake() that catches the fiber kRunning (the waiter was already
 // deregistered, but the fiber has not reached park_current yet) sets
 // notify_pending, which park_current consumes instead of parking --
 // the classic missed-wakeup race, resolved without spinning.
-enum class FiberState { kReady, kRunning, kParking, kParked, kFinished };
+// Settle-waiting fibers have no registered mailbox waiter, so wake()
+// never races them; only the carrier that collected the batch may
+// requeue them.
+enum class FiberState {
+  kReady,
+  kRunning,
+  kParking,
+  kParked,
+  kSettleWait,
+  kFinished
+};
 
 struct RunState;
 
@@ -44,8 +83,21 @@ struct Fiber {
   std::unique_ptr<char[]> stack;
   FiberState state = FiberState::kReady;
   bool notify_pending = false;
+  /// Set between settle_current() and the carrier's state transition
+  /// so the post-switch handler can tell a settle park from a mailbox
+  /// park.
+  bool settle_wait = false;
+  /// Carrier whose run queue this fiber calls home (affinity; idle
+  /// carriers steal from the others).
+  int home = 0;
   RunState* run = nullptr;
   Proc* proc = nullptr;
+  /// ASan fake-stack save slot for switches *off* this fiber (unused
+  /// outside ASan builds).
+  void* asan_fake_stack = nullptr;
+  /// TSan logical-thread context for this fiber (unused outside TSan
+  /// builds).
+  void* tsan_fiber = nullptr;
 };
 
 struct RunState {
@@ -59,10 +111,103 @@ struct RunState {
   std::mutex done_mutex;
   std::condition_variable done_cv;
   bool done = false;
+  /// Set by detect_deadlock_locked (guarded by done_mutex): asks the
+  /// thread waiting in Scheduler::run to poison the machine.  The
+  /// waiter owns the machine, so poisoning from there cannot race run
+  /// teardown; a carrier poisoning directly could still be walking the
+  /// mailboxes when the woken fibers finish the run and the caller
+  /// destroys the machine.
+  bool deadlock_detected = false;
 };
 
 thread_local Fiber* tl_fiber = nullptr;
 thread_local ucontext_t* tl_worker_context = nullptr;
+#if SKIL_ASAN_FIBERS
+thread_local const void* tl_worker_stack_bottom = nullptr;
+thread_local std::size_t tl_worker_stack_size = 0;
+#endif
+#if SKIL_TSAN_FIBERS
+thread_local void* tl_worker_tsan_fiber = nullptr;
+#endif
+
+// Work stealing migrates fibers between carrier threads, but the
+// compiler compiles every function as if its thread could never change
+// underneath it: with local-exec TLS it materialises the thread
+// pointer once and may reuse the derived addresses across a
+// swapcontext that in fact moved the fiber to another carrier (GCC
+// does exactly this when it inlines finish_current into
+// fiber_trampoline, leaving the finished fiber reading the *original*
+// carrier's slot).  Every TLS slot fiber-side code may read therefore
+// goes through these opaque accessors: noinline forces a fresh
+// thread-pointer load per call, and the volatile asm keeps IPA from
+// proving the functions pure and CSE-ing the calls.  Carrier-side code
+// (worker_main) accesses its own slots directly -- a worker thread
+// never migrates.
+__attribute__((noinline)) Fiber*& current_fiber_slot() {
+  asm volatile("");
+  return tl_fiber;
+}
+__attribute__((noinline)) ucontext_t* current_worker_context() {
+  asm volatile("");
+  return tl_worker_context;
+}
+#if SKIL_ASAN_FIBERS
+__attribute__((noinline)) const void* current_worker_stack_bottom() {
+  asm volatile("");
+  return tl_worker_stack_bottom;
+}
+__attribute__((noinline)) std::size_t current_worker_stack_size() {
+  asm volatile("");
+  return tl_worker_stack_size;
+}
+#endif
+#if SKIL_TSAN_FIBERS
+__attribute__((noinline)) void* current_worker_tsan_fiber() {
+  asm volatile("");
+  return tl_worker_tsan_fiber;
+}
+#endif
+
+/// Announces an upcoming switch from the current context onto
+/// `fiber`'s stack.
+inline void sanitizer_switch_to_fiber(Fiber* fiber, void** fake_stack_save) {
+#if SKIL_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(fake_stack_save, fiber->stack.get(),
+                                 kFiberStackBytes);
+#else
+  (void)fake_stack_save;
+#endif
+#if SKIL_TSAN_FIBERS
+  __tsan_switch_to_fiber(fiber->tsan_fiber, 0);
+#else
+  (void)fiber;
+#endif
+}
+
+/// Announces an upcoming switch from the current fiber back onto its
+/// carrier's thread stack.  `fake_stack_save` is null on the final
+/// switch of a finished fiber (ASan then releases its fake stack).
+inline void sanitizer_switch_to_worker(void** fake_stack_save) {
+#if SKIL_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(fake_stack_save, current_worker_stack_bottom(),
+                                 current_worker_stack_size());
+#else
+  (void)fake_stack_save;
+#endif
+#if SKIL_TSAN_FIBERS
+  __tsan_switch_to_fiber(current_worker_tsan_fiber(), 0);
+#endif
+}
+
+/// Completes the switch after landing on a new stack; `fake_stack` is
+/// the save slot written when this context last switched away.
+inline void sanitizer_finish_switch(void* fake_stack) {
+#if SKIL_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(fake_stack, nullptr, nullptr);
+#else
+  (void)fake_stack;
+#endif
+}
 
 class Scheduler {
  public:
@@ -80,27 +225,67 @@ class Scheduler {
   void park_current();
 
   /// Makes `fiber` runnable again (called from Mailbox::put/poison via
-  /// the fiber's registered waiter, possibly on another worker).
+  /// the fiber's registered waiter, possibly on another carrier).
   void wake(Fiber* fiber);
 
-  /// Marks the calling fiber finished and swaps back to its worker for
-  /// good.  Signals run completion when it is the last one.
+  /// Marks the calling fiber finished and swaps back to its carrier
+  /// for good.  Signals run completion when it is the last one.
   [[noreturn]] void finish_current();
+
+  /// Parks the calling fiber into the settle queue; a carrier settles
+  /// its processor's ledger in a gang batch and requeues it.  Returns
+  /// false when gang settlement is off (single carrier) -- the caller
+  /// settles inline.
+  bool settle_current();
+
+  /// Number of carrier threads the next pooled run will use.
+  int carriers();
+
+  /// Overrides the carrier count (0 = resolve SKIL_CARRIERS /
+  /// hardware_concurrency again).  Stops the current pool; the next
+  /// run respawns it at the new width.  Must not be called from
+  /// inside a run.
+  void set_carriers(int n);
 
  private:
   Scheduler() = default;
   ~Scheduler();
 
-  void worker_main();
+  void worker_main(int index);
+  void spawn_workers_locked();
+  void stop_workers(std::unique_lock<std::mutex>& lock);
   void enqueue_locked(Fiber* fiber);
+  Fiber* pop_ready_locked(int index);
+  bool settle_due_locked() const;
+  void gang_settle_batch_locked(std::unique_lock<std::mutex>& lock);
   void detect_deadlock_locked(std::unique_lock<std::mutex>& lock);
+  int resolve_carriers_locked();
 
   std::mutex mutex_;
   std::condition_variable work_cv_;
-  std::deque<Fiber*> ready_;
+  /// One run queue per carrier (fiber->home indexes it); idle carriers
+  /// steal from the other queues, so ready_count_ is the global count.
+  std::vector<std::deque<Fiber*>> queues_;
+  int ready_count_ = 0;
+  /// Fibers parked for gang settlement.  settle_ready_ counts the ones
+  /// that have fully left their stack (state kSettleWait); entries
+  /// still kParking are skipped until their carrier finishes the swap.
+  std::vector<Fiber*> settle_queue_;
+  int settle_ready_ = 0;
+  bool gang_enabled_ = false;
   std::vector<std::unique_ptr<Fiber>> all_fibers_;  // ownership
   std::vector<Fiber*> free_fibers_;                 // recycled, off-stack
   std::vector<std::thread> workers_;
+  int desired_carriers_ = 0;  // 0 = auto (SKIL_CARRIERS / hw concurrency)
+  /// Admission cap: at most this many carriers execute fibers (or gang
+  /// batches) concurrently; the rest stand by in the cv wait.  Set to
+  /// min(carriers, hardware_concurrency).  Oversubscribing physical
+  /// cores is pure loss here -- every suppressed slot would otherwise
+  /// turn scheduler wakeups into kernel context switches and the
+  /// global mutex into a lock convoy -- while SKIL_CARRIERS above the
+  /// core count still buys gang settlement and, on larger hosts, the
+  /// standby carriers engage as soon as the cap allows.
+  int active_cap_ = 1;
   int running_ = 0;
   int parked_ = 0;
   int live_ = 0;
@@ -113,7 +298,8 @@ class Scheduler {
 };
 
 void fiber_trampoline() {
-  Fiber* fiber = tl_fiber;
+  sanitizer_finish_switch(nullptr);
+  Fiber* fiber = current_fiber_slot();
   RunState* run = fiber->run;
   try {
     (*run->body)(*fiber->proc);
@@ -128,40 +314,200 @@ void fiber_trampoline() {
   Scheduler::instance().finish_current();
 }
 
+int Scheduler::resolve_carriers_locked() {
+  if (desired_carriers_ > 0) return desired_carriers_;
+  if (const char* env = std::getenv("SKIL_CARRIERS")) {
+    const std::string_view value(env);
+    if (value != "auto") {
+      char* end = nullptr;
+      const long n = std::strtol(env, &end, 10);
+      SKIL_REQUIRE(end != env && *end == '\0' && n >= 1 && n <= 256,
+                   "SKIL_CARRIERS: expected 'auto' or an integer in [1, 256], "
+                   "got '" + std::string(env) + "'");
+      return static_cast<int>(n);
+    }
+  }
+  unsigned n = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(n, 1u, 16u));
+}
+
+int Scheduler::carriers() {
+  const std::scoped_lock lock(mutex_);
+  return workers_.empty() ? resolve_carriers_locked()
+                          : static_cast<int>(workers_.size());
+}
+
+void Scheduler::spawn_workers_locked() {
+  const int n = resolve_carriers_locked();
+  gang_enabled_ = n > 1;
+  const unsigned hc = std::thread::hardware_concurrency();
+  active_cap_ = hc == 0 ? n : std::max(1, std::min(n, static_cast<int>(hc)));
+  queues_.assign(static_cast<std::size_t>(n), {});
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back([this, i] { worker_main(i); });
+}
+
+void Scheduler::stop_workers(std::unique_lock<std::mutex>& lock) {
+  if (workers_.empty()) return;
+  shutdown_ = true;
+  work_cv_.notify_all();
+  lock.unlock();
+  for (auto& worker : workers_) worker.join();
+  lock.lock();
+  workers_.clear();
+  queues_.clear();
+  shutdown_ = false;
+}
+
+void Scheduler::set_carriers(int n) {
+  SKIL_REQUIRE(current_fiber_slot() == nullptr,
+               "executor: set_carriers from inside a pooled run");
+  SKIL_REQUIRE(n >= 0 && n <= 256, "executor: carrier count out of range");
+  const std::scoped_lock serial(run_serial_);
+  std::unique_lock lock(mutex_);
+  desired_carriers_ = n;
+  stop_workers(lock);
+}
+
 void Scheduler::enqueue_locked(Fiber* fiber) {
-  ready_.push_back(fiber);
-  work_cv_.notify_one();
+  queues_[static_cast<std::size_t>(fiber->home)].push_back(fiber);
+  ++ready_count_;
+  // Wake a standby carrier only when the admission cap has room for
+  // it; at the cap, the carriers already executing drain the queue
+  // themselves when they next return to their loop.
+  if (running_ < active_cap_) work_cv_.notify_one();
+}
+
+Fiber* Scheduler::pop_ready_locked(int index) {
+  if (ready_count_ == 0) return nullptr;
+  const int n = static_cast<int>(queues_.size());
+  // Own queue first (affinity), then steal round-robin from the rest.
+  for (int i = 0; i < n; ++i) {
+    auto& queue = queues_[static_cast<std::size_t>((index + i) % n)];
+    if (queue.empty()) continue;
+    Fiber* fiber = queue.front();
+    queue.pop_front();
+    --ready_count_;
+    return fiber;
+  }
+  SKIL_ASSERT(false, "executor: ready_count_ out of sync");
+  return nullptr;
+}
+
+bool Scheduler::settle_due_locked() const {
+  // Settle when a full gang is waiting, or when nothing else is
+  // runnable (running fibers elsewhere may still join the batch, but
+  // waiting on them could wait forever -- they might themselves need
+  // one of the queued settlements to make progress).
+  return settle_ready_ >= kGangWidth ||
+         (settle_ready_ > 0 && ready_count_ == 0);
+}
+
+void Scheduler::gang_settle_batch_locked(std::unique_lock<std::mutex>& lock) {
+  Fiber* batch[kGangWidth];
+  GangLane lanes[kGangWidth];
+  int k = 0;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < settle_queue_.size(); ++i) {
+    Fiber* fiber = settle_queue_[i];
+    if (k < kGangWidth && fiber->state == FiberState::kSettleWait) {
+      batch[k++] = fiber;
+    } else {
+      settle_queue_[kept++] = fiber;  // still kParking, or batch full
+    }
+  }
+  settle_queue_.resize(kept);
+  settle_ready_ -= k;
+  if (k == 0) return;
+  for (int i = 0; i < k; ++i) lanes[i] = batch[i]->proc->gang_lane();
+  // The fused settle runs outside the scheduler lock: the fibers are
+  // off their stacks and unreachable by wake() (no mailbox waiter), so
+  // this carrier owns their processors exclusively; the lock handoff
+  // (enqueue under mutex_ -> collect under mutex_) orders the memory.
+  lock.unlock();
+  gang_settle(lanes, k);
+  lock.lock();
+  for (int i = 0; i < k; ++i) {
+    batch[i]->settle_wait = false;
+    batch[i]->state = FiberState::kReady;
+    enqueue_locked(batch[i]);
+  }
 }
 
 void Scheduler::detect_deadlock_locked(std::unique_lock<std::mutex>& lock) {
-  if (!ready_.empty() || running_ > 0 || live_ == 0 || parked_ != live_)
+  if (!settle_queue_.empty()) return;  // settlement work pending
+  if (ready_count_ > 0 || running_ > 0 || live_ == 0 || parked_ != live_)
     return;
   RunState* run = current_run_;
   if (run == nullptr || run->deadlock_poisoned) return;
   run->deadlock_poisoned = true;
-  // poison_all wakes the parked fibers through their mailbox waiters,
-  // which re-enters wake() -> mutex_, so release the lock first.
+  // Hand the poisoning to the thread waiting in Scheduler::run rather
+  // than doing it here: that thread owns the machine, so it cannot be
+  // destroyed under the poisoner's feet (a carrier walking the
+  // mailboxes races run teardown once the woken fibers finish).  The
+  // deadlock state itself cannot change meanwhile -- every live fiber
+  // is parked with no wake in flight, by the checks above.
   lock.unlock();
-  run->machine->poison_all(
-      "deadlock: every virtual processor is blocked in recv");
+  {
+    const std::scoped_lock done_lock(run->done_mutex);
+    run->deadlock_detected = true;
+  }
+  run->done_cv.notify_one();
   lock.lock();
 }
 
-void Scheduler::worker_main() {
+void Scheduler::worker_main(int index) {
   ucontext_t worker_context;
   tl_worker_context = &worker_context;
+#if SKIL_ASAN_FIBERS
+  {
+    pthread_attr_t attr;
+    void* bottom = nullptr;
+    std::size_t size = 0;
+    pthread_getattr_np(pthread_self(), &attr);
+    pthread_attr_getstack(&attr, &bottom, &size);
+    pthread_attr_destroy(&attr);
+    tl_worker_stack_bottom = bottom;
+    tl_worker_stack_size = size;
+  }
+#endif
+#if SKIL_TSAN_FIBERS
+  tl_worker_tsan_fiber = __tsan_get_current_fiber();
+#endif
   std::unique_lock lock(mutex_);
   for (;;) {
-    work_cv_.wait(lock, [&] { return shutdown_ || !ready_.empty(); });
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || ((ready_count_ > 0 || settle_due_locked()) &&
+                           running_ < active_cap_);
+    });
     if (shutdown_) return;
-    Fiber* fiber = ready_.front();
-    ready_.pop_front();
+    if (settle_due_locked()) {
+      // The batch occupies an admission slot like a fiber would: its
+      // settled fibers re-enqueue at the end, and the slot keeps
+      // standby carriers from piling onto the queue mid-batch.
+      ++running_;
+      gang_settle_batch_locked(lock);
+      --running_;
+      // Enqueues during the batch saw its admission slot occupied and
+      // may have suppressed their wakeups; hand one on now that the
+      // slot is free (this carrier takes another item itself on the
+      // next iteration).
+      if (ready_count_ > 0 && running_ < active_cap_) work_cv_.notify_one();
+      continue;
+    }
+    Fiber* fiber = pop_ready_locked(index);
+    if (fiber == nullptr) continue;  // settle batch raced us
     fiber->state = FiberState::kRunning;
+    fiber->home = index;
     ++running_;
     lock.unlock();
 
     tl_fiber = fiber;
+    void* fake_stack = nullptr;
+    sanitizer_switch_to_fiber(fiber, &fake_stack);
     swapcontext(&worker_context, &fiber->context);
+    sanitizer_finish_switch(fake_stack);
     tl_fiber = nullptr;
 
     lock.lock();
@@ -172,7 +518,14 @@ void Scheduler::worker_main() {
         free_fibers_.push_back(fiber);
         break;
       case FiberState::kParking:
-        if (fiber->notify_pending) {
+        if (fiber->settle_wait) {
+          // Now off-stack: eligible for a gang batch.  The cv wake
+          // lets an idle carrier run the batch even if this one goes
+          // on to execute ready fibers first.
+          fiber->state = FiberState::kSettleWait;
+          ++settle_ready_;
+          if (settle_due_locked()) work_cv_.notify_one();
+        } else if (fiber->notify_pending) {
           fiber->notify_pending = false;
           fiber->state = FiberState::kReady;
           enqueue_locked(fiber);
@@ -194,7 +547,7 @@ void Scheduler::worker_main() {
 }
 
 void Scheduler::park_current() {
-  Fiber* fiber = tl_fiber;
+  Fiber* fiber = current_fiber_slot();
   SKIL_ASSERT(fiber != nullptr, "executor: park outside a fiber");
   {
     const std::scoped_lock lock(mutex_);
@@ -204,7 +557,25 @@ void Scheduler::park_current() {
     }
     fiber->state = FiberState::kParking;
   }
-  swapcontext(&fiber->context, tl_worker_context);
+  sanitizer_switch_to_worker(&fiber->asan_fake_stack);
+  swapcontext(&fiber->context, current_worker_context());
+  sanitizer_finish_switch(fiber->asan_fake_stack);
+}
+
+bool Scheduler::settle_current() {
+  Fiber* fiber = current_fiber_slot();
+  SKIL_ASSERT(fiber != nullptr, "executor: settle park outside a fiber");
+  {
+    const std::scoped_lock lock(mutex_);
+    if (!gang_enabled_) return false;
+    fiber->state = FiberState::kParking;
+    fiber->settle_wait = true;
+    settle_queue_.push_back(fiber);
+  }
+  sanitizer_switch_to_worker(&fiber->asan_fake_stack);
+  swapcontext(&fiber->context, current_worker_context());
+  sanitizer_finish_switch(fiber->asan_fake_stack);
+  return true;
 }
 
 void Scheduler::wake(Fiber* fiber) {
@@ -216,8 +587,10 @@ void Scheduler::wake(Fiber* fiber) {
       enqueue_locked(fiber);
       break;
     case FiberState::kParking:
-      // Its worker is still swapping off the fiber stack and will
-      // enqueue when it observes the state change.
+      // Its carrier is still swapping off the fiber stack and will
+      // enqueue when it observes the state change.  (Never a settle
+      // park: those have no registered mailbox waiter to fire.)
+      SKIL_ASSERT(!fiber->settle_wait, "executor: wake raced a settle park");
       fiber->state = FiberState::kReady;
       break;
     default:
@@ -227,7 +600,7 @@ void Scheduler::wake(Fiber* fiber) {
 }
 
 void Scheduler::finish_current() {
-  Fiber* fiber = tl_fiber;
+  Fiber* fiber = current_fiber_slot();
   RunState* run = fiber->run;
   bool last = false;
   {
@@ -242,8 +615,10 @@ void Scheduler::finish_current() {
     run->done_cv.notify_one();
   }
   // From here the fiber touches nothing of the run (the caller may
-  // already be tearing it down); it only leaves its stack.
-  swapcontext(&fiber->context, tl_worker_context);
+  // already be tearing it down); it only leaves its stack -- for good,
+  // so ASan releases its fake stack (null save slot).
+  sanitizer_switch_to_worker(nullptr);
+  swapcontext(&fiber->context, current_worker_context());
   SKIL_ASSERT(false, "executor: finished fiber resumed");
   std::abort();
 }
@@ -258,13 +633,8 @@ std::exception_ptr Scheduler::run(
 
   {
     std::unique_lock lock(mutex_);
-    if (workers_.empty()) {
-      unsigned n = std::thread::hardware_concurrency();
-      n = std::clamp(n, 1u, 16u);
-      workers_.reserve(n);
-      for (unsigned i = 0; i < n; ++i)
-        workers_.emplace_back([this] { worker_main(); });
-    }
+    if (workers_.empty()) spawn_workers_locked();
+    const int carriers = static_cast<int>(workers_.size());
     live_ = static_cast<int>(procs.size());
     current_run_ = &run;
     for (const auto& proc : procs) {
@@ -276,24 +646,42 @@ std::exception_ptr Scheduler::run(
         all_fibers_.push_back(std::make_unique<Fiber>());
         fiber = all_fibers_.back().get();
         fiber->stack.reset(new char[kFiberStackBytes]);
+#if SKIL_TSAN_FIBERS
+        fiber->tsan_fiber = __tsan_create_fiber(0);
+#endif
       }
       fiber->run = &run;
       fiber->proc = proc.get();
       fiber->state = FiberState::kReady;
       fiber->notify_pending = false;
+      fiber->settle_wait = false;
+      fiber->home = proc->id() % carriers;
+      fiber->asan_fake_stack = nullptr;
       getcontext(&fiber->context);
       fiber->context.uc_stack.ss_sp = fiber->stack.get();
       fiber->context.uc_stack.ss_size = kFiberStackBytes;
       fiber->context.uc_link = nullptr;
       makecontext(&fiber->context, fiber_trampoline, 0);
-      ready_.push_back(fiber);
+      queues_[static_cast<std::size_t>(fiber->home)].push_back(fiber);
+      ++ready_count_;
     }
     work_cv_.notify_all();
   }
 
   {
     std::unique_lock done_lock(run.done_mutex);
-    run.done_cv.wait(done_lock, [&] { return run.done; });
+    for (;;) {
+      run.done_cv.wait(done_lock,
+                       [&] { return run.done || run.deadlock_detected; });
+      if (run.done) break;
+      // A carrier found every live fiber parked in recv; poison from
+      // here, where the machine is owned, then resume waiting for the
+      // woken fibers to finish with their faults.
+      run.deadlock_detected = false;
+      done_lock.unlock();
+      machine.poison_all("deadlock: every virtual processor is blocked in recv");
+      done_lock.lock();
+    }
   }
   {
     const std::scoped_lock lock(mutex_);
@@ -320,7 +708,19 @@ struct FiberWaiter final : Mailbox::Waiter {
 
 }  // namespace
 
-bool executor_in_fiber() { return tl_fiber != nullptr; }
+bool executor_in_fiber() { return current_fiber_slot() != nullptr; }
+
+int executor_carriers() { return Scheduler::instance().carriers(); }
+
+void executor_set_carriers(int n) { Scheduler::instance().set_carriers(n); }
+
+bool executor_gang_settle(Proc& proc) {
+  Fiber* fiber = current_fiber_slot();
+  if (fiber == nullptr || fiber->proc != &proc) return false;
+  if (proc.gang_lane().ledger->pending_adds() < kGangMinPendingAdds)
+    return false;
+  return Scheduler::instance().settle_current();
+}
 
 std::exception_ptr executor_run(Machine& machine,
                                 const std::vector<std::unique_ptr<Proc>>& procs,
@@ -330,7 +730,7 @@ std::exception_ptr executor_run(Machine& machine,
 
 Message executor_fiber_get(Mailbox& box, int src, long tag) {
   FiberWaiter waiter;
-  waiter.fiber = tl_fiber;
+  waiter.fiber = current_fiber_slot();
   SKIL_ASSERT(waiter.fiber != nullptr,
               "executor: fiber receive outside the pooled engine");
   for (;;) {

@@ -1,0 +1,18 @@
+#include "parix/proc.h"
+
+#include "parix/executor.h"
+
+namespace skil::parix {
+
+void Proc::settle_pending() {
+  // The gang hook parks the calling fiber and lets a carrier settle
+  // several processors' ledgers in one fused batch; outside the pooled
+  // engine (or when it declines -- one carrier, or a ledger too small
+  // to be worth two context switches) the scalar settle runs inline.
+  // Either way the addends fold in append order, so the clock cannot
+  // tell the difference.
+  if (executor_gang_settle(*this)) return;
+  ledger_.settle(vtime_, stats_);
+}
+
+}  // namespace skil::parix

@@ -21,6 +21,16 @@
 
 namespace skil::parix {
 
+class Proc;
+
+/// Pooled-engine hook (executor.cpp): offers the processor's pending
+/// charge ledger to the gang settlement scheduler.  Returns true when
+/// the calling fiber parked, a carrier settled the ledger in a fused
+/// multi-lane batch, and the fiber has been resumed; false when the
+/// caller should settle inline (not in a fiber, gang disabled at one
+/// carrier, or the ledger is too small to be worth a park).
+bool executor_gang_settle(Proc& proc);
+
 class Proc {
  public:
   Proc(Machine& machine, int id)
@@ -40,13 +50,22 @@ class Proc {
   Machine& machine() { return *machine_; }
   const CostModel& cost() const { return machine_->cost(); }
 
-  /// Current virtual time in microseconds.
-  double vtime() const { return vtime_; }
+  /// Current virtual time in microseconds.  Observing the clock is a
+  /// settlement point: any deferred replays fold in first (in append
+  /// order, so the value is the one eager accounting would have
+  /// produced).
+  double vtime() {
+    maybe_settle();
+    return vtime_;
+  }
 
   /// Charges `count` operations of the given kind to the virtual clock.
   /// Skeleton inner loops call this once per loop with the element
-  /// count, keeping host-side overhead negligible.
+  /// count, keeping host-side overhead negligible.  Eager charges
+  /// settle the deferred ledger first so the chain order stays the
+  /// program's charge order.
   void charge(Op kind, std::uint64_t count = 1) {
+    maybe_settle();
     const double us =
         unit_[static_cast<int>(kind)] * static_cast<double>(count);
     vtime_ += us;
@@ -70,45 +89,57 @@ class Proc {
   /// Replays a recorded charge sequence `times` times, as if charge()
   /// had been called for every tape entry, per repetition, in order.
   ///
-  /// Invariant (DESIGN.md section 8): this is arithmetic-identical to
+  /// Invariant (DESIGN.md sections 8 and 10): the settled result is
+  /// arithmetic-identical to
   ///
   ///   for (t = 0; t < times; ++t)
   ///     for (entry : tape) charge(entry.kind, entry.count);
   ///
-  /// Each addend is the same unit * count product charge() computes,
-  /// and vtime_ / compute_us advance through the identical dependent
-  /// FP-add chain -- only in registers, with the per-op counters
-  /// booked as one batched (integer, hence exact) update per entry.
-  /// Tape-specialized hot loops replace their per-element interpretive
-  /// charges with one replay per loop; the differential tests pin the
-  /// two paths bit-for-bit against each other.
+  /// Since PR 4 the replay is *deferred*: the entries and their
+  /// precomputed unit * count addends are appended to the charge
+  /// ledger and folded into the clock at the next settlement point
+  /// (send, recv, eager charge, stats/vtime read, trace flush).
+  /// Deferral cannot move the clock -- settlement walks the records in
+  /// append order through the identical dependent FP-add chain -- but
+  /// it lets the pooled engine settle many processors' independent
+  /// chains in one fused gang batch (charge_tape.h).
   void replay(const ChargeTape& tape, std::uint64_t times) {
-    const std::size_t n = tape.size();
-    SKIL_ASSERT(n <= ChargeTape::kMaxEntries,
+    SKIL_ASSERT(tape.size() <= ChargeTape::kMaxEntries,
                 "replay: tape exceeds kMaxEntries");
-    if (n == 0 || times == 0) return;
-    const ChargeTape::Entry* entries = tape.entries().data();
-    double addends[ChargeTape::kMaxEntries];
-    for (std::size_t i = 0; i < n; ++i)
-      addends[i] = unit_[static_cast<int>(entries[i].kind)] *
-                   static_cast<double>(entries[i].count);
-    double vt = vtime_;
-    double cu = stats_.compute_us;
-    for (std::uint64_t t = 0; t < times; ++t)
-      for (std::size_t i = 0; i < n; ++i) {
-        vt += addends[i];
-        cu += addends[i];
-      }
-    vtime_ = vt;
-    stats_.compute_us = cu;
-    for (std::size_t i = 0; i < n; ++i)
-      stats_.ops[static_cast<int>(entries[i].kind)] +=
-          entries[i].count * times;
+    ledger_.append_replay(tape, unit_.data(), times);
   }
+
+  /// Defers one charge(kind, count) behind any pending replays.  Taped
+  /// skeletons book their bulk tail charges through this (via the
+  /// DeferredCharges sink) so the deferral window survives past the
+  /// skeleton boundary instead of collapsing at the first tail charge.
+  void charge_deferred(Op kind, std::uint64_t count = 1) {
+    ledger_.append_charge(
+        kind, count,
+        unit_[static_cast<int>(kind)] * static_cast<double>(count));
+  }
+
+  /// Bulk deferred charge, mirroring charge_elems.
+  void charge_elems_deferred(Op kind, std::uint64_t elems,
+                             std::uint64_t ops_per_elem = 1) {
+    charge_deferred(kind, elems * ops_per_elem);
+  }
+
+  /// Folds any deferred replays into the clock.  One untaken branch on
+  /// the hot interpretive path (the ledger stays empty there).
+  void maybe_settle() {
+    if (!ledger_.empty()) [[unlikely]] settle_pending();
+  }
+
+  /// The raw (ledger, clock, stats) triple the gang settlement kernel
+  /// operates on; only meaningful while the owning fiber is parked for
+  /// settlement (the scheduler guarantees exclusive access).
+  GangLane gang_lane() { return GangLane{&ledger_, &vtime_, &stats_}; }
 
   /// Charges raw virtual microseconds of computation (used by tests and
   /// by code modelling costs outside the Op vocabulary).
   void charge_us(double us) {
+    maybe_settle();
     vtime_ += us;
     stats_.compute_us += us;
   }
@@ -163,6 +194,11 @@ class Proc {
     SKIL_ASSERT(msg.type != nullptr && *msg.type == typeid(T),
                 std::string("recv: payload type mismatch for tag ") +
                     std::to_string(tag));
+    // Settle *after* the blocking wait: the receive arithmetic below
+    // observes the clock, and parking first maximizes how many
+    // processors' pending ledgers a gang batch can fuse (awakened
+    // receivers settle together).
+    maybe_settle();
     const double last_hop_us =
         cost().msg_per_byte_us * static_cast<double>(msg.bytes);
     double& channel = earliest(in_links_);
@@ -205,8 +241,11 @@ class Proc {
   /// exporter can classify app vs collective tags in histograms).
   static constexpr long kCollectiveTagBase = 1L << 40;
 
-  Stats& stats() { return stats_; }
-  const Stats& stats() const { return stats_; }
+  /// Reading the stats is a settlement point, like vtime().
+  Stats& stats() {
+    maybe_settle();
+    return stats_;
+  }
 
   /// Attaches a per-proc trace recorder (parix/trace.h); nullptr turns
   /// tracing off.  Set by spmd_run before the body starts; single
@@ -219,16 +258,33 @@ class Proc {
   /// this is one untaken branch -- it must stay cheap enough to sit in
   /// every skeleton entry point.
   void span_begin(const char* name, std::int64_t arg = -1) {
-    if (trace_ != nullptr) [[unlikely]] trace_->span_begin(vtime_, name, arg);
+    if (trace_ != nullptr) [[unlikely]] {
+      // Span timestamps observe the clock, so tracing settles here;
+      // with tracing off the deferral window runs through skeleton
+      // boundaries untouched.  Settlement order is the same either
+      // way, so vtimes stay bit-identical in every trace mode.
+      maybe_settle();
+      trace_->span_begin(vtime_, name, arg);
+    }
   }
   void span_end() {
-    if (trace_ != nullptr) [[unlikely]] trace_->span_end(vtime_);
+    if (trace_ != nullptr) [[unlikely]] {
+      maybe_settle();
+      trace_->span_end(vtime_);
+    }
   }
 
  private:
+  /// Out-of-line slow path of maybe_settle (proc.cpp): offers the
+  /// ledger to the pooled engine's gang scheduler, falling back to an
+  /// inline scalar settle.
+  void settle_pending();
+
   /// Timestamping and accounting shared by every send flavour.  The
   /// arithmetic sequence here is the vtime artefact -- do not reorder.
   void dispatch(Message msg, int dst, SendMode mode) {
+    // Sending observes the clock (the startup charge below): settle.
+    maybe_settle();
     const int hops = machine_->hops(id_, dst);
     // Software startup on the sender, then the first hop occupies one
     // of the node's four outgoing link channels: a burst of sends from
@@ -279,9 +335,32 @@ class Proc {
   std::array<double, 4> in_links_{};
   long next_collective_seq_ = 0;
   Stats stats_;
+  /// Deferred replays/charges pending settlement (charge_tape.h).
+  ChargeLedger ledger_;
   /// Per-proc trace recorder; nullptr (the default) keeps every trace
   /// hook down to one untaken branch so vtimes stay bit-identical.
   ProcTrace* trace_ = nullptr;
+};
+
+/// Charge sink that defers into the processor's ledger instead of
+/// settling.  Same interface as Proc and ChargeTape, so the shared
+/// charge helpers (fn.h, farray.h) can book a taped skeleton's bulk
+/// tail charges without closing the deferral window -- the sequence
+/// settles later in exactly this order.
+class DeferredCharges {
+ public:
+  explicit DeferredCharges(Proc& proc) : proc_(&proc) {}
+
+  void charge(Op kind, std::uint64_t count = 1) {
+    proc_->charge_deferred(kind, count);
+  }
+  void charge_elems(Op kind, std::uint64_t elems,
+                    std::uint64_t ops_per_elem = 1) {
+    proc_->charge_elems_deferred(kind, elems, ops_per_elem);
+  }
+
+ private:
+  Proc* proc_;
 };
 
 /// RAII pairing for Proc::span_begin/span_end.  Skeletons and apps open

@@ -42,11 +42,16 @@ decltype(auto) apply_map_f(F& map_f, const T& elem, const Index& ix) {
 }
 
 /// The bulk tail charges shared by array_map and array_map_taped (one
-/// first-order call plus one element operation per element).
-template <class T2>
-inline void array_map_charge_tail(parix::Proc& proc, std::uint64_t elems) {
-  proc.charge_elems(parix::Op::kCall, elems);
-  proc.charge_elems(op_kind<T2>(), elems);
+/// first-order call plus one element operation per element).  Sink-
+/// templated: array_map books them eagerly on the Proc, the taped
+/// variant through a parix::DeferredCharges sink so the skeleton's
+/// whole charge sequence stays in the deferred ledger until the next
+/// observation point (same entries, same order -- settlement cannot
+/// tell the difference).
+template <class T2, class Sink>
+inline void array_map_charge_tail(Sink& sink, std::uint64_t elems) {
+  sink.charge_elems(parix::Op::kCall, elems);
+  sink.charge_elems(op_kind<T2>(), elems);
 }
 
 }  // namespace detail
@@ -104,7 +109,8 @@ void array_map_taped(F map_f, const parix::ChargeTape& tape,
       ++elems;
     }
   from.proc().replay(tape, tapped);
-  detail::array_map_charge_tail<T2>(from.proc(), elems);
+  parix::DeferredCharges deferred(from.proc());
+  detail::array_map_charge_tail<T2>(deferred, elems);
 }
 
 /// Two-source map: to[i] = zip_f(a[i], b[i], i).  Extension skeleton.

@@ -1,0 +1,265 @@
+// Differential fuzz for the deferred charge ledger and gang settlement.
+//
+// Random compositions of taped skeletons (skil array_map_taped, dpfl
+// fa_map_taped / fa_fold_taped) interleaved with eager skeletons
+// (array_zip, array_fold, array_copy -- each an extra settlement
+// point) run over random processor counts and array shapes, three
+// ways:
+//
+//   1. interpretive charging on the threads engine,
+//   2. taped charging on the pooled engine with one carrier
+//      (deferred ledgers, inline settlement, gang off),
+//   3. taped charging on the pooled engine with four carriers
+//      (gang settlement on).
+//
+// All three must produce bit-identical per-processor virtual times and
+// operation statistics: the taped variants are chain-identical to the
+// interpretive ones by construction (DESIGN.md section 8), deferral
+// only moves *when* the same adds execute (section 10), and the gang
+// kernel performs per-lane IEEE adds in the scalar settle order.  The
+// shapes deliberately mix ragged small grids (empty partitions, odd
+// remainders) with partitions large enough to push ledgers past the
+// gang batching threshold, and the gang counters assert the batched
+// path really ran.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "dpfl/dpfl.h"
+#include "parix/charge_tape.h"
+#include "parix/executor.h"
+#include "parix/runtime.h"
+#include "skil/skil.h"
+
+namespace {
+
+using namespace skil;
+
+struct TapeEntrySpec {
+  parix::Op kind;
+  std::uint64_t count;
+};
+
+enum StepKind {
+  kSkilMap = 0,
+  kSkilZip,
+  kSkilFold,
+  kSkilCopy,
+  kDpflMap,
+  kDpflFold,
+  kStepKinds
+};
+
+struct StepSpec {
+  int kind = kSkilMap;
+  std::vector<TapeEntrySpec> tape;  // used by the taped step kinds
+};
+
+struct ProgramSpec {
+  int p = 2;
+  int rows = 1;
+  int cols = 1;
+  std::vector<StepSpec> steps;
+};
+
+/// Derives a random program from a seed.  The generator is the only
+/// source of randomness: the same spec then drives all three runs.
+ProgramSpec make_program(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  static constexpr parix::Op kOps[] = {
+      parix::Op::kIntOp,        parix::Op::kFloatOp, parix::Op::kCall,
+      parix::Op::kIndirectCall, parix::Op::kAlloc,   parix::Op::kCopyWord,
+  };
+  ProgramSpec prog;
+  static constexpr int kProcs[] = {2, 4, 8};
+  prog.p = kProcs[rng() % 3];
+  if (rng() % 2 == 0) {
+    // Ragged: remainders and empty partitions.
+    prog.rows = 1 + static_cast<int>(rng() % 13);
+    prog.cols = 1 + static_cast<int>(rng() % 9);
+  } else {
+    // Large enough that a deferred map over the local partition
+    // crosses the gang batching threshold (~2048 chain adds).
+    prog.rows = prog.p * (24 + static_cast<int>(rng() % 20));
+    prog.cols = 17 + static_cast<int>(rng() % 16);
+  }
+  const int nsteps = 3 + static_cast<int>(rng() % 6);
+  for (int s = 0; s < nsteps; ++s) {
+    StepSpec step;
+    step.kind = static_cast<int>(rng() % kStepKinds);
+    const int len = 1 + static_cast<int>(rng() % 5);
+    for (int i = 0; i < len; ++i)
+      step.tape.push_back(
+          TapeEntrySpec{kOps[rng() % 6], 1 + rng() % 4});
+    prog.steps.push_back(std::move(step));
+  }
+  return prog;
+}
+
+/// Executes the program.  `taped` selects the tape-specialized
+/// skeleton variants (deferred ledger / gang settlement path); the
+/// interpretive variants charge the identical sequences eagerly
+/// per element.
+parix::RunResult run_program(const ProgramSpec& prog, bool taped) {
+  parix::RunConfig config{prog.p, parix::CostModel::t800()};
+  return parix::spmd_run(config, [&](parix::Proc& proc) {
+    const auto charge_eager = [&proc](const std::vector<TapeEntrySpec>& t) {
+      for (const TapeEntrySpec& e : t) proc.charge(e.kind, e.count);
+    };
+    const auto build_tape = [](const std::vector<TapeEntrySpec>& t) {
+      parix::ChargeTape tape;
+      for (const TapeEntrySpec& e : t) tape.charge(e.kind, e.count);
+      return tape;
+    };
+
+    const Size shape{prog.rows, prog.cols};
+    auto a = array_create<double>(
+        proc, 2, shape,
+        [](Index ix) { return 1.0 + 0.25 * ix[0] - 0.125 * ix[1]; });
+    auto b = array_create<double>(proc, 2, shape, [](Index) { return 0.0; });
+    const dpfl::Closure<double(Index)> finit(
+        proc, [](Index ix) { return 0.5 * ix[0] + ix[1]; });
+    auto f = dpfl::fa_create<double>(proc, 2, shape, finit);
+
+    for (const StepSpec& step : prog.steps) {
+      switch (step.kind) {
+        case kSkilMap: {
+          if (taped) {
+            const parix::ChargeTape tape = build_tape(step.tape);
+            array_map_taped(
+                [](const double& v, Index ix, std::uint64_t& tapped) {
+                  ++tapped;
+                  return v * 0.5 + 0.0625 * ix[0] - 0.03125 * ix[1];
+                },
+                tape, a, b);
+          } else {
+            array_map(
+                [&](const double& v, Index ix) {
+                  charge_eager(step.tape);
+                  return v * 0.5 + 0.0625 * ix[0] - 0.03125 * ix[1];
+                },
+                a, b);
+          }
+          std::swap(a, b);
+          break;
+        }
+        case kSkilZip:
+          array_zip([](double x, double y) { return 0.5 * (x + y); }, a, b, b);
+          std::swap(a, b);
+          break;
+        case kSkilFold:
+          (void)array_fold([](double v) { return v; },
+                           [](double x, double y) { return x + y; }, a);
+          break;
+        case kSkilCopy:
+          array_copy(a, b);
+          std::swap(a, b);
+          break;
+        case kDpflMap: {
+          if (taped) {
+            // Mirror the closure record the interpretive path
+            // allocates when it constructs map_f.
+            proc.charge(parix::Op::kAlloc);
+            const parix::ChargeTape tape = build_tape(step.tape);
+            f = dpfl::fa_map_taped(
+                [](const double& v, Index ix, std::uint64_t& tapped) {
+                  ++tapped;
+                  return v * 0.5 + 0.015625 * ix[1];
+                },
+                tape, f);
+          } else {
+            const dpfl::Closure<double(double, Index)> map_f(
+                proc, [&](double v, Index ix) {
+                  charge_eager(step.tape);
+                  return v * 0.5 + 0.015625 * ix[1];
+                });
+            f = dpfl::fa_map(map_f, f);
+          }
+          break;
+        }
+        case kDpflFold: {
+          if (taped) {
+            // Two closure records: conv_f and fold_f.
+            proc.charge(parix::Op::kAlloc);
+            proc.charge(parix::Op::kAlloc);
+            const parix::ChargeTape tape = build_tape(step.tape);
+            (void)dpfl::fa_fold_taped(
+                [](const double& v, Index ix, std::uint64_t& tapped) {
+                  ++tapped;
+                  return v + 0.25 * ix[0];
+                },
+                [](double x, double y) { return x + y; }, tape, f);
+          } else {
+            const dpfl::Closure<double(double, Index)> conv(
+                proc, [&](double v, Index ix) {
+                  charge_eager(step.tape);
+                  return v + 0.25 * ix[0];
+                });
+            const dpfl::Closure<double(double, double)> fold(
+                proc, [](double x, double y) { return x + y; });
+            (void)dpfl::fa_fold(conv, fold, f);
+          }
+          break;
+        }
+        default:
+          FAIL() << "unknown step kind " << step.kind;
+      }
+    }
+  });
+}
+
+template <class Fn>
+parix::RunResult with_engine(parix::ExecutionEngine engine, Fn&& fn) {
+  const parix::ExecutionEngine saved = parix::default_execution_engine();
+  parix::set_default_execution_engine(engine);
+  parix::RunResult result = fn();
+  parix::set_default_execution_engine(saved);
+  return result;
+}
+
+TEST(GangFuzz, RandomTapedCompositionsBitIdenticalAcrossPaths) {
+  const parix::GangCounters before = parix::gang_counters();
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const ProgramSpec prog = make_program(seed * 0x9E3779B97F4A7C15ull + 1);
+    SCOPED_TRACE(::testing::Message()
+                 << "seed " << seed << " p=" << prog.p << " " << prog.rows
+                 << "x" << prog.cols << " steps=" << prog.steps.size());
+
+    const parix::RunResult interp = with_engine(
+        parix::ExecutionEngine::kThreads,
+        [&] { return run_program(prog, /*taped=*/false); });
+
+    parix::executor_set_carriers(1);
+    const parix::RunResult tape_one = with_engine(
+        parix::ExecutionEngine::kPooled,
+        [&] { return run_program(prog, /*taped=*/true); });
+
+    parix::executor_set_carriers(4);
+    const parix::RunResult tape_gang = with_engine(
+        parix::ExecutionEngine::kPooled,
+        [&] { return run_program(prog, /*taped=*/true); });
+    parix::executor_set_carriers(0);
+
+    ASSERT_EQ(interp.proc_vtimes.size(), static_cast<std::size_t>(prog.p));
+    ASSERT_EQ(tape_one.proc_vtimes.size(), interp.proc_vtimes.size());
+    ASSERT_EQ(tape_gang.proc_vtimes.size(), interp.proc_vtimes.size());
+    for (int pid = 0; pid < prog.p; ++pid) {
+      SCOPED_TRACE(::testing::Message() << "proc " << pid);
+      EXPECT_EQ(interp.proc_vtimes[pid], tape_one.proc_vtimes[pid]);
+      EXPECT_EQ(interp.proc_vtimes[pid], tape_gang.proc_vtimes[pid]);
+      EXPECT_EQ(interp.proc_stats[pid], tape_one.proc_stats[pid]);
+      EXPECT_EQ(interp.proc_stats[pid], tape_gang.proc_stats[pid]);
+    }
+  }
+  // The large shapes must have driven real gang batches in the
+  // four-carrier runs; otherwise this test only exercised the inline
+  // settle path and the three-way identity would be vacuous for the
+  // gang kernel.
+  const parix::GangCounters after = parix::gang_counters();
+  EXPECT_GT(after.batches, before.batches);
+}
+
+}  // namespace
