@@ -1,0 +1,755 @@
+#include "skilc/analyze.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "skilc/cfg.h"
+#include "skilc/dataflow.h"
+#include "skilc/parser.h"
+#include "skilc/typecheck.h"
+
+namespace skil::skilc {
+
+namespace {
+
+std::string spell(Span span) {
+  return "line " + std::to_string(span.line) + ":" +
+         std::to_string(span.column);
+}
+
+// --- use/def extraction ----------------------------------------------------
+
+/// One variable access inside an action, in evaluation order.
+struct UseDefEvent {
+  enum class Kind {
+    kUse,           ///< read of a name
+    kDef,           ///< assignment to a plain name
+    kStoreThrough,  ///< indexed store through a name (base[i] = ...)
+  };
+  Kind kind;
+  const Expr* name;  ///< the kName expression accessed
+};
+
+void collect_use_defs(const Expr& expr, std::vector<UseDefEvent>& out) {
+  switch (expr.kind) {
+    case Expr::Kind::kName:
+      out.push_back({UseDefEvent::Kind::kUse, &expr});
+      return;
+    case Expr::Kind::kAssign: {
+      // Right-hand side first (evaluation order), then the target.
+      collect_use_defs(*expr.rhs, out);
+      const Expr* target = expr.lhs.get();
+      if (target->kind == Expr::Kind::kName) {
+        out.push_back({UseDefEvent::Kind::kDef, target});
+        return;
+      }
+      // Indexed store: the index expressions are reads; the base name
+      // is a store-through (it must be initialised, and the store
+      // counts as a use for liveness, not a kill).
+      while (target->kind == Expr::Kind::kIndex) {
+        collect_use_defs(*target->rhs, out);
+        target = target->lhs.get();
+      }
+      if (target->kind == Expr::Kind::kName)
+        out.push_back({UseDefEvent::Kind::kStoreThrough, target});
+      else
+        collect_use_defs(*target, out);
+      return;
+    }
+    default:
+      if (expr.lhs) collect_use_defs(*expr.lhs, out);
+      if (expr.rhs) collect_use_defs(*expr.rhs, out);
+      if (expr.callee) collect_use_defs(*expr.callee, out);
+      for (const ExprPtr& arg : expr.args) collect_use_defs(*arg, out);
+      return;
+  }
+}
+
+/// A function's CFG plus the per-action use/def events, computed once
+/// and shared by the dataflow passes.
+struct FnAnalysis {
+  const Function* fn = nullptr;
+  Cfg cfg;
+  /// events[block][action] in evaluation order.
+  std::vector<std::vector<std::vector<UseDefEvent>>> events;
+  std::vector<int> reads;   ///< per local: number of read accesses
+  std::vector<int> writes;  ///< per local: number of assignments
+
+  int local_of(const Expr& name) const {
+    const auto it = cfg.local_index.find(name.name);
+    return it == cfg.local_index.end() ? -1 : it->second;
+  }
+};
+
+FnAnalysis prepare(const Function& fn) {
+  FnAnalysis fa;
+  fa.fn = &fn;
+  fa.cfg = build_cfg(fn);
+  fa.events.resize(fa.cfg.blocks.size());
+  fa.reads.assign(fa.cfg.num_locals(), 0);
+  fa.writes.assign(fa.cfg.num_locals(), 0);
+  for (const BasicBlock& block : fa.cfg.blocks) {
+    auto& block_events = fa.events[block.id];
+    block_events.resize(block.actions.size());
+    for (std::size_t a = 0; a < block.actions.size(); ++a) {
+      const CfgAction& action = block.actions[a];
+      if (action.expr) collect_use_defs(*action.expr, block_events[a]);
+      for (const UseDefEvent& event : block_events[a]) {
+        const int local = fa.local_of(*event.name);
+        if (local < 0) continue;
+        if (event.kind == UseDefEvent::Kind::kDef)
+          ++fa.writes[local];
+        else
+          ++fa.reads[local];
+      }
+      if (action.kind == CfgAction::Kind::kDecl && action.stmt->init) {
+        const auto it = fa.cfg.local_index.find(action.stmt->decl_name);
+        if (it != fa.cfg.local_index.end()) ++fa.writes[it->second];
+      }
+    }
+  }
+  return fa;
+}
+
+/// The slot declared/assigned by a kDecl action (-1 when unknown).
+int decl_local(const FnAnalysis& fa, const CfgAction& action) {
+  const auto it = fa.cfg.local_index.find(action.stmt->decl_name);
+  return it == fa.cfg.local_index.end() ? -1 : it->second;
+}
+
+// --- definite initialization ----------------------------------------------
+
+void check_definite_init(const FnAnalysis& fa, DiagnosticSink& sink) {
+  const Cfg& cfg = fa.cfg;
+  const std::size_t nlocals = cfg.num_locals();
+  std::vector<BlockTransfer> transfer(
+      cfg.blocks.size(), BlockTransfer{BitVec(nlocals), BitVec(nlocals)});
+  for (const BasicBlock& block : cfg.blocks) {
+    BitVec& gen = transfer[block.id].gen;
+    BitVec& kill = transfer[block.id].kill;
+    for (std::size_t a = 0; a < block.actions.size(); ++a) {
+      for (const UseDefEvent& event : fa.events[block.id][a]) {
+        if (event.kind != UseDefEvent::Kind::kDef) continue;
+        const int local = fa.local_of(*event.name);
+        if (local < 0) continue;
+        gen.set(local);
+        kill.clear(local);
+      }
+      const CfgAction& action = block.actions[a];
+      if (action.kind == CfgAction::Kind::kDecl) {
+        const int local = decl_local(fa, action);
+        if (local < 0) continue;
+        if (action.stmt->init) {
+          gen.set(local);
+          kill.clear(local);
+        } else {
+          kill.set(local);
+          gen.clear(local);
+        }
+      }
+    }
+  }
+
+  BitVec boundary(nlocals);
+  for (std::size_t i = 0; i < cfg.locals.size(); ++i)
+    if (cfg.locals[i].is_param) boundary.set(i);
+
+  const DataflowResult solved = solve_dataflow(
+      cfg, transfer, Direction::kForward, Meet::kIntersection, boundary);
+
+  const std::vector<bool> reachable = cfg.reachable();
+  std::set<std::tuple<int, int, int>> reported;
+  for (const BasicBlock& block : cfg.blocks) {
+    if (!reachable[block.id]) continue;
+    BitVec initialised = solved.in[block.id];
+    for (std::size_t a = 0; a < block.actions.size(); ++a) {
+      for (const UseDefEvent& event : fa.events[block.id][a]) {
+        const int local = fa.local_of(*event.name);
+        if (local < 0) continue;
+        if (event.kind == UseDefEvent::Kind::kDef) {
+          initialised.set(local);
+          continue;
+        }
+        if (initialised.test(static_cast<std::size_t>(local))) continue;
+        const Span span = event.name->span();
+        if (!reported.insert({local, span.line, span.column}).second)
+          continue;
+        sink.report(Severity::kError, "init", span,
+                    "variable '" + event.name->name +
+                        "' may be used before initialisation",
+                    "initialise '" + event.name->name +
+                        "' at its declaration (" +
+                        spell(cfg.locals[local].decl_span) +
+                        ") or on every path reaching this use");
+      }
+      const CfgAction& action = block.actions[a];
+      if (action.kind == CfgAction::Kind::kDecl) {
+        const int local = decl_local(fa, action);
+        if (local < 0) continue;
+        if (action.stmt->init)
+          initialised.set(local);
+        else
+          initialised.clear(local);
+      }
+    }
+  }
+}
+
+// --- liveness: dead stores -------------------------------------------------
+
+void check_dead_stores(const FnAnalysis& fa, DiagnosticSink& sink) {
+  const Cfg& cfg = fa.cfg;
+  const std::size_t nlocals = cfg.num_locals();
+  std::vector<BlockTransfer> transfer(
+      cfg.blocks.size(), BlockTransfer{BitVec(nlocals), BitVec(nlocals)});
+  for (const BasicBlock& block : cfg.blocks) {
+    BitVec& gen = transfer[block.id].gen;    // used before any def
+    BitVec& kill = transfer[block.id].kill;  // defined in the block
+    for (std::size_t a = block.actions.size(); a-- > 0;) {
+      const CfgAction& action = block.actions[a];
+      if (action.kind == CfgAction::Kind::kDecl && action.stmt->init) {
+        const int local = decl_local(fa, action);
+        if (local >= 0) {
+          kill.set(local);
+          gen.clear(local);
+        }
+      }
+      const auto& events = fa.events[block.id][a];
+      for (std::size_t e = events.size(); e-- > 0;) {
+        const int local = fa.local_of(*events[e].name);
+        if (local < 0) continue;
+        if (events[e].kind == UseDefEvent::Kind::kDef) {
+          kill.set(local);
+          gen.clear(local);
+        } else {
+          gen.set(local);
+        }
+      }
+    }
+  }
+
+  const DataflowResult solved =
+      solve_dataflow(cfg, transfer, Direction::kBackward, Meet::kUnion,
+                     BitVec(nlocals));
+
+  const std::vector<bool> reachable = cfg.reachable();
+  for (const BasicBlock& block : cfg.blocks) {
+    if (!reachable[block.id]) continue;
+    BitVec live = solved.out[block.id];
+    for (std::size_t a = block.actions.size(); a-- > 0;) {
+      const CfgAction& action = block.actions[a];
+      // Declaration initialisers are not flagged: initialising at the
+      // declaration is the defensive style the init pass recommends.
+      if (action.kind == CfgAction::Kind::kDecl && action.stmt->init) {
+        const int local = decl_local(fa, action);
+        if (local >= 0) live.clear(local);
+      }
+      const auto& events = fa.events[block.id][a];
+      for (std::size_t e = events.size(); e-- > 0;) {
+        const int local = fa.local_of(*events[e].name);
+        if (local < 0) continue;
+        if (events[e].kind == UseDefEvent::Kind::kDef) {
+          if (!live.test(static_cast<std::size_t>(local)) &&
+              fa.reads[local] > 0) {
+            sink.report(Severity::kWarning, "dead-store",
+                        events[e].name->span(),
+                        "value assigned to '" + events[e].name->name +
+                            "' is never read (dead store)",
+                        "remove the assignment or use the value");
+          }
+          live.clear(local);
+        } else {
+          live.set(local);
+        }
+      }
+    }
+  }
+}
+
+// --- unused parameters and bindings ---------------------------------------
+
+void check_unused(const FnAnalysis& fa,
+                  const std::set<std::string>& customizing,
+                  DiagnosticSink& sink) {
+  const Cfg& cfg = fa.cfg;
+  for (std::size_t i = 0; i < cfg.locals.size(); ++i) {
+    const CfgLocal& local = cfg.locals[i];
+    if (fa.reads[i] > 0) continue;
+    if (local.is_param) {
+      // A customizing function's signature is imposed by the skeleton
+      // it is passed to (map hands every function an Index whether it
+      // wants one or not), so its parameters are exempt.
+      if (customizing.count(fa.fn->name) != 0) continue;
+      sink.report(Severity::kWarning, "unused", local.decl_span,
+                  "unused parameter '" + local.name + "'",
+                  "remove the parameter or use it");
+      continue;
+    }
+    if (fa.writes[i] > 0) {
+      sink.report(Severity::kWarning, "unused", local.decl_span,
+                  "variable '" + local.name + "' is assigned but never read",
+                  "remove the variable and its assignments");
+    } else {
+      sink.report(Severity::kWarning, "unused", local.decl_span,
+                  "unused variable '" + local.name + "'",
+                  "remove the declaration");
+    }
+  }
+}
+
+// --- unreachable code ------------------------------------------------------
+
+void check_unreachable(const FnAnalysis& fa, DiagnosticSink& sink) {
+  const Cfg& cfg = fa.cfg;
+  const std::vector<bool> reachable = cfg.reachable();
+  for (const BasicBlock& block : cfg.blocks) {
+    if (reachable[block.id] || block.actions.empty()) continue;
+    // Report only the entry points of unreachable regions: a block
+    // all of whose predecessors are themselves unreachable *and*
+    // already part of the region would cascade one warning per block.
+    bool has_unreachable_pred = false;
+    for (const int pred : block.preds)
+      if (!reachable[pred] && !cfg.blocks[pred].actions.empty())
+        has_unreachable_pred = true;
+    if (has_unreachable_pred) continue;
+    sink.report(Severity::kWarning, "unreachable", block.actions[0].span(),
+                "unreachable code (no path from the function entry "
+                "reaches this statement)",
+                "remove the dead statements or fix the control flow "
+                "above them");
+  }
+}
+
+// --- shadowing -------------------------------------------------------------
+
+void check_shadow(const FnAnalysis& fa, const Program& program,
+                  const std::set<std::string>& pardatas,
+                  DiagnosticSink& sink) {
+  const Cfg& cfg = fa.cfg;
+  for (const CfgRedecl& redecl : cfg.redecls) {
+    const CfgLocal& original = cfg.locals[redecl.local];
+    sink.report(Severity::kWarning, "shadow", redecl.decl->span(),
+                original.is_param
+                    ? "declaration of '" + original.name +
+                          "' shadows a parameter"
+                    : "redeclaration of '" + original.name +
+                          "' shadows the earlier declaration at " +
+                          spell(original.decl_span),
+                "rename one of the bindings");
+  }
+  for (const CfgLocal& local : cfg.locals) {
+    if (pardatas.count(local.name) != 0) {
+      sink.report(Severity::kWarning, "shadow", local.decl_span,
+                  (local.is_param ? std::string("parameter '")
+                                  : std::string("declaration of '")) +
+                      local.name + "' shadows the pardata type '" +
+                      local.name + "'",
+                  "rename the binding");
+      continue;
+    }
+    if (!local.is_param && program.find_function(local.name) != nullptr) {
+      sink.report(Severity::kWarning, "shadow", local.decl_span,
+                  "declaration of '" + local.name + "' shadows the function '" +
+                      local.name + "'",
+                  "rename the binding");
+    }
+  }
+}
+
+// --- skeleton-argument safety ---------------------------------------------
+
+bool is_impure_builtin(const std::string& name) {
+  static const std::set<std::string> impure = {
+      "rand", "srand",   "random", "print", "printf", "putchar",
+      "puts", "getchar", "gets",   "scanf", "time",   "clock",
+      "read", "write",
+  };
+  return impure.count(name) != 0;
+}
+
+/// Does a callee name belong to the skeleton families whose argument
+/// functions run concurrently on all partitions (paper section 2)?
+bool is_skeleton_name(const std::string& name) {
+  return name.find("map") != std::string::npos ||
+         name.find("fold") != std::string::npos ||
+         name.find("scan") != std::string::npos ||
+         name.find("gen_mult") != std::string::npos;
+}
+
+struct WriteRecord {
+  Span span;
+  std::string desc;  ///< e.g. "assigns 'p' at line 3:5"
+};
+
+/// Purity summary of one function, closed transitively over calls.
+struct PuritySummary {
+  std::map<int, WriteRecord> param_writes;  ///< param index -> first site
+  std::vector<std::pair<std::string, Span>> free_writes;
+  bool impure = false;
+  Span impure_span;
+  std::string impure_what;
+};
+
+class PurityAnalysis {
+ public:
+  explicit PurityAnalysis(const Program& program) : program_(program) {
+    for (const Function& fn : program.functions) {
+      if (fn.is_prototype || summaries_.count(fn.name) != 0) continue;
+      summaries_[fn.name] = PuritySummary{};
+    }
+    // Chase call chains to the fixpoint (bounded by the function
+    // count: each round can only add facts).
+    bool changed = true;
+    std::size_t rounds = program.functions.size() + 1;
+    while (changed && rounds-- > 0) {
+      changed = false;
+      for (const Function& fn : program.functions) {
+        if (fn.is_prototype) continue;
+        PuritySummary next = summarise(fn);
+        PuritySummary& current = summaries_[fn.name];
+        if (next.param_writes.size() != current.param_writes.size() ||
+            next.free_writes.size() != current.free_writes.size() ||
+            next.impure != current.impure) {
+          current = std::move(next);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  const PuritySummary* summary(const std::string& name) const {
+    const auto it = summaries_.find(name);
+    return it == summaries_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  PuritySummary summarise(const Function& fn) {
+    PuritySummary summary;
+    std::map<std::string, int> param_index;
+    std::set<std::string> locals;
+    for (std::size_t i = 0; i < fn.params.size(); ++i)
+      param_index[fn.params[i].name] = static_cast<int>(i);
+    collect_locals(fn.body, locals);
+    for (const StmtPtr& stmt : fn.body)
+      walk_stmt(*stmt, param_index, locals, summary);
+    return summary;
+  }
+
+  static void collect_locals(const std::vector<StmtPtr>& stmts,
+                             std::set<std::string>& locals) {
+    for (const StmtPtr& stmt : stmts) {
+      if (stmt->kind == Stmt::Kind::kVarDecl) locals.insert(stmt->decl_name);
+      if (stmt->for_init && stmt->for_init->kind == Stmt::Kind::kVarDecl)
+        locals.insert(stmt->for_init->decl_name);
+      collect_locals(stmt->body, locals);
+      collect_locals(stmt->else_body, locals);
+    }
+  }
+
+  void walk_stmt(const Stmt& stmt, const std::map<std::string, int>& params,
+                 const std::set<std::string>& locals,
+                 PuritySummary& summary) {
+    if (stmt.expr) walk_expr(*stmt.expr, params, locals, summary);
+    if (stmt.init) walk_expr(*stmt.init, params, locals, summary);
+    if (stmt.for_init) walk_stmt(*stmt.for_init, params, locals, summary);
+    for (const StmtPtr& inner : stmt.body)
+      walk_stmt(*inner, params, locals, summary);
+    for (const StmtPtr& inner : stmt.else_body)
+      walk_stmt(*inner, params, locals, summary);
+  }
+
+  void record_write(const Expr& name, bool through_index,
+                    const std::map<std::string, int>& params,
+                    const std::set<std::string>& locals,
+                    PuritySummary& summary) {
+    const auto param = params.find(name.name);
+    if (param != params.end()) {
+      if (summary.param_writes.count(param->second) != 0) return;
+      summary.param_writes[param->second] = WriteRecord{
+          name.span(), std::string(through_index ? "stores through '"
+                                                 : "assigns '") +
+                           name.name + "' at " + spell(name.span())};
+      return;
+    }
+    if (locals.count(name.name) != 0) return;  // a local copy: harmless
+    summary.free_writes.emplace_back(name.name, name.span());
+  }
+
+  void walk_expr(const Expr& expr, const std::map<std::string, int>& params,
+                 const std::set<std::string>& locals,
+                 PuritySummary& summary) {
+    if (expr.kind == Expr::Kind::kAssign) {
+      walk_expr(*expr.rhs, params, locals, summary);
+      const Expr* target = expr.lhs.get();
+      if (target->kind == Expr::Kind::kName) {
+        record_write(*target, /*through_index=*/false, params, locals,
+                     summary);
+        return;
+      }
+      while (target->kind == Expr::Kind::kIndex) {
+        walk_expr(*target->rhs, params, locals, summary);
+        target = target->lhs.get();
+      }
+      if (target->kind == Expr::Kind::kName)
+        record_write(*target, /*through_index=*/true, params, locals,
+                     summary);
+      else
+        walk_expr(*target, params, locals, summary);
+      return;
+    }
+    if (expr.kind == Expr::Kind::kCall &&
+        expr.callee->kind == Expr::Kind::kName) {
+      const std::string& callee = expr.callee->name;
+      if (is_impure_builtin(callee)) {
+        if (!summary.impure) {
+          summary.impure = true;
+          summary.impure_span = expr.span();
+          summary.impure_what = "calls the impure builtin '" + callee +
+                                "' at " + spell(expr.span());
+        }
+      } else if (const PuritySummary* target = summary_of(callee)) {
+        if (target->impure && !summary.impure) {
+          summary.impure = true;
+          summary.impure_span = expr.span();
+          summary.impure_what =
+              "calls '" + callee + "' (" + target->impure_what + ")";
+        }
+        // Aliasing through the call: handing a parameter to a callee
+        // that writes the matching position writes *our* parameter.
+        for (std::size_t i = 0; i < expr.args.size(); ++i) {
+          const Expr& arg = *expr.args[i];
+          if (arg.kind != Expr::Kind::kName) continue;
+          const auto written =
+              target->param_writes.find(static_cast<int>(i));
+          if (written == target->param_writes.end()) continue;
+          const auto param = params.find(arg.name);
+          if (param == params.end() ||
+              summary.param_writes.count(param->second) != 0)
+            continue;
+          summary.param_writes[param->second] =
+              WriteRecord{arg.span(), "passes '" + arg.name + "' to '" +
+                                          callee + "', which " +
+                                          written->second.desc};
+        }
+      }
+      for (const ExprPtr& arg : expr.args)
+        walk_expr(*arg, params, locals, summary);
+      return;
+    }
+    if (expr.lhs) walk_expr(*expr.lhs, params, locals, summary);
+    if (expr.rhs) walk_expr(*expr.rhs, params, locals, summary);
+    if (expr.callee) walk_expr(*expr.callee, params, locals, summary);
+    for (const ExprPtr& arg : expr.args)
+      walk_expr(*arg, params, locals, summary);
+  }
+
+  const PuritySummary* summary_of(const std::string& name) const {
+    const auto it = summaries_.find(name);
+    return it == summaries_.end() ? nullptr : &it->second;
+  }
+
+  const Program& program_;
+  std::map<std::string, PuritySummary> summaries_;
+};
+
+/// A functional argument at a skeleton call site, resolved to the
+/// underlying named function plus the number of partially-applied
+/// (bound, hence shared) leading arguments.
+struct CustomizingArg {
+  const Function* target = nullptr;
+  std::string name;
+  std::size_t bound = 0;
+  Span span;
+};
+
+bool resolve_customizing(const Program& program, const Expr& arg,
+                         CustomizingArg& out) {
+  out.span = arg.span();
+  if (arg.kind == Expr::Kind::kName) {
+    out.name = arg.name;
+    out.bound = 0;
+  } else if (arg.kind == Expr::Kind::kCall &&
+             arg.callee->kind == Expr::Kind::kName) {
+    out.name = arg.callee->name;
+    out.bound = arg.args.size();
+  } else {
+    return false;  // sections and section applications are pure
+  }
+  out.target = program.find_function(out.name);
+  return out.target != nullptr && !out.target->is_prototype;
+}
+
+void check_skeleton_call(const Program& program, const PurityAnalysis& purity,
+                         const Expr& call, DiagnosticSink& sink) {
+  const std::string& skeleton = call.callee->name;
+  for (const ExprPtr& arg : call.args) {
+    if (!arg->type || arg->type->kind != Type::Kind::kFunction) continue;
+    CustomizingArg customizing;
+    if (!resolve_customizing(program, *arg, customizing)) continue;
+    const PuritySummary* summary = purity.summary(customizing.name);
+    if (!summary) continue;
+
+    const std::string who = "customizing function '" + customizing.name +
+                            "' passed to '" + skeleton + "'";
+    const std::string contract =
+        "argument functions run concurrently on every partition (paper "
+        "section 2) and must be pure";
+    for (const auto& [index, record] : summary->param_writes) {
+      if (static_cast<std::size_t>(index) >= customizing.bound) continue;
+      sink.report(
+          Severity::kError, "skeleton-purity", customizing.span,
+          who + " writes the free variable '" +
+              customizing.target->params[index].name +
+              "' (bound by partial application at this call site): " +
+              record.desc,
+          contract);
+    }
+    for (const auto& [name, span] : summary->free_writes) {
+      sink.report(Severity::kError, "skeleton-purity", customizing.span,
+                  who + " writes the free variable '" + name + "' at " +
+                      spell(span),
+                  contract);
+    }
+    if (summary->impure) {
+      sink.report(Severity::kError, "skeleton-purity", customizing.span,
+                  who + " is impure: " + summary->impure_what, contract);
+    }
+  }
+}
+
+void walk_skeleton_calls(const Program& program, const PurityAnalysis& purity,
+                         const Expr& expr, DiagnosticSink& sink) {
+  if (expr.kind == Expr::Kind::kCall &&
+      expr.callee->kind == Expr::Kind::kName &&
+      is_skeleton_name(expr.callee->name)) {
+    check_skeleton_call(program, purity, expr, sink);
+  }
+  if (expr.lhs) walk_skeleton_calls(program, purity, *expr.lhs, sink);
+  if (expr.rhs) walk_skeleton_calls(program, purity, *expr.rhs, sink);
+  if (expr.callee) walk_skeleton_calls(program, purity, *expr.callee, sink);
+  for (const ExprPtr& arg : expr.args)
+    walk_skeleton_calls(program, purity, *arg, sink);
+}
+
+void walk_skeleton_calls(const Program& program, const PurityAnalysis& purity,
+                         const std::vector<StmtPtr>& stmts,
+                         DiagnosticSink& sink) {
+  for (const StmtPtr& stmt : stmts) {
+    if (stmt->expr) walk_skeleton_calls(program, purity, *stmt->expr, sink);
+    if (stmt->init) walk_skeleton_calls(program, purity, *stmt->init, sink);
+    if (stmt->for_init) {
+      if (stmt->for_init->expr)
+        walk_skeleton_calls(program, purity, *stmt->for_init->expr, sink);
+      if (stmt->for_init->init)
+        walk_skeleton_calls(program, purity, *stmt->for_init->init, sink);
+    }
+    walk_skeleton_calls(program, purity, stmt->body, sink);
+    walk_skeleton_calls(program, purity, stmt->else_body, sink);
+  }
+}
+
+// --- customizing-function collection (for unused-parameter exemption) ------
+
+void collect_customizing(const Expr& expr, std::set<std::string>& out) {
+  if (expr.kind == Expr::Kind::kCall) {
+    for (const ExprPtr& arg : expr.args) {
+      if (!arg->type || arg->type->kind != Type::Kind::kFunction) continue;
+      if (arg->kind == Expr::Kind::kName) out.insert(arg->name);
+      if (arg->kind == Expr::Kind::kCall &&
+          arg->callee->kind == Expr::Kind::kName)
+        out.insert(arg->callee->name);
+    }
+  }
+  if (expr.lhs) collect_customizing(*expr.lhs, out);
+  if (expr.rhs) collect_customizing(*expr.rhs, out);
+  if (expr.callee) collect_customizing(*expr.callee, out);
+  for (const ExprPtr& arg : expr.args) collect_customizing(*arg, out);
+}
+
+void collect_customizing(const std::vector<StmtPtr>& stmts,
+                         std::set<std::string>& out) {
+  for (const StmtPtr& stmt : stmts) {
+    if (stmt->expr) collect_customizing(*stmt->expr, out);
+    if (stmt->init) collect_customizing(*stmt->init, out);
+    if (stmt->for_init) {
+      if (stmt->for_init->expr) collect_customizing(*stmt->for_init->expr, out);
+      if (stmt->for_init->init) collect_customizing(*stmt->for_init->init, out);
+    }
+    collect_customizing(stmt->body, out);
+    collect_customizing(stmt->else_body, out);
+  }
+}
+
+}  // namespace
+
+void analyze(const Program& program, DiagnosticSink& sink,
+             const AnalyzeOptions& options) {
+  const std::set<std::string> pardatas = program.pardata_names();
+
+  std::set<std::string> customizing;
+  for (const Function& fn : program.functions)
+    collect_customizing(fn.body, customizing);
+
+  std::unique_ptr<PurityAnalysis> purity;
+  if (options.skeleton_purity)
+    purity = std::make_unique<PurityAnalysis>(program);
+
+  for (const Function& fn : program.functions) {
+    if (fn.is_prototype) continue;
+    const FnAnalysis fa = prepare(fn);
+    if (options.init) check_definite_init(fa, sink);
+    if (options.unreachable) check_unreachable(fa, sink);
+    if (options.dead_store) check_dead_stores(fa, sink);
+    if (options.unused) check_unused(fa, customizing, sink);
+    if (options.shadow) check_shadow(fa, program, pardatas, sink);
+    if (options.skeleton_purity)
+      walk_skeleton_calls(program, *purity, fn.body, sink);
+  }
+  sink.sort_by_location();
+}
+
+namespace {
+
+/// Strips "skil lexer: "/"skil parser: " and a "line L:C: " prefix
+/// from an exception message (the structured diagnostic re-renders
+/// the span itself).
+std::string strip_location_prefix(std::string message) {
+  for (const char* prefix : {"skil lexer: ", "skil parser: "}) {
+    if (message.rfind(prefix, 0) == 0) message = message.substr(
+        std::string(prefix).size());
+  }
+  if (message.rfind("line ", 0) == 0) {
+    const std::size_t colon = message.find(": ");
+    if (colon != std::string::npos) message = message.substr(colon + 2);
+  }
+  return message;
+}
+
+}  // namespace
+
+void lint_source(const std::string& source, DiagnosticSink& sink,
+                 const AnalyzeOptions& options) {
+  Program program;
+  try {
+    program = parse(source);
+  } catch (const support::Error& error) {
+    const std::string what = error.what();
+    const bool from_lexer = what.rfind("skil lexer:", 0) == 0;
+    sink.report(Severity::kError, from_lexer ? "lex" : "parse",
+                Span{error.line(), error.column()},
+                strip_location_prefix(what));
+    return;
+  }
+  if (!typecheck_collect(program, sink)) {
+    // Analysis needs full type annotations; report the type errors
+    // alone rather than second-guessing a partially-annotated AST.
+    sink.sort_by_location();
+    return;
+  }
+  analyze(program, sink, options);
+}
+
+}  // namespace skil::skilc

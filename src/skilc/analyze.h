@@ -1,0 +1,69 @@
+// Semantic analysis passes over type-checked Skil programs.
+//
+// The paper's pitch is that skeletons make parallelism safe by
+// construction; these passes make the compiler actually reject the
+// unsafe programs instead of compiling them.  On top of the CFG
+// (cfg.h) and the bit-vector dataflow framework (dataflow.h):
+//
+//   init             definite initialization: a local read on some
+//                    path before any assignment is an error.
+//   unreachable      statements no path from the function entry can
+//                    reach (code after return, after while(1), ...).
+//   dead-store       an assigned value no path ever reads.
+//   unused           parameters and locals that are never read.
+//   shadow           declarations that shadow a parameter, an earlier
+//                    local, a function, or a pardata type.
+//   skeleton-purity  every function passed to a map/fold/gen_mult/
+//                    scan-family skeleton must be pure/local: the
+//                    paper applies argument functions "in parallel on
+//                    all partitions", so writing a partially-applied
+//                    (shared) argument or any other free variable, or
+//                    calling an impure builtin, races across
+//                    partitions and is an error.
+//
+// Errors (init, skeleton-purity) block compilation: compile() refuses
+// to instantiate a program with error-level findings.  Warnings are
+// advisory (skil-lint --Werror promotes them).
+#pragma once
+
+#include <string>
+
+#include "skilc/ast.h"
+#include "skilc/diagnostics.h"
+#include "support/error.h"
+
+namespace skil::skilc {
+
+/// Per-pass enable switches (all on by default).
+struct AnalyzeOptions {
+  bool init = true;
+  bool unreachable = true;
+  bool dead_store = true;
+  bool unused = true;
+  bool shadow = true;
+  bool skeleton_purity = true;
+};
+
+/// An error-level analysis finding raised by compile() when a program
+/// fails the semantic checks (use before initialization, an impure
+/// skeleton argument, ...).
+class AnalysisError : public support::Error {
+ public:
+  explicit AnalysisError(const std::string& what) : support::Error(what) {}
+  AnalysisError(const std::string& what, int line, int column)
+      : support::Error(what, line, column) {}
+};
+
+/// Runs the enabled passes over a *type-checked* program, collecting
+/// findings into `sink` (sorted by source location on return).
+void analyze(const Program& program, DiagnosticSink& sink,
+             const AnalyzeOptions& options = {});
+
+/// Analyze-only front door used by skil-lint: lex/parse/typecheck the
+/// source and run the analysis passes, converting lexer/parser/type
+/// errors into diagnostics instead of exceptions.  Nothing is
+/// instantiated or emitted.
+void lint_source(const std::string& source, DiagnosticSink& sink,
+                 const AnalyzeOptions& options = {});
+
+}  // namespace skil::skilc

@@ -22,6 +22,7 @@ ExprPtr Expr::clone() const {
   copy->callee = clone_or_null(callee);
   for (const ExprPtr& arg : args) copy->args.push_back(arg->clone());
   copy->line = line;
+  copy->column = column;
   copy->type = type;
   return copy;
 }
@@ -105,6 +106,8 @@ StmtPtr Stmt::clone() const {
   copy->for_init = clone_or_null(for_init);
   copy->body = clone_stmts(body);
   copy->else_body = clone_stmts(else_body);
+  copy->line = line;
+  copy->column = column;
   return copy;
 }
 
@@ -122,6 +125,8 @@ Function Function::clone() const {
   copy.params = params;
   copy.body = clone_stmts(body);
   copy.is_prototype = is_prototype;
+  copy.line = line;
+  copy.column = column;
   return copy;
 }
 

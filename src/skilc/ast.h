@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "skilc/diagnostics.h"
 #include "skilc/types.h"
 
 namespace skil::skilc {
@@ -38,7 +39,10 @@ struct Expr {
   ExprPtr rhs;
   ExprPtr callee;
   std::vector<ExprPtr> args;
-  int line = 0;
+  int line = 0;    ///< 1-based source position of the expression start
+  int column = 0;
+
+  Span span() const { return Span{line, column}; }
 
   /// Filled in by the type checker.
   TypePtr type;
@@ -78,6 +82,10 @@ struct Stmt {
   StmtPtr for_init;
   std::vector<StmtPtr> body;
   std::vector<StmtPtr> else_body;
+  int line = 0;    ///< 1-based source position of the statement start
+  int column = 0;
+
+  Span span() const { return Span{line, column}; }
 
   StmtPtr clone() const;
 };
@@ -87,7 +95,10 @@ std::vector<StmtPtr> clone_stmts(const std::vector<StmtPtr>& stmts);
 struct Param {
   TypePtr type;
   std::string name;
+  int line = 0;  ///< position of the parameter name
+  int column = 0;
   bool is_function() const { return type->kind == Type::Kind::kFunction; }
+  Span span() const { return Span{line, column}; }
 };
 
 struct Function {
@@ -96,6 +107,10 @@ struct Function {
   std::vector<Param> params;
   std::vector<StmtPtr> body;
   bool is_prototype = false;  ///< declaration without body (skeleton header)
+  int line = 0;               ///< position of the function name
+  int column = 0;
+
+  Span span() const { return Span{line, column}; }
 
   /// A higher-order function: has at least one functional parameter.
   bool is_hof() const {

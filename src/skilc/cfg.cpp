@@ -1,0 +1,211 @@
+#include "skilc/cfg.h"
+
+namespace skil::skilc {
+
+namespace {
+
+/// A literal-int condition folds the corresponding edge away.
+enum class CondFold { kUnknown, kAlwaysTrue, kAlwaysFalse };
+
+CondFold fold_condition(const Expr* cond) {
+  if (!cond) return CondFold::kAlwaysTrue;  // for (;;) has no condition
+  if (cond->kind != Expr::Kind::kIntLit) return CondFold::kUnknown;
+  return cond->int_value != 0 ? CondFold::kAlwaysTrue
+                              : CondFold::kAlwaysFalse;
+}
+
+class Builder {
+ public:
+  explicit Builder(const Function& fn) {
+    cfg_.fn = &fn;
+    for (const Param& param : fn.params) {
+      if (cfg_.local_index.count(param.name) == 0) {
+        cfg_.local_index[param.name] = static_cast<int>(cfg_.locals.size());
+        cfg_.locals.push_back(
+            CfgLocal{param.name, /*is_param=*/true, param.span(), nullptr});
+      }
+    }
+    cfg_.entry = new_block();
+    cfg_.exit = new_block();
+    current_ = cfg_.entry;
+    lower_stmts(fn.body);
+    // Falling off the end of the body flows into the exit block.
+    if (current_ >= 0) add_edge(current_, cfg_.exit);
+  }
+
+  Cfg take() { return std::move(cfg_); }
+
+ private:
+  int new_block() {
+    const int id = static_cast<int>(cfg_.blocks.size());
+    cfg_.blocks.push_back(BasicBlock{id, {}, {}, {}});
+    return id;
+  }
+
+  void add_edge(int from, int to) {
+    cfg_.blocks[from].succs.push_back(to);
+    cfg_.blocks[to].preds.push_back(from);
+  }
+
+  /// Appends an action to the current block, opening a fresh
+  /// (unreached) block first when control already left -- statements
+  /// after a return still appear in the graph so the reachability
+  /// pass can report them.
+  void append(CfgAction action) {
+    if (current_ < 0) current_ = new_block();
+    cfg_.blocks[current_].actions.push_back(action);
+  }
+
+  void declare(const Stmt& stmt) {
+    const auto existing = cfg_.local_index.find(stmt.decl_name);
+    if (existing != cfg_.local_index.end()) {
+      cfg_.redecls.push_back(CfgRedecl{existing->second, &stmt});
+      return;
+    }
+    cfg_.local_index[stmt.decl_name] = static_cast<int>(cfg_.locals.size());
+    cfg_.locals.push_back(
+        CfgLocal{stmt.decl_name, /*is_param=*/false, stmt.span(), &stmt});
+  }
+
+  void lower_stmts(const std::vector<StmtPtr>& stmts) {
+    for (const StmtPtr& stmt : stmts) lower_stmt(*stmt);
+  }
+
+  void lower_stmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case Stmt::Kind::kBlock:
+        lower_stmts(stmt.body);
+        return;
+      case Stmt::Kind::kExpr:
+        append(CfgAction{CfgAction::Kind::kEval, &stmt, stmt.expr.get()});
+        return;
+      case Stmt::Kind::kVarDecl:
+        declare(stmt);
+        append(CfgAction{CfgAction::Kind::kDecl, &stmt, stmt.init.get()});
+        return;
+      case Stmt::Kind::kReturn:
+        append(CfgAction{CfgAction::Kind::kReturn, &stmt, stmt.expr.get()});
+        if (current_ >= 0) add_edge(current_, cfg_.exit);
+        current_ = -1;
+        return;
+      case Stmt::Kind::kIf:
+        lower_if(stmt);
+        return;
+      case Stmt::Kind::kWhile:
+        lower_while(stmt);
+        return;
+      case Stmt::Kind::kFor:
+        lower_for(stmt);
+        return;
+    }
+  }
+
+  void lower_if(const Stmt& stmt) {
+    append(CfgAction{CfgAction::Kind::kEval, &stmt, stmt.expr.get()});
+    const int cond_block = current_;
+
+    const int then_block = new_block();
+    if (cond_block >= 0) add_edge(cond_block, then_block);
+    current_ = then_block;
+    lower_stmts(stmt.body);
+    const int then_end = current_;
+
+    int else_end = -1;
+    int else_block = -1;
+    if (!stmt.else_body.empty()) {
+      else_block = new_block();
+      if (cond_block >= 0) add_edge(cond_block, else_block);
+      current_ = else_block;
+      lower_stmts(stmt.else_body);
+      else_end = current_;
+    }
+
+    // Join: reached from every branch end still open; with no else,
+    // also straight from the condition.
+    if (then_end < 0 && else_end < 0 && !stmt.else_body.empty()) {
+      current_ = -1;  // both branches returned
+      return;
+    }
+    const int join = new_block();
+    if (then_end >= 0) add_edge(then_end, join);
+    if (else_end >= 0) add_edge(else_end, join);
+    if (stmt.else_body.empty() && cond_block >= 0) add_edge(cond_block, join);
+    current_ = join;
+  }
+
+  void lower_while(const Stmt& stmt) {
+    const int header = new_block();
+    if (current_ >= 0) add_edge(current_, header);
+    current_ = header;
+    append(CfgAction{CfgAction::Kind::kEval, &stmt, stmt.expr.get()});
+    const int cond_end = current_;
+    const CondFold fold = fold_condition(stmt.expr.get());
+
+    const int body = new_block();
+    if (fold != CondFold::kAlwaysFalse) add_edge(cond_end, body);
+    current_ = body;
+    lower_stmts(stmt.body);
+    if (current_ >= 0) add_edge(current_, header);
+
+    if (fold == CondFold::kAlwaysTrue) {
+      current_ = -1;  // while (1): nothing follows
+      return;
+    }
+    const int after = new_block();
+    add_edge(cond_end, after);
+    current_ = after;
+  }
+
+  void lower_for(const Stmt& stmt) {
+    if (stmt.for_init) lower_stmt(*stmt.for_init);
+
+    const int header = new_block();
+    if (current_ >= 0) add_edge(current_, header);
+    current_ = header;
+    if (stmt.expr)
+      append(CfgAction{CfgAction::Kind::kEval, &stmt, stmt.expr.get()});
+    const int cond_end = current_;
+    const CondFold fold = fold_condition(stmt.expr.get());
+
+    const int body = new_block();
+    if (fold != CondFold::kAlwaysFalse) add_edge(cond_end, body);
+    current_ = body;
+    lower_stmts(stmt.body);
+    if (stmt.init)  // the step expression
+      append(CfgAction{CfgAction::Kind::kEval, &stmt, stmt.init.get()});
+    if (current_ >= 0) add_edge(current_, header);
+
+    if (fold == CondFold::kAlwaysTrue) {
+      current_ = -1;
+      return;
+    }
+    const int after = new_block();
+    add_edge(cond_end, after);
+    current_ = after;
+  }
+
+  Cfg cfg_;
+  int current_ = 0;  ///< open block id, -1 after a return / no-exit loop
+};
+
+}  // namespace
+
+std::vector<bool> Cfg::reachable() const {
+  std::vector<bool> seen(blocks.size(), false);
+  std::vector<int> stack = {entry};
+  seen[entry] = true;
+  while (!stack.empty()) {
+    const int block = stack.back();
+    stack.pop_back();
+    for (const int succ : blocks[block].succs) {
+      if (seen[succ]) continue;
+      seen[succ] = true;
+      stack.push_back(succ);
+    }
+  }
+  return seen;
+}
+
+Cfg build_cfg(const Function& fn) { return Builder(fn).take(); }
+
+}  // namespace skil::skilc

@@ -1,0 +1,86 @@
+// Per-function control-flow graphs over the Skil AST.
+//
+// Each function body is lowered to basic blocks of *actions* -- atomic
+// steps (evaluate an expression, declare a variable, return) that the
+// dataflow passes interpret.  Control statements split blocks: `if`
+// forks then/else sub-graphs into a join block, `while`/`for` loop
+// through a header block carrying the condition, `return` edges to the
+// distinguished exit block.  Literal integer loop conditions are
+// folded (while (1) has no exit edge, while (0) has no body edge), so
+// reachability over the graph doubles as the unreachable-code check.
+//
+// The CFG also owns the function's variable table: parameters and
+// every declared local, numbered densely for the bit-vector dataflow
+// framework (dataflow.h).  Redeclarations of a live name map to the
+// same slot (Skil's checker keeps a flat scope); the builder records
+// them so the shadowing pass can warn.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "skilc/ast.h"
+
+namespace skil::skilc {
+
+/// One atomic step inside a basic block.
+struct CfgAction {
+  enum class Kind {
+    kEval,    ///< evaluate `expr` (expression statement, condition, step)
+    kDecl,    ///< declare `stmt->decl_name`, initialising when stmt->init
+    kReturn,  ///< return; `expr` is the value (may be null)
+  };
+
+  Kind kind = Kind::kEval;
+  const Stmt* stmt = nullptr;  ///< owning statement (never null)
+  const Expr* expr = nullptr;  ///< evaluated expression (null: plain return)
+
+  Span span() const {
+    if (expr) return expr->span();
+    return stmt->span();
+  }
+};
+
+struct BasicBlock {
+  int id = 0;
+  std::vector<CfgAction> actions;
+  std::vector<int> succs;
+  std::vector<int> preds;
+};
+
+/// A declared variable or parameter of the function.
+struct CfgLocal {
+  std::string name;
+  bool is_param = false;
+  Span decl_span;
+  const Stmt* decl = nullptr;  ///< declaring statement (null for params)
+};
+
+/// A redeclaration of an already-visible name (flat scope: the second
+/// declaration shares the first one's slot).
+struct CfgRedecl {
+  int local = 0;  ///< index into Cfg::locals of the original binding
+  const Stmt* decl = nullptr;
+};
+
+struct Cfg {
+  const Function* fn = nullptr;
+  std::vector<BasicBlock> blocks;
+  int entry = 0;
+  int exit = 0;
+
+  std::vector<CfgLocal> locals;           ///< params first, then decls
+  std::map<std::string, int> local_index;  ///< name -> index into locals
+  std::vector<CfgRedecl> redecls;
+
+  std::size_t num_locals() const { return locals.size(); }
+
+  /// Block ids reachable from entry (including entry itself).
+  std::vector<bool> reachable() const;
+};
+
+/// Builds the CFG of a function definition (must have a body).
+Cfg build_cfg(const Function& fn);
+
+}  // namespace skil::skilc

@@ -8,9 +8,28 @@
 namespace skil::skilc {
 
 CompileResult compile(const std::string& source) {
+  return compile(source, AnalyzeOptions{});
+}
+
+CompileResult compile(const std::string& source,
+                      const AnalyzeOptions& options) {
   CompileResult result;
   result.typed = parse(source);
   typecheck(result.typed);
+
+  DiagnosticSink sink;
+  analyze(result.typed, sink, options);
+  for (const Diagnostic& diag : sink.diagnostics()) {
+    if (diag.severity != Severity::kError) continue;
+    std::string what = "skil analysis: ";
+    if (diag.span.known())
+      what += "line " + std::to_string(diag.span.line) + ":" +
+              std::to_string(diag.span.column) + ": ";
+    what += diag.message;
+    throw AnalysisError(what, diag.span.line, diag.span.column);
+  }
+  result.diagnostics = sink.diagnostics();
+
   result.instantiated = instantiate(result.typed);
   result.c_code = emit_program(result.instantiated);
   return result;

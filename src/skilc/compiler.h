@@ -1,10 +1,13 @@
 // The skilc pipeline: lex -> parse -> polymorphic type check ->
-// translation by instantiation -> C emission (paper sections 2.2-2.4).
+// semantic analysis -> translation by instantiation -> C emission
+// (paper sections 2.2-2.4).
 #pragma once
 
 #include <string>
 
+#include "skilc/analyze.h"
 #include "skilc/ast.h"
+#include "skilc/diagnostics.h"
 
 namespace skil::skilc {
 
@@ -12,10 +15,20 @@ struct CompileResult {
   Program typed;         ///< the checked source program
   Program instantiated;  ///< first-order monomorphic translation
   std::string c_code;    ///< emitted C-like text of the translation
+  /// Analysis findings (warnings included; error-level findings never
+  /// reach here -- compile() throws AnalysisError first).
+  std::vector<Diagnostic> diagnostics;
 };
 
 /// Runs the whole pipeline; throws ContractError / TypeError /
-/// InstantiationError with diagnostics on bad programs.
+/// AnalysisError / InstantiationError with diagnostics on bad
+/// programs.  Instantiation is refused when the analysis passes find
+/// an error-level defect (use before initialization, an impure
+/// skeleton argument).
 CompileResult compile(const std::string& source);
+
+/// As compile(), but with explicit analysis-pass switches.
+CompileResult compile(const std::string& source,
+                      const AnalyzeOptions& options);
 
 }  // namespace skil::skilc

@@ -1,0 +1,81 @@
+#include "skilc/dataflow.h"
+
+#include <deque>
+
+namespace skil::skilc {
+
+DataflowResult solve_dataflow(const Cfg& cfg,
+                              const std::vector<BlockTransfer>& transfer,
+                              Direction direction, Meet meet,
+                              const BitVec& boundary) {
+  const std::size_t nblocks = cfg.blocks.size();
+  const std::size_t nbits = boundary.size();
+  const bool forward = direction == Direction::kForward;
+  const int boundary_block = forward ? cfg.entry : cfg.exit;
+
+  // `top` is the neutral element of the meet; unvisited blocks start
+  // there so the first real predecessor fact wins unchanged.
+  const BitVec top(nbits, meet == Meet::kIntersection);
+
+  DataflowResult result;
+  result.in.assign(nblocks, top);
+  result.out.assign(nblocks, top);
+
+  std::deque<int> worklist;
+  std::vector<bool> queued(nblocks, false);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    worklist.push_back(static_cast<int>(b));
+    queued[b] = true;
+  }
+
+  while (!worklist.empty()) {
+    const int block = worklist.front();
+    worklist.pop_front();
+    queued[block] = false;
+
+    // Meet over the control-flow predecessors of this block in the
+    // direction of the analysis.
+    const std::vector<int>& sources =
+        forward ? cfg.blocks[block].preds : cfg.blocks[block].succs;
+    BitVec incoming = top;
+    if (block == boundary_block) {
+      incoming = boundary;
+    } else {
+      bool first = true;
+      for (const int src : sources) {
+        const BitVec& fact = forward ? result.out[src] : result.in[src];
+        if (first) {
+          incoming = fact;
+          first = false;
+        } else if (meet == Meet::kUnion) {
+          incoming |= fact;
+        } else {
+          incoming &= fact;
+        }
+      }
+    }
+
+    BitVec flowed = incoming;
+    flowed.subtract(transfer[block].kill);
+    flowed |= transfer[block].gen;
+
+    BitVec& stored_incoming = forward ? result.in[block] : result.out[block];
+    BitVec& stored_flowed = forward ? result.out[block] : result.in[block];
+    const bool changed =
+        !(stored_incoming == incoming) || !(stored_flowed == flowed);
+    stored_incoming = incoming;
+    stored_flowed = flowed;
+    if (!changed) continue;
+
+    const std::vector<int>& dependents =
+        forward ? cfg.blocks[block].succs : cfg.blocks[block].preds;
+    for (const int next : dependents) {
+      if (queued[next]) continue;
+      queued[next] = true;
+      worklist.push_back(next);
+    }
+  }
+  return result;
+}
+
+}  // namespace skil::skilc

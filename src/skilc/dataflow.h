@@ -1,0 +1,91 @@
+// A small forward/backward dataflow framework over the CFG.
+//
+// Facts are bit-vectors over the function's numbered locals
+// (Cfg::locals); every block contributes a gen/kill transfer
+// OUT = gen ∪ (IN \ kill) (or the mirrored form for backward
+// problems).  The solver iterates a worklist to the fixpoint under
+// the chosen meet: union for may-problems (liveness), intersection
+// for must-problems (definite initialization).  Passes then re-walk
+// the actions of each block from the solved boundary facts for
+// per-action precision.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "skilc/cfg.h"
+
+namespace skil::skilc {
+
+/// A dense bit-vector of dataflow facts.
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t bits, bool ones = false)
+      : bits_(bits), words_((bits + 63) / 64, ones ? ~std::uint64_t{0} : 0) {
+    trim();
+  }
+
+  std::size_t size() const { return bits_; }
+
+  void set(std::size_t i) { words_[i / 64] |= std::uint64_t{1} << (i % 64); }
+  void clear(std::size_t i) {
+    words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+  }
+  bool test(std::size_t i) const {
+    return (words_[i / 64] >> (i % 64)) & 1;
+  }
+
+  BitVec& operator|=(const BitVec& other) {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+    return *this;
+  }
+  BitVec& operator&=(const BitVec& other) {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+    return *this;
+  }
+  /// this \ other.
+  BitVec& subtract(const BitVec& other) {
+    for (std::size_t w = 0; w < words_.size(); ++w)
+      words_[w] &= ~other.words_[w];
+    return *this;
+  }
+
+  bool operator==(const BitVec& other) const {
+    return words_ == other.words_;
+  }
+
+ private:
+  void trim() {
+    if (bits_ % 64 != 0 && !words_.empty())
+      words_.back() &= (std::uint64_t{1} << (bits_ % 64)) - 1;
+  }
+
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+enum class Direction { kForward, kBackward };
+enum class Meet { kUnion, kIntersection };
+
+/// Per-block transfer function: out = gen ∪ (in \ kill).
+struct BlockTransfer {
+  BitVec gen;
+  BitVec kill;
+};
+
+struct DataflowResult {
+  std::vector<BitVec> in;   ///< fact at block entry (program order)
+  std::vector<BitVec> out;  ///< fact at block exit (program order)
+};
+
+/// Solves the dataflow problem to its fixpoint.  `boundary` is the
+/// fact at the entry block (forward) or exit block (backward); all
+/// other blocks start at the meet's neutral element (∅ for union,
+/// the full set for intersection).
+DataflowResult solve_dataflow(const Cfg& cfg,
+                              const std::vector<BlockTransfer>& transfer,
+                              Direction direction, Meet meet,
+                              const BitVec& boundary);
+
+}  // namespace skil::skilc

@@ -1,0 +1,105 @@
+#include "skilc/diagnostics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <tuple>
+
+namespace skil::skilc {
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string render_diagnostic(const Diagnostic& diag,
+                              const std::string& file) {
+  std::ostringstream os;
+  os << file;
+  if (diag.span.known())
+    os << ':' << diag.span.line << ':' << diag.span.column;
+  os << ": " << severity_name(diag.severity) << ": [" << diag.pass << "] "
+     << diag.message;
+  if (!diag.hint.empty()) os << "\n    hint: " << diag.hint;
+  return os.str();
+}
+
+void DiagnosticSink::report(Severity severity, std::string pass, Span span,
+                            std::string message, std::string hint) {
+  if (severity == Severity::kError) ++errors_;
+  if (severity == Severity::kWarning) ++warnings_;
+  diags_.push_back(Diagnostic{severity, std::move(pass), span,
+                              std::move(message), std::move(hint)});
+}
+
+void DiagnosticSink::sort_by_location() {
+  std::stable_sort(diags_.begin(), diags_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::tie(a.span.line, a.span.column, a.pass,
+                                     a.message) <
+                            std::tie(b.span.line, b.span.column, b.pass,
+                                     b.message);
+                   });
+}
+
+std::string DiagnosticSink::render(const std::string& file) const {
+  std::ostringstream os;
+  for (const Diagnostic& diag : diags_)
+    os << render_diagnostic(diag, file) << '\n';
+  return os.str();
+}
+
+namespace {
+
+void json_string(std::ostringstream& os, const std::string& text) {
+  os << '"';
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string DiagnosticSink::render_json(const std::string& file) const {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const Diagnostic& diag : diags_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"file\": ";
+    json_string(os, file);
+    os << ", \"line\": " << diag.span.line
+       << ", \"column\": " << diag.span.column << ", \"severity\": ";
+    json_string(os, severity_name(diag.severity));
+    os << ", \"pass\": ";
+    json_string(os, diag.pass);
+    os << ", \"message\": ";
+    json_string(os, diag.message);
+    os << ", \"hint\": ";
+    json_string(os, diag.hint);
+    os << "}";
+  }
+  os << (first ? "]" : "\n]");
+  return os.str();
+}
+
+}  // namespace skil::skilc

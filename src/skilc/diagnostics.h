@@ -1,0 +1,74 @@
+// Structured diagnostics for the skilc pipeline.
+//
+// Every stage of the compiler (lexer, parser, type checker, the
+// semantic analysis passes, instantiation) reports findings as
+// `Diagnostic` values: a severity, the name of the pass that produced
+// it, a line/column span, the message, and an optional fix hint.  A
+// `DiagnosticSink` collects many findings per run -- skil-lint shows
+// every defect of a program at once instead of stopping at the first
+// one -- and renders them as text or JSON.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace skil::skilc {
+
+/// A 1-based source position.  line == 0 means "no location known".
+struct Span {
+  int line = 0;
+  int column = 0;
+
+  bool known() const { return line > 0; }
+  bool operator==(const Span& other) const {
+    return line == other.line && column == other.column;
+  }
+};
+
+enum class Severity { kNote, kWarning, kError };
+
+const char* severity_name(Severity severity);
+
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  std::string pass;     ///< producing pass: "parse", "type", "init", ...
+  Span span;
+  std::string message;
+  std::string hint;     ///< optional fix hint (empty when absent)
+};
+
+/// Renders one diagnostic as `file:line:col: severity: [pass] message`
+/// plus an indented `hint:` line when a hint is present.
+std::string render_diagnostic(const Diagnostic& diag,
+                              const std::string& file);
+
+/// Collects diagnostics across passes.
+class DiagnosticSink {
+ public:
+  void report(Severity severity, std::string pass, Span span,
+              std::string message, std::string hint = "");
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  std::size_t error_count() const { return errors_; }
+  std::size_t warning_count() const { return warnings_; }
+  bool has_errors() const { return errors_ > 0; }
+  bool empty() const { return diags_.empty(); }
+
+  /// Orders the findings by source position (then pass, then message)
+  /// so output is deterministic regardless of pass execution order.
+  void sort_by_location();
+
+  /// Every diagnostic rendered as text, one line per finding (plus
+  /// hint lines), in the current order.
+  std::string render(const std::string& file) const;
+
+  /// The findings as a JSON array (stable key order, sorted input).
+  std::string render_json(const std::string& file) const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t errors_ = 0;
+  std::size_t warnings_ = 0;
+};
+
+}  // namespace skil::skilc

@@ -64,6 +64,14 @@ class Instantiator {
     throw InstantiationError("skil instantiation: " + message);
   }
 
+  [[noreturn]] void fail(Span span, const std::string& message) {
+    if (!span.known()) fail(message);
+    throw InstantiationError("skil instantiation: line " +
+                                 std::to_string(span.line) + ":" +
+                                 std::to_string(span.column) + ": " + message,
+                             span.line, span.column);
+  }
+
   // --- descriptor extraction ---------------------------------------------
 
   /// Is this expression a functional value (per its inferred type)?
@@ -86,12 +94,13 @@ class Instantiator {
         if (bound_param != env.end()) return bound_param->second.clone();
         const Function* target = source_.find_function(expr.name);
         if (!target)
-          fail("functional argument '" + expr.name +
-               "' is not a known function");
+          fail(expr.span(), "functional argument '" + expr.name +
+                                "' is not a known function");
         if (target->is_hof())
-          fail("passing the higher-order function '" + expr.name +
-               "' as a functional argument is the recursively-defined "
-               "class the paper's restriction excludes (see [1])");
+          fail(expr.span(),
+               "passing the higher-order function '" + expr.name +
+                   "' as a functional argument is the recursively-defined "
+                   "class the paper's restriction excludes (see [1])");
         FnDesc desc;
         desc.name = expr.name;
         return desc;
@@ -103,7 +112,8 @@ class Instantiator {
         FnDesc desc = describe(*expr.callee, env);
         for (const ExprPtr& arg : expr.args) {
           if (is_functional(*arg))
-            fail("a functional value bound inside a partial application "
+            fail(arg->span(),
+                 "a functional value bound inside a partial application "
                  "is the recursively-defined class the paper's "
                  "restriction excludes (see [1])");
           desc.bound.push_back(rewrite_expr(arg->clone(), env));
@@ -112,7 +122,7 @@ class Instantiator {
         return desc;
       }
       default:
-        fail("unsupported functional argument expression");
+        fail(expr.span(), "unsupported functional argument expression");
     }
   }
 
@@ -246,7 +256,8 @@ class Instantiator {
       case Expr::Kind::kCall:
         return rewrite_call(std::move(expr), env);
       case Expr::Kind::kSection:
-        fail("an operator section must be applied or passed to a "
+        fail(expr->span(),
+             "an operator section must be applied or passed to a "
              "higher-order function");
       default:
         break;
@@ -262,8 +273,9 @@ class Instantiator {
     // A fully applied section: (+)(a, b) -> a + b.
     if (call->callee->kind == Expr::Kind::kSection) {
       if (call->args.size() != 2)
-        fail("operator section applied to " +
-             std::to_string(call->args.size()) + " arguments");
+        fail(call->span(), "operator section applied to " +
+                               std::to_string(call->args.size()) +
+                               " arguments");
       auto lhs = rewrite_expr(std::move(call->args[0]), env);
       auto rhs = rewrite_expr(std::move(call->args[1]), env);
       auto binary =
@@ -273,7 +285,7 @@ class Instantiator {
     }
 
     if (call->callee->kind != Expr::Kind::kName)
-      fail("unsupported call form");
+      fail(call->span(), "unsupported call form");
     const std::string& callee_name = call->callee->name;
 
     // Invocation of a functional parameter: inline the descriptor
@@ -287,8 +299,9 @@ class Instantiator {
         args.push_back(rewrite_expr(std::move(arg), env));
       if (desc.is_section) {
         if (args.size() != 2)
-          fail("operator '" + desc.name + "' needs two arguments, got " +
-               std::to_string(args.size()));
+          fail(call->span(), "operator '" + desc.name +
+                                 "' needs two arguments, got " +
+                                 std::to_string(args.size()));
         auto binary = make_binary(desc.name, std::move(args[0]),
                                   std::move(args[1]));
         binary->type = call->type;
@@ -311,8 +324,8 @@ class Instantiator {
     }
 
     if (call->args.size() < callee->params.size())
-      fail("a partial application of '" + callee_name +
-           "' may only appear as a functional argument");
+      fail(call->span(), "a partial application of '" + callee_name +
+                             "' may only appear as a functional argument");
 
     if (!callee->is_hof() && !callee->is_polymorphic()) {
       for (ExprPtr& arg : call->args)
@@ -327,8 +340,9 @@ class Instantiator {
       if (!call->args[i]->type) continue;
       if (!unify(callee->params[i].type, call->args[i]->type, subst,
                  pardata_names_))
-        fail("argument " + std::to_string(i + 1) + " of '" + callee_name +
-             "' does not unify");
+        fail(call->args[i]->span(),
+             "argument " + std::to_string(i + 1) + " of '" + callee_name +
+                 "' does not unify");
     }
     if (call->type) unify(callee->ret, call->type, subst, pardata_names_);
 

@@ -42,6 +42,8 @@ class InstantiationError : public support::Error {
  public:
   explicit InstantiationError(const std::string& what)
       : support::Error(what) {}
+  InstantiationError(const std::string& what, int line, int column)
+      : support::Error(what, line, column) {}
 };
 
 /// Translates a type-checked program into first-order monomorphic

@@ -86,8 +86,9 @@ class Lexer {
  private:
   [[noreturn]] void fail(const std::string& message) {
     throw support::ContractError("skil lexer: line " + std::to_string(line_) +
-                                 ":" + std::to_string(column_) + ": " +
-                                 message);
+                                     ":" + std::to_string(column_) + ": " +
+                                     message,
+                                 line_, column_);
   }
 
   bool done() const { return pos_ >= src_.size(); }

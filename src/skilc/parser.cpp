@@ -26,9 +26,11 @@ class Parser {
  private:
   [[noreturn]] void fail(const std::string& message) {
     throw support::ContractError(
-        "skil parser: line " + std::to_string(peek().line) + ": " + message +
-        " (found " + tok_name(peek().kind) +
-        (peek().text.empty() ? "" : " '" + peek().text + "'") + ")");
+        "skil parser: line " + std::to_string(peek().line) + ":" +
+            std::to_string(peek().column) + ": " + message + " (found " +
+            tok_name(peek().kind) +
+            (peek().text.empty() ? "" : " '" + peek().text + "'") + ")",
+        peek().line, peek().column);
   }
 
   const Token& peek(int ahead = 0) const {
@@ -45,6 +47,13 @@ class Parser {
     if (!at(kind)) return false;
     advance();
     return true;
+  }
+
+  /// Stamps an expression with the span of its starting token.
+  static ExprPtr spanned(ExprPtr expr, const Token& start) {
+    expr->line = start.line;
+    expr->column = start.column;
+    return expr;
   }
 
   // --- types ------------------------------------------------------------
@@ -124,7 +133,10 @@ class Parser {
   Param param() {
     Param p;
     p.type = type();
-    p.name = expect(Tok::kName, "parameter name").text;
+    const Token name = expect(Tok::kName, "parameter name");
+    p.name = name.text;
+    p.line = name.line;
+    p.column = name.column;
     if (accept(Tok::kLParen)) {
       // A functional parameter: `$t2 map_f ($t1, Index)`.
       std::vector<TypePtr> fn_params;
@@ -145,7 +157,10 @@ class Parser {
   Function function() {
     Function fn;
     fn.ret = type();
-    fn.name = expect(Tok::kName, "function name").text;
+    const Token name = expect(Tok::kName, "function name");
+    fn.name = name.text;
+    fn.line = name.line;
+    fn.column = name.column;
     expect(Tok::kLParen, "'(' after function name");
     if (!at(Tok::kRParen)) {
       fn.params.push_back(param());
@@ -166,6 +181,8 @@ class Parser {
 
   StmtPtr statement() {
     auto stmt = std::make_unique<Stmt>();
+    stmt->line = peek().line;
+    stmt->column = peek().column;
     if (accept(Tok::kLBrace)) {
       stmt->kind = Stmt::Kind::kBlock;
       while (!at(Tok::kRBrace)) stmt->body.push_back(statement());
@@ -218,7 +235,10 @@ class Parser {
     auto stmt = std::make_unique<Stmt>();
     stmt->kind = Stmt::Kind::kVarDecl;
     stmt->decl_type = type();
-    stmt->decl_name = expect(Tok::kName, "variable name").text;
+    const Token name = expect(Tok::kName, "variable name");
+    stmt->decl_name = name.text;
+    stmt->line = name.line;
+    stmt->column = name.column;
     if (accept(Tok::kAssign)) stmt->init = expression();
     expect(Tok::kSemicolon, "';' after declaration");
     return stmt;
@@ -227,6 +247,8 @@ class Parser {
   StmtPtr expr_statement() {
     auto stmt = std::make_unique<Stmt>();
     stmt->kind = Stmt::Kind::kExpr;
+    stmt->line = peek().line;
+    stmt->column = peek().column;
     stmt->expr = expression();
     expect(Tok::kSemicolon, "';' after expression");
     return stmt;
@@ -237,86 +259,98 @@ class Parser {
   ExprPtr expression() { return assignment(); }
 
   ExprPtr assignment() {
+    const Token start = peek();
     ExprPtr lhs = logical_or();
-    if (accept(Tok::kAssign)) return make_assign(std::move(lhs), assignment());
+    if (accept(Tok::kAssign))
+      return spanned(make_assign(std::move(lhs), assignment()), start);
     return lhs;
   }
 
   ExprPtr logical_or() {
+    const Token start = peek();
     ExprPtr lhs = logical_and();
     while (accept(Tok::kOrOr))
-      lhs = make_binary("||", std::move(lhs), logical_and());
+      lhs = spanned(make_binary("||", std::move(lhs), logical_and()), start);
     return lhs;
   }
 
   ExprPtr logical_and() {
+    const Token start = peek();
     ExprPtr lhs = equality();
     while (accept(Tok::kAndAnd))
-      lhs = make_binary("&&", std::move(lhs), equality());
+      lhs = spanned(make_binary("&&", std::move(lhs), equality()), start);
     return lhs;
   }
 
   ExprPtr equality() {
+    const Token start = peek();
     ExprPtr lhs = relational();
     for (;;) {
       if (accept(Tok::kEq))
-        lhs = make_binary("==", std::move(lhs), relational());
+        lhs = spanned(make_binary("==", std::move(lhs), relational()), start);
       else if (accept(Tok::kNe))
-        lhs = make_binary("!=", std::move(lhs), relational());
+        lhs = spanned(make_binary("!=", std::move(lhs), relational()), start);
       else
         return lhs;
     }
   }
 
   ExprPtr relational() {
+    const Token start = peek();
     ExprPtr lhs = additive();
     for (;;) {
       if (accept(Tok::kLAngle))
-        lhs = make_binary("<", std::move(lhs), additive());
+        lhs = spanned(make_binary("<", std::move(lhs), additive()), start);
       else if (accept(Tok::kRAngle))
-        lhs = make_binary(">", std::move(lhs), additive());
+        lhs = spanned(make_binary(">", std::move(lhs), additive()), start);
       else if (accept(Tok::kLe))
-        lhs = make_binary("<=", std::move(lhs), additive());
+        lhs = spanned(make_binary("<=", std::move(lhs), additive()), start);
       else if (accept(Tok::kGe))
-        lhs = make_binary(">=", std::move(lhs), additive());
+        lhs = spanned(make_binary(">=", std::move(lhs), additive()), start);
       else
         return lhs;
     }
   }
 
   ExprPtr additive() {
+    const Token start = peek();
     ExprPtr lhs = multiplicative();
     for (;;) {
       if (accept(Tok::kPlus))
-        lhs = make_binary("+", std::move(lhs), multiplicative());
+        lhs =
+            spanned(make_binary("+", std::move(lhs), multiplicative()), start);
       else if (accept(Tok::kMinus))
-        lhs = make_binary("-", std::move(lhs), multiplicative());
+        lhs =
+            spanned(make_binary("-", std::move(lhs), multiplicative()), start);
       else
         return lhs;
     }
   }
 
   ExprPtr multiplicative() {
+    const Token start = peek();
     ExprPtr lhs = unary();
     for (;;) {
       if (accept(Tok::kStar))
-        lhs = make_binary("*", std::move(lhs), unary());
+        lhs = spanned(make_binary("*", std::move(lhs), unary()), start);
       else if (accept(Tok::kSlash))
-        lhs = make_binary("/", std::move(lhs), unary());
+        lhs = spanned(make_binary("/", std::move(lhs), unary()), start);
       else if (accept(Tok::kPercent))
-        lhs = make_binary("%", std::move(lhs), unary());
+        lhs = spanned(make_binary("%", std::move(lhs), unary()), start);
       else
         return lhs;
     }
   }
 
   ExprPtr unary() {
-    if (accept(Tok::kMinus)) return make_unary("-", unary());
-    if (accept(Tok::kNot)) return make_unary("!", unary());
+    const Token start = peek();
+    if (accept(Tok::kMinus)) return spanned(make_unary("-", unary()), start);
+    if (accept(Tok::kNot)) return spanned(make_unary("!", unary()), start);
     return postfix();
   }
 
   ExprPtr postfix() {
+    const Token start = peek();
     ExprPtr expr = primary();
     for (;;) {
       if (accept(Tok::kLParen)) {
@@ -326,11 +360,11 @@ class Parser {
           while (accept(Tok::kComma)) args.push_back(expression());
         }
         expect(Tok::kRParen, "')' after arguments");
-        expr = make_call(std::move(expr), std::move(args));
+        expr = spanned(make_call(std::move(expr), std::move(args)), start);
       } else if (accept(Tok::kLBracket)) {
         ExprPtr index = expression();
         expect(Tok::kRBracket, "']' after index");
-        expr = make_index(std::move(expr), std::move(index));
+        expr = spanned(make_index(std::move(expr), std::move(index)), start);
       } else {
         return expr;
       }
@@ -352,41 +386,35 @@ class Parser {
 
   ExprPtr primary() {
     if (at_section()) {
-      advance();  // (
+      const Token start = advance();  // (
       const Token op = advance();
       advance();  // )
       switch (op.kind) {
-        case Tok::kPlus: return make_section("+");
-        case Tok::kMinus: return make_section("-");
-        case Tok::kStar: return make_section("*");
-        case Tok::kSlash: return make_section("/");
-        case Tok::kPercent: return make_section("%");
-        case Tok::kLAngle: return make_section("<");
-        case Tok::kRAngle: return make_section(">");
-        case Tok::kEq: return make_section("==");
-        case Tok::kNe: return make_section("!=");
-        case Tok::kLe: return make_section("<=");
-        case Tok::kGe: return make_section(">=");
+        case Tok::kPlus: return spanned(make_section("+"), start);
+        case Tok::kMinus: return spanned(make_section("-"), start);
+        case Tok::kStar: return spanned(make_section("*"), start);
+        case Tok::kSlash: return spanned(make_section("/"), start);
+        case Tok::kPercent: return spanned(make_section("%"), start);
+        case Tok::kLAngle: return spanned(make_section("<"), start);
+        case Tok::kRAngle: return spanned(make_section(">"), start);
+        case Tok::kEq: return spanned(make_section("=="), start);
+        case Tok::kNe: return spanned(make_section("!="), start);
+        case Tok::kLe: return spanned(make_section("<="), start);
+        case Tok::kGe: return spanned(make_section(">="), start);
         default: fail("bad operator section");
       }
     }
     if (at(Tok::kIntLit)) {
-      Token token = advance();
-      auto expr = make_int_lit(token.int_value);
-      expr->line = token.line;
-      return expr;
+      const Token token = advance();
+      return spanned(make_int_lit(token.int_value), token);
     }
     if (at(Tok::kFloatLit)) {
-      Token token = advance();
-      auto expr = make_float_lit(token.float_value);
-      expr->line = token.line;
-      return expr;
+      const Token token = advance();
+      return spanned(make_float_lit(token.float_value), token);
     }
     if (at(Tok::kName)) {
-      Token token = advance();
-      auto expr = make_name(token.text);
-      expr->line = token.line;
-      return expr;
+      const Token token = advance();
+      return spanned(make_name(token.text), token);
     }
     if (accept(Tok::kLParen)) {
       ExprPtr expr = expression();

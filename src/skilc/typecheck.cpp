@@ -13,23 +13,49 @@ class Checker {
   explicit Checker(Program& program)
       : program_(program), pardata_names_(program.pardata_names()) {}
 
-  void run() {
+  /// Checks every function.  With a sink, failing functions each
+  /// record one diagnostic and checking continues; without one, the
+  /// first failure propagates as TypeError.
+  bool run(DiagnosticSink* sink) {
     for (const Function& fn : program_.functions) {
-      SKIL_REQUIRE(globals_.count(fn.name) == 0 || fn.is_prototype ||
-                       program_.find_function(fn.name)->is_prototype,
-                   "duplicate function definition: " + fn.name);
+      if (globals_.count(fn.name) != 0 && !fn.is_prototype &&
+          !program_.find_function(fn.name)->is_prototype) {
+        throw TypeError("skil type error: line " + std::to_string(fn.line) +
+                            ":" + std::to_string(fn.column) +
+                            ": duplicate function definition: " + fn.name,
+                        "duplicate function definition: " + fn.name, fn.line,
+                        fn.column);
+      }
       globals_[fn.name] = fn.type();
     }
+    bool ok = true;
     for (Function& fn : program_.functions) {
       if (fn.is_prototype) continue;
-      check_function(fn);
+      if (!sink) {
+        check_function(fn);
+        continue;
+      }
+      try {
+        check_function(fn);
+      } catch (const TypeError& error) {
+        ok = false;
+        sink->report(Severity::kError, "type",
+                     Span{error.line(), error.column()},
+                     error.bare().empty() ? error.what() : error.bare(),
+                     "in function '" + fn.name + "'");
+      }
     }
+    return ok;
   }
 
  private:
-  [[noreturn]] void fail(int line, const std::string& message) {
-    throw TypeError("skil type error: line " + std::to_string(line) + ": " +
-                    message);
+  [[noreturn]] void fail(Span span, const std::string& message) {
+    std::string where;
+    if (span.known())
+      where = "line " + std::to_string(span.line) + ":" +
+              std::to_string(span.column) + ": ";
+    throw TypeError("skil type error: " + where + message, message, span.line,
+                    span.column);
   }
 
   TypePtr fresh_var() {
@@ -61,7 +87,7 @@ class Checker {
       case Stmt::Kind::kVarDecl:
         if (stmt.init) {
           const TypePtr init_type = infer(*stmt.init);
-          require_unify(stmt.decl_type, init_type, stmt.init->line,
+          require_unify(stmt.decl_type, init_type, stmt.init->span(),
                         "initialiser type does not match declaration");
         }
         locals_[stmt.decl_name] = stmt.decl_type;
@@ -84,19 +110,19 @@ class Checker {
       case Stmt::Kind::kReturn:
         if (stmt.expr) {
           const TypePtr value = infer(*stmt.expr);
-          require_unify(current_return_, value, stmt.expr->line,
+          require_unify(current_return_, value, stmt.expr->span(),
                         "return value does not match the result type");
         } else if (current_return_->kind != Type::Kind::kVoid) {
-          fail(0, "non-void function returns no value");
+          fail(stmt.span(), "non-void function returns no value");
         }
         return;
     }
   }
 
-  void require_unify(const TypePtr& a, const TypePtr& b, int line,
+  void require_unify(const TypePtr& a, const TypePtr& b, Span span,
                      const std::string& message) {
     if (!unify(a, b, subst_, pardata_names_))
-      fail(line, message + ": " + type_to_string(substitute(a, subst_)) +
+      fail(span, message + ": " + type_to_string(substitute(a, subst_)) +
                      " vs " + type_to_string(substitute(b, subst_)));
   }
 
@@ -121,7 +147,7 @@ class Checker {
           // function may instantiate its variables differently.
           return freshen(global->second,
                          "_f" + std::to_string(next_fresh_++) + "_");
-        fail(expr.line, "unknown name '" + expr.name + "'");
+        fail(expr.span(), "unknown name '" + expr.name + "'");
       }
       case Expr::Kind::kSection: {
         // (op): a polymorphic binary function.  Comparison sections
@@ -137,7 +163,7 @@ class Checker {
         const TypePtr lhs = infer(*expr.lhs);
         const TypePtr rhs = infer(*expr.rhs);
         if (expr.name == "&&" || expr.name == "||") return Type::make_int();
-        require_unify(lhs, rhs, expr.line,
+        require_unify(lhs, rhs, expr.span(),
                       "operands of '" + expr.name + "' disagree");
         const bool comparison = expr.name == "<" || expr.name == ">" ||
                                 expr.name == "==" || expr.name == "!=" ||
@@ -151,7 +177,7 @@ class Checker {
       case Expr::Kind::kAssign: {
         const TypePtr lhs = infer(*expr.lhs);
         const TypePtr rhs = infer(*expr.rhs);
-        require_unify(lhs, rhs, expr.line, "assignment types disagree");
+        require_unify(lhs, rhs, expr.span(), "assignment types disagree");
         return substitute(lhs, subst_);
       }
       case Expr::Kind::kIndex: {
@@ -160,22 +186,22 @@ class Checker {
         if (base->kind == Type::Kind::kPointer) return base->result;
         if (base->kind == Type::Kind::kNamed && !base->params.empty())
           return base->params.front();
-        fail(expr.line,
+        fail(expr.span(),
              "cannot index a value of type " + type_to_string(base));
       }
       case Expr::Kind::kCall: {
         TypePtr callee = substitute(infer(*expr.callee), subst_);
         if (callee->kind != Type::Kind::kFunction)
-          fail(expr.line, "call of a non-function of type " +
-                              type_to_string(callee));
+          fail(expr.span(), "call of a non-function of type " +
+                                type_to_string(callee));
         const std::size_t nparams = callee->params.size();
         const std::size_t nargs = expr.args.size();
         if (nargs > nparams)
-          fail(expr.line, "too many arguments: " + std::to_string(nargs) +
-                              " for " + std::to_string(nparams));
+          fail(expr.span(), "too many arguments: " + std::to_string(nargs) +
+                                " for " + std::to_string(nparams));
         for (std::size_t i = 0; i < nargs; ++i) {
           const TypePtr arg = infer(*expr.args[i]);
-          require_unify(callee->params[i], arg, expr.line,
+          require_unify(callee->params[i], arg, expr.args[i]->span(),
                         "argument " + std::to_string(i + 1) +
                             " has the wrong type");
         }
@@ -189,7 +215,7 @@ class Checker {
                                    substitute(callee->result, subst_));
       }
     }
-    fail(expr.line, "unreachable expression kind");
+    fail(expr.span(), "unreachable expression kind");
   }
 
   void finalize_stmts(const std::vector<StmtPtr>& stmts) {
@@ -224,6 +250,10 @@ class Checker {
 
 }  // namespace
 
-void typecheck(Program& program) { Checker(program).run(); }
+void typecheck(Program& program) { Checker(program).run(nullptr); }
+
+bool typecheck_collect(Program& program, DiagnosticSink& sink) {
+  return Checker(program).run(&sink);
+}
 
 }  // namespace skil::skilc

@@ -12,9 +12,24 @@
 namespace skil::support {
 
 /// Base class of every error raised by the Skil runtime and skeletons.
+/// Errors raised while processing Skil *source* (lexer, parser, type
+/// checker, instantiation) additionally carry the 1-based line/column
+/// of the offending construct so tools can render structured
+/// diagnostics instead of re-parsing the message text.
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+  Error(const std::string& what, int line, int column)
+      : std::runtime_error(what), line_(line), column_(column) {}
+
+  /// Source position, when known (0 means "no location").
+  int line() const { return line_; }
+  int column() const { return column_; }
+  bool has_location() const { return line_ > 0; }
+
+ private:
+  int line_ = 0;
+  int column_ = 0;
 };
 
 /// A program violated a skeleton precondition (paper section 3), e.g.
@@ -23,6 +38,8 @@ class Error : public std::runtime_error {
 class ContractError : public Error {
  public:
   explicit ContractError(const std::string& what) : Error(what) {}
+  ContractError(const std::string& what, int line, int column)
+      : Error(what, line, column) {}
 };
 
 /// Access to a distributed-array element that is not stored on the

@@ -1,0 +1,303 @@
+// Tests for the semantic analysis layer: the CFG builder, the
+// dataflow passes, the span-carrying diagnostics of every pipeline
+// stage, and the lint_source front door used by skil-lint.
+//
+// The fixture corpus under tests/lint_fixtures/ is asserted
+// byte-exactly against its golden .expected renderings: the clean
+// fixtures (including the paper's section 2.4 example) must produce
+// zero findings, the seeded-defect fixtures exactly their goldens.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "skilc/analyze.h"
+#include "skilc/cfg.h"
+#include "skilc/compiler.h"
+#include "skilc/dataflow.h"
+#include "skilc/diagnostics.h"
+#include "skilc/instantiate.h"
+#include "skilc/parser.h"
+#include "skilc/typecheck.h"
+#include "support/error.h"
+
+namespace {
+
+using namespace skil::skilc;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(static_cast<bool>(in)) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string lint_fixture(const std::string& name) {
+  const std::string dir = SKIL_LINT_FIXTURE_DIR;
+  DiagnosticSink sink;
+  lint_source(read_file(dir + "/" + name + ".skil"), sink);
+  return sink.render(name + ".skil");
+}
+
+std::string golden(const std::string& name) {
+  const std::string dir = SKIL_LINT_FIXTURE_DIR;
+  return read_file(dir + "/" + name + ".expected");
+}
+
+// --- golden fixtures -------------------------------------------------------
+
+TEST(LintFixtures, CleanPaperMapHasNoFindings) {
+  EXPECT_EQ(lint_fixture("clean_paper_map"), "");
+}
+
+TEST(LintFixtures, CleanFoldHasNoFindings) {
+  EXPECT_EQ(lint_fixture("clean_fold"), "");
+}
+
+TEST(LintFixtures, CleanControlHasNoFindings) {
+  EXPECT_EQ(lint_fixture("clean_control"), "");
+}
+
+TEST(LintFixtures, UseBeforeInit) {
+  EXPECT_EQ(lint_fixture("use_before_init"), golden("use_before_init"));
+}
+
+TEST(LintFixtures, UseBeforeInitBranch) {
+  EXPECT_EQ(lint_fixture("use_before_init_branch"),
+            golden("use_before_init_branch"));
+}
+
+TEST(LintFixtures, DeadStore) {
+  EXPECT_EQ(lint_fixture("dead_store"), golden("dead_store"));
+}
+
+TEST(LintFixtures, UnusedVar) {
+  EXPECT_EQ(lint_fixture("unused_var"), golden("unused_var"));
+}
+
+TEST(LintFixtures, UnreachableReturn) {
+  EXPECT_EQ(lint_fixture("unreachable_return"), golden("unreachable_return"));
+}
+
+TEST(LintFixtures, UnreachableLoop) {
+  EXPECT_EQ(lint_fixture("unreachable_loop"), golden("unreachable_loop"));
+}
+
+TEST(LintFixtures, ImpureMapArg) {
+  EXPECT_EQ(lint_fixture("impure_map_arg"), golden("impure_map_arg"));
+}
+
+TEST(LintFixtures, ImpureFoldBuiltin) {
+  EXPECT_EQ(lint_fixture("impure_fold_builtin"),
+            golden("impure_fold_builtin"));
+}
+
+TEST(LintFixtures, ShadowPardata) {
+  EXPECT_EQ(lint_fixture("shadow_pardata"), golden("shadow_pardata"));
+}
+
+TEST(LintFixtures, GoldenDefectFixturesAreNonEmpty) {
+  // Guards against a regression that silences every pass at once: the
+  // byte-exact comparisons above would all trivially hold if both
+  // sides were empty.
+  for (const char* name :
+       {"use_before_init", "dead_store", "unused_var", "unreachable_return",
+        "impure_map_arg", "shadow_pardata"}) {
+    EXPECT_FALSE(golden(name).empty()) << name;
+  }
+}
+
+// --- the compile() gate ----------------------------------------------------
+
+TEST(AnalyzeGate, CompileRejectsImpureMapArgumentNamingTheWrite) {
+  const std::string dir = SKIL_LINT_FIXTURE_DIR;
+  const std::string source = read_file(dir + "/impure_map_arg.skil");
+  try {
+    compile(source);
+    FAIL() << "expected AnalysisError";
+  } catch (const AnalysisError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("skil analysis:"), std::string::npos) << what;
+    EXPECT_NE(what.find("free variable 'base'"), std::string::npos) << what;
+    EXPECT_NE(what.find("assigns 'base'"), std::string::npos) << what;
+    EXPECT_GT(error.line(), 0);
+    EXPECT_GT(error.column(), 0);
+  }
+}
+
+TEST(AnalyzeGate, CompileRejectsUseBeforeInit) {
+  EXPECT_THROW(compile(R"(
+    int f (int n) {
+      int x;
+      return x + n;
+    }
+  )"),
+               AnalysisError);
+}
+
+TEST(AnalyzeGate, DisabledPassLetsTheProgramCompile) {
+  AnalyzeOptions options;
+  options.init = false;
+  const CompileResult result = compile(R"(
+    int f (int n) {
+      int x;
+      return x + n;
+    }
+  )",
+                                       options);
+  EXPECT_NE(result.c_code.find("int f(int n)"), std::string::npos);
+}
+
+TEST(AnalyzeGate, WarningsDoNotBlockCompilationAndAreReturned) {
+  const CompileResult result = compile(R"(
+    int f (int n, int unused) { return n; }
+  )");
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].pass, "unused");
+  EXPECT_EQ(result.diagnostics[0].severity, Severity::kWarning);
+}
+
+// --- span-carrying errors from the earlier pipeline stages -----------------
+
+TEST(SpanErrors, LexerErrorCarriesLineAndColumn) {
+  try {
+    parse("int f (int x) { return x @ 1; }");
+    FAIL() << "expected ContractError";
+  } catch (const skil::support::ContractError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("line 1:"), std::string::npos) << what;
+    EXPECT_EQ(error.line(), 1);
+    EXPECT_GT(error.column(), 0);
+  }
+}
+
+TEST(SpanErrors, MalformedSectionIsASpannedParseError) {
+  try {
+    parse("int f (int x) { return (+ x; }");
+    FAIL() << "expected ContractError";
+  } catch (const skil::support::ContractError& error) {
+    EXPECT_EQ(error.line(), 1);
+    EXPECT_GT(error.column(), 0);
+  }
+}
+
+TEST(SpanErrors, UnboundNameIsASpannedTypeError) {
+  try {
+    Program program = parse("int f (int x) {\n  return x + missing;\n}");
+    typecheck(program);
+    FAIL() << "expected TypeError";
+  } catch (const TypeError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("line 2:"), std::string::npos) << what;
+    EXPECT_EQ(error.line(), 2);
+    EXPECT_GT(error.column(), 0);
+    EXPECT_NE(std::string(error.bare()).find("missing"), std::string::npos);
+  }
+}
+
+TEST(SpanErrors, ArityMismatchedPartialApplicationIsSpanned) {
+  // above(1.0, 2.0, mk_index(0), 9) applies one argument too many.
+  try {
+    Program program = parse(R"(
+      Index mk_index(int i);
+      int above (float t, float e, Index ix) { return e >= t; }
+      int use (float a, float b) {
+        return above(a, b, mk_index(0), 9);
+      }
+    )");
+    typecheck(program);
+    FAIL() << "expected TypeError";
+  } catch (const TypeError& error) {
+    EXPECT_EQ(error.line(), 5);
+    EXPECT_GT(error.column(), 0);
+  }
+}
+
+TEST(SpanErrors, TypeCollectGathersMultipleFunctions) {
+  Program program = parse(R"(
+    int f (int x) { return unknown_one; }
+    int g (int y) { return unknown_two; }
+  )");
+  DiagnosticSink sink;
+  EXPECT_FALSE(typecheck_collect(program, sink));
+  ASSERT_EQ(sink.diagnostics().size(), 2u);
+  EXPECT_EQ(sink.diagnostics()[0].pass, "type");
+  EXPECT_EQ(sink.diagnostics()[0].span.line, 2);
+  EXPECT_EQ(sink.diagnostics()[1].span.line, 3);
+}
+
+TEST(SpanErrors, LintSourceTurnsParseErrorsIntoDiagnostics) {
+  DiagnosticSink sink;
+  lint_source("int f (int x) { return x + ; }", sink);
+  ASSERT_EQ(sink.diagnostics().size(), 1u);
+  EXPECT_EQ(sink.diagnostics()[0].severity, Severity::kError);
+  EXPECT_EQ(sink.diagnostics()[0].pass, "parse");
+  EXPECT_EQ(sink.diagnostics()[0].span.line, 1);
+}
+
+TEST(SpanErrors, InstantiationErrorCarriesTheCallSiteSpan) {
+  try {
+    compile(R"(
+      int apply (int f (int), int x) { return f(x); }
+      int twice (int g (int), int x) { return g(g(x)); }
+      int inc (int x) { return x + 1; }
+      int use (int x) { return apply(twice(inc), x); }
+    )");
+    FAIL() << "expected InstantiationError";
+  } catch (const InstantiationError& error) {
+    EXPECT_EQ(error.line(), 5);
+    EXPECT_GT(error.column(), 0);
+  }
+}
+
+// --- CFG and dataflow unit coverage ---------------------------------------
+
+TEST(Cfg, WhileOneHasNoExitEdgeAndTrailingCodeIsUnreachable) {
+  Program program = parse(R"(
+    int spin (int x) {
+      while (1) { x = x + 1; }
+      return x;
+    }
+  )");
+  typecheck(program);
+  const Cfg cfg = build_cfg(program.functions[0]);
+  const std::vector<bool> reachable = cfg.reachable();
+  bool found_unreachable_action = false;
+  for (const BasicBlock& block : cfg.blocks)
+    if (!reachable[block.id] && !block.actions.empty())
+      found_unreachable_action = true;
+  EXPECT_TRUE(found_unreachable_action);
+}
+
+TEST(Cfg, ParamsAndLocalsAreNumberedParamsFirst) {
+  Program program = parse(R"(
+    int f (int a, int b) {
+      int c = a + b;
+      return c;
+    }
+  )");
+  typecheck(program);
+  const Cfg cfg = build_cfg(program.functions[0]);
+  ASSERT_EQ(cfg.num_locals(), 3u);
+  EXPECT_TRUE(cfg.locals[0].is_param);
+  EXPECT_TRUE(cfg.locals[1].is_param);
+  EXPECT_FALSE(cfg.locals[2].is_param);
+  EXPECT_EQ(cfg.locals[2].name, "c");
+}
+
+TEST(Dataflow, BitVecBasics) {
+  BitVec bits(70);
+  bits.set(0);
+  bits.set(69);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(69));
+  EXPECT_FALSE(bits.test(35));
+  BitVec ones(70, true);
+  ones.subtract(bits);
+  EXPECT_FALSE(ones.test(69));
+  EXPECT_TRUE(ones.test(35));
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// skil-lint: analyze-only front end for the skilc semantic checks.
+//
+//   skil-lint [flags] file.skil...
+//
+//     --Werror                 exit non-zero on warnings too
+//     --json=PATH              also write the findings as JSON to PATH
+//                              (one array covering all input files)
+//     --no-init                disable the definite-initialization pass
+//     --no-unreachable         disable the unreachable-code pass
+//     --no-dead-store          disable the dead-store pass
+//     --no-unused              disable the unused-binding pass
+//     --no-shadow              disable the shadowing pass
+//     --no-skeleton-purity     disable the skeleton-argument safety pass
+//
+// Exit status: 0 clean, 1 findings (errors, or warnings under
+// --Werror), 2 usage or I/O failure.  Nothing is compiled: the tool
+// stops after the analysis passes, so defective programs still lint.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "skilc/analyze.h"
+#include "skilc/diagnostics.h"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+void usage(const std::string& program) {
+  std::cerr << "usage: " << program
+            << " [--Werror] [--json=PATH] [--no-<pass>] file.skil...\n"
+               "passes: init unreachable dead-store unused shadow "
+               "skeleton-purity\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using skil::skilc::AnalyzeOptions;
+  using skil::skilc::Diagnostic;
+  using skil::skilc::DiagnosticSink;
+
+  // Flags are parsed by hand rather than through support::Cli: its
+  // "--name value" form would make the boolean flags here swallow the
+  // following file path.
+  const std::string program = argc > 0 ? argv[0] : "skil-lint";
+  AnalyzeOptions options;
+  bool werror = false;
+  std::string json_path;
+  bool write_json = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      files.push_back(arg);
+    } else if (arg == "--help") {
+      usage(program);
+      return 0;
+    } else if (arg == "--Werror") {
+      werror = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+      write_json = true;
+    } else if (arg == "--no-init") {
+      options.init = false;
+    } else if (arg == "--no-unreachable") {
+      options.unreachable = false;
+    } else if (arg == "--no-dead-store") {
+      options.dead_store = false;
+    } else if (arg == "--no-unused") {
+      options.unused = false;
+    } else if (arg == "--no-shadow") {
+      options.shadow = false;
+    } else if (arg == "--no-skeleton-purity") {
+      options.skeleton_purity = false;
+    } else {
+      std::cerr << "skil-lint: unknown flag '" << arg << "'\n";
+      usage(program);
+      return 2;
+    }
+  }
+  if (files.empty()) {
+    usage(program);
+    return 2;
+  }
+
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::string json = "[";
+  bool json_first = true;
+
+  for (const std::string& path : files) {
+    std::string source;
+    if (!read_file(path, source)) {
+      std::cerr << "skil-lint: cannot read '" << path << "'\n";
+      return 2;
+    }
+    DiagnosticSink sink;
+    skil::skilc::lint_source(source, sink, options);
+    errors += sink.error_count();
+    warnings += sink.warning_count();
+    if (!sink.empty()) std::cout << sink.render(path);
+    const std::string file_json = sink.render_json(path);
+    // Splice this file's array into the combined one.
+    if (file_json.size() > 2) {  // not "[]"
+      if (!json_first) json += ",";
+      json += file_json.substr(1, file_json.size() - 2);
+      json_first = false;
+    }
+  }
+  json += "]";
+
+  if (write_json) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "skil-lint: cannot write '" << json_path << "'\n";
+      return 2;
+    }
+    out << json << "\n";
+  }
+
+  if (errors + warnings > 0) {
+    std::cerr << "skil-lint: " << errors << " error(s), " << warnings
+              << " warning(s) across " << files.size() << " file(s)\n";
+  }
+  if (errors > 0) return 1;
+  if (werror && warnings > 0) return 1;
+  return 0;
+}
