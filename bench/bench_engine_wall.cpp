@@ -7,8 +7,10 @@
 // scientific artefact -- are bit-identical across engines.
 //
 // Usage: bench_engine_wall [--quick] [--json=path] [--out-dir=dir]
-//                          [--baseline=secs] [--reps=N] [--jobs=N|auto]
+//                          [--baseline=secs] [--baseline-note=text]
+//                          [--reps=N] [--jobs=N|auto]
 //                          [--carriers=N|auto] [--charge=interp|tape]
+//                          [--settle=gang|closed|auto]
 //                          [--engine=threads|pooled|both] [--trace-out=dir]
 //
 // --engine restricts the sweep to one engine (default: both).  With a
@@ -23,20 +25,37 @@
 // it); 'auto' resolves to hardware concurrency, >1 enables gang
 // settlement.  --charge selects the accounting path of the skeleton
 // hot loops (default: the process default, i.e. SKIL_CHARGE or tape).
+// --settle selects the ledger settlement strategy (charge_tape.h;
+// default: the process default, i.e. SKIL_SETTLE or auto) -- every
+// mode retires the identical add chain, so it moves wall time only.
 // --trace-out runs one representative cell again under full tracing
 // (after the timed sweep, so the timings stay untraced) and writes its
 // Chrome trace + metrics JSON (parix/metrics.h) into the directory.
 //
-// The JSON report (default BENCH_engine.json, schema_version 4)
-// records the run configuration (reps, jobs, nproc, charge path) and
-// per-cell wall seconds alongside both engines' totals, so
-// EXPERIMENTS.md can cite the engine speedup from a committed
-// artefact; scripts/bench_trajectory.sh appends runs to it.
-// --baseline records an externally measured wall time of the same
-// workload (e.g. a pre-refactor build) so the improvement over that
-// build is part of the record.
+// The JSON report (default BENCH_engine.json, schema_version 5)
+// records the run configuration (reps, jobs, nproc, charge path,
+// settle mode) and per-cell wall seconds + virtual times alongside
+// both engines' totals, so EXPERIMENTS.md can cite the engine speedup
+// from a committed artefact; scripts/bench_trajectory.sh appends runs
+// to it.  --baseline records an externally measured wall time of the
+// same workload (e.g. a pre-refactor build) so the improvement over
+// that build is part of the record; --baseline-note says *which*
+// build/config produced that number (written as
+// "baseline_provenance"), because a bare float invites misleading
+// comparisons -- a 1-carrier run scored against a 4-carrier baseline
+// reads as a slowdown unless the provenance travels with it.
 //
 // Schema history:
+//   v5: adds "settle" (settlement mode), per-engine
+//       "median_wall_seconds" (median of rep_wall_seconds, reported
+//       alongside the min because min-of-1 records say nothing about
+//       spread), per-engine "settle_counters" (closed-form coverage
+//       accounting, summed over the best rep's cells), per-cell
+//       virtual times at full precision (skil_vtime_s / dpfl_vtime_s /
+//       c_vtime_s, %.17g -- lets two report files be diffed for
+//       bit-identical science without rerunning), and
+//       "baseline_provenance" whenever baseline_wall_seconds is
+//       present.
 //   v4: adds "carriers" (the pooled engine's effective carrier-thread
 //       count for this run) and records the *resolved* jobs value
 //       (--jobs=auto is written as the number it resolved to).
@@ -70,11 +89,12 @@ int main(int argc, char** argv) {
   using namespace skil::bench;
 
   const support::Cli cli(argc, argv,
-                         {"quick", "json", "out-dir", "baseline", "reps",
-                          "jobs", "carriers", "charge", "engine",
-                          "trace-out"});
+                         {"quick", "json", "out-dir", "baseline",
+                          "baseline-note", "reps", "jobs", "carriers",
+                          "charge", "settle", "engine", "trace-out"});
   const bool quick = cli.get_bool("quick");
   const double baseline_s = std::atof(cli.get("baseline", "0").c_str());
+  const std::string baseline_note = cli.get("baseline-note", "unspecified");
   // The host timer is noisy (shared machine); the minimum over reps is
   // the standard robust estimator of the undisturbed wall time.
   const int reps = std::max(1, std::atoi(cli.get("reps", "1").c_str()));
@@ -97,15 +117,26 @@ int main(int argc, char** argv) {
   const char* charge_name =
       parix::default_charge_path() == parix::ChargePath::kTape ? "tape"
                                                                : "interp";
+  if (cli.has("settle")) {
+    // Exported as well as set in-process: the in-process slot is
+    // inherited across fork by the cell workers, and the env var keeps
+    // any tooling that re-execs (trace viewers, wrapper scripts) on
+    // the same configuration.
+    const std::string settle_arg = cli.get("settle", "auto");
+    parix::set_default_settle_mode(parix::parse_settle_mode(settle_arg));
+    ::setenv("SKIL_SETTLE", settle_arg.c_str(), 1);
+  }
+  const std::string settle_name(
+      parix::settle_mode_name(parix::default_settle_mode()));
   const std::uint64_t seed = 19960528;
   const auto ns = paper_ns(quick);
   const auto ps = paper_ps();
 
   banner("Execution engines -- wall clock on the Table 2 grid");
   std::printf("grid: n in {%d..%d}, p in {4, 16, 32, 64}; host threads: %u; "
-              "jobs: %d; carriers: %d; charge path: %s\n\n",
+              "jobs: %d; carriers: %d; charge path: %s; settle: %s\n\n",
               ns.front(), ns.back(), std::thread::hardware_concurrency(),
-              jobs, carriers, charge_name);
+              jobs, carriers, charge_name, settle_name.c_str());
 
   struct EngineRun {
     const char* name;
@@ -169,6 +200,25 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(
                 (gang_after.padded_slots - gang_before.padded_slots) /
                 1000000));
+      const SweepSettleTotals totals = sum_settle_totals(cells);
+      if (totals.total_adds() > 0)
+        std::fprintf(
+            stderr,
+            "  settle: %llu M adds closed (%llu M memoized, %llu M "
+            "probed), %llu M chained, %llu M ganged, %llu M inline; "
+            "closed-form coverage %.1f%%\n",
+            static_cast<unsigned long long>(
+                (totals.settle.closed_adds + totals.settle.memo_adds) /
+                1000000),
+            static_cast<unsigned long long>(totals.settle.memo_adds /
+                                            1000000),
+            static_cast<unsigned long long>(totals.settle.probe_adds /
+                                            1000000),
+            static_cast<unsigned long long>(totals.settle.chain_adds /
+                                            1000000),
+            static_cast<unsigned long long>(totals.gang_adds / 1000000),
+            static_cast<unsigned long long>(totals.inline_adds / 1000000),
+            100.0 * totals.closed_coverage());
       run.rep_walls.push_back(wall);
       if (rep == 0 || wall < run.wall_s) {
         run.wall_s = wall;
@@ -177,9 +227,17 @@ int main(int argc, char** argv) {
     }
   }
   parix::set_default_execution_engine(saved);
+  // Median of the repetition walls: reported alongside the min because
+  // a min-of-1 says nothing about spread (satellite of ISSUE 6).
+  const auto median_of = [](std::vector<double> walls) {
+    std::sort(walls.begin(), walls.end());
+    const std::size_t mid = walls.size() / 2;
+    return walls.size() % 2 == 1 ? walls[mid]
+                                 : 0.5 * (walls[mid - 1] + walls[mid]);
+  };
   for (const auto& run : runs)
-    std::printf("  %-8s engine: %8.2f s wall (min of %d)\n", run.name,
-                run.wall_s, reps);
+    std::printf("  %-8s engine: %8.2f s wall (min of %d, median %.2f)\n",
+                run.name, run.wall_s, reps, median_of(run.rep_walls));
 
   // The engines must agree on every virtual time to the last bit --
   // virtual time derives only from charge sequences and message
@@ -239,7 +297,7 @@ int main(int argc, char** argv) {
   if (FILE* out = std::fopen(path.c_str(), "w")) {
     std::fprintf(out,
                  "{\n"
-                 "  \"schema_version\": 4,\n"
+                 "  \"schema_version\": 5,\n"
                  "  \"benchmark\": \"bench_engine_wall\",\n"
                  "  \"grid\": \"table2_gauss%s\",\n"
                  "  \"reps\": %d,\n"
@@ -247,24 +305,55 @@ int main(int argc, char** argv) {
                  "  \"carriers\": %d,\n"
                  "  \"nproc\": %u,\n"
                  "  \"charge\": \"%s\",\n"
+                 "  \"settle\": \"%s\",\n"
                  "  \"engines\": [\n",
                  quick ? "_quick" : "", reps, jobs, carriers,
-                 std::thread::hardware_concurrency(), charge_name);
+                 std::thread::hardware_concurrency(), charge_name,
+                 settle_name.c_str());
     for (std::size_t r = 0; r < runs.size(); ++r) {
       const EngineRun& run = runs[r];
       std::fprintf(out,
                    "    {\"engine\": \"%s\", \"wall_seconds\": %.3f, "
+                   "\"median_wall_seconds\": %.3f, "
                    "\"rep_wall_seconds\": [",
-                   run.name, run.wall_s);
+                   run.name, run.wall_s, median_of(run.rep_walls));
       for (std::size_t i = 0; i < run.rep_walls.size(); ++i)
         std::fprintf(out, "%s%.3f", i == 0 ? "" : ", ", run.rep_walls[i]);
       std::fprintf(out, "], \"cells\": [");
       for (std::size_t i = 0; i < run.cells.size(); ++i) {
         const GaussCell& cell = run.cells[i];
-        std::fprintf(out, "%s{\"p\": %d, \"n\": %d, \"wall_seconds\": %.3f}",
-                     i == 0 ? "" : ", ", cell.p, cell.n, cell.wall_s);
+        // Virtual times at %.17g: full double round-trip precision, so
+        // two report files diff bit-identically (the CI settlement
+        // smoke compares gang vs auto reports this way).
+        std::fprintf(out,
+                     "%s{\"p\": %d, \"n\": %d, \"wall_seconds\": %.3f, "
+                     "\"skil_vtime_s\": %.17g, \"dpfl_vtime_s\": %.17g, "
+                     "\"c_vtime_s\": %.17g}",
+                     i == 0 ? "" : ", ", cell.p, cell.n, cell.wall_s,
+                     cell.skil_s, cell.dpfl_s, cell.c_s);
       }
-      std::fprintf(out, "]}%s\n", r + 1 < runs.size() ? "," : "");
+      const SweepSettleTotals totals = sum_settle_totals(run.cells);
+      std::fprintf(
+          out,
+          "], \"settle_counters\": {"
+          "\"closed_runs\": %llu, \"closed_adds\": %llu, "
+          "\"memo_hits\": %llu, \"memo_misses\": %llu, "
+          "\"memo_adds\": %llu, \"probe_adds\": %llu, "
+          "\"chain_records\": %llu, \"chain_adds\": %llu, "
+          "\"gang_parks\": %llu, \"gang_adds\": %llu, "
+          "\"inline_adds\": %llu, \"closed_coverage\": %.6f}}%s\n",
+          static_cast<unsigned long long>(totals.settle.closed_runs),
+          static_cast<unsigned long long>(totals.settle.closed_adds),
+          static_cast<unsigned long long>(totals.settle.memo_hits),
+          static_cast<unsigned long long>(totals.settle.memo_misses),
+          static_cast<unsigned long long>(totals.settle.memo_adds),
+          static_cast<unsigned long long>(totals.settle.probe_adds),
+          static_cast<unsigned long long>(totals.settle.chain_records),
+          static_cast<unsigned long long>(totals.settle.chain_adds),
+          static_cast<unsigned long long>(totals.settle.gang_parks),
+          static_cast<unsigned long long>(totals.gang_adds),
+          static_cast<unsigned long long>(totals.inline_adds),
+          totals.closed_coverage(), r + 1 < runs.size() ? "," : "");
     }
     std::fprintf(out, "  ],\n");
     if (runs.size() == 2)
@@ -272,8 +361,10 @@ int main(int argc, char** argv) {
     if (baseline_s > 0.0)
       std::fprintf(out,
                    "  \"baseline_wall_seconds\": %.3f,\n"
+                   "  \"baseline_provenance\": \"%s\",\n"
                    "  \"pooled_speedup_over_baseline\": %.3f,\n",
-                   baseline_s, baseline_s / runs.back().wall_s);
+                   baseline_s, baseline_note.c_str(),
+                   baseline_s / runs.back().wall_s);
     if (!trace_path.empty())
       std::fprintf(out,
                    "  \"trace\": {\"app\": \"gauss_skil\", \"p\": %d, "

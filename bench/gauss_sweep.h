@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "apps/gauss.h"
+#include "parix/charge_tape.h"
 #include "support/error.h"
 
 namespace skil::bench {
@@ -25,9 +26,56 @@ struct GaussCell {
   double c_s = 0.0;
   /// Host wall seconds this cell took (all three variants).
   double wall_s = 0.0;
+  /// Settlement/gang counter deltas over this cell's three runs
+  /// (charge_tape.h).  Exact when the cell ran in its own forked
+  /// worker; in-process sequential sweeps accumulate them per cell
+  /// from the process-wide counters, which is equally exact there.
+  parix::SettleCounters settle;
+  std::uint64_t gang_adds = 0;
+  std::uint64_t inline_adds = 0;
   double dpfl_over_skil() const { return dpfl_s / skil_s; }
   double skil_over_c() const { return skil_s / c_s; }
 };
+
+/// Sums the settlement-relevant counters of a finished grid, for
+/// coverage reports (bench_engine_wall, the CI settlement smoke).
+struct SweepSettleTotals {
+  parix::SettleCounters settle;
+  std::uint64_t gang_adds = 0;
+  std::uint64_t inline_adds = 0;
+
+  /// All chain adds settlement accounted for, however retired.
+  std::uint64_t total_adds() const {
+    return settle.closed_adds + settle.memo_adds + settle.probe_adds +
+           settle.chain_adds + gang_adds + inline_adds;
+  }
+  /// Fraction of chain adds retired closed-form (freshly probed or
+  /// memoized) -- the ISSUE 6 coverage metric.
+  double closed_coverage() const {
+    const std::uint64_t total = total_adds();
+    if (total == 0) return 0.0;
+    return static_cast<double>(settle.closed_adds + settle.memo_adds) /
+           static_cast<double>(total);
+  }
+};
+
+inline SweepSettleTotals sum_settle_totals(const std::vector<GaussCell>& cells) {
+  SweepSettleTotals t;
+  for (const GaussCell& cell : cells) {
+    t.settle.closed_runs += cell.settle.closed_runs;
+    t.settle.closed_adds += cell.settle.closed_adds;
+    t.settle.memo_hits += cell.settle.memo_hits;
+    t.settle.memo_misses += cell.settle.memo_misses;
+    t.settle.memo_adds += cell.settle.memo_adds;
+    t.settle.probe_adds += cell.settle.probe_adds;
+    t.settle.chain_records += cell.settle.chain_records;
+    t.settle.chain_adds += cell.settle.chain_adds;
+    t.settle.gang_parks += cell.settle.gang_parks;
+    t.gang_adds += cell.gang_adds;
+    t.inline_adds += cell.inline_adds;
+  }
+  return t;
+}
 
 /// Paper Table 2 reference values: Skil absolute seconds (bold),
 /// DPFL/Skil (roman), Skil/Parix-C (italics).  Negative = the paper
@@ -73,10 +121,23 @@ inline GaussCell run_gauss_cell(int p, int n, std::uint64_t seed) {
   cell.p = p;
   cell.n = n;
   const auto start = std::chrono::steady_clock::now();
-  cell.skil_s =
-      apps::gauss_skil(p, n, seed, /*pivoting=*/false).run.vtime_seconds();
-  cell.dpfl_s = apps::gauss_dpfl(p, n, seed).run.vtime_seconds();
-  cell.c_s = apps::gauss_c(p, n, seed).run.vtime_seconds();
+  const auto account = [&cell](const parix::RunResult& run, double* out_s) {
+    *out_s = run.vtime_seconds();
+    cell.settle.closed_runs += run.settle.closed_runs;
+    cell.settle.closed_adds += run.settle.closed_adds;
+    cell.settle.memo_hits += run.settle.memo_hits;
+    cell.settle.memo_misses += run.settle.memo_misses;
+    cell.settle.memo_adds += run.settle.memo_adds;
+    cell.settle.probe_adds += run.settle.probe_adds;
+    cell.settle.chain_records += run.settle.chain_records;
+    cell.settle.chain_adds += run.settle.chain_adds;
+    cell.settle.gang_parks += run.settle.gang_parks;
+    cell.gang_adds += run.gang.gang_adds;
+    cell.inline_adds += run.gang.inline_adds;
+  };
+  account(apps::gauss_skil(p, n, seed, /*pivoting=*/false).run, &cell.skil_s);
+  account(apps::gauss_dpfl(p, n, seed).run, &cell.dpfl_s);
+  account(apps::gauss_c(p, n, seed).run, &cell.c_s);
   cell.wall_s = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - start)
                     .count();
@@ -123,6 +184,50 @@ inline std::vector<GaussCell> run_gauss_grid_jobs(const std::vector<int>& ns,
       cells.push_back(cell);
     }
 
+  // Wire format cell -> parent: the four timing doubles followed by
+  // the settlement/gang counters, fixed-width so a single read drains
+  // the pipe atomically (well under PIPE_BUF).
+  struct CellWire {
+    double d[4];
+    std::uint64_t u[11];
+  };
+  auto pack = [](const GaussCell& cell) {
+    CellWire w;
+    w.d[0] = cell.skil_s;
+    w.d[1] = cell.dpfl_s;
+    w.d[2] = cell.c_s;
+    w.d[3] = cell.wall_s;
+    w.u[0] = cell.settle.closed_runs;
+    w.u[1] = cell.settle.closed_adds;
+    w.u[2] = cell.settle.memo_hits;
+    w.u[3] = cell.settle.memo_misses;
+    w.u[4] = cell.settle.memo_adds;
+    w.u[5] = cell.settle.probe_adds;
+    w.u[6] = cell.settle.chain_records;
+    w.u[7] = cell.settle.chain_adds;
+    w.u[8] = cell.settle.gang_parks;
+    w.u[9] = cell.gang_adds;
+    w.u[10] = cell.inline_adds;
+    return w;
+  };
+  auto unpack = [](const CellWire& w, GaussCell& cell) {
+    cell.skil_s = w.d[0];
+    cell.dpfl_s = w.d[1];
+    cell.c_s = w.d[2];
+    cell.wall_s = w.d[3];
+    cell.settle.closed_runs = w.u[0];
+    cell.settle.closed_adds = w.u[1];
+    cell.settle.memo_hits = w.u[2];
+    cell.settle.memo_misses = w.u[3];
+    cell.settle.memo_adds = w.u[4];
+    cell.settle.probe_adds = w.u[5];
+    cell.settle.chain_records = w.u[6];
+    cell.settle.chain_adds = w.u[7];
+    cell.settle.gang_parks = w.u[8];
+    cell.gang_adds = w.u[9];
+    cell.inline_adds = w.u[10];
+  };
+
   struct Worker {
     pid_t pid = -1;
     int read_fd = -1;
@@ -130,7 +235,7 @@ inline std::vector<GaussCell> run_gauss_grid_jobs(const std::vector<int>& ns,
   };
   std::vector<Worker> active;
 
-  auto reap_one = [&cells, &active]() {
+  auto reap_one = [&cells, &active, &unpack]() {
     int status = 0;
     const pid_t pid = ::waitpid(-1, &status, 0);
     SKIL_ASSERT(pid > 0, "run_gauss_grid_jobs: waitpid failed");
@@ -140,17 +245,12 @@ inline std::vector<GaussCell> run_gauss_grid_jobs(const std::vector<int>& ns,
                   "run_gauss_grid_jobs: worker failed for cell p=" +
                       std::to_string(cells[active[w].cell].p) +
                       " n=" + std::to_string(cells[active[w].cell].n));
-      double payload[4] = {0, 0, 0, 0};
-      const ssize_t got =
-          ::read(active[w].read_fd, payload, sizeof(payload));
+      CellWire wire{};
+      const ssize_t got = ::read(active[w].read_fd, &wire, sizeof(wire));
       ::close(active[w].read_fd);
-      SKIL_ASSERT(got == static_cast<ssize_t>(sizeof(payload)),
+      SKIL_ASSERT(got == static_cast<ssize_t>(sizeof(wire)),
                   "run_gauss_grid_jobs: short read from worker");
-      GaussCell& cell = cells[active[w].cell];
-      cell.skil_s = payload[0];
-      cell.dpfl_s = payload[1];
-      cell.c_s = payload[2];
-      cell.wall_s = payload[3];
+      unpack(wire, cells[active[w].cell]);
       active.erase(active.begin() + static_cast<long>(w));
       return;
     }
@@ -168,10 +268,9 @@ inline std::vector<GaussCell> run_gauss_grid_jobs(const std::vector<int>& ns,
     if (pid == 0) {
       ::close(fds[0]);
       const GaussCell cell = run_gauss_cell(cells[i].p, cells[i].n, seed);
-      const double payload[4] = {cell.skil_s, cell.dpfl_s, cell.c_s,
-                                 cell.wall_s};
-      const ssize_t wrote = ::write(fds[1], payload, sizeof(payload));
-      ::_exit(wrote == static_cast<ssize_t>(sizeof(payload)) ? 0 : 1);
+      const CellWire wire = pack(cell);
+      const ssize_t wrote = ::write(fds[1], &wire, sizeof(wire));
+      ::_exit(wrote == static_cast<ssize_t>(sizeof(wire)) ? 0 : 1);
     }
     ::close(fds[1]);
     active.push_back(Worker{pid, fds[0], i});

@@ -4,12 +4,13 @@
 # Builds (if needed) and runs bench_engine_wall on the Table-2 sweep
 # under both execution engines, then appends the result as one compact
 # JSON record per line to BENCH_engine.json at the repo root.  Records
-# are schema_version 4: run config (reps, resolved jobs, carriers,
-# nproc, charge path), per-cell wall seconds per engine, every
-# repetition's wall time ("rep_wall_seconds"), and the engine
-# totals; with --trace-out the record also names the exported
-# trace/metrics files.  scripts/validate_bench_json.py checks the
-# whole trajectory after every append.
+# are schema_version 5: run config (reps, resolved jobs, carriers,
+# nproc, charge path, settle mode), per-cell wall seconds and virtual
+# times per engine, every repetition's wall time ("rep_wall_seconds")
+# plus its median, the settlement counters (closed-form coverage), and
+# the engine totals; with --trace-out the record also names the
+# exported trace/metrics files.  scripts/validate_bench_json.py checks
+# the whole trajectory after every append.
 #
 # Pass --quick to restrict the grid to n in {64, 128} while iterating
 # (the committed trajectory should only gain full-grid records),
@@ -20,14 +21,24 @@
 # cell workers inherit it), --charge=interp|tape to pin the
 # accounting path
 # (default: tape, the specialized fast path; interp is the
-# interpretive oracle), and --trace-out=DIR to re-run one
-# representative cell under SKIL_TRACE=full and write its Chrome
-# trace + metrics JSON into DIR (created if missing; the timed sweep
-# itself stays untraced).
+# interpretive oracle), --settle=gang|closed|auto to pin the ledger
+# settlement strategy (default: auto; exported as SKIL_SETTLE), and
+# --trace-out=DIR to re-run one representative cell under
+# SKIL_TRACE=full and write its Chrome trace + metrics JSON into DIR
+# (created if missing; the timed sweep itself stays untraced).
+#
+# When recording a --baseline, also pass --baseline-note describing
+# which build/config produced that number -- the provenance is stored
+# as "baseline_provenance" so a record can't silently compare
+# mismatched configurations (e.g. a 1-carrier run against a 4-carrier
+# baseline reads as a slowdown without it).
 #
 # Usage: scripts/bench_trajectory.sh [--quick] [--reps=N] [--jobs=N|auto]
 #                                    [--carriers=N|auto]
-#                                    [--charge=interp|tape] [--baseline=secs]
+#                                    [--charge=interp|tape]
+#                                    [--settle=gang|closed|auto]
+#                                    [--baseline=secs]
+#                                    [--baseline-note=text]
 #                                    [--trace-out=DIR]
 set -eu
 

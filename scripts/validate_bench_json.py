@@ -27,8 +27,18 @@ FIELDS_BY_VERSION = {
     2: ["reps", "jobs", "nproc", "charge"],
     3: [],  # v3 added per-engine rep_wall_seconds (checked below)
     4: ["carriers"],
+    5: ["settle"],  # also per-engine median/settle_counters and
+                    # baseline_provenance (checked below)
 }
 MAX_KNOWN_VERSION = max(FIELDS_BY_VERSION)
+
+# The settlement-counter fields every v5+ engine record must account
+# for (bench/bench_engine_wall.cpp schema history).
+SETTLE_COUNTER_FIELDS = [
+    "closed_runs", "closed_adds", "memo_hits", "memo_misses", "memo_adds",
+    "probe_adds", "chain_records", "chain_adds", "gang_parks", "gang_adds",
+    "inline_adds", "closed_coverage",
+]
 
 
 def fail(path, lineno, message):
@@ -66,6 +76,26 @@ def validate_record(path, lineno, record):
         if version >= 3 and "rep_wall_seconds" not in engine:
             fail(path, lineno,
                  "v3+ engine record is missing 'rep_wall_seconds'")
+        if version >= 5:
+            if "median_wall_seconds" not in engine:
+                fail(path, lineno,
+                     "v5+ engine record is missing 'median_wall_seconds'")
+            counters = engine.get("settle_counters")
+            if not isinstance(counters, dict):
+                fail(path, lineno,
+                     "v5+ engine record is missing 'settle_counters'")
+            for field in SETTLE_COUNTER_FIELDS:
+                if field not in counters:
+                    fail(path, lineno,
+                         f"v5+ settle_counters is missing '{field}'")
+    if version >= 5 and "baseline_wall_seconds" in record \
+            and "baseline_provenance" not in record:
+        # Satellite of ISSUE 6: a bare baseline float invites
+        # misleading speedup/slowdown readings -- the record must say
+        # which build/config produced it.
+        fail(path, lineno,
+             "v5+ record has baseline_wall_seconds without "
+             "baseline_provenance")
 
 
 def validate_file(path):

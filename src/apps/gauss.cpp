@@ -101,6 +101,13 @@ GaussResult gauss_skil_impl(int nprocs, int size, EntryFn&& entry,
   // Both operands of the interp bodies' binary expressions charge the
   // identical (kFloatOp, 1), so their unspecified evaluation order
   // cannot move the chain.
+  //
+  // Built once here and never mutated, each tape keeps one stable
+  // identity (ChargeTape::id) across every elimination step's replay
+  // -- which is what lets the settlement memo (DESIGN.md section 12)
+  // reuse one probed period delta for the whole sweep instead of
+  // re-probing per replay.  Rebuilding a tape inside the step loop
+  // would still be bit-exact, just memo-cold (fresh id per replay).
   const bool taped =
       parix::default_charge_path() == parix::ChargePath::kTape;
   parix::ChargeTape pivot_tape;   // the division, then two get_elem reads

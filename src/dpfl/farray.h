@@ -236,6 +236,12 @@ FArray<T2> fa_map(const Closure<T2(T1, Index)>& map_f, const FArray<T1>& a) {
 /// bulk tail charges as fa_map.  Chain-identical to fa_map with a
 /// closure whose active elements all charge `tape`'s sequence
 /// (DESIGN.md section 8).
+///
+/// As with array_map_taped, hoist the tape out of repeated-map loops:
+/// its stable identity keys the cross-replay settlement memo
+/// (DESIGN.md section 12), turning every replay after the first into
+/// a cached closed-form walk.  gauss_dpfl's elimination tapes are the
+/// canonical example -- built once, replayed every step.
 template <class T1, class MapF>
 auto fa_map_taped(MapF&& map_f, const parix::ChargeTape& tape,
                   const FArray<T1>& a) {

@@ -26,6 +26,26 @@
 // The interpretive path stays compiled in as a differential oracle:
 // SKIL_CHARGE=interp|tape (or set_default_charge_path) selects which
 // one the applications' hot loops take.
+//
+// Since PR 6 settlement itself has three strategies
+// (SKIL_SETTLE=gang|closed|auto, DESIGN.md section 12):
+//
+//  * gang   -- the PR 4 behaviour: park fibers and retire several
+//              processors' chains in one fused SIMD batch, scalar
+//              inline settle otherwise.  Every chain add executes.
+//  * closed -- algebraic settlement: a replay record's per-period
+//              clock delta, measured in ulps of the clock's current
+//              binade, is a function of the clock's ulp *parity* only
+//              (round-half-even is the sole data dependence), so one
+//              probed period per (tape, binade, parity) lets the
+//              remaining periods retire in exact integer arithmetic --
+//              bit-identical by construction, without executing the
+//              adds.  A cross-replay memo caches the probed deltas per
+//              (tape identity, unit table, binade), so the sweep's
+//              repeated replays settle as O(1) cached walks.
+//  * auto   -- algebraic settlement inline, escalating to a gang park
+//              only when the ledger's non-walkable (chain-bound)
+//              residue alone crosses the gang batching threshold.
 #pragma once
 
 #include <cstdint>
@@ -53,14 +73,69 @@ void set_default_charge_path(ChargePath path);
 /// values instead of silently falling back to a default.
 ChargePath parse_charge_path(std::string_view name);
 
+/// How ChargeLedger settlement retires the dependent FP-add chain.
+enum class SettleMode {
+  kGang,    ///< PR 4: fused multi-lane SIMD batches, scalar inline otherwise
+  kClosed,  ///< algebraic run settlement + cross-replay memo, always inline
+  kAuto,    ///< algebraic inline; gang park for chain-bound residues
+};
+
+/// Process-wide default settlement mode: kAuto, overridable with the
+/// SKIL_SETTLE environment variable ("gang" / "closed" / "auto") or
+/// set_default_settle_mode.  Unknown SKIL_SETTLE values fail loudly.
+SettleMode default_settle_mode();
+void set_default_settle_mode(SettleMode mode);
+SettleMode parse_settle_mode(std::string_view name);
+std::string_view settle_mode_name(SettleMode mode);
+
+/// In kAuto, a ledger whose *chain-bound* pending adds (records the
+/// algebraic engine will not walk closed-form) reach this threshold is
+/// offered to the gang scheduler after its walkable prefix settles
+/// algebraically.  Matches the gang scheduler's own batching
+/// threshold (executor.cpp kGangMinPendingAdds).
+inline constexpr std::uint64_t kSettleChainParkThreshold = 2048;
+
 /// One element's recorded charge sequence: op kinds and counts in the
 /// exact order the interpretive path would charge them.
+///
+/// Tapes carry a process-unique identity (`id()`): because a tape is
+/// append-only, (id, entry count) names one immutable entry prefix for
+/// the lifetime of the process, which is what the settlement memo
+/// (DESIGN.md section 12) keys its cached period deltas on.  Copies
+/// get a *fresh* id -- two tapes that share an id must never be able
+/// to diverge in content -- and moving transfers the id while the
+/// moved-from tape is re-armed with a fresh one.
 class ChargeTape {
  public:
   struct Entry {
     Op kind;
     std::uint64_t count;
   };
+
+  ChargeTape() : id_(next_tape_id()) {}
+  ChargeTape(const ChargeTape& other)
+      : entries_(other.entries_), id_(next_tape_id()) {}
+  ChargeTape(ChargeTape&& other) noexcept
+      : entries_(std::move(other.entries_)), id_(other.id_) {
+    other.entries_.clear();
+    other.id_ = next_tape_id();
+  }
+  ChargeTape& operator=(const ChargeTape& other) {
+    entries_ = other.entries_;
+    // id_ stays: this tape's content changed, but append_replay reads
+    // the id at record time together with the *current* size, and an
+    // assignment that shrinks or rewrites entries would break the
+    // append-only contract -- so take a fresh identity.
+    id_ = next_tape_id();
+    return *this;
+  }
+  ChargeTape& operator=(ChargeTape&& other) noexcept {
+    entries_ = std::move(other.entries_);
+    id_ = other.id_;
+    other.entries_.clear();
+    other.id_ = next_tape_id();
+    return *this;
+  }
 
   /// Appends one charge to the tape.  Named `charge` so the sink
   /// interface matches Proc and the shared charge helpers (fn.h,
@@ -82,19 +157,53 @@ class ChargeTape {
   std::size_t size() const { return entries_.size(); }
   const std::vector<Entry>& entries() const { return entries_; }
 
+  /// Process-unique tape identity (never 0; 0 marks untaped ledger
+  /// records).  See the class comment for the immutability contract.
+  std::uint64_t id() const { return id_; }
+
   /// Upper bound accepted by Proc::replay (hot-loop tapes are at most
   /// ~a dozen entries; the cap keeps replay's addend buffer on the
   /// stack).
   static constexpr std::size_t kMaxEntries = 32;
 
  private:
+  static std::uint64_t next_tape_id();
+
   std::vector<Entry> entries_;
+  std::uint64_t id_;
 };
 
 /// Bumps the inline-settle add counter (relaxed; called by
 /// ChargeLedger::settle, defined out of line to keep the atomic out of
 /// the header).
 void note_inline_settle(std::uint64_t adds);
+
+/// Cumulative algebraic-settlement counters (process-wide, relaxed
+/// atomics underneath).  `closed_adds` / `memo_adds` are chain adds
+/// the walk *skipped* (retired in closed form, the delta freshly
+/// probed this settle vs served from the cross-replay memo);
+/// `probe_adds` are real adds spent measuring period deltas;
+/// `chain_adds` are real adds on records the algebraic engine
+/// declined (chain-only flags, tiny repetition counts, binade-
+/// boundary periods).  Together with the gang counters they account
+/// for every pending chain add, which is how the bench proves its
+/// closed-form coverage claim.
+struct SettleCounters {
+  std::uint64_t closed_runs = 0;     ///< records retired via closed-form walks
+  std::uint64_t closed_adds = 0;     ///< adds skipped with freshly probed deltas
+  std::uint64_t memo_hits = 0;       ///< memo lookups that found cached deltas
+  std::uint64_t memo_misses = 0;     ///< memo lookups that had to initialize
+  std::uint64_t memo_adds = 0;       ///< adds skipped with memoized deltas
+  std::uint64_t probe_adds = 0;      ///< real adds spent learning period deltas
+  std::uint64_t chain_records = 0;   ///< records plain-chained by the engine
+  std::uint64_t chain_adds = 0;      ///< real adds plain-chained by the engine
+  std::uint64_t gang_parks = 0;      ///< kAuto escalations to the gang kernel
+};
+SettleCounters settle_counters();
+
+/// Bumps the kAuto-escalation counter (called by Proc::settle_pending
+/// when a chain-bound ledger residue parks for the gang kernel).
+void note_gang_park();
 
 /// Deferred charge ledger: the queue of replay and bulk-charge records
 /// a processor has accumulated but not yet folded into its clock.
@@ -114,21 +223,44 @@ void note_inline_settle(std::uint64_t adds);
 /// addends (one unit * count multiply per entry, performed at append
 /// time exactly as replay performs it), so a recorded tape may die
 /// before its settlement.
+///
+/// Records are consumed from a head cursor rather than cleared
+/// wholesale, so the kAuto mode can settle a ledger's walkable prefix
+/// algebraically and hand only the chain-bound remainder to the gang
+/// scheduler (settle_algebraic_prefix).
 class ChargeLedger {
  public:
   /// One deferred replay: `times` repetitions of the `n` entries
-  /// starting at `first` in the entry/addend pools.
+  /// starting at `first` in the entry/addend pools.  `tape_id` names
+  /// the immutable (tape, n) entry prefix the record replays (0 for
+  /// untaped charge records -- those never reach the memo);
+  /// `chain_only` marks records whose addends the algebraic engine
+  /// must not walk (negative or non-finite -- the ulp model assumes a
+  /// monotone non-decreasing chain).
   struct Record {
     std::uint32_t first;
     std::uint32_t n;
     std::uint64_t times;
+    std::uint64_t tape_id;
+    bool chain_only;
   };
 
-  bool empty() const { return records_.empty(); }
+  /// Replay records repeated fewer than this many times are not worth
+  /// probing (the probe alone replays one full period); the algebraic
+  /// engine plain-chains them.
+  static constexpr std::uint64_t kMinWalkTimes = 4;
+
+  bool empty() const { return head_ >= records_.size(); }
 
   /// Number of dependent chain additions settlement will perform --
   /// the gang scheduler's batching heuristic.
   std::uint64_t pending_adds() const { return pending_adds_; }
+
+  /// The subset of pending_adds() on records the algebraic engine
+  /// will plain-chain rather than walk closed-form -- the kAuto
+  /// escalation heuristic (only chain-bound work benefits from the
+  /// gang kernel once closed-form settlement exists).
+  std::uint64_t pending_chain_adds() const { return pending_chain_adds_; }
 
   /// Defers replay(tape, times): copies the entries and precomputes
   /// the addends from the processor's unit-cost table.
@@ -136,14 +268,25 @@ class ChargeLedger {
                      std::uint64_t times) {
     const std::size_t n = tape.size();
     if (n == 0 || times == 0) return;
+    units_ = unit;
     const std::uint32_t first = static_cast<std::uint32_t>(entries_.size());
+    bool chain_only = false;
     for (const ChargeTape::Entry& e : tape.entries()) {
       entries_.push_back(e);
-      addends_.push_back(unit[static_cast<int>(e.kind)] *
-                         static_cast<double>(e.count));
+      const double addend =
+          unit[static_cast<int>(e.kind)] * static_cast<double>(e.count);
+      addends_.push_back(addend);
+      // The ulp walk needs every addend >= +0.0 and finite (the chain
+      // must be monotone within a binade); anything else pins the
+      // record to the plain chain.  !(addend >= 0.0) also catches NaN.
+      if (!(addend >= 0.0) || addend - addend != 0.0) chain_only = true;
     }
-    records_.push_back(Record{first, static_cast<std::uint32_t>(n), times});
+    records_.push_back(
+        Record{first, static_cast<std::uint32_t>(n), times, tape.id(),
+               chain_only});
     pending_adds_ += static_cast<std::uint64_t>(n) * times;
+    if (chain_only || times < kMinWalkTimes)
+      pending_chain_adds_ += static_cast<std::uint64_t>(n) * times;
   }
 
   /// Defers one charge(kind, count) with its precomputed addend.
@@ -154,18 +297,26 @@ class ChargeLedger {
   void append_charge(Op kind, std::uint64_t count, double addend) {
     entries_.push_back(ChargeTape::Entry{kind, count});
     addends_.push_back(addend);
-    if (!records_.empty()) {
+    const bool irregular = !(addend >= 0.0) || addend - addend != 0.0;
+    if (head_ < records_.size()) {
       Record& last = records_.back();
       if (last.times == 1 && last.n < ChargeTape::kMaxEntries &&
           last.first + last.n == entries_.size() - 1) {
         ++last.n;
+        // The grown record no longer matches the (tape, n) prefix its
+        // tape_id names; drop the identity so the memo can never serve
+        // deltas probed for a different entry sequence.
+        last.tape_id = 0;
+        last.chain_only = last.chain_only || irregular;
         ++pending_adds_;
+        ++pending_chain_adds_;
         return;
       }
     }
-    records_.push_back(
-        Record{static_cast<std::uint32_t>(entries_.size() - 1), 1, 1});
+    records_.push_back(Record{static_cast<std::uint32_t>(entries_.size() - 1),
+                              1, 1, 0, irregular});
     ++pending_adds_;
+    ++pending_chain_adds_;
   }
 
   /// Settles every pending record into (vtime, stats), in append
@@ -176,7 +327,8 @@ class ChargeLedger {
     note_inline_settle(pending_adds_);
     double vt = vtime;
     double cu = stats.compute_us;
-    for (const Record& rec : records_) {
+    for (std::size_t r = head_; r < records_.size(); ++r) {
+      const Record& rec = records_[r];
       const double* a = addends_.data() + rec.first;
       for (std::uint64_t t = 0; t < rec.times; ++t)
         for (std::uint32_t i = 0; i < rec.n; ++i) {
@@ -192,12 +344,31 @@ class ChargeLedger {
     clear();
   }
 
+  /// Settles every pending record algebraically: walkable records
+  /// retire via the closed-form ulp walk (bit-identical to settle()
+  /// by the parity argument of DESIGN.md section 12), chain-only and
+  /// tiny records via the plain chain.  Defined in charge_tape.cpp.
+  void settle_algebraic(double& vtime, Stats& stats);
+
+  /// Settles the leading *walkable* records algebraically and stops at
+  /// the first chain-bound record, leaving it and everything after it
+  /// pending (head() advances; pending counters shrink accordingly).
+  /// The kAuto mode calls this before parking the chain-bound residue
+  /// for the gang kernel.
+  void settle_algebraic_prefix(double& vtime, Stats& stats);
+
   void clear() {
     entries_.clear();
     addends_.clear();
     records_.clear();
+    head_ = 0;
     pending_adds_ = 0;
+    pending_chain_adds_ = 0;
   }
+
+  /// Index of the first unsettled record (everything before it was
+  /// consumed by settle_algebraic_prefix).
+  std::size_t head() const { return head_; }
 
   const std::vector<Record>& records() const { return records_; }
   const std::vector<ChargeTape::Entry>& entries() const { return entries_; }
@@ -207,7 +378,14 @@ class ChargeLedger {
   std::vector<ChargeTape::Entry> entries_;
   std::vector<double> addends_;
   std::vector<Record> records_;
+  std::size_t head_ = 0;
   std::uint64_t pending_adds_ = 0;
+  std::uint64_t pending_chain_adds_ = 0;
+  /// The unit-cost table the addends were precomputed from (the
+  /// owning Proc's table; stable for the ledger's lifetime).  Part of
+  /// the settlement memo key: a cached period delta is only valid for
+  /// the exact unit values that produced the addends.
+  const double* units_ = nullptr;
 };
 
 /// One processor's view for the gang settlement kernel: the pending

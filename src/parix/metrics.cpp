@@ -350,6 +350,36 @@ void write_metrics_json(const RunResult& result, std::ostream& out) {
       << ",\"total\":";
   write_stats(out, result.total);
 
+  // Settlement accounting (charge_tape.h): how this run's dependent
+  // chain adds were retired -- closed-form walks, memoized walks,
+  // probes, plain chains, gang/inline settles -- plus the derived
+  // closed-form coverage fraction the perf claims are gated on.
+  {
+    const SettleCounters& s = result.settle;
+    const std::uint64_t total_adds = s.closed_adds + s.memo_adds +
+                                     s.probe_adds + s.chain_adds +
+                                     result.gang.gang_adds +
+                                     result.gang.inline_adds;
+    const double coverage =
+        total_adds > 0
+            ? static_cast<double>(s.closed_adds + s.memo_adds) /
+                  static_cast<double>(total_adds)
+            : 0.0;
+    out << ",\"settlement\":{\"closed_runs\":" << s.closed_runs
+        << ",\"closed_adds\":" << s.closed_adds
+        << ",\"memo_hits\":" << s.memo_hits
+        << ",\"memo_misses\":" << s.memo_misses
+        << ",\"memo_adds\":" << s.memo_adds
+        << ",\"probe_adds\":" << s.probe_adds
+        << ",\"chain_records\":" << s.chain_records
+        << ",\"chain_adds\":" << s.chain_adds
+        << ",\"gang_parks\":" << s.gang_parks
+        << ",\"gang_batches\":" << result.gang.batches
+        << ",\"gang_adds\":" << result.gang.gang_adds
+        << ",\"inline_adds\":" << result.gang.inline_adds
+        << ",\"closed_coverage\":" << fmt_double(coverage) << "}";
+  }
+
   out << ",\"procs\":[";
   for (std::size_t p = 0; p < result.proc_stats.size(); ++p) {
     if (p > 0) out << ",";

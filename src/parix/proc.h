@@ -253,6 +253,14 @@ class Proc {
   void set_trace(ProcTrace* trace) { trace_ = trace; }
   ProcTrace* trace() { return trace_; }
 
+  /// Selects how settle_pending retires the deferred chain (gang
+  /// batches, algebraic closed form, or auto -- charge_tape.h).  Set
+  /// by spmd_run from RunConfig::settle before the body starts; every
+  /// mode settles the identical add chain, so vtimes are bit-identical
+  /// across modes (asserted in tests/test_parix_charge_tape.cpp).
+  void set_settle_mode(SettleMode mode) { settle_mode_ = mode; }
+  SettleMode settle_mode() const { return settle_mode_; }
+
   /// Opens an app/skeleton-level trace span (a point event on both
   /// timelines; see TraceSpan for the RAII pairing).  With tracing off
   /// this is one untaken branch -- it must stay cheap enough to sit in
@@ -337,6 +345,8 @@ class Proc {
   Stats stats_;
   /// Deferred replays/charges pending settlement (charge_tape.h).
   ChargeLedger ledger_;
+  /// Settlement strategy for settle_pending (charge_tape.h).
+  SettleMode settle_mode_ = default_settle_mode();
   /// Per-proc trace recorder; nullptr (the default) keeps every trace
   /// hook down to one untaken branch so vtimes stay bit-identical.
   ProcTrace* trace_ = nullptr;

@@ -120,8 +120,10 @@ RunResult spmd_run_ref(const RunConfig& config, const detail::BodyRef& body) {
 
   std::vector<std::unique_ptr<Proc>> procs;
   procs.reserve(config.nprocs);
-  for (int p = 0; p < config.nprocs; ++p)
+  for (int p = 0; p < config.nprocs; ++p) {
     procs.push_back(std::make_unique<Proc>(machine, p));
+    procs.back()->set_settle_mode(config.settle);
+  }
 
   ExecutionEngine engine = config.engine;
   // A body that itself calls spmd_run would deadlock the fiber pool
@@ -146,6 +148,8 @@ RunResult spmd_run_ref(const RunConfig& config, const detail::BodyRef& body) {
   }
 
   std::exception_ptr first_failure;
+  const SettleCounters settle_before = settle_counters();
+  const GangCounters gang_before = gang_counters();
   const auto wall_start = std::chrono::steady_clock::now();
   if (engine == ExecutionEngine::kPooled) {
     machine.set_fiber_wait(true);
@@ -174,6 +178,30 @@ RunResult spmd_run_ref(const RunConfig& config, const detail::BodyRef& body) {
   result.wall_seconds =
       std::chrono::duration<double>(wall_end - wall_start).count();
   result.trace = std::move(trace);
+  // Counter deltas over the run window (process-wide atomics; see the
+  // RunResult field comments for the concurrency caveat).
+  {
+    const SettleCounters s = settle_counters();
+    result.settle.closed_runs = s.closed_runs - settle_before.closed_runs;
+    result.settle.closed_adds = s.closed_adds - settle_before.closed_adds;
+    result.settle.memo_hits = s.memo_hits - settle_before.memo_hits;
+    result.settle.memo_misses = s.memo_misses - settle_before.memo_misses;
+    result.settle.memo_adds = s.memo_adds - settle_before.memo_adds;
+    result.settle.probe_adds = s.probe_adds - settle_before.probe_adds;
+    result.settle.chain_records =
+        s.chain_records - settle_before.chain_records;
+    result.settle.chain_adds = s.chain_adds - settle_before.chain_adds;
+    result.settle.gang_parks = s.gang_parks - settle_before.gang_parks;
+    const GangCounters g = gang_counters();
+    result.gang.batches = g.batches - gang_before.batches;
+    result.gang.lanes = g.lanes - gang_before.lanes;
+    result.gang.gang_adds = g.gang_adds - gang_before.gang_adds;
+    result.gang.inline_adds = g.inline_adds - gang_before.inline_adds;
+    result.gang.uniform_rounds = g.uniform_rounds - gang_before.uniform_rounds;
+    result.gang.divergent_rounds =
+        g.divergent_rounds - gang_before.divergent_rounds;
+    result.gang.padded_slots = g.padded_slots - gang_before.padded_slots;
+  }
   return result;
 }
 

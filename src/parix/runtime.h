@@ -62,6 +62,10 @@ struct RunConfig {
   /// a single untaken branch per communication/span site, so virtual
   /// times are bit-identical across all modes.
   TraceMode trace = default_trace_mode();
+  /// Ledger settlement strategy (charge_tape.h, SKIL_SETTLE).  Every
+  /// mode retires the identical dependent add chain, so virtual times
+  /// are bit-identical across modes.
+  SettleMode settle = default_settle_mode();
 };
 
 /// Timing and accounting of a completed run.
@@ -79,6 +83,13 @@ struct RunResult {
   /// Event trace (null unless RunConfig::trace != kOff).  Hand it to
   /// the exporters in parix/metrics.h.
   std::shared_ptr<const Trace> trace;
+  /// Settlement-counter delta over this run (charge_tape.h).  The
+  /// underlying counters are process-wide, so concurrent runs in one
+  /// process see each other's activity; single-run processes (tests,
+  /// the forked bench cells) read them as exact per-run numbers.
+  SettleCounters settle;
+  /// Gang-counter delta over this run, same caveat.
+  GangCounters gang;
 
   double vtime_seconds() const { return vtime_us * 1e-6; }
 };

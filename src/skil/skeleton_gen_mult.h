@@ -135,7 +135,10 @@ void array_gen_mult(DistArray<T>& a, DistArray<T>& b, Add gen_add,
   // event separates the interp path's pre-compute kCopyWord charge
   // from its post-compute charges (the compute loop charges nothing),
   // so replaying all three after the compute walks the identical
-  // dependent FP-add chain (DESIGN.md section 8).
+  // dependent FP-add chain (DESIGN.md section 8).  Recorded once
+  // before the round loop, the tape also keeps one identity across
+  // all q replays, so rounds past the first settle off the memoized
+  // period delta instead of re-probing (DESIGN.md section 12).
   const std::uint64_t fused = static_cast<std::uint64_t>(block) * block * block;
   const bool taped = parix::default_charge_path() == parix::ChargePath::kTape;
   parix::ChargeTape round_tape;

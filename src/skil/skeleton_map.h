@@ -89,6 +89,13 @@ void array_map(F map_f, const DistArray<T1>& from, DistArray<T2>& to) {
 /// charges as array_map.  Chain-identical to array_map with a functor
 /// whose active elements all charge `tape`'s sequence (DESIGN.md
 /// section 8).
+///
+/// Callers should hoist the tape out of any loop that maps repeatedly
+/// with the same charge sequence: a tape's identity (ChargeTape::id)
+/// keys the settlement memo (DESIGN.md section 12), so reusing one
+/// tape lets every replay after the first settle as a cached
+/// closed-form walk, while rebuilding it per call is memo-cold
+/// (bit-identical either way).
 template <class F, class T1, class T2>
 void array_map_taped(F map_f, const parix::ChargeTape& tape,
                      const DistArray<T1>& from, DistArray<T2>& to) {

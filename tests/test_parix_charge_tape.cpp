@@ -11,6 +11,8 @@
 
 #include <array>
 #include <cstdint>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "parix/charge_tape.h"
@@ -333,7 +335,12 @@ TEST(MultiCarrier, GoldenCellsBitIdenticalAcrossCarrierCounts) {
   // with gang settlement off (1 carrier) and on (4 carriers), under
   // both charge paths.  The dpfl cells' elimination replays exceed the
   // gang batching threshold, so the 4-carrier tape runs really do
-  // settle through the fused kernel.
+  // settle through the fused kernel.  Pinned to SettleMode::kGang:
+  // under the kAuto default the algebraic engine retires the replays
+  // closed-form and the batch counter assertion below would see no
+  // gang activity (kAuto coverage lives in SettleModeGolden).
+  const SettleMode saved_settle = default_settle_mode();
+  set_default_settle_mode(SettleMode::kGang);
   for (int carriers : {1, 4}) {
     SCOPED_TRACE(carriers);
     executor_set_carriers(carriers);
@@ -366,6 +373,7 @@ TEST(MultiCarrier, GoldenCellsBitIdenticalAcrossCarrierCounts) {
     }
   }
   executor_set_carriers(0);  // restore the SKIL_CARRIERS / hw default
+  set_default_settle_mode(saved_settle);
 }
 
 TEST(MultiCarrier, SetCarriersRoundTripsAndRejectsBadCounts) {
@@ -377,7 +385,324 @@ TEST(MultiCarrier, SetCarriersRoundTripsAndRejectsBadCounts) {
   EXPECT_THROW(executor_set_carriers(257), support::ContractError);
 }
 
+// --- algebraic settlement: closed-form walk vs plain-chain oracle ---------
+
+// Twin-ledger differential: appends the same records to two ledgers,
+// settles one via settle_algebraic and the other via the plain-chain
+// settle() oracle, and requires bit-identical clocks and stats
+// (EXPECT_EQ on double is exact equality).  This is the load-bearing
+// exactness predicate of DESIGN.md section 12: the ulp walk must land
+// on the same bits as executing every dependent add.
+struct SettleFixture {
+  std::array<double, kOpKinds> unit{};
+
+  SettleFixture() {
+    const CostModel cost = CostModel::t800();
+    for (int k = 0; k < kOpKinds; ++k)
+      unit[k] = cost.unit(static_cast<Op>(k));
+  }
+
+  void expect_algebraic_matches_chain(const ChargeTape& tape,
+                                      std::uint64_t times, double start_vt) {
+    ChargeLedger alg, ora;
+    alg.append_replay(tape, unit.data(), times);
+    ora.append_replay(tape, unit.data(), times);
+    double vt_a = start_vt, vt_o = start_vt;
+    Stats st_a, st_o;
+    alg.settle_algebraic(vt_a, st_a);
+    ora.settle(vt_o, st_o);
+    EXPECT_EQ(vt_a, vt_o);
+    EXPECT_EQ(st_a, st_o);
+    EXPECT_TRUE(alg.empty());
+    EXPECT_TRUE(ora.empty());
+  }
+};
+
+TEST(AlgebraicSettle, T800UnitsAcrossManyStartClocksAndCounts) {
+  SettleFixture fx;
+  ChargeTape tape;
+  tape.charge(Op::kFloatOp, 2);
+  tape.charge(Op::kIntOp, 3);
+  tape.charge(Op::kCall);
+  for (double start : {0.0, 1.0, 1000.0, 1000.5, 123456.78125, 1e9}) {
+    SCOPED_TRACE(start);
+    for (std::uint64_t times : {1ull, 3ull, 4ull, 5ull, 1000ull, 65537ull}) {
+      SCOPED_TRACE(times);
+      fx.expect_algebraic_matches_chain(tape, times, start);
+    }
+  }
+}
+
+TEST(AlgebraicSettle, RepresentabilityBoundaryAtTwoPow53) {
+  // Above 2^53 the clock's ulp exceeds 1.0 and small addends start
+  // rounding; the walk must re-probe at the binade crossing and keep
+  // matching the chain bit-for-bit through and beyond it.
+  SettleFixture fx;
+  fx.unit[static_cast<int>(Op::kFloatOp)] = 1.5;
+  ChargeTape tape;
+  tape.charge(Op::kFloatOp);
+  const double two53 = 9007199254740992.0;  // 2^53
+  for (double start : {two53 - 4096.0, two53 - 3.0, two53, two53 + 2.0,
+                       9.9e15, 1e16}) {
+    SCOPED_TRACE(start);
+    fx.expect_algebraic_matches_chain(tape, 10000, start);
+  }
+}
+
+TEST(AlgebraicSettle, RoundHalfEvenTieCases) {
+  // Exact .5-ulp ties are the only data dependence of the period
+  // delta; exercise both tie behaviours in the ulp-1.0 binade
+  // [2^52, 2^53).
+  SettleFixture fx;
+  const double two52 = 4503599627370496.0;  // 2^52
+  {
+    // addend 0.5 = an exact half-ulp tie every add: even clocks are
+    // fixed points (round-to-even stays), odd clocks take one step up
+    // then stick.
+    SettleFixture half = fx;
+    half.unit[static_cast<int>(Op::kFloatOp)] = 0.5;
+    ChargeTape tape;
+    tape.charge(Op::kFloatOp);
+    half.expect_algebraic_matches_chain(tape, 100000, two52 + 100.0);
+    half.expect_algebraic_matches_chain(tape, 100000, two52 + 101.0);
+  }
+  {
+    // addend 1.5: the fractional half ties on every add but the
+    // resolution alternates with parity (even -> +2, odd -> +1), the
+    // odd/odd paired-walk case.
+    SettleFixture sesqui = fx;
+    sesqui.unit[static_cast<int>(Op::kFloatOp)] = 1.5;
+    ChargeTape tape;
+    tape.charge(Op::kFloatOp);
+    sesqui.expect_algebraic_matches_chain(tape, 100000, two52 + 100.0);
+    sesqui.expect_algebraic_matches_chain(tape, 100000, two52 + 101.0);
+  }
+}
+
+TEST(AlgebraicSettle, SubnormalAndZeroStartClocks) {
+  // The walk's ulp domain extends down into the subnormals (ebits ==
+  // 0 maps to m = raw bits); climbing out of the subnormal range into
+  // the normal binades must stay exact.
+  SettleFixture fx;
+  fx.unit[static_cast<int>(Op::kFloatOp)] = 4.9406564584124654e-324;  // min subnormal
+  ChargeTape tape;
+  tape.charge(Op::kFloatOp, 3);
+  for (double start : {0.0, 4.9406564584124654e-324,
+                       2.2250738585072014e-308 /* DBL_MIN */}) {
+    SCOPED_TRACE(start);
+    fx.expect_algebraic_matches_chain(tape, 50000, start);
+  }
+}
+
+TEST(AlgebraicSettle, NegativeAndNonFiniteAddendsPinToTheChain) {
+  // A negative or +inf addend breaks the monotone ulp model; the
+  // record must be flagged chain_only at append time and settle
+  // through the plain chain, still bit-identical to the oracle.
+  SettleFixture neg;
+  neg.unit[static_cast<int>(Op::kFloatOp)] = -2.5;
+  ChargeTape tape;
+  tape.charge(Op::kFloatOp);
+  tape.charge(Op::kIntOp);
+  {
+    ChargeLedger led;
+    led.append_replay(tape, neg.unit.data(), 100);
+    ASSERT_EQ(led.records().size(), 1u);
+    EXPECT_TRUE(led.records()[0].chain_only);
+    EXPECT_EQ(led.pending_chain_adds(), led.pending_adds());
+  }
+  neg.expect_algebraic_matches_chain(tape, 1000, 1000.0);
+
+  SettleFixture inf;
+  inf.unit[static_cast<int>(Op::kFloatOp)] =
+      std::numeric_limits<double>::infinity();
+  inf.expect_algebraic_matches_chain(tape, 100, 1000.0);
+}
+
+TEST(AlgebraicSettle, FuzzRandomTapesClocksAndUnits) {
+  // LCG-driven sweep over tape shapes, repetition counts, start clocks
+  // and (positive, finite) unit tables, including fractional units
+  // that tie frequently.
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 11;
+  };
+  for (int round = 0; round < 200; ++round) {
+    SCOPED_TRACE(round);
+    SettleFixture fx;
+    for (int k = 0; k < kOpKinds; ++k)
+      fx.unit[k] = static_cast<double>(next() % 4096) * 0.03125;  // 0..128, /32
+    ChargeTape tape;
+    const int entries = 1 + static_cast<int>(next() % 5);
+    for (int i = 0; i < entries; ++i)
+      tape.charge(static_cast<Op>(next() % kOpKinds), 1 + next() % 7);
+    const std::uint64_t times = 1 + next() % 20000;
+    const double start =
+        static_cast<double>(next() % 2000000) * 0.5 +
+        (round % 4 == 0 ? 9.007e15 : 0.0);  // sometimes near 2^53
+    fx.expect_algebraic_matches_chain(tape, times, start);
+  }
+}
+
+// --- cross-replay memo and tape identity ----------------------------------
+
+TEST(SettleMemo, RepeatedReplaysOfOneTapeHitTheMemo) {
+  // The same tape settled repeatedly (the sweep's per-element replay
+  // pattern) must serve its period deltas from the memo after the
+  // first probe -- and stay bit-identical to the chain oracle from
+  // every distinct start clock.
+  SettleFixture fx;
+  ChargeTape tape;
+  tape.charge(Op::kFloatOp, 3);
+  tape.charge(Op::kIntOp, 2);
+  const SettleCounters before = settle_counters();
+  for (int i = 0; i < 16; ++i) {
+    SCOPED_TRACE(i);
+    fx.expect_algebraic_matches_chain(tape, 5000, 1000.0 + 3.0 * i);
+  }
+  const SettleCounters after = settle_counters();
+  EXPECT_GT(after.memo_hits, before.memo_hits);
+  EXPECT_GT(after.closed_adds + after.memo_adds,
+            before.closed_adds + before.memo_adds);
+}
+
+TEST(TapeIdentity, CopiesGetFreshIdsMovesTransferThem) {
+  ChargeTape a;
+  a.charge(Op::kFloatOp);
+  const std::uint64_t id_a = a.id();
+  EXPECT_NE(id_a, 0u);
+
+  ChargeTape copy(a);
+  EXPECT_NE(copy.id(), id_a);
+
+  ChargeTape assigned;
+  assigned = a;
+  EXPECT_NE(assigned.id(), id_a);
+  EXPECT_NE(assigned.id(), copy.id());
+
+  ChargeTape moved(std::move(a));
+  EXPECT_EQ(moved.id(), id_a);
+  // The moved-from tape is re-armed with a fresh identity: its
+  // (previously recorded) id must never be reusable for new content.
+  EXPECT_NE(a.id(), id_a);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(TapeIdentity, CoalescedChargeRecordsDropTheTapeId) {
+  // append_charge growing a times==1 replay record changes the entry
+  // sequence behind the record's (tape_id, n) name; the identity must
+  // be dropped so the memo can never serve deltas for the wrong
+  // sequence.
+  SettleFixture fx;
+  ChargeTape tape;
+  tape.charge(Op::kFloatOp, 2);
+  ChargeLedger led;
+  led.append_replay(tape, fx.unit.data(), 1);
+  ASSERT_EQ(led.records().size(), 1u);
+  EXPECT_EQ(led.records()[0].tape_id, tape.id());
+  led.append_charge(Op::kIntOp, 1, fx.unit[static_cast<int>(Op::kIntOp)]);
+  ASSERT_EQ(led.records().size(), 1u);  // coalesced
+  EXPECT_EQ(led.records()[0].tape_id, 0u);
+}
+
+TEST(SettlePrefix, WalkablePrefixSettlesAndChainResidueStaysPending) {
+  SettleFixture fx;
+  ChargeTape tape;
+  tape.charge(Op::kFloatOp, 2);
+  tape.charge(Op::kCall);
+
+  ChargeLedger led, ora;
+  for (ChargeLedger* l : {&led, &ora}) {
+    l->append_replay(tape, fx.unit.data(), 100);      // walkable
+    l->append_charge(Op::kIntOp, 1,
+                     fx.unit[static_cast<int>(Op::kIntOp)]);  // chain-bound
+    l->append_replay(tape, fx.unit.data(), 50);       // walkable again
+  }
+  ASSERT_EQ(led.records().size(), 3u);
+  EXPECT_EQ(led.pending_adds(), 200u + 1u + 100u);
+
+  double vt = 1000.0, vo = 1000.0;
+  Stats st, so;
+  led.settle_algebraic_prefix(vt, st);
+  // Only the leading walkable record settles; the chain record and
+  // everything after it stay pending behind the head cursor.
+  EXPECT_EQ(led.head(), 1u);
+  EXPECT_FALSE(led.empty());
+  EXPECT_EQ(led.pending_adds(), 101u);
+  led.settle(vt, st);  // retire the residue through the plain chain
+  EXPECT_TRUE(led.empty());
+
+  ora.settle(vo, so);
+  EXPECT_EQ(vt, vo);
+  EXPECT_EQ(st, so);
+}
+
+// --- settlement modes on the golden cells ---------------------------------
+
+TEST(SettleModeGolden, AllModesReproduceGoldenValuesBitForBit) {
+  // gang / closed / auto retire the identical dependent add chain, so
+  // every golden cell must land on the golden values under each mode
+  // (the per-run counters prove the closed-form path really engaged
+  // rather than silently falling back to the chain).
+  const SettleMode saved = default_settle_mode();
+  for (SettleMode mode :
+       {SettleMode::kGang, SettleMode::kClosed, SettleMode::kAuto}) {
+    SCOPED_TRACE(settle_mode_name(mode));
+    set_default_settle_mode(mode);
+    const SettleCounters before = settle_counters();
+    for (const GoldenCase& c : golden_cases()) {
+      SCOPED_TRACE(c.name);
+      const RunResult r = with_charge_path(ChargePath::kTape, [&] {
+        return c.run();
+      });
+      EXPECT_EQ(r.vtime_us, c.vtime_us);
+      EXPECT_EQ(r.proc_vtimes, c.proc_vtimes);
+      EXPECT_EQ(r.total.compute_us, c.compute_us);
+      EXPECT_EQ(r.total.comm_us, c.comm_us);
+    }
+    const SettleCounters after = settle_counters();
+    if (mode != SettleMode::kGang)
+      EXPECT_GT(after.closed_runs, before.closed_runs);
+  }
+  set_default_settle_mode(saved);
+}
+
 // --- strict switch parsing ------------------------------------------------
+
+TEST(SettleModeParsing, AcceptsTheThreeKnownNames) {
+  EXPECT_EQ(parse_settle_mode("gang"), SettleMode::kGang);
+  EXPECT_EQ(parse_settle_mode("closed"), SettleMode::kClosed);
+  EXPECT_EQ(parse_settle_mode("auto"), SettleMode::kAuto);
+}
+
+TEST(SettleModeParsing, RejectsUnknownNamesListingAcceptedValues) {
+  try {
+    parse_settle_mode("eager");
+    FAIL() << "expected ContractError";
+  } catch (const support::ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("SKIL_SETTLE"), std::string::npos);
+    EXPECT_NE(what.find("eager"), std::string::npos);
+    EXPECT_NE(what.find("gang, closed, auto"), std::string::npos);
+  }
+  EXPECT_THROW(parse_settle_mode(""), support::ContractError);
+  EXPECT_THROW(parse_settle_mode("Auto"), support::ContractError);
+}
+
+TEST(SettleModeParsing, NamesRoundTripThroughTheParser) {
+  for (SettleMode mode :
+       {SettleMode::kGang, SettleMode::kClosed, SettleMode::kAuto})
+    EXPECT_EQ(parse_settle_mode(settle_mode_name(mode)), mode);
+}
+
+TEST(SettleModeDefault, SetDefaultRoundTrips) {
+  const SettleMode saved = default_settle_mode();
+  for (SettleMode mode :
+       {SettleMode::kGang, SettleMode::kClosed, SettleMode::kAuto}) {
+    set_default_settle_mode(mode);
+    EXPECT_EQ(default_settle_mode(), mode);
+  }
+  set_default_settle_mode(saved);
+}
 
 TEST(ChargePathParsing, AcceptsTheTwoKnownNames) {
   EXPECT_EQ(parse_charge_path("interp"), ChargePath::kInterp);

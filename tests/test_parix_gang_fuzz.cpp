@@ -127,6 +127,10 @@ parix::RunResult run_program(const ProgramSpec& prog, bool taped) {
     for (const StepSpec& step : prog.steps) {
       switch (step.kind) {
         case kSkilMap: {
+          // One tape drives two consecutive map calls (a -> b, then
+          // b -> a): the second replay settles against the memo entry
+          // the first one probed, giving the closed/auto settlement
+          // fuzz its cross-replay cache hit/miss interleavings.
           if (taped) {
             const parix::ChargeTape tape = build_tape(step.tape);
             array_map_taped(
@@ -135,15 +139,20 @@ parix::RunResult run_program(const ProgramSpec& prog, bool taped) {
                   return v * 0.5 + 0.0625 * ix[0] - 0.03125 * ix[1];
                 },
                 tape, a, b);
-          } else {
-            array_map(
-                [&](const double& v, Index ix) {
-                  charge_eager(step.tape);
+            array_map_taped(
+                [](const double& v, Index ix, std::uint64_t& tapped) {
+                  ++tapped;
                   return v * 0.5 + 0.0625 * ix[0] - 0.03125 * ix[1];
                 },
-                a, b);
+                tape, b, a);
+          } else {
+            const auto map_fn = [&](const double& v, Index ix) {
+              charge_eager(step.tape);
+              return v * 0.5 + 0.0625 * ix[0] - 0.03125 * ix[1];
+            };
+            array_map(map_fn, a, b);
+            array_map(map_fn, b, a);
           }
-          std::swap(a, b);
           break;
         }
         case kSkilZip:
@@ -221,6 +230,12 @@ parix::RunResult with_engine(parix::ExecutionEngine engine, Fn&& fn) {
 }
 
 TEST(GangFuzz, RandomTapedCompositionsBitIdenticalAcrossPaths) {
+  // Pinned to SettleMode::kGang: under the kAuto default the
+  // algebraic engine would retire the replays closed-form and the
+  // gang-batch assertion at the end would be vacuous (closed/auto
+  // coverage is the next test).
+  const parix::SettleMode saved_settle = parix::default_settle_mode();
+  parix::set_default_settle_mode(parix::SettleMode::kGang);
   const parix::GangCounters before = parix::gang_counters();
   for (std::uint64_t seed = 1; seed <= 24; ++seed) {
     const ProgramSpec prog = make_program(seed * 0x9E3779B97F4A7C15ull + 1);
@@ -260,6 +275,68 @@ TEST(GangFuzz, RandomTapedCompositionsBitIdenticalAcrossPaths) {
   // gang kernel.
   const parix::GangCounters after = parix::gang_counters();
   EXPECT_GT(after.batches, before.batches);
+  parix::set_default_settle_mode(saved_settle);
+}
+
+TEST(GangFuzz, ClosedAndAutoSettlementBitIdenticalVsInterp) {
+  // The same random compositions under the PR 6 settlement modes:
+  // interpretive charging (threads engine) vs taped charging settled
+  // algebraically (kClosed, one carrier -- every record walks or
+  // chains inline) vs taped charging under kAuto with four carriers
+  // (closed-form walks with gang escalation available for chain-bound
+  // residues).  The programs mix walkable replay records with eager
+  // steps whose append_charge records are chain-bound, and reuse each
+  // step's tape across processors and map calls, so one run exercises
+  // probe (memo miss), memo hit, plain-chain and mixed interleavings
+  // of all three.  All paths must agree with interp to the last bit.
+  const parix::SettleMode saved_settle = parix::default_settle_mode();
+  const parix::SettleCounters before = parix::settle_counters();
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const ProgramSpec prog = make_program(seed * 0xD1B54A32D192ED03ull + 5);
+    SCOPED_TRACE(::testing::Message()
+                 << "seed " << seed << " p=" << prog.p << " " << prog.rows
+                 << "x" << prog.cols << " steps=" << prog.steps.size());
+
+    parix::set_default_settle_mode(saved_settle);
+    const parix::RunResult interp = with_engine(
+        parix::ExecutionEngine::kThreads,
+        [&] { return run_program(prog, /*taped=*/false); });
+
+    parix::set_default_settle_mode(parix::SettleMode::kClosed);
+    parix::executor_set_carriers(1);
+    const parix::RunResult tape_closed = with_engine(
+        parix::ExecutionEngine::kPooled,
+        [&] { return run_program(prog, /*taped=*/true); });
+
+    parix::set_default_settle_mode(parix::SettleMode::kAuto);
+    parix::executor_set_carriers(4);
+    const parix::RunResult tape_auto = with_engine(
+        parix::ExecutionEngine::kPooled,
+        [&] { return run_program(prog, /*taped=*/true); });
+    parix::executor_set_carriers(0);
+
+    ASSERT_EQ(interp.proc_vtimes.size(), static_cast<std::size_t>(prog.p));
+    ASSERT_EQ(tape_closed.proc_vtimes.size(), interp.proc_vtimes.size());
+    ASSERT_EQ(tape_auto.proc_vtimes.size(), interp.proc_vtimes.size());
+    for (int pid = 0; pid < prog.p; ++pid) {
+      SCOPED_TRACE(::testing::Message() << "proc " << pid);
+      EXPECT_EQ(interp.proc_vtimes[pid], tape_closed.proc_vtimes[pid]);
+      EXPECT_EQ(interp.proc_vtimes[pid], tape_auto.proc_vtimes[pid]);
+      EXPECT_EQ(interp.proc_stats[pid], tape_closed.proc_stats[pid]);
+      EXPECT_EQ(interp.proc_stats[pid], tape_auto.proc_stats[pid]);
+    }
+  }
+  parix::set_default_settle_mode(saved_settle);
+  // The identities above would be vacuous if the algebraic engine had
+  // declined every record: the counters must show closed-form walks,
+  // cross-replay memo traffic (the same tape settles once per
+  // processor and map call), and chain-bound records all really ran.
+  const parix::SettleCounters after = parix::settle_counters();
+  EXPECT_GT(after.closed_runs, before.closed_runs);
+  EXPECT_GT(after.memo_hits, before.memo_hits);
+  EXPECT_GT(after.closed_adds + after.memo_adds,
+            before.closed_adds + before.memo_adds);
+  EXPECT_GT(after.chain_records, before.chain_records);
 }
 
 }  // namespace
