@@ -10,7 +10,7 @@
 //                          [--baseline=secs] [--baseline-note=text]
 //                          [--reps=N] [--jobs=N|auto]
 //                          [--carriers=N|auto] [--charge=interp|tape]
-//                          [--settle=gang|closed|auto]
+//                          [--settle=gang|closed|auto] [--fuse=off|on]
 //                          [--engine=threads|pooled|both] [--trace-out=dir]
 //
 // --engine restricts the sweep to one engine (default: both).  With a
@@ -28,11 +28,16 @@
 // --settle selects the ledger settlement strategy (charge_tape.h;
 // default: the process default, i.e. SKIL_SETTLE or auto) -- every
 // mode retires the identical add chain, so it moves wall time only.
+// --fuse selects the skeleton fusion mode (charge_tape.h; default:
+// the process default, i.e. SKIL_FUSE or off) -- 'on' runs the fused
+// one-pass compositions, which lowers the *virtual* times too (the
+// fused schedule is the artefact; see EXPERIMENTS.md W6 for the
+// same-build off/on A/B methodology).
 // --trace-out runs one representative cell again under full tracing
 // (after the timed sweep, so the timings stay untraced) and writes its
 // Chrome trace + metrics JSON (parix/metrics.h) into the directory.
 //
-// The JSON report (default BENCH_engine.json, schema_version 5)
+// The JSON report (default BENCH_engine.json, schema_version 6)
 // records the run configuration (reps, jobs, nproc, charge path,
 // settle mode) and per-cell wall seconds + virtual times alongside
 // both engines' totals, so EXPERIMENTS.md can cite the engine speedup
@@ -46,6 +51,11 @@
 // reads as a slowdown unless the provenance travels with it.
 //
 // Schema history:
+//   v6: adds "fuse" (skeleton fusion mode) and per-engine
+//       "fusion_counters" (composition outcomes summed over the best
+//       rep's cells), so an off/on A/B pair of reports documents both
+//       the wall and vtime effect of fusion and proves the fused path
+//       actually engaged.
 //   v5: adds "settle" (settlement mode), per-engine
 //       "median_wall_seconds" (median of rep_wall_seconds, reported
 //       alongside the min because min-of-1 records say nothing about
@@ -91,7 +101,7 @@ int main(int argc, char** argv) {
   const support::Cli cli(argc, argv,
                          {"quick", "json", "out-dir", "baseline",
                           "baseline-note", "reps", "jobs", "carriers",
-                          "charge", "settle", "engine", "trace-out"});
+                          "charge", "settle", "fuse", "engine", "trace-out"});
   const bool quick = cli.get_bool("quick");
   const double baseline_s = std::atof(cli.get("baseline", "0").c_str());
   const std::string baseline_note = cli.get("baseline-note", "unspecified");
@@ -128,15 +138,27 @@ int main(int argc, char** argv) {
   }
   const std::string settle_name(
       parix::settle_mode_name(parix::default_settle_mode()));
+  if (cli.has("fuse")) {
+    // In-process slot for this process, env var for anything that
+    // re-execs (same pattern as --settle; forked cell workers inherit
+    // the in-process slot).
+    const std::string fuse_arg = cli.get("fuse", "off");
+    parix::set_default_fuse_mode(parix::parse_fuse_mode(fuse_arg));
+    ::setenv("SKIL_FUSE", fuse_arg.c_str(), 1);
+  }
+  const std::string fuse_name(
+      parix::fuse_mode_name(parix::default_fuse_mode()));
   const std::uint64_t seed = 19960528;
   const auto ns = paper_ns(quick);
   const auto ps = paper_ps();
 
   banner("Execution engines -- wall clock on the Table 2 grid");
   std::printf("grid: n in {%d..%d}, p in {4, 16, 32, 64}; host threads: %u; "
-              "jobs: %d; carriers: %d; charge path: %s; settle: %s\n\n",
+              "jobs: %d; carriers: %d; charge path: %s; settle: %s; "
+              "fuse: %s\n\n",
               ns.front(), ns.back(), std::thread::hardware_concurrency(),
-              jobs, carriers, charge_name, settle_name.c_str());
+              jobs, carriers, charge_name, settle_name.c_str(),
+              fuse_name.c_str());
 
   struct EngineRun {
     const char* name;
@@ -219,6 +241,16 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(totals.gang_adds / 1000000),
             static_cast<unsigned long long>(totals.inline_adds / 1000000),
             100.0 * totals.closed_coverage());
+      if (totals.fusion.seen > 0)
+        std::fprintf(
+            stderr,
+            "  fusion: %llu compositions seen, %llu fused, %llu rejected; "
+            "%llu barriers + %llu tape passes eliminated\n",
+            static_cast<unsigned long long>(totals.fusion.seen),
+            static_cast<unsigned long long>(totals.fusion.fused),
+            static_cast<unsigned long long>(totals.fusion.rejected()),
+            static_cast<unsigned long long>(totals.fusion.barriers_eliminated),
+            static_cast<unsigned long long>(totals.fusion.tapes_eliminated));
       run.rep_walls.push_back(wall);
       if (rep == 0 || wall < run.wall_s) {
         run.wall_s = wall;
@@ -297,7 +329,7 @@ int main(int argc, char** argv) {
   if (FILE* out = std::fopen(path.c_str(), "w")) {
     std::fprintf(out,
                  "{\n"
-                 "  \"schema_version\": 5,\n"
+                 "  \"schema_version\": 6,\n"
                  "  \"benchmark\": \"bench_engine_wall\",\n"
                  "  \"grid\": \"table2_gauss%s\",\n"
                  "  \"reps\": %d,\n"
@@ -306,10 +338,11 @@ int main(int argc, char** argv) {
                  "  \"nproc\": %u,\n"
                  "  \"charge\": \"%s\",\n"
                  "  \"settle\": \"%s\",\n"
+                 "  \"fuse\": \"%s\",\n"
                  "  \"engines\": [\n",
                  quick ? "_quick" : "", reps, jobs, carriers,
                  std::thread::hardware_concurrency(), charge_name,
-                 settle_name.c_str());
+                 settle_name.c_str(), fuse_name.c_str());
     for (std::size_t r = 0; r < runs.size(); ++r) {
       const EngineRun& run = runs[r];
       std::fprintf(out,
@@ -341,7 +374,12 @@ int main(int argc, char** argv) {
           "\"memo_adds\": %llu, \"probe_adds\": %llu, "
           "\"chain_records\": %llu, \"chain_adds\": %llu, "
           "\"gang_parks\": %llu, \"gang_adds\": %llu, "
-          "\"inline_adds\": %llu, \"closed_coverage\": %.6f}}%s\n",
+          "\"inline_adds\": %llu, \"closed_coverage\": %.6f}, "
+          "\"fusion_counters\": {"
+          "\"seen\": %llu, \"fused\": %llu, "
+          "\"rejected_shape\": %llu, \"rejected_order\": %llu, "
+          "\"rejected_path\": %llu, \"barriers_eliminated\": %llu, "
+          "\"tapes_eliminated\": %llu}}%s\n",
           static_cast<unsigned long long>(totals.settle.closed_runs),
           static_cast<unsigned long long>(totals.settle.closed_adds),
           static_cast<unsigned long long>(totals.settle.memo_hits),
@@ -353,7 +391,15 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(totals.settle.gang_parks),
           static_cast<unsigned long long>(totals.gang_adds),
           static_cast<unsigned long long>(totals.inline_adds),
-          totals.closed_coverage(), r + 1 < runs.size() ? "," : "");
+          totals.closed_coverage(),
+          static_cast<unsigned long long>(totals.fusion.seen),
+          static_cast<unsigned long long>(totals.fusion.fused),
+          static_cast<unsigned long long>(totals.fusion.rejected_shape),
+          static_cast<unsigned long long>(totals.fusion.rejected_order),
+          static_cast<unsigned long long>(totals.fusion.rejected_path),
+          static_cast<unsigned long long>(totals.fusion.barriers_eliminated),
+          static_cast<unsigned long long>(totals.fusion.tapes_eliminated),
+          r + 1 < runs.size() ? "," : "");
     }
     std::fprintf(out, "  ],\n");
     if (runs.size() == 2)

@@ -33,6 +33,9 @@ struct GaussCell {
   parix::SettleCounters settle;
   std::uint64_t gang_adds = 0;
   std::uint64_t inline_adds = 0;
+  /// Skeleton fusion outcome deltas over this cell's three runs
+  /// (charge_tape.h): all zero under SKIL_FUSE=off.
+  parix::FusionCounters fusion;
   double dpfl_over_skil() const { return dpfl_s / skil_s; }
   double skil_over_c() const { return skil_s / c_s; }
 };
@@ -43,6 +46,7 @@ struct SweepSettleTotals {
   parix::SettleCounters settle;
   std::uint64_t gang_adds = 0;
   std::uint64_t inline_adds = 0;
+  parix::FusionCounters fusion;
 
   /// All chain adds settlement accounted for, however retired.
   std::uint64_t total_adds() const {
@@ -73,6 +77,13 @@ inline SweepSettleTotals sum_settle_totals(const std::vector<GaussCell>& cells) 
     t.settle.gang_parks += cell.settle.gang_parks;
     t.gang_adds += cell.gang_adds;
     t.inline_adds += cell.inline_adds;
+    t.fusion.seen += cell.fusion.seen;
+    t.fusion.fused += cell.fusion.fused;
+    t.fusion.rejected_shape += cell.fusion.rejected_shape;
+    t.fusion.rejected_order += cell.fusion.rejected_order;
+    t.fusion.rejected_path += cell.fusion.rejected_path;
+    t.fusion.barriers_eliminated += cell.fusion.barriers_eliminated;
+    t.fusion.tapes_eliminated += cell.fusion.tapes_eliminated;
   }
   return t;
 }
@@ -134,6 +145,13 @@ inline GaussCell run_gauss_cell(int p, int n, std::uint64_t seed) {
     cell.settle.gang_parks += run.settle.gang_parks;
     cell.gang_adds += run.gang.gang_adds;
     cell.inline_adds += run.gang.inline_adds;
+    cell.fusion.seen += run.fusion.seen;
+    cell.fusion.fused += run.fusion.fused;
+    cell.fusion.rejected_shape += run.fusion.rejected_shape;
+    cell.fusion.rejected_order += run.fusion.rejected_order;
+    cell.fusion.rejected_path += run.fusion.rejected_path;
+    cell.fusion.barriers_eliminated += run.fusion.barriers_eliminated;
+    cell.fusion.tapes_eliminated += run.fusion.tapes_eliminated;
   };
   account(apps::gauss_skil(p, n, seed, /*pivoting=*/false).run, &cell.skil_s);
   account(apps::gauss_dpfl(p, n, seed).run, &cell.dpfl_s);
@@ -189,7 +207,7 @@ inline std::vector<GaussCell> run_gauss_grid_jobs(const std::vector<int>& ns,
   // the pipe atomically (well under PIPE_BUF).
   struct CellWire {
     double d[4];
-    std::uint64_t u[11];
+    std::uint64_t u[18];
   };
   auto pack = [](const GaussCell& cell) {
     CellWire w;
@@ -208,6 +226,13 @@ inline std::vector<GaussCell> run_gauss_grid_jobs(const std::vector<int>& ns,
     w.u[8] = cell.settle.gang_parks;
     w.u[9] = cell.gang_adds;
     w.u[10] = cell.inline_adds;
+    w.u[11] = cell.fusion.seen;
+    w.u[12] = cell.fusion.fused;
+    w.u[13] = cell.fusion.rejected_shape;
+    w.u[14] = cell.fusion.rejected_order;
+    w.u[15] = cell.fusion.rejected_path;
+    w.u[16] = cell.fusion.barriers_eliminated;
+    w.u[17] = cell.fusion.tapes_eliminated;
     return w;
   };
   auto unpack = [](const CellWire& w, GaussCell& cell) {
@@ -226,6 +251,13 @@ inline std::vector<GaussCell> run_gauss_grid_jobs(const std::vector<int>& ns,
     cell.settle.gang_parks = w.u[8];
     cell.gang_adds = w.u[9];
     cell.inline_adds = w.u[10];
+    cell.fusion.seen = w.u[11];
+    cell.fusion.fused = w.u[12];
+    cell.fusion.rejected_shape = w.u[13];
+    cell.fusion.rejected_order = w.u[14];
+    cell.fusion.rejected_path = w.u[15];
+    cell.fusion.barriers_eliminated = w.u[16];
+    cell.fusion.tapes_eliminated = w.u[17];
   };
 
   struct Worker {

@@ -4,13 +4,15 @@
 # Builds (if needed) and runs bench_engine_wall on the Table-2 sweep
 # under both execution engines, then appends the result as one compact
 # JSON record per line to BENCH_engine.json at the repo root.  Records
-# are schema_version 5: run config (reps, resolved jobs, carriers,
-# nproc, charge path, settle mode), per-cell wall seconds and virtual
-# times per engine, every repetition's wall time ("rep_wall_seconds")
-# plus its median, the settlement counters (closed-form coverage), and
-# the engine totals; with --trace-out the record also names the
-# exported trace/metrics files.  scripts/validate_bench_json.py checks
-# the whole trajectory after every append.
+# are schema_version 6: run config (reps, resolved jobs, carriers,
+# nproc, charge path, settle mode, fuse mode), per-cell wall seconds
+# and virtual times per engine, every repetition's wall time
+# ("rep_wall_seconds") plus its median, the settlement counters
+# (closed-form coverage), the fusion counters (compositions seen /
+# fused / rejected, barriers and tape passes eliminated), and the
+# engine totals; with --trace-out the record also names the exported
+# trace/metrics files.  scripts/validate_bench_json.py checks the
+# whole trajectory after every append.
 #
 # Pass --quick to restrict the grid to n in {64, 128} while iterating
 # (the committed trajectory should only gain full-grid records),
@@ -22,7 +24,10 @@
 # accounting path
 # (default: tape, the specialized fast path; interp is the
 # interpretive oracle), --settle=gang|closed|auto to pin the ledger
-# settlement strategy (default: auto; exported as SKIL_SETTLE), and
+# settlement strategy (default: auto; exported as SKIL_SETTLE),
+# --fuse=off|on to select the skeleton fusion mode (default: off;
+# exported as SKIL_FUSE -- record an off/on pair at the same config
+# for the EXPERIMENTS.md W6 same-build A/B), and
 # --trace-out=DIR to re-run one representative cell under
 # SKIL_TRACE=full and write its Chrome trace + metrics JSON into DIR
 # (created if missing; the timed sweep itself stays untraced).
@@ -37,6 +42,7 @@
 #                                    [--carriers=N|auto]
 #                                    [--charge=interp|tape]
 #                                    [--settle=gang|closed|auto]
+#                                    [--fuse=off|on]
 #                                    [--baseline=secs]
 #                                    [--baseline-note=text]
 #                                    [--trace-out=DIR]

@@ -29,6 +29,7 @@ FIELDS_BY_VERSION = {
     4: ["carriers"],
     5: ["settle"],  # also per-engine median/settle_counters and
                     # baseline_provenance (checked below)
+    6: ["fuse"],    # also per-engine fusion_counters (checked below)
 }
 MAX_KNOWN_VERSION = max(FIELDS_BY_VERSION)
 
@@ -38,6 +39,14 @@ SETTLE_COUNTER_FIELDS = [
     "closed_runs", "closed_adds", "memo_hits", "memo_misses", "memo_adds",
     "probe_adds", "chain_records", "chain_adds", "gang_parks", "gang_adds",
     "inline_adds", "closed_coverage",
+]
+
+# The fusion-counter fields every v6+ engine record must account for.
+# An off-mode record carries them too (all zero): their presence is
+# what lets an off/on A/B pair be diffed mechanically.
+FUSION_COUNTER_FIELDS = [
+    "seen", "fused", "rejected_shape", "rejected_order", "rejected_path",
+    "barriers_eliminated", "tapes_eliminated",
 ]
 
 
@@ -88,6 +97,20 @@ def validate_record(path, lineno, record):
                 if field not in counters:
                     fail(path, lineno,
                          f"v5+ settle_counters is missing '{field}'")
+        if version >= 6:
+            fusion = engine.get("fusion_counters")
+            if not isinstance(fusion, dict):
+                fail(path, lineno,
+                     "v6+ engine record is missing 'fusion_counters'")
+            for field in FUSION_COUNTER_FIELDS:
+                if field not in fusion:
+                    fail(path, lineno,
+                         f"v6+ fusion_counters is missing '{field}'")
+            if record.get("fuse") == "off" and fusion.get("fused", 0) != 0:
+                fail(path, lineno,
+                     "fuse=off record reports fused compositions -- the "
+                     "off path must be byte-identical to the unfused "
+                     "engine")
     if version >= 5 and "baseline_wall_seconds" in record \
             and "baseline_provenance" not in record:
         # Satellite of ISSUE 6: a bare baseline float invites

@@ -137,21 +137,59 @@ GaussResult gauss_skil_impl(int nprocs, int size, EntryFn&& entry,
         proc, 2, Size{nprocs, size + 1}, Size{1, size + 1}, Index{-1, -1},
         zero, parix::Distr::kDefault);
 
+    // Fusion (DESIGN.md section 13): the step's copy|pivot|eliminate
+    // composition collapses into one in-place region pass over `a`,
+    // eliding the full-matrix copy into `b`, the non-owner pivot-map
+    // traversals, and the inactive-region elimination tail.  Requires
+    // the tape charge path (the interpretive bodies charge element by
+    // element and cannot be re-associated).
+    const bool fuse_on = proc.fuse_mode() == parix::FuseMode::kOn;
+    const bool fusing = proc.fusing();
+
     for (int k = 0; k < size; ++k) {
       const parix::TraceSpan step(proc, "gauss pivot round", k);
+      if (fuse_on && !fusing)
+        parix::note_fusion_rejected(parix::FusionReject::kPath);
+      bool step_fused = fusing;
       if (pivoting) {
         const ElemRec e =
             array_fold(make_elemrec, partial(max_abs_in_col, k), a);
         if (std::fabs(e.val) == 0.0)
           throw support::AppError("Matrix is singular");
-        if (e.row != k)
+        if (e.row != k) {
+          // A permuting step re-shapes the data flow: the fused
+          // in-place elimination assumes source and target rows
+          // coincide, which the row swap breaks.  Reject (kShape)
+          // and run the step through the ordinary two-array path.
+          if (fusing)
+            parix::note_fusion_rejected(parix::FusionReject::kShape);
+          step_fused = false;
           array_permute_rows(a, partial(switch_rows, e.row, k), b);
-        else
+        } else if (!step_fused) {
           array_copy(a, b);
-      } else {
+        }
+      } else if (!step_fused) {
         array_copy(a, b);
       }
-      if (taped) {
+      if (step_fused) {
+        // Fused pivot map: only the owner of row k computes anything
+        // (non-owner writes were dead -- the broadcast below
+        // overwrites every other partition of piv), and it reads the
+        // pivot row from `a` directly since the copy was elided.
+        const Bounds ab = a.part_bounds();
+        const int arow0 = ab.lower[0];
+        const int aw = ab.extent(1);
+        if (arow0 <= k && k < ab.upper[0]) {
+          const double* krow =
+              a.local().data() + static_cast<std::size_t>(k - arow0) * aw;
+          double* prow = piv.local().data();  // one row, col0 = 0
+          for (int j = 0; j <= size; ++j) prow[j] = krow[j] / krow[k];
+          proc.replay(pivot_tape, static_cast<std::uint64_t>(size + 1));
+          parix::DeferredCharges deferred(proc);
+          detail::array_map_charge_tail<double>(
+              deferred, static_cast<std::uint64_t>(size + 1));
+        }
+      } else if (taped) {
         // Flat replay kernel: the reads the interp body performs
         // through the charged get_elem macro become raw partition
         // loads (the tape carries the charges).  The owner test and
@@ -174,7 +212,32 @@ GaussResult gauss_skil_impl(int nprocs, int size, EntryFn&& entry,
         array_map(partial(copy_pivot, std::cref(b), k), piv, piv);
       }
       array_broadcast_part(piv, Index{k / rows_per_proc, 0});
-      if (taped) {
+      if (step_fused) {
+        // Fused elimination: in place on `a` over the active region
+        // only (rows != k, columns >= k), with the column-k factor
+        // hoisted per row before the sweep.  Bit-identity with the
+        // two-array path: the factor is the pre-update a[i][k] (the
+        // value the unfused kernel reads from the `b` copy), and
+        // prow[k] == krow[k]/krow[k] == 1.0 exactly, so the j == k
+        // update lands on the identical bits.
+        const Bounds ab = a.part_bounds();
+        const int arow0 = ab.lower[0];
+        const int aw = ab.extent(1);
+        double* ad = a.local().data();
+        const double* prow = piv.local().data();
+        std::uint64_t active = 0;
+        for (int i = arow0; i < ab.upper[0]; ++i) {
+          if (i == k) continue;
+          double* row = ad + static_cast<std::size_t>(i - arow0) * aw;
+          const double factor = row[k];
+          for (int j = k; j <= size; ++j) row[j] -= factor * prow[j];
+          active += static_cast<std::uint64_t>(size + 1 - k);
+        }
+        proc.replay(elim_tape, active);
+        parix::DeferredCharges deferred(proc);
+        detail::array_map_charge_tail<double>(deferred, active);
+        parix::note_fusion_fused(/*barriers=*/0, /*tapes=*/1);
+      } else if (taped) {
         const Bounds bb = b.part_bounds();
         const int brow0 = bb.lower[0];
         const int bw = bb.extent(1);
@@ -193,7 +256,28 @@ GaussResult gauss_skil_impl(int nprocs, int size, EntryFn&& entry,
         array_map(partial(eliminate, k, std::cref(b), std::cref(piv)), b, a);
       }
     }
-    if (taped) {
+    if (fuse_on && !fusing)
+      parix::note_fusion_rejected(parix::FusionReject::kPath);
+    if (fusing) {
+      // Fused normalize|gather: divide the right-hand-side column in
+      // place (the diagonal read is never clobbered -- it sits left
+      // of the written column) and gather from `a`, eliding the full
+      // normalize pass into `b` and its inactive-element tail.
+      const Bounds ab = a.part_bounds();
+      const int arow0 = ab.lower[0];
+      const int aw = ab.extent(1);
+      double* ad = a.local().data();
+      std::uint64_t active = 0;
+      for (int i = arow0; i < ab.upper[0]; ++i) {
+        double* row = ad + static_cast<std::size_t>(i - arow0) * aw;
+        row[size] /= row[i];
+        ++active;
+      }
+      proc.replay(norm_tape, active);
+      parix::DeferredCharges deferred(proc);
+      detail::array_map_charge_tail<double>(deferred, active);
+      parix::note_fusion_fused(/*barriers=*/0, /*tapes=*/1);
+    } else if (taped) {
       const Bounds ab = a.part_bounds();
       const int arow0 = ab.lower[0];
       const int aw = ab.extent(1);
@@ -210,7 +294,7 @@ GaussResult gauss_skil_impl(int nprocs, int size, EntryFn&& entry,
       array_map(partial(normalize, std::cref(a), size), a, b);
     }
 
-    const std::vector<double> solved = array_gather_root(b);
+    const std::vector<double> solved = array_gather_root(fusing ? a : b);
     if (proc.id() == 0) {
       result.x.resize(size);
       for (int i = 0; i < size; ++i)
@@ -287,11 +371,42 @@ GaussResult gauss_dpfl(int nprocs, int n, std::uint64_t seed,
         proc, 2, Size{nprocs, size + 1}, zero, parix::Distr::kDefault,
         Size{1, size + 1});
 
+    // Fusion (DESIGN.md section 13): DPFL's persistent-update
+    // discipline makes every step allocate a fresh partition; under
+    // fusing the intermediate provably has no other observer
+    // (use_count == 1), so the update happens in place over the
+    // active region -- functional deforestation, with the eliminated
+    // stage's boxing and allocation charges gone from the chain.
+    const bool fuse_on = proc.fuse_mode() == parix::FuseMode::kOn;
+    const bool fusing = proc.fusing();
+
     for (int k = 0; k < size; ++k) {
       const parix::TraceSpan step(proc, "gauss pivot round", k);
+      if (fuse_on && !fusing)
+        parix::note_fusion_rejected(parix::FusionReject::kPath);
       // copy_pivot: normalised pivot-row elements into this
       // processor's piv row when it owns the pivot row.
-      if (taped) {
+      std::vector<double>* pmut =
+          fusing ? piv.mutable_local_if_unique() : nullptr;
+      if (pmut != nullptr) {
+        // Fused pivot map: owner-only, in place in the uniquely owned
+        // partition (non-owner writes were dead -- the broadcast
+        // overwrites them).  The closure record is still built.
+        proc.charge(parix::Op::kAlloc);
+        const Bounds ab = a.part_bounds();
+        if (ab.lower[0] <= k && k < ab.upper[0]) {
+          const double* krow =
+              a.local().data() +
+              static_cast<std::size_t>(k - ab.lower[0]) * ab.extent(1);
+          double* prow = pmut->data();  // one row, col0 = 0
+          for (int j = 0; j <= size; ++j) prow[j] = krow[j] / krow[k];
+          proc.replay(pivot_tape, static_cast<std::uint64_t>(size + 1));
+          dpfl::charge_apply(proc, static_cast<std::uint64_t>(size + 1));
+          proc.charge(dpfl::op_kind<double>(),
+                      static_cast<std::uint64_t>(size + 1));
+        }
+        parix::note_fusion_fused(/*barriers=*/0, /*tapes=*/1);
+      } else if (taped) {
         // The closure record the interp path allocates when it
         // constructs the copy_pivot Closure, charged at the same
         // program point.  As in gauss_skil_impl, the kernel reads the
@@ -325,6 +440,38 @@ GaussResult gauss_dpfl(int nprocs, int n, std::uint64_t seed,
       }
       piv = dpfl::fa_broadcast_part(piv, Index{k / rows_per_proc, 0});
 
+      std::vector<double>* amut =
+          fusing ? a.mutable_local_if_unique() : nullptr;
+      if (amut != nullptr) {
+        // Fused elimination: the fresh partition the persistent
+        // update would build has no observer but `a` itself, so the
+        // update happens in place over the active region with the
+        // column-k factor hoisted per row (bit-identity as in
+        // gauss_skil_impl: prow[k] == 1.0 exactly).  The `source`
+        // alias is deliberately not created -- it would pin the old
+        // partition alive and force the copy.
+        proc.charge(parix::Op::kAlloc);  // eliminate closure record
+        const Bounds sb = a.part_bounds();
+        const int srow0 = sb.lower[0];
+        const int sw = sb.extent(1);
+        double* ad = amut->data();
+        const double* prow = piv.local().data();
+        std::uint64_t active = 0;
+        for (int i = srow0; i < sb.upper[0]; ++i) {
+          if (i == k) continue;
+          double* row = ad + static_cast<std::size_t>(i - srow0) * sw;
+          const double factor = row[k];
+          for (int j = k; j <= size; ++j) row[j] -= factor * prow[j];
+          active += static_cast<std::uint64_t>(size + 1 - k);
+        }
+        proc.replay(elim_tape, active);
+        dpfl::charge_apply(proc, active);
+        proc.charge(dpfl::op_kind<double>(), active);
+        parix::note_fusion_fused(/*barriers=*/0, /*tapes=*/1);
+        continue;
+      }
+      if (fusing)  // shared storage: cannot deforest in place
+        parix::note_fusion_rejected(parix::FusionReject::kShape);
       const FArray<double> source = a;
       const FArray<double> pivot_rows = piv;
       if (taped) {
@@ -356,8 +503,33 @@ GaussResult gauss_dpfl(int nprocs, int n, std::uint64_t seed,
       }
     }
 
-    const FArray<double> final_a = a;
-    if (taped) {
+    if (fuse_on && !fusing)
+      parix::note_fusion_rejected(parix::FusionReject::kPath);
+    std::vector<double>* amut =
+        fusing ? a.mutable_local_if_unique() : nullptr;
+    if (amut != nullptr) {
+      // Fused normalize: right-hand-side column divided in place (the
+      // diagonal read sits left of the written column), active
+      // elements only.
+      proc.charge(parix::Op::kAlloc);  // normalize closure record
+      const Bounds fb = a.part_bounds();
+      const int frow0 = fb.lower[0];
+      const int fw = fb.extent(1);
+      double* ad = amut->data();
+      std::uint64_t active = 0;
+      for (int i = frow0; i < fb.upper[0]; ++i) {
+        double* row = ad + static_cast<std::size_t>(i - frow0) * fw;
+        row[size] /= row[i];
+        ++active;
+      }
+      proc.replay(norm_tape, active);
+      dpfl::charge_apply(proc, active);
+      proc.charge(dpfl::op_kind<double>(), active);
+      parix::note_fusion_fused(/*barriers=*/0, /*tapes=*/1);
+    } else if (taped) {
+      if (fusing)
+        parix::note_fusion_rejected(parix::FusionReject::kShape);
+      const FArray<double> final_a = a;
       proc.charge(parix::Op::kAlloc);  // normalize closure record
       const Bounds fb = final_a.part_bounds();
       const int frow0 = fb.lower[0];
@@ -372,6 +544,7 @@ GaussResult gauss_dpfl(int nprocs, int n, std::uint64_t seed,
           },
           norm_tape, a);
     } else {
+      const FArray<double> final_a = a;
       const Closure<double(double, Index)> normalize(
           proc, [final_a, size, &proc](double v, Index ix) {
             if (ix[1] != size) return v;

@@ -42,14 +42,17 @@ MatmulResult matmul_skil(int nprocs, int n, std::uint64_t seed,
     auto init_b = [&](Index ix) {
       return operand_entry(n, seed, true, ix[0], ix[1]);
     };
-    auto zero = [](Index) { return 0.0; };
-
     DistArray<double> a = array_create<double>(
         proc, 2, Size{size, size}, init_a, parix::Distr::kTorus2D);
     DistArray<double> b = array_create<double>(
         proc, 2, Size{size, size}, init_b, parix::Distr::kTorus2D);
-    DistArray<double> c = array_create<double>(
-        proc, 2, Size{size, size}, zero, parix::Distr::kTorus2D);
+    // Fusible create|gen_mult composition: `c` is created with the
+    // fold identity, so under SKIL_FUSE=on the fill pass is elided
+    // (the fresh partition already holds those bits) and gen_mult
+    // skips its restoring unskew (DESIGN.md section 13).  Unfused
+    // this is bit-identical to array_create with a `zero` closure.
+    DistArray<double> c = array_create_const<double>(
+        proc, 2, Size{size, size}, 0.0, parix::Distr::kTorus2D);
 
     // "If the actual multiplication and addition are used, then we
     // obtain the classical matrix multiplication."

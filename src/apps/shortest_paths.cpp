@@ -64,17 +64,30 @@ ShpathsResult shpaths_skil(int nprocs, int n, std::uint64_t seed,
         proc, 2, Size{size, size}, Size{0, 0}, Index{-1, -1}, int_max,
         parix::Distr::kTorus2D);
 
+    // Each squaring is the fusible composition copy|gen_mult|copy:
+    // under SKIL_FUSE=on both full-matrix copies are elided (the
+    // operand blocks are built straight from `a`, the result copy
+    // becomes a handle swap) and the restoring unskew disappears.
+    // The stale previous iterate left in `c` folds away under min
+    // exactly like kDistInf -- distances only shrink -- so the
+    // distance matrix is bit-identical (DESIGN.md section 13).
     const int iterations = squaring_iterations(size);
     for (int i = 0; i < iterations; ++i) {
       const parix::TraceSpan step(proc, "shpaths squaring", i);
-      array_copy(a, b);
-      array_gen_mult(
-          a, b, fn::min,
-          [](std::uint32_t x, std::uint32_t y) { return dist_add(x, y); }, c);
-      array_copy(c, a);
+      if (array_gen_mult_squared(
+              a, fn::min,
+              [](std::uint32_t x, std::uint32_t y) { return dist_add(x, y); },
+              c, b))
+        std::swap(a, c);
     }
 
-    std::vector<std::uint32_t> flat = array_gather_root(c);
+    // Unfused, the loop's trailing copy leaves `a == c` bitwise; fused,
+    // the final swap leaves the newest iterate in `a`.  Gathering `a`
+    // is charge-identical to gathering `c` (the gather walks the
+    // distribution, not the values).  A degenerate 1x1 instance runs
+    // zero iterations and keeps the paper's behaviour of returning `c`.
+    std::vector<std::uint32_t> flat =
+        array_gather_root(iterations > 0 ? a : c);
     if (proc.id() == 0) {
       result.distances = support::Matrix<std::uint32_t>(size, size);
       result.distances.storage() = std::move(flat);

@@ -3,6 +3,7 @@
 
 #include "dpfl/farray.h"
 #include "dpfl/fn.h"
+#include "dpfl/fusion.h"
 
 namespace skil::dpfl {
 

@@ -154,6 +154,20 @@ class FArray {
     charge_unbox(sink);
   }
 
+  /// Mutable access to the partition storage when this FArray is its
+  /// *sole* owner -- nullptr whenever the partition is shared.  The
+  /// fused update paths (DESIGN.md section 13) use this to implement
+  /// the persistent-update optimisation: a region map over a uniquely
+  /// owned array may overwrite the region in place, because no other
+  /// functional value can ever observe the old cells.  The vector was
+  /// created mutable (the constructor's make_shared) and only typed
+  /// const for sharing, so the const_cast does not touch an object
+  /// defined const.
+  std::vector<T>* mutable_local_if_unique() {
+    if (local_ == nullptr || local_.use_count() != 1) return nullptr;
+    return const_cast<std::vector<T>*>(local_.get());
+  }
+
  private:
   void charge_get_elem() const { append_get_elem_charges(*proc_); }
 
@@ -506,9 +520,10 @@ FArray<T> fa_gen_mult_impl(const FArray<T>& a, const FArray<T>& b,
 
   // Rotation payloads travel as shared zero-copy buffers: a round's
   // send references the same block the multiply loop reads, so the
-  // host no longer copies q blocks per processor.  The pool recycles
-  // the vector nodes once the receiving side has drained them.
-  parix::BufferPool<T> pool;
+  // host no longer copies q blocks per processor.  The process-wide
+  // pool recycles the vector nodes once the receiving side has
+  // drained them, and keeps them warm across sweep cells.
+  parix::BufferPool<T>& pool = parix::process_buffer_pool<T>();
   std::shared_ptr<const std::vector<T>> a_buf =
       pool.share(rotate(a.local(), 0, -my_row));
   std::shared_ptr<const std::vector<T>> b_buf =
@@ -559,13 +574,25 @@ FArray<T> fa_gen_mult_impl(const FArray<T>& a, const FArray<T>& b,
     charge_apply(proc, 2 * fused);
     proc.charge(op_kind<T>(), 2 * fused);
     // Persistent accumulation: the round's result array is a fresh
-    // structure in the reduction graph.
-    proc.charge(parix::Op::kAlloc, c_block.size());
+    // structure in the reduction graph.  Under fusion the q-round
+    // chain deforests -- every intermediate round result provably has
+    // no other observer, so only the first round's structure is built
+    // (which is what the host loop above does anyway) and the q-1
+    // rebuild allocations disappear from the chain (DESIGN.md
+    // section 13).
+    if (round == 0 || !proc.fusing())
+      proc.charge(parix::Op::kAlloc, c_block.size());
     if (rotating) {
       a_buf = pool.share(proc.recv<std::vector<T>>(a_src, tag));
       b_buf = pool.share(proc.recv<std::vector<T>>(b_src, tag + 1));
     }
   }
+
+  if (proc.fusing())
+    parix::note_fusion_fused(/*barriers=*/0,
+                             /*tapes=*/static_cast<std::uint64_t>(q - 1));
+  else if (proc.fuse_mode() == parix::FuseMode::kOn)
+    parix::note_fusion_rejected(parix::FusionReject::kPath);
 
   return FArray<T>(proc, a.dist_ptr(), std::move(c_block));
 }

@@ -57,6 +57,20 @@ class BufferPool {
   std::shared_ptr<State> state_ = std::make_shared<State>();
 };
 
+/// The process-wide pool for element type T, shared by every skeleton
+/// invocation in the process.  A sweep runs hundreds of cells; a
+/// per-invocation pool drains back to the heap when its skeleton
+/// returns, so every cell re-pays the allocation warm-up.  This arena
+/// keeps the recycled nodes alive across cells (and across engines --
+/// the free list is mutex-guarded, so pooled carriers share it
+/// safely).  Buffers retain shared ownership of the pool state, so
+/// even process teardown with in-flight messages stays safe.
+template <class T>
+BufferPool<T>& process_buffer_pool() {
+  static BufferPool<T> pool;
+  return pool;
+}
+
 /// Extracts the vector from a shared buffer by copying.  Like
 /// take_payload, this must not move even when use_count() reads 1:
 /// that relaxed observation of another owner's drop does not

@@ -34,6 +34,17 @@ SettleMode& default_settle_mode_slot() {
   return mode;
 }
 
+FuseMode initial_default_fuse_mode() {
+  if (const char* env = std::getenv("SKIL_FUSE"))
+    return parse_fuse_mode(env);
+  return FuseMode::kOff;
+}
+
+FuseMode& default_fuse_mode_slot() {
+  static FuseMode mode = initial_default_fuse_mode();
+  return mode;
+}
+
 }  // namespace
 
 ChargePath parse_charge_path(std::string_view name) {
@@ -74,6 +85,28 @@ SettleMode default_settle_mode() { return default_settle_mode_slot(); }
 
 void set_default_settle_mode(SettleMode mode) {
   default_settle_mode_slot() = mode;
+}
+
+FuseMode parse_fuse_mode(std::string_view name) {
+  if (name == "off") return FuseMode::kOff;
+  if (name == "on") return FuseMode::kOn;
+  SKIL_REQUIRE(false, "SKIL_FUSE: unknown fuse mode '" + std::string(name) +
+                          "' (accepted values: off, on)");
+  return FuseMode::kOff;  // unreachable
+}
+
+std::string_view fuse_mode_name(FuseMode mode) {
+  switch (mode) {
+    case FuseMode::kOff: return "off";
+    case FuseMode::kOn: return "on";
+  }
+  return "?";
+}
+
+FuseMode default_fuse_mode() { return default_fuse_mode_slot(); }
+
+void set_default_fuse_mode(FuseMode mode) {
+  default_fuse_mode_slot() = mode;
 }
 
 std::uint64_t ChargeTape::next_tape_id() {
@@ -416,6 +449,58 @@ SettleCounters settle_counters() {
 
 void note_gang_park() {
   g_gang_parks.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Fusion counters live on plain relaxed atomics (no thread-local
+// staging): fused paths note at most once per skeleton composition,
+// not per element, so contention is negligible.
+namespace {
+std::atomic<std::uint64_t> g_fusion_seen{0};
+std::atomic<std::uint64_t> g_fusion_fused{0};
+std::atomic<std::uint64_t> g_fusion_rejected_shape{0};
+std::atomic<std::uint64_t> g_fusion_rejected_order{0};
+std::atomic<std::uint64_t> g_fusion_rejected_path{0};
+std::atomic<std::uint64_t> g_fusion_barriers{0};
+std::atomic<std::uint64_t> g_fusion_tapes{0};
+}  // namespace
+
+FusionCounters fusion_counters() {
+  FusionCounters counters;
+  counters.seen = g_fusion_seen.load(std::memory_order_relaxed);
+  counters.fused = g_fusion_fused.load(std::memory_order_relaxed);
+  counters.rejected_shape =
+      g_fusion_rejected_shape.load(std::memory_order_relaxed);
+  counters.rejected_order =
+      g_fusion_rejected_order.load(std::memory_order_relaxed);
+  counters.rejected_path =
+      g_fusion_rejected_path.load(std::memory_order_relaxed);
+  counters.barriers_eliminated =
+      g_fusion_barriers.load(std::memory_order_relaxed);
+  counters.tapes_eliminated = g_fusion_tapes.load(std::memory_order_relaxed);
+  return counters;
+}
+
+void note_fusion_fused(std::uint64_t barriers, std::uint64_t tapes) {
+  g_fusion_seen.fetch_add(1, std::memory_order_relaxed);
+  g_fusion_fused.fetch_add(1, std::memory_order_relaxed);
+  if (barriers != 0)
+    g_fusion_barriers.fetch_add(barriers, std::memory_order_relaxed);
+  if (tapes != 0) g_fusion_tapes.fetch_add(tapes, std::memory_order_relaxed);
+}
+
+void note_fusion_rejected(FusionReject reason) {
+  g_fusion_seen.fetch_add(1, std::memory_order_relaxed);
+  switch (reason) {
+    case FusionReject::kShape:
+      g_fusion_rejected_shape.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FusionReject::kOrder:
+      g_fusion_rejected_order.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FusionReject::kPath:
+      g_fusion_rejected_path.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
 }
 
 void ChargeLedger::settle_algebraic(double& vtime, Stats& stats) {

@@ -95,6 +95,71 @@ std::string_view settle_mode_name(SettleMode mode);
 /// threshold (executor.cpp kGangMinPendingAdds).
 inline constexpr std::uint64_t kSettleChainParkThreshold = 2048;
 
+/// Whether skeleton compositions may run fused (DESIGN.md section 13).
+///
+///  * off -- every skeleton invocation executes exactly as in PR 6:
+///           its own pass, its own tape, its own collective round.
+///           Virtual times stay bit-identical to the seed goldens.
+///  * on  -- adjacent compositions the apps/combinators recognise
+///           (copy|map, map|map, map|fold, scan|fold, map|broadcast,
+///           create|gen_mult) collapse into one pass with one tape and
+///           one collective round.  Array *results* stay bit-identical
+///           (asserted differentially); virtual times are legitimately
+///           lower -- the cost model rewarding fewer passes and
+///           synchronizations, which is the paper's whole argument for
+///           skeletons knowing more than their parts.
+enum class FuseMode {
+  kOff,  ///< PR 6 behaviour; the golden-sweep default
+  kOn,   ///< fused taped variants where a composition is provably safe
+};
+
+/// Process-wide default fuse mode: kOff, overridable with the
+/// SKIL_FUSE environment variable ("off" / "on") or
+/// set_default_fuse_mode.  Unknown SKIL_FUSE values fail loudly.
+FuseMode default_fuse_mode();
+void set_default_fuse_mode(FuseMode mode);
+FuseMode parse_fuse_mode(std::string_view name);
+std::string_view fuse_mode_name(FuseMode mode);
+
+/// Reasons a composition that *could* have fused ran unfused instead.
+/// Counted per occurrence so a fused-mode run accounts for every
+/// composition it saw, not just the ones it accelerated.
+enum class FusionReject {
+  kShape,  ///< runtime shape forbids it (e.g. a pivot step permutes rows,
+           ///< so the in-place fused elimination would read moved data)
+  kOrder,  ///< the combine is not order-exact (FP fold through a different
+           ///< merge order would move result bits; ints/min/max are exact)
+  kPath,   ///< the interpretive charge path is active (fused variants are
+           ///< taped; SKIL_CHARGE=interp keeps the oracle unfused)
+};
+
+/// Cumulative fusion counters (process-wide), mirroring SettleCounters:
+/// how many fusible compositions the fused paths saw, how many actually
+/// fused, how many were rejected (by reason), and what the fused forms
+/// eliminated -- whole tape passes and collective barrier rounds.
+/// All zero under SKIL_FUSE=off (the off path never consults them), so
+/// a differential test can assert the fused path really engaged.
+struct FusionCounters {
+  std::uint64_t seen = 0;
+  std::uint64_t fused = 0;
+  std::uint64_t rejected_shape = 0;
+  std::uint64_t rejected_order = 0;
+  std::uint64_t rejected_path = 0;
+  std::uint64_t barriers_eliminated = 0;
+  std::uint64_t tapes_eliminated = 0;
+
+  std::uint64_t rejected() const {
+    return rejected_shape + rejected_order + rejected_path;
+  }
+};
+FusionCounters fusion_counters();
+
+/// Notes one composition that fused, eliminating `barriers` collective
+/// rounds and `tapes` whole tape/charge passes.  Increments seen too.
+void note_fusion_fused(std::uint64_t barriers = 0, std::uint64_t tapes = 1);
+/// Notes one composition that was recognised but ran unfused.
+void note_fusion_rejected(FusionReject reason);
+
 /// One element's recorded charge sequence: op kinds and counts in the
 /// exact order the interpretive path would charge them.
 ///

@@ -380,6 +380,19 @@ void write_metrics_json(const RunResult& result, std::ostream& out) {
         << ",\"closed_coverage\":" << fmt_double(coverage) << "}";
   }
 
+  // Fusion accounting (charge_tape.h): how many skeleton compositions
+  // this run saw, fused, or rejected (by reason), and what the fused
+  // forms eliminated.  All zero under SKIL_FUSE=off.
+  {
+    const FusionCounters& f = result.fusion;
+    out << ",\"fusion\":{\"seen\":" << f.seen << ",\"fused\":" << f.fused
+        << ",\"rejected_shape\":" << f.rejected_shape
+        << ",\"rejected_order\":" << f.rejected_order
+        << ",\"rejected_path\":" << f.rejected_path
+        << ",\"barriers_eliminated\":" << f.barriers_eliminated
+        << ",\"tapes_eliminated\":" << f.tapes_eliminated << "}";
+  }
+
   out << ",\"procs\":[";
   for (std::size_t p = 0; p < result.proc_stats.size(); ++p) {
     if (p > 0) out << ",";

@@ -261,6 +261,25 @@ class Proc {
   void set_settle_mode(SettleMode mode) { settle_mode_ = mode; }
   SettleMode settle_mode() const { return settle_mode_; }
 
+  /// Selects whether skeleton compositions may run fused
+  /// (charge_tape.h FuseMode; DESIGN.md section 13).  Set by spmd_run
+  /// from RunConfig::fuse before the body starts.  kOff executes every
+  /// composition exactly as PR 6 did (vtimes bit-identical to the seed
+  /// goldens); kOn lets the apps/combinators take the one-pass fused
+  /// taped variants (same array results, lower vtimes).
+  void set_fuse_mode(FuseMode mode) { fuse_mode_ = mode; }
+  FuseMode fuse_mode() const { return fuse_mode_; }
+
+  /// True when a fused taped variant may run: fusion is requested AND
+  /// the taped charge path is active.  The fused loops replay fused
+  /// tapes, so the interpretive oracle (SKIL_CHARGE=interp) always
+  /// runs unfused -- callers seeing fuse-on with interp should count
+  /// a FusionReject::kPath instead.
+  bool fusing() const {
+    return fuse_mode_ == FuseMode::kOn &&
+           default_charge_path() == ChargePath::kTape;
+  }
+
   /// Opens an app/skeleton-level trace span (a point event on both
   /// timelines; see TraceSpan for the RAII pairing).  With tracing off
   /// this is one untaken branch -- it must stay cheap enough to sit in
@@ -347,6 +366,8 @@ class Proc {
   ChargeLedger ledger_;
   /// Settlement strategy for settle_pending (charge_tape.h).
   SettleMode settle_mode_ = default_settle_mode();
+  /// Skeleton-composition fusion switch (charge_tape.h).
+  FuseMode fuse_mode_ = default_fuse_mode();
   /// Per-proc trace recorder; nullptr (the default) keeps every trace
   /// hook down to one untaken branch so vtimes stay bit-identical.
   ProcTrace* trace_ = nullptr;

@@ -123,6 +123,7 @@ RunResult spmd_run_ref(const RunConfig& config, const detail::BodyRef& body) {
   for (int p = 0; p < config.nprocs; ++p) {
     procs.push_back(std::make_unique<Proc>(machine, p));
     procs.back()->set_settle_mode(config.settle);
+    procs.back()->set_fuse_mode(config.fuse);
   }
 
   ExecutionEngine engine = config.engine;
@@ -150,6 +151,7 @@ RunResult spmd_run_ref(const RunConfig& config, const detail::BodyRef& body) {
   std::exception_ptr first_failure;
   const SettleCounters settle_before = settle_counters();
   const GangCounters gang_before = gang_counters();
+  const FusionCounters fusion_before = fusion_counters();
   const auto wall_start = std::chrono::steady_clock::now();
   if (engine == ExecutionEngine::kPooled) {
     machine.set_fiber_wait(true);
@@ -201,6 +203,19 @@ RunResult spmd_run_ref(const RunConfig& config, const detail::BodyRef& body) {
     result.gang.divergent_rounds =
         g.divergent_rounds - gang_before.divergent_rounds;
     result.gang.padded_slots = g.padded_slots - gang_before.padded_slots;
+    const FusionCounters f = fusion_counters();
+    result.fusion.seen = f.seen - fusion_before.seen;
+    result.fusion.fused = f.fused - fusion_before.fused;
+    result.fusion.rejected_shape =
+        f.rejected_shape - fusion_before.rejected_shape;
+    result.fusion.rejected_order =
+        f.rejected_order - fusion_before.rejected_order;
+    result.fusion.rejected_path =
+        f.rejected_path - fusion_before.rejected_path;
+    result.fusion.barriers_eliminated =
+        f.barriers_eliminated - fusion_before.barriers_eliminated;
+    result.fusion.tapes_eliminated =
+        f.tapes_eliminated - fusion_before.tapes_eliminated;
   }
   return result;
 }

@@ -66,6 +66,11 @@ struct RunConfig {
   /// mode retires the identical dependent add chain, so virtual times
   /// are bit-identical across modes.
   SettleMode settle = default_settle_mode();
+  /// Skeleton-composition fusion (charge_tape.h, SKIL_FUSE).  Unlike
+  /// the knobs above this one legitimately moves virtual time: kOn
+  /// runs recognised compositions as one fused pass (same array
+  /// results, fewer charges and collective rounds -> lower vtimes).
+  FuseMode fuse = default_fuse_mode();
 };
 
 /// Timing and accounting of a completed run.
@@ -90,6 +95,9 @@ struct RunResult {
   SettleCounters settle;
   /// Gang-counter delta over this run, same caveat.
   GangCounters gang;
+  /// Fusion-counter delta over this run, same caveat.  All zero under
+  /// FuseMode::kOff (the off path never consults the fused variants).
+  FusionCounters fusion;
 
   double vtime_seconds() const { return vtime_us * 1e-6; }
 };

@@ -15,9 +15,11 @@
 // paper names as future work (section 6).
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
+#include "parix/charge_tape.h"
 #include "parix/proc.h"
 #include "parix/topology.h"
 #include "skil/dist_array.h"
@@ -66,6 +68,39 @@ DistArray<T> array_create(parix::Proc& proc, int dim, Size size,
                           parix::Distr distr = parix::Distr::kDefault) {
   return array_create<T>(proc, dim, size, Size{0, 0}, Index{-1, -1},
                          std::forward<InitFn>(init_elem), distr);
+}
+
+/// Constant-initialised creator, fusible with its consumer (DESIGN.md
+/// section 13).  Unfused this is exactly array_create with a constant
+/// functional argument: a fill pass charging one call and one element
+/// store per element.  Under Proc::fusing() the per-element closure
+/// calls are elided (a constant needs no call), and when the constant
+/// is the value-initialised T{} the stores vanish too -- the freshly
+/// allocated partition already holds those bits.  The consumer (e.g.
+/// array_gen_mult folding c's initial elements) observes an identical
+/// array either way.
+template <class T>
+DistArray<T> array_create_const(parix::Proc& proc, int dim, Size size,
+                                T value,
+                                parix::Distr distr = parix::Distr::kDefault) {
+  if (!proc.fusing()) {
+    if (proc.fuse_mode() == parix::FuseMode::kOn)
+      parix::note_fusion_rejected(parix::FusionReject::kPath);
+    return array_create<T>(proc, dim, size,
+                           [value](Index) { return value; }, distr);
+  }
+  auto topo = std::make_shared<const parix::Topology>(proc.machine(), distr);
+  auto dist = std::make_shared<const Distribution>(Distribution::block(
+      std::move(topo), dim, size, Size{0, 0}, Index{-1, -1}));
+  DistArray<T> a(proc, std::move(dist));
+  if (!(value == T{})) {
+    const parix::TraceSpan span(proc, "array_create");
+    auto& local = a.local();
+    std::fill(local.begin(), local.end(), value);
+    proc.charge(op_kind<T>(), static_cast<std::uint64_t>(local.size()));
+  }
+  parix::note_fusion_fused(/*barriers=*/0, /*tapes=*/1);
+  return a;
 }
 
 /// Row-cyclic creator (paper section 6 future work).

@@ -26,6 +26,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -55,17 +56,16 @@ std::vector<T> torus_rotate_by(parix::Proc& proc, const parix::Topology& topo,
   return proc.recv<std::vector<T>>(src, tag);
 }
 
-}  // namespace detail
-
-/// Generic Gentleman matrix multiplication; see the header comment.
-template <class T, class Add, class Mult>
-void array_gen_mult(DistArray<T>& a, DistArray<T>& b, Add gen_add,
-                    Mult gen_mult, DistArray<T>& c) {
+/// Validates the geometry shared by array_gen_mult and its fused
+/// variants, returning the block side.  `a` and `b` may alias in the
+/// squaring composition; `c` must always be distinct.
+template <class T>
+int gen_mult_geometry(const DistArray<T>& a, const DistArray<T>& b,
+                      const DistArray<T>& c) {
   SKIL_REQUIRE(a.valid() && b.valid() && c.valid(),
                "array_gen_mult: invalid array");
-  SKIL_REQUIRE(&a.local() != &b.local() && &a.local() != &c.local() &&
-                   &b.local() != &c.local(),
-               "array_gen_mult: the arrays a, b and c must be distinct");
+  SKIL_REQUIRE(&a.local() != &c.local() && &b.local() != &c.local(),
+               "array_gen_mult: the result array must be distinct");
   const Distribution& dist = a.dist();
   SKIL_REQUIRE(dist.dims() == 2 && dist.layout() == Layout::kBlock,
                "array_gen_mult needs 2-D block-distributed arrays");
@@ -84,24 +84,31 @@ void array_gen_mult(DistArray<T>& a, DistArray<T>& b, Add gen_add,
   const int n = dist.global_rows();
   SKIL_REQUIRE(n == dist.global_cols(),
                "array_gen_mult: arrays must be square");
-  const int q = q_rows;
-  SKIL_REQUIRE(n % q == 0,
+  SKIL_REQUIRE(n % q_rows == 0,
                "array_gen_mult: the matrix size must be divisible by the "
                "processor grid side (the paper rounds n up accordingly)");
-  const int block = n / q;
+  return n / q_rows;
+}
 
-  parix::Proc& proc = a.proc();
-  const parix::TraceSpan span(proc, "array_gen_mult");
+/// Skew plus the q compute/rotate rounds of Gentleman's algorithm over
+/// already-built working blocks, accumulating into `c_block`.  On
+/// return the operand blocks sit at their skewed start position (the q
+/// single-step rotations wrap around); the caller either unskews and
+/// writes them back (array_gen_mult, which leaves `a` and `b` intact)
+/// or drops them (the fused variants -- the restoring movement is
+/// value-free, so eliding it cannot change any array).  The charge
+/// sequence from the first skew message onward is byte-identical
+/// between all callers.
+template <class T, class Add, class Mult>
+std::pair<std::vector<T>, std::vector<T>> gen_mult_rounds(
+    parix::Proc& proc, const parix::Topology& topo, int block,
+    std::vector<T> a_block, std::vector<T> b_block, std::vector<T>& c_block,
+    Add& gen_add, Mult& gen_mult) {
+  const int q = topo.grid_rows();
   const int my_row = topo.grid_row(proc.id());
   const int my_col = topo.grid_col(proc.id());
-
-  // Working copies keep `a` and `b` intact even if a functional
-  // argument throws mid-round.
-  std::vector<T> a_block = a.local();
-  std::vector<T> b_block = b.local();
   const std::uint64_t block_words =
       (a_block.size() * sizeof(T)) / sizeof(long) + 1;
-  proc.charge(parix::Op::kCopyWord, 2 * block_words);
 
   // Skew: block row i of A moves i positions left; block column j of B
   // moves j positions up (single direct messages).
@@ -113,8 +120,9 @@ void array_gen_mult(DistArray<T>& a, DistArray<T>& b, Add gen_add,
   // host copies nothing per round.  The *modeled* T800 still paid a
   // send-buffer copy per rotation, so the kCopyWord charge below
   // stays -- eliminating the host copy must not move the virtual
-  // clock.  The pool recycles vector nodes drained by the receiver.
-  parix::BufferPool<T> pool;
+  // clock.  The process-wide pool recycles vector nodes drained by
+  // the receiver, and keeps them warm across sweep cells.
+  parix::BufferPool<T>& pool = parix::process_buffer_pool<T>();
   std::shared_ptr<const std::vector<T>> a_buf = pool.share(std::move(a_block));
   std::shared_ptr<const std::vector<T>> b_buf = pool.share(std::move(b_block));
 
@@ -149,7 +157,6 @@ void array_gen_mult(DistArray<T>& a, DistArray<T>& b, Add gen_add,
     round_tape.charge_elems(op_kind<T>(), fused, 2);
   }
 
-  std::vector<T>& c_block = c.local();
   for (int round = 0; round < q; ++round) {
     const parix::TraceSpan round_span(proc, "gen_mult round", round);
     // Asynchronous overlap (the optimization Table 1's footnote
@@ -201,13 +208,119 @@ void array_gen_mult(DistArray<T>& a, DistArray<T>& b, Add gen_add,
     }
   }
 
+  return {parix::take_buffer(std::move(a_buf)),
+          parix::take_buffer(std::move(b_buf))};
+}
+
+}  // namespace detail
+
+/// Generic Gentleman matrix multiplication; see the header comment.
+template <class T, class Add, class Mult>
+void array_gen_mult(DistArray<T>& a, DistArray<T>& b, Add gen_add,
+                    Mult gen_mult, DistArray<T>& c) {
+  SKIL_REQUIRE(&a.local() != &b.local(),
+               "array_gen_mult: the arrays a, b and c must be distinct");
+  const int block = detail::gen_mult_geometry(a, b, c);
+  const parix::Topology& topo = a.topology();
+  parix::Proc& proc = a.proc();
+  const parix::TraceSpan span(proc, "array_gen_mult");
+  const int my_row = topo.grid_row(proc.id());
+  const int my_col = topo.grid_col(proc.id());
+
+  // Working copies keep `a` and `b` intact even if a functional
+  // argument throws mid-round.
+  std::vector<T> a_block = a.local();
+  std::vector<T> b_block = b.local();
+  const std::uint64_t block_words =
+      (a_block.size() * sizeof(T)) / sizeof(long) + 1;
+  proc.charge(parix::Op::kCopyWord, 2 * block_words);
+
+  auto [a_done, b_done] =
+      detail::gen_mult_rounds(proc, topo, block, std::move(a_block),
+                              std::move(b_block), c.local(), gen_add,
+                              gen_mult);
+
+  if (proc.fusing()) {
+    // The unskew only restores the operands' physical placement: the
+    // returned blocks hold bitwise the values `a` and `b` already
+    // hold (the rounds wrapped them back to the skewed start, and the
+    // caller's arrays were never modified).  Under fusion the
+    // restoring rotation is elided -- one communication round fewer,
+    // with no observable difference in any array.
+    parix::note_fusion_fused(/*barriers=*/1, /*tapes=*/0);
+    return;
+  }
+  if (proc.fuse_mode() == parix::FuseMode::kOn)
+    parix::note_fusion_rejected(parix::FusionReject::kPath);
+
   // Unskew (restores the caller's a and b placements).
-  a_block = parix::take_buffer(std::move(a_buf));
-  b_block = parix::take_buffer(std::move(b_buf));
-  a_block = detail::torus_rotate_by(proc, topo, std::move(a_block), 0, my_row);
-  b_block = detail::torus_rotate_by(proc, topo, std::move(b_block), my_col, 0);
-  a.local() = std::move(a_block);
-  b.local() = std::move(b_block);
+  a_done = detail::torus_rotate_by(proc, topo, std::move(a_done), 0, my_row);
+  b_done = detail::torus_rotate_by(proc, topo, std::move(b_done), my_col, 0);
+  a.local() = std::move(a_done);
+  b.local() = std::move(b_done);
+}
+
+/// Fused matrix squaring (DESIGN.md section 13): the composition
+///
+///   array_copy(a, scratch);
+///   array_gen_mult(a, scratch, gen_add, gen_mult, c);
+///   array_copy(c, a);
+///
+/// collapsed into one skeleton call.  Under Proc::fusing() the operand
+/// copy is elided (both working blocks are built straight from `a`),
+/// the restoring unskew rotation is elided (the blocks it would move
+/// carry no information -- `a` was never modified), and the trailing
+/// result copy becomes a handle swap performed by the caller.
+///
+/// Contract (customizing-function requirement, in the spirit of
+/// array_fold's commutativity clause): `gen_add` must be an exact
+/// idempotent selection (integral min/max style) and `c`'s incoming
+/// elements must be dominated by -- fold to the same result as -- the
+/// identity the unfused composition would have left there.  Shortest
+/// paths qualifies: distances only shrink, so a previous iterate in
+/// `c` folds away under min exactly like kDistInf.  Non-integral
+/// element types are rejected (kOrder): floating-point selection can
+/// move bits through signed zeros and NaN payloads.
+///
+/// After the call `c` holds the product and `a` is untouched; the
+/// caller swaps the handles to complete the composition.  Returns
+/// true when the fused path ran (false: the unfused sequence ran and
+/// `a` already holds the result).
+template <class T, class Add, class Mult>
+bool array_gen_mult_squared(DistArray<T>& a, Add gen_add, Mult gen_mult,
+                            DistArray<T>& c, DistArray<T>& scratch) {
+  parix::Proc& proc = a.proc();
+  const bool fuse_on = proc.fuse_mode() == parix::FuseMode::kOn;
+  if (!proc.fusing() || !std::is_integral_v<T>) {
+    if (fuse_on) {
+      if (proc.fusing())
+        parix::note_fusion_rejected(parix::FusionReject::kOrder);
+      else
+        parix::note_fusion_rejected(parix::FusionReject::kPath);
+    }
+    array_copy(a, scratch);
+    array_gen_mult(a, scratch, gen_add, gen_mult, c);
+    array_copy(c, a);
+    return false;
+  }
+  const int block = detail::gen_mult_geometry(a, a, c);
+  const parix::Topology& topo = a.topology();
+  const parix::TraceSpan span(proc, "fused gen_mult squared");
+
+  // Both working blocks read straight from `a`; the modeled machine
+  // still builds two operand buffers, so the two working-copy charges
+  // stay.  What disappears is the full-array copy skeleton that fed
+  // `scratch` and the result copy back into `a`.
+  std::vector<T> a_block = a.local();
+  std::vector<T> b_block = a.local();
+  const std::uint64_t block_words =
+      (a_block.size() * sizeof(T)) / sizeof(long) + 1;
+  proc.charge(parix::Op::kCopyWord, 2 * block_words);
+
+  detail::gen_mult_rounds(proc, topo, block, std::move(a_block),
+                          std::move(b_block), c.local(), gen_add, gen_mult);
+  parix::note_fusion_fused(/*barriers=*/1, /*tapes=*/2);
+  return true;
 }
 
 }  // namespace skil

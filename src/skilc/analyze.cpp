@@ -8,6 +8,7 @@
 
 #include "skilc/cfg.h"
 #include "skilc/dataflow.h"
+#include "skilc/fusion.h"
 #include "skilc/parser.h"
 #include "skilc/typecheck.h"
 
@@ -685,6 +686,48 @@ void collect_customizing(const std::vector<StmtPtr>& stmts,
 
 }  // namespace
 
+// --- PurityOracle -----------------------------------------------------------
+
+struct PurityOracle::Impl {
+  explicit Impl(const Program& program) : analysis(program) {}
+  PurityAnalysis analysis;
+};
+
+PurityOracle::PurityOracle(const Program& program)
+    : impl_(std::make_unique<Impl>(program)) {}
+PurityOracle::~PurityOracle() = default;
+PurityOracle::PurityOracle(PurityOracle&&) noexcept = default;
+PurityOracle& PurityOracle::operator=(PurityOracle&&) noexcept = default;
+
+bool PurityOracle::pure(const std::string& name, std::string* why,
+                        Span* where) const {
+  const PuritySummary* summary = impl_->analysis.summary(name);
+  if (summary == nullptr) {
+    if (why) *why = "is not a defined function";
+    if (where) *where = Span{};
+    return false;
+  }
+  if (!summary->param_writes.empty()) {
+    const WriteRecord& record = summary->param_writes.begin()->second;
+    if (why) *why = record.desc;
+    if (where) *where = record.span;
+    return false;
+  }
+  if (!summary->free_writes.empty()) {
+    const auto& [written, span] = summary->free_writes.front();
+    if (why)
+      *why = "writes the free variable '" + written + "' at " + spell(span);
+    if (where) *where = span;
+    return false;
+  }
+  if (summary->impure) {
+    if (why) *why = summary->impure_what;
+    if (where) *where = summary->impure_span;
+    return false;
+  }
+  return true;
+}
+
 void analyze(const Program& program, DiagnosticSink& sink,
              const AnalyzeOptions& options) {
   const std::set<std::string> pardatas = program.pardata_names();
@@ -708,6 +751,7 @@ void analyze(const Program& program, DiagnosticSink& sink,
     if (options.skeleton_purity)
       walk_skeleton_calls(program, *purity, fn.body, sink);
   }
+  if (options.fusion) analyze_fusion(program, sink);
   sink.sort_by_location();
 }
 

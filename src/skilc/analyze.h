@@ -26,6 +26,7 @@
 // advisory (skil-lint --Werror promotes them).
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "skilc/ast.h"
@@ -42,6 +43,11 @@ struct AnalyzeOptions {
   bool unused = true;
   bool shadow = true;
   bool skeleton_purity = true;
+  /// Advisory fusion analysis (DESIGN.md section 13): note-level
+  /// findings for adjacent skeleton compositions that can fuse (or
+  /// why they cannot).  Never rewrites; compile() performs the actual
+  /// rewrite only when CompileOptions::fuse asks for it.
+  bool fusion = true;
 };
 
 /// An error-level analysis finding raised by compile() when a program
@@ -52,6 +58,32 @@ class AnalysisError : public support::Error {
   explicit AnalysisError(const std::string& what) : support::Error(what) {}
   AnalysisError(const std::string& what, int line, int column)
       : support::Error(what, line, column) {}
+};
+
+/// Call-graph-transitive purity summaries of a program's functions:
+/// the skeleton-purity pass's machinery behind a stable front, so
+/// other passes (the fusion pass, DESIGN.md section 13) can prove a
+/// customizing function safe to compose without re-deriving the
+/// fixpoint.
+class PurityOracle {
+ public:
+  explicit PurityOracle(const Program& program);
+  ~PurityOracle();
+  PurityOracle(PurityOracle&&) noexcept;
+  PurityOracle& operator=(PurityOracle&&) noexcept;
+
+  /// True when `name` resolves to a defined function whose transitive
+  /// summary shows no parameter writes, no free-variable writes and no
+  /// impure builtin calls.  On failure, `why` (if non-null) receives a
+  /// description of the first offending site -- e.g. "assigns 'base'
+  /// at line 16:3" or "calls the impure builtin 'rand' at line 4:10"
+  /// -- and `where` its span.
+  bool pure(const std::string& name, std::string* why = nullptr,
+            Span* where = nullptr) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Runs the enabled passes over a *type-checked* program, collecting

@@ -13,12 +13,24 @@ CompileResult compile(const std::string& source) {
 
 CompileResult compile(const std::string& source,
                       const AnalyzeOptions& options) {
+  CompileOptions full;
+  full.analyze = options;
+  return compile(source, full);
+}
+
+CompileResult compile(const std::string& source,
+                      const CompileOptions& options) {
   CompileResult result;
   result.typed = parse(source);
   typecheck(result.typed);
 
+  AnalyzeOptions analyze_options = options.analyze;
+  // The rewrite's own notes supersede the advisory pass: running both
+  // would report every composition twice.
+  if (options.fuse) analyze_options.fusion = false;
+
   DiagnosticSink sink;
-  analyze(result.typed, sink, options);
+  analyze(result.typed, sink, analyze_options);
   for (const Diagnostic& diag : sink.diagnostics()) {
     if (diag.severity != Severity::kError) continue;
     std::string what = "skil analysis: ";
@@ -27,6 +39,17 @@ CompileResult compile(const std::string& source,
               std::to_string(diag.span.column) + ": ";
     what += diag.message;
     throw AnalysisError(what, diag.span.line, diag.span.column);
+  }
+
+  if (options.fuse) {
+    // Analysis passed, so every customizing function the matcher will
+    // consult has a purity summary.  The synthesized wrappers carry no
+    // type annotations; re-typechecking fills them in (the checker
+    // collects all signatures before checking bodies, so the appended
+    // wrappers may call functions defined anywhere in the program).
+    result.fusion = fuse_program(result.typed, sink);
+    if (result.fusion.fused() > 0) typecheck(result.typed);
+    sink.sort_by_location();
   }
   result.diagnostics = sink.diagnostics();
 

@@ -8,6 +8,7 @@
 #include "skilc/analyze.h"
 #include "skilc/ast.h"
 #include "skilc/diagnostics.h"
+#include "skilc/fusion.h"
 
 namespace skil::skilc {
 
@@ -18,6 +19,19 @@ struct CompileResult {
   /// Analysis findings (warnings included; error-level findings never
   /// reach here -- compile() throws AnalysisError first).
   std::vector<Diagnostic> diagnostics;
+  /// Outcome of the fusion pass (all zero unless CompileOptions::fuse
+  /// requested the rewrite).
+  FusionStats fusion;
+};
+
+/// Full pipeline configuration.
+struct CompileOptions {
+  AnalyzeOptions analyze;
+  /// Rewrite provably safe adjacent skeleton compositions (the
+  /// compiler side of DESIGN.md section 13) before instantiation.
+  /// The fused program is re-typechecked; every decision lands in
+  /// CompileResult::diagnostics as a "fusion" note.
+  bool fuse = false;
 };
 
 /// Runs the whole pipeline; throws ContractError / TypeError /
@@ -30,5 +44,9 @@ CompileResult compile(const std::string& source);
 /// As compile(), but with explicit analysis-pass switches.
 CompileResult compile(const std::string& source,
                       const AnalyzeOptions& options);
+
+/// As compile(), with full pipeline options (fusion rewrite).
+CompileResult compile(const std::string& source,
+                      const CompileOptions& options);
 
 }  // namespace skil::skilc

@@ -1,0 +1,389 @@
+#include "skilc/fusion.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "skilc/analyze.h"
+
+namespace skil::skilc {
+
+namespace {
+
+std::string spell(Span span) {
+  return "line " + std::to_string(span.line) + ":" +
+         std::to_string(span.column);
+}
+
+/// The skeleton families the matcher recognises (same spelling rule
+/// as the skeleton-purity pass: user programs define their own
+/// map/fold headers, the paper fixes only the shape).
+bool is_map_name(const std::string& name) {
+  return name.find("map") != std::string::npos;
+}
+bool is_fold_name(const std::string& name) {
+  return name.find("fold") != std::string::npos;
+}
+
+/// A matched `<map>(f, a, b);` statement.
+struct MapCall {
+  Expr* call = nullptr;
+  Expr* stage = nullptr;  ///< the customizing argument (args[0])
+  Expr* src = nullptr;    ///< args[1], a kName
+  Expr* dst = nullptr;    ///< args[2], a kName
+};
+
+bool match_map_stmt(Stmt& stmt, MapCall& out) {
+  if (stmt.kind != Stmt::Kind::kExpr || !stmt.expr) return false;
+  Expr& call = *stmt.expr;
+  if (call.kind != Expr::Kind::kCall ||
+      call.callee->kind != Expr::Kind::kName ||
+      !is_map_name(call.callee->name) || call.args.size() != 3)
+    return false;
+  if (call.args[1]->kind != Expr::Kind::kName ||
+      call.args[2]->kind != Expr::Kind::kName)
+    return false;
+  out.call = &call;
+  out.stage = call.args[0].get();
+  out.src = call.args[1].get();
+  out.dst = call.args[2].get();
+  return true;
+}
+
+/// Finds a `<fold>(conv, op, inter)` call anywhere inside `expr`
+/// (fold results are consumed: `x = fold(...)`, `return fold(...)`).
+Expr* find_fold_call(Expr& expr, const std::string& inter) {
+  if (expr.kind == Expr::Kind::kCall &&
+      expr.callee->kind == Expr::Kind::kName &&
+      is_fold_name(expr.callee->name) && expr.args.size() == 3 &&
+      expr.args[2]->kind == Expr::Kind::kName &&
+      expr.args[2]->name == inter)
+    return &expr;
+  if (expr.lhs)
+    if (Expr* found = find_fold_call(*expr.lhs, inter)) return found;
+  if (expr.rhs)
+    if (Expr* found = find_fold_call(*expr.rhs, inter)) return found;
+  if (expr.callee)
+    if (Expr* found = find_fold_call(*expr.callee, inter)) return found;
+  for (ExprPtr& arg : expr.args)
+    if (Expr* found = find_fold_call(*arg, inter)) return found;
+  return nullptr;
+}
+
+/// A customizing stage resolved to its underlying named function.
+struct Stage {
+  std::string name;
+  const Function* target = nullptr;
+  std::size_t bound = 0;  ///< partially-applied leading arguments
+  Span span;
+  bool named = false;  ///< resolved to a name at all (sections are not)
+  bool synthesized = false;  ///< a wrapper this run built (pure by
+                             ///< construction: it composes two proven
+                             ///< stages and nothing else)
+};
+
+// Stage resolution lives on the Fuser: it also consults the wrappers
+// synthesized earlier in the same run, so chains (map|map|map) keep
+// fusing through their own intermediates.
+
+/// Collects every kName expression spelling `name` in a statement
+/// tree (reads, writes and stores alike -- any other occurrence of
+/// the intermediate blocks its elimination).
+void collect_names(const Expr& expr, const std::string& name,
+                   std::vector<const Expr*>& out) {
+  if (expr.kind == Expr::Kind::kName && expr.name == name)
+    out.push_back(&expr);
+  if (expr.lhs) collect_names(*expr.lhs, name, out);
+  if (expr.rhs) collect_names(*expr.rhs, name, out);
+  if (expr.callee) collect_names(*expr.callee, name, out);
+  for (const ExprPtr& arg : expr.args) collect_names(*arg, name, out);
+}
+
+void collect_names(const std::vector<StmtPtr>& stmts, const std::string& name,
+                   std::vector<const Expr*>& out) {
+  for (const StmtPtr& stmt : stmts) {
+    if (stmt->expr) collect_names(*stmt->expr, name, out);
+    if (stmt->init) collect_names(*stmt->init, name, out);
+    if (stmt->for_init) {
+      if (stmt->for_init->expr)
+        collect_names(*stmt->for_init->expr, name, out);
+      if (stmt->for_init->init)
+        collect_names(*stmt->for_init->init, name, out);
+    }
+    collect_names(stmt->body, name, out);
+    collect_names(stmt->else_body, name, out);
+  }
+}
+
+class Fuser {
+ public:
+  Fuser(Program& program, DiagnosticSink& sink, bool rewrite)
+      : program_(program), sink_(sink), rewrite_(rewrite), oracle_(program) {}
+
+  FusionStats run() {
+    for (Function& fn : program_.functions) {
+      if (fn.is_prototype) continue;
+      process_stmts(fn.body, fn);
+    }
+    for (Function& wrapper : synthesized_)
+      program_.functions.push_back(std::move(wrapper));
+    synthesized_.clear();
+    return stats_;
+  }
+
+ private:
+  void process_stmts(std::vector<StmtPtr>& stmts, const Function& fn) {
+    for (std::size_t i = 0; i < stmts.size(); ++i) {
+      // Nested statement lists first (a composition inside a loop
+      // body is as fusible as one at the top level).
+      process_nested(*stmts[i], fn);
+      if (i + 1 >= stmts.size()) continue;
+      MapCall first;
+      if (!match_map_stmt(*stmts[i], first)) continue;
+
+      MapCall second;
+      if (match_map_stmt(*stmts[i + 1], second) &&
+          second.src->name == first.dst->name) {
+        if (try_fuse_map_map(stmts, i, first, second, fn)) --i;  // re-pair
+        continue;
+      }
+      Expr* fold = nullptr;
+      if (stmts[i + 1]->expr)
+        fold = find_fold_call(*stmts[i + 1]->expr, first.dst->name);
+      if (fold == nullptr && stmts[i + 1]->init)
+        fold = find_fold_call(*stmts[i + 1]->init, first.dst->name);
+      if (fold != nullptr) {
+        if (try_fuse_map_fold(stmts, i, first, *fold, fn)) --i;
+        continue;
+      }
+    }
+  }
+
+  void process_nested(Stmt& stmt, const Function& fn) {
+    if (!stmt.body.empty()) process_stmts(stmt.body, fn);
+    if (!stmt.else_body.empty()) process_stmts(stmt.else_body, fn);
+  }
+
+  /// Common safety gate for one recognised composition.  Returns true
+  /// when the stages compose; reports the rejection note otherwise.
+  bool composable(const Expr& call_a, const Expr& call_b, const Stage& f,
+                  const Stage& g, const std::string& inter,
+                  const Expr* inter_read, const MapCall& first,
+                  const Function& fn) {
+    ++stats_.seen;
+    const std::string where_both = "'" + call_a.callee->name + "' (" +
+                                   spell(call_a.span()) + ") with '" +
+                                   call_b.callee->name + "' (" +
+                                   spell(call_b.span()) + ")";
+    const std::string prefix = "composition of " + where_both + " not fused: ";
+    for (const Stage* stage : {&f, &g}) {
+      if (!stage->named || stage->target == nullptr) {
+        ++stats_.rejected_shape;
+        sink_.report(Severity::kNote, "fusion", call_a.span(),
+                     prefix + "a stage is not a named customizing function");
+        return false;
+      }
+    }
+    for (const Stage* stage : {&f, &g}) {
+      if (stage->bound > 0) {
+        ++stats_.rejected_partial;
+        sink_.report(Severity::kNote, "fusion", call_a.span(),
+                     prefix + "'" + stage->name + "' is partially applied (" +
+                         std::to_string(stage->bound) +
+                         " bound argument(s) would be shared across "
+                         "partitions)");
+        return false;
+      }
+    }
+    for (const Stage* stage : {&f, &g}) {
+      if (stage->synthesized) continue;
+      std::string why;
+      if (!oracle_.pure(stage->name, &why)) {
+        ++stats_.rejected_impure;
+        sink_.report(Severity::kNote, "fusion", call_a.span(),
+                     prefix + "customizing function '" + stage->name + "' " +
+                         why);
+        return false;
+      }
+    }
+    for (const Stage* stage : {&f, &g}) {
+      if (stage->target->params.size() != 2) {
+        ++stats_.rejected_shape;
+        sink_.report(Severity::kNote, "fusion", call_a.span(),
+                     prefix + "'" + stage->name +
+                         "' does not have the ($t, Index) customizing "
+                         "signature");
+        return false;
+      }
+    }
+    // The intermediate must have exactly the two matched occurrences
+    // (the first call's target and the second call's source); any
+    // other reader still needs the materialized array.
+    std::vector<const Expr*> occurrences;
+    collect_names(fn.body, inter, occurrences);
+    for (const Expr* occurrence : occurrences) {
+      if (occurrence == first.dst || occurrence == inter_read) continue;
+      ++stats_.rejected_intermediate;
+      sink_.report(Severity::kNote, "fusion", call_a.span(),
+                   prefix + "the intermediate '" + inter +
+                       "' has another reader at " +
+                       spell(occurrence->span()));
+      return false;
+    }
+    return true;
+  }
+
+  /// Synthesizes `ret __fused_<outer>_<inner>(P0 x, Index ix) { return
+  /// outer(inner(x, ix), ix); }` next to the program's functions.
+  std::string synthesize_wrapper(const Stage& inner, const Stage& outer,
+                                 Span site) {
+    std::string name = "__fused_" + outer.name + "_" + inner.name;
+    while (program_.find_function(name) != nullptr || pending_name(name))
+      name += "_";
+    Function wrapper;
+    wrapper.ret = outer.target->ret;
+    wrapper.name = name;
+    wrapper.params = inner.target->params;  // shared immutable TypePtrs
+    wrapper.line = site.line;
+    wrapper.column = site.column;
+    const std::string& elem = wrapper.params[0].name;
+    const std::string& index = wrapper.params[1].name;
+    std::vector<ExprPtr> inner_args;
+    inner_args.push_back(make_name(elem));
+    inner_args.push_back(make_name(index));
+    ExprPtr inner_call =
+        make_call(make_name(inner.name), std::move(inner_args));
+    std::vector<ExprPtr> outer_args;
+    outer_args.push_back(std::move(inner_call));
+    outer_args.push_back(make_name(index));
+    ExprPtr outer_call =
+        make_call(make_name(outer.name), std::move(outer_args));
+    auto ret = std::make_unique<Stmt>();
+    ret->kind = Stmt::Kind::kReturn;
+    ret->expr = std::move(outer_call);
+    wrapper.body.push_back(std::move(ret));
+    synthesized_.push_back(std::move(wrapper));
+    return name;
+  }
+
+  bool pending_name(const std::string& name) const {
+    for (const Function& fn : synthesized_)
+      if (fn.name == name) return true;
+    return false;
+  }
+
+  Stage resolve_stage(const Expr& arg) const {
+    Stage stage;
+    stage.span = arg.span();
+    if (arg.kind == Expr::Kind::kName) {
+      stage.name = arg.name;
+      stage.named = true;
+    } else if (arg.kind == Expr::Kind::kCall &&
+               arg.callee->kind == Expr::Kind::kName) {
+      stage.name = arg.callee->name;
+      stage.bound = arg.args.size();
+      stage.named = true;
+    } else {
+      return stage;
+    }
+    const Function* fn = program_.find_function(stage.name);
+    if (fn != nullptr && !fn->is_prototype) {
+      stage.target = fn;
+      return stage;
+    }
+    for (const Function& wrapper : synthesized_) {
+      if (wrapper.name == stage.name) {
+        stage.target = &wrapper;
+        stage.synthesized = true;
+        break;
+      }
+    }
+    return stage;
+  }
+
+  bool try_fuse_map_map(std::vector<StmtPtr>& stmts, std::size_t i,
+                        MapCall& first, MapCall& second, const Function& fn) {
+    const Stage f = resolve_stage(*first.stage);
+    const Stage g = resolve_stage(*second.stage);
+    if (!composable(*first.call, *second.call, f, g, first.dst->name,
+                    second.src, first, fn))
+      return false;
+    ++stats_.fused_map_map;
+    const std::string where_both =
+        "'" + first.call->callee->name + "' (" + spell(first.call->span()) +
+        ") with '" + second.call->callee->name + "' (" +
+        spell(second.call->span()) + ")";
+    if (!rewrite_) {
+      sink_.report(Severity::kNote, "fusion", first.call->span(),
+                   "can fuse " + where_both + ": composing '" + g.name +
+                       "' after '" + f.name +
+                       "' eliminates the intermediate '" + first.dst->name +
+                       "' and one map pass");
+      return false;  // advisory: leave the statements in place
+    }
+    const std::string wrapper =
+        synthesize_wrapper(f, g, first.call->span());
+    sink_.report(Severity::kNote, "fusion", first.call->span(),
+                 "fused " + where_both + ": '" + wrapper + "' composes '" +
+                     g.name + "' after '" + f.name +
+                     "' and eliminates the intermediate '" + first.dst->name +
+                     "'");
+    first.call->args[0] = make_name(wrapper);
+    first.call->args[2] = std::move(second.call->args[2]);
+    stmts.erase(stmts.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+    return true;
+  }
+
+  bool try_fuse_map_fold(std::vector<StmtPtr>& stmts, std::size_t i,
+                         MapCall& first, Expr& fold, const Function& fn) {
+    const Stage f = resolve_stage(*first.stage);
+    const Stage conv = resolve_stage(*fold.args[0]);
+    if (!composable(*first.call, fold, f, conv, first.dst->name,
+                    fold.args[2].get(), first, fn))
+      return false;
+    ++stats_.fused_map_fold;
+    const std::string where_both =
+        "'" + first.call->callee->name + "' (" + spell(first.call->span()) +
+        ") with '" + fold.callee->name + "' (" + spell(fold.span()) + ")";
+    if (!rewrite_) {
+      sink_.report(Severity::kNote, "fusion", first.call->span(),
+                   "can fuse " + where_both + ": composing the conversion '" +
+                       conv.name + "' after '" + f.name +
+                       "' eliminates the intermediate '" + first.dst->name +
+                       "' and one map pass");
+      return false;
+    }
+    const std::string wrapper =
+        synthesize_wrapper(f, conv, first.call->span());
+    sink_.report(Severity::kNote, "fusion", first.call->span(),
+                 "fused " + where_both + ": '" + wrapper +
+                     "' composes the conversion '" + conv.name + "' after '" +
+                     f.name + "' and eliminates the intermediate '" +
+                     first.dst->name + "'");
+    fold.args[0] = make_name(wrapper);
+    fold.args[2] = std::move(first.call->args[1]);
+    stmts.erase(stmts.begin() + static_cast<std::ptrdiff_t>(i));
+    return true;
+  }
+
+  Program& program_;
+  DiagnosticSink& sink_;
+  const bool rewrite_;
+  PurityOracle oracle_;
+  FusionStats stats_;
+  std::vector<Function> synthesized_;
+};
+
+}  // namespace
+
+FusionStats fuse_program(Program& program, DiagnosticSink& sink) {
+  return Fuser(program, sink, /*rewrite=*/true).run();
+}
+
+FusionStats analyze_fusion(const Program& program, DiagnosticSink& sink) {
+  // The no-rewrite path never mutates (every mutation sits behind the
+  // rewrite_ flag), so the advisory front can accept a const program.
+  return Fuser(const_cast<Program&>(program), sink, /*rewrite=*/false).run();
+}
+
+}  // namespace skil::skilc

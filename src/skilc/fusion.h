@@ -1,0 +1,69 @@
+// AST skeleton fusion (DESIGN.md section 13, compiler side).
+//
+// The library fuses compositions at run time (skil/skeleton_fuse.h);
+// this pass proves them at compile time.  A matcher walks every
+// statement list for adjacent skeleton calls chained through an
+// intermediate array:
+//
+//   array_map(f, a, b);            array_map(f, a, b);
+//   array_map(g, b, c);            x = array_fold(conv, op, b);
+//
+// and -- when the composition is provably safe -- rewrites them into
+// one call through a synthesized composed customizing function:
+//
+//   array_map(__fused_g_f, a, c);  x = array_fold(__fused_conv_f, op, a);
+//
+// Safety is exactly what the paper demands of customizing functions:
+// both must be pure (the call-graph-transitive PurityOracle from the
+// skeleton-purity pass proves it; an impure function is rejected
+// naming the offending write site), neither may be partially applied
+// (bound arguments are shared across partitions, so a composed
+// wrapper would smuggle shared state past the purity check), and the
+// intermediate array must have no other reader (otherwise eliminating
+// the materialized value changes the program).
+//
+// Every decision is reported as a note-level, span-carrying
+// diagnostic under the pass name "fusion", so `skil-lint --json`
+// doubles as an optimization report: which compositions fused, which
+// were rejected, and why.  The advisory entry point (analyze_fusion)
+// never mutates; compile() performs the rewrite only when
+// CompileOptions::fuse opts in, and re-typechecks the rewritten
+// program.
+#pragma once
+
+#include "skilc/ast.h"
+#include "skilc/diagnostics.h"
+
+namespace skil::skilc {
+
+/// Outcome counters of one fusion run (the compiler-side mirror of
+/// the runtime's FusionCounters).
+struct FusionStats {
+  int seen = 0;                   ///< compositions the matcher recognised
+  int fused_map_map = 0;          ///< map|map rewrites (or advisories)
+  int fused_map_fold = 0;         ///< map|fold rewrites (or advisories)
+  int rejected_impure = 0;        ///< a customizing function is impure
+  int rejected_partial = 0;       ///< a stage is partially applied
+  int rejected_intermediate = 0;  ///< the intermediate has another reader
+  int rejected_shape = 0;         ///< signatures don't compose
+
+  int fused() const { return fused_map_map + fused_map_fold; }
+  int rejected() const {
+    return rejected_impure + rejected_partial + rejected_intermediate +
+           rejected_shape;
+  }
+};
+
+/// Rewrites every provably safe adjacent skeleton composition in the
+/// *type-checked* program, appending synthesized composed functions
+/// and reporting one note per decision into `sink`.  The caller must
+/// re-typecheck the program (the synthesized wrappers carry no type
+/// annotations).
+FusionStats fuse_program(Program& program, DiagnosticSink& sink);
+
+/// Advisory form: identical matching and diagnostics ("can fuse"
+/// instead of "fused"), no mutation.  Used by skil-lint (disable with
+/// --no-fusion).
+FusionStats analyze_fusion(const Program& program, DiagnosticSink& sink);
+
+}  // namespace skil::skilc

@@ -28,6 +28,12 @@ struct GoldenCase {
   std::uint64_t bytes_sent;
   double compute_us;
   double comm_us;
+  /// Deterministic virtual time of the same cell under SKIL_FUSE=on
+  /// (tape path; engine- and settle-invariant like vtime_us).  Equal
+  /// to vtime_us for variants with no fusible composition (the
+  /// hand-written C programs).  Captured with the seed goldens'
+  /// procedure; test_skil_fusion.cpp pins them bit-exactly.
+  double fused_vtime_us;
 };
 
 inline const std::vector<GoldenCase>& golden_cases() {
@@ -38,19 +44,22 @@ inline const std::vector<GoldenCase>& golden_cases() {
        0x1.0245ad999999bp+21,
        {0x1.0245ad999999bp+21, 0x1.0092dcp+21, 0x1.00b035999999ap+21,
         0x1.00850f3333334p+21},
-       195, 126360, 0x1.ecdaba6666666p+22, 0x1.52c2ccccccce1p+18},
+       195, 126360, 0x1.ecdaba6666666p+22, 0x1.52c2ccccccce1p+18,
+       0x1.a56bde6666667p+20},
       {"gauss_dpfl_p4_n64",
        [] { return apps::gauss_dpfl(4, 64, kSeed).run; },
        0x1.b9b7abfffe8afp+23,
        {0x1.b9b7abfffe8afp+23, 0x1.b961326664f14p+23, 0x1.b96888cccb57ap+23,
         0x1.b95b059998249p+23},
-       195, 126360, 0x1.b1ea5b999864bp+25, 0x1.e32fe66657a76p+19},
+       195, 126360, 0x1.b1ea5b999864bp+25, 0x1.e32fe66657a76p+19,
+       0x1.200106000050dp+23},
       {"gauss_c_p4_n64",
        [] { return apps::gauss_c(4, 64, kSeed).run; },
        0x1.f6404cccccccbp+19,
        {0x1.f6404cccccccbp+19, 0x1.f5a5fffffffffp+19, 0x1.f61b666666665p+19,
         0x1.f577cccccccccp+19},
-       195, 101784, 0x1.cd88p+21, 0x1.42b2ffffffff7p+18},
+       195, 101784, 0x1.cd88p+21, 0x1.42b2ffffffff7p+18,
+       0x1.f6404cccccccbp+19},
       {"gauss_skil_p16_n64",
        [] { return apps::gauss_skil(16, 64, kSeed, false).run; },
        0x1.5de7766666664p+19,
@@ -60,7 +69,8 @@ inline const std::vector<GoldenCase>& golden_cases() {
         0x1.58447cccccccbp+19, 0x1.5872afffffffep+19, 0x1.57b6166666664p+19,
         0x1.58b9e33333331p+19, 0x1.5872afffffffep+19, 0x1.58a0e33333331p+19,
         0x1.57097cccccccbp+19},
-       975, 538200, 0x1.06a8b13333333p+23, 0x1.47e1399999993p+21},
+       975, 538200, 0x1.06a8b13333333p+23, 0x1.47e1399999993p+21,
+       0x1.28ebdcccccccbp+19},
       {"gauss_dpfl_p16_n64",
        [] { return apps::gauss_dpfl(16, 64, kSeed).run; },
        0x1.069fb99999fbap+22,
@@ -70,7 +80,8 @@ inline const std::vector<GoldenCase>& golden_cases() {
         0x1.06125ccccd2eep+22, 0x1.0618233333954p+22, 0x1.0600900000621p+22,
         0x1.0621099999fbbp+22, 0x1.0618233333954p+22, 0x1.061de99999fbap+22,
         0x1.05e5899999fbap+22},
-       975, 538200, 0x1.d940680000607p+25, 0x1.97af1ccccf598p+22},
+       975, 538200, 0x1.d940680000607p+25, 0x1.97af1ccccf598p+22,
+       0x1.5b40c19999e54p+21},
       {"gauss_c_p16_n64",
        [] { return apps::gauss_c(16, 64, kSeed).run; },
        0x1.7e1dffffffffep+18,
@@ -80,42 +91,49 @@ inline const std::vector<GoldenCase>& golden_cases() {
         0x1.7ac5999999998p+18, 0x1.7b21ffffffffep+18, 0x1.79a8ccccccccbp+18,
         0x1.7bb0666666665p+18, 0x1.7b21ffffffffep+18, 0x1.7b7e666666664p+18,
         0x1.7861999999998p+18},
-       975, 507480, 0x1.cd88p+21, 0x1.2879cccccccc9p+21},
+       975, 507480, 0x1.cd88p+21, 0x1.2879cccccccc9p+21,
+       0x1.7e1dffffffffep+18},
       {"gauss_skil_p4_n128",
        [] { return apps::gauss_skil(4, 128, kSeed, false).run; },
        0x1.e2bc44999999ap+23,
        {0x1.e2bc44999999ap+23, 0x1.e10a436666666p+23, 0x1.e117336666666p+23,
         0x1.e104036666666p+23},
-       387, 498456, 0x1.da53674ccccccp+25, 0x1.c94219999999ep+19},
+       387, 498456, 0x1.da53674ccccccp+25, 0x1.c94219999999ep+19,
+       0x1.86bfa56666667p+23},
       {"gauss_dpfl_p4_n128",
        [] { return apps::gauss_dpfl(4, 128, kSeed).run; },
        0x1.a4779cb342478p+26,
        {0x1.a4779cb342478p+26, 0x1.a44b60b342479p+26, 0x1.a44cfeb342479p+26,
         0x1.a44a41800f145p+26},
-       387, 498456, 0x1.a109add9a816ap+28, 0x1.a670c666b1133p+21},
+       387, 498456, 0x1.a109add9a816ap+28, 0x1.a670c666b1133p+21,
+       0x1.112075f33f6b6p+26},
       {"gauss_c_p4_n128",
        [] { return apps::gauss_c(4, 128, kSeed).run; },
        0x1.cc2f233333333p+22,
        {0x1.cc2f233333333p+22, 0x1.cc0f4p+22, 0x1.cc292p+22, 0x1.cc03ep+22},
-       387, 400152, 0x1.beb2p+24, 0x1.ad1b199999998p+19},
+       387, 400152, 0x1.beb2p+24, 0x1.ad1b199999998p+19,
+       0x1.cc2f233333333p+22},
       {"shpaths_skil_p4_n32",
        [] { return apps::shpaths_skil(4, 32, kSeed).run; },
        0x1.3ab5a00000001p+19,
        {0x1.3ab5a00000001p+19, 0x1.3a02d9999999ap+19, 0x1.39804p+19,
         0x1.39c18cccccccdp+19},
-       123, 126936, 0x1.2c5244cccccccp+21, 0x1.b5899999999c2p+16},
+       123, 126936, 0x1.2c5244cccccccp+21, 0x1.b5899999999c2p+16,
+       0x1.36c0d33333334p+19},
       {"shpaths_dpfl_p4_n32",
        [] { return apps::shpaths_dpfl(4, 32, kSeed).run; },
        0x1.d870fccccccccp+21,
        {0x1.d870fccccccccp+21, 0x1.d840033333333p+21, 0x1.d82d433333333p+21,
         0x1.d83d966666666p+21},
-       103, 106296, 0x1.d5c49p+23, 0x1.41333333332f2p+16},
+       103, 106296, 0x1.d5c49p+23, 0x1.41333333332f2p+16,
+       0x1.d780fccccccccp+21},
       {"shpaths_c_opt_p4_n32",
        [] { return apps::shpaths_c(4, 32, kSeed, true).run; },
        0x1.0d55333333334p+19,
        {0x1.0d55333333334p+19, 0x1.0c914cccccccdp+19, 0x1.0c464ccccccccp+19,
         0x1.0c8799999999ap+19},
-       63, 65016, 0x1.05918p+21, 0x1.c6e6666666687p+15},
+       63, 65016, 0x1.05918p+21, 0x1.c6e6666666687p+15,
+       0x1.0d55333333334p+19},
       {"shpaths_skil_p16_n48",
        [] { return apps::shpaths_skil(16, 48, kSeed).run; },
        0x1.4f94acccccccep+19,
@@ -125,7 +143,8 @@ inline const std::vector<GoldenCase>& golden_cases() {
         0x1.4914b33333332p+19, 0x1.48e3cccccccccp+19, 0x1.4914b33333332p+19,
         0x1.4ce2e66666667p+19, 0x1.48fa999999998p+19, 0x1.48e07fffffffep+19,
         0x1.4ce2e66666667p+19},
-       1071, 625464, 0x1.2ed1813333333p+23, 0x1.b4d44ccccccdp+19},
+       1071, 625464, 0x1.2ed1813333333p+23, 0x1.b4d44ccccccdp+19,
+       0x1.476979999999bp+19},
       {"shpaths_dpfl_p16_n48",
        [] { return apps::shpaths_dpfl(16, 48, kSeed).run; },
        0x1.e11abccccccccp+21,
@@ -135,7 +154,8 @@ inline const std::vector<GoldenCase>& golden_cases() {
         0x1.dff8366666667p+21, 0x1.dff7fp+21, 0x1.dff1b00000001p+21,
         0x1.e083e99999999p+21, 0x1.dfeae33333334p+21, 0x1.dff8366666668p+21,
         0x1.e083e99999999p+21},
-       927, 541368, 0x1.daf8dp+25, 0x1.4b171999999b6p+19},
+       927, 541368, 0x1.daf8dp+25, 0x1.4b171999999b6p+19,
+       0x1.df34bccccccccp+21},
       {"shpaths_c_opt_p16_n48",
        [] { return apps::shpaths_c(16, 48, kSeed, true).run; },
        0x1.1da67ffffffffp+19,
@@ -145,13 +165,15 @@ inline const std::vector<GoldenCase>& golden_cases() {
         0x1.1935666666663p+19, 0x1.19344cccccccbp+19, 0x1.191b4cccccccap+19,
         0x1.1b64333333332p+19, 0x1.1900199999997p+19, 0x1.1935666666664p+19,
         0x1.1b64333333332p+19},
-       735, 429240, 0x1.08bbccccccccap+23, 0x1.12be199999997p+19},
+       735, 429240, 0x1.08bbccccccccap+23, 0x1.12be199999997p+19,
+       0x1.1da67ffffffffp+19},
       {"gauss_skil_pivot_p4_n32",
        [] { return apps::gauss_skil(4, 32, kSeed, true).run; },
        0x1.ee1b866666666p+18,
        {0x1.ee1b866666666p+18, 0x1.eaa6933333333p+18, 0x1.eb37c66666666p+18,
         0x1.ea64f99999999p+18},
-       339, 50712, 0x1.69eab6666666dp+20, 0x1.0359ffffffffp+19},
+       339, 50712, 0x1.69eab6666666dp+20, 0x1.0359ffffffffp+19,
+       0x1.e90f933333333p+18},
   };
   return cases;
 }
@@ -175,6 +197,17 @@ auto with_charge_path(parix::ChargePath path, Fn&& fn) {
   parix::set_default_charge_path(path);
   auto result = fn();
   parix::set_default_charge_path(saved);
+  return result;
+}
+
+/// Runs `fn` with `mode` as the process-wide default fuse mode,
+/// restoring the previous default afterwards.
+template <class Fn>
+auto with_fuse_mode(parix::FuseMode mode, Fn&& fn) {
+  const parix::FuseMode saved = parix::default_fuse_mode();
+  parix::set_default_fuse_mode(mode);
+  auto result = fn();
+  parix::set_default_fuse_mode(saved);
   return result;
 }
 

@@ -1,0 +1,234 @@
+// Skeleton fusion (DESIGN.md section 13): golden fused virtual times,
+// off-mode bit-identity with the seed goldens, differential
+// result-bit-equality between SKIL_FUSE=off and SKIL_FUSE=on, and the
+// fusion counters' accounting.
+//
+// The contract under test:
+//   * off (the default): every cell reproduces the seed golden vtimes
+//     bit-exactly and the fusion counters stay at zero -- fusion
+//     support must be invisible when disabled.
+//   * on: array *results* stay bit-identical to off on every cell
+//     while virtual times land on their own pinned goldens
+//     (fused_vtime_us), strictly no higher than the seed values, and
+//     engine-invariant like the seed values.
+//   * every fusible composition is accounted for: seen = fused +
+//     rejected, with kShape rejections on the pivoting Gauss cell and
+//     kPath rejections when the interpretive charge path is active.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "apps/gauss.h"
+#include "apps/matmul.h"
+#include "apps/shortest_paths.h"
+#include "parix/charge_tape.h"
+#include "parix/runtime.h"
+#include "parix_golden_cases.h"
+#include "support/error.h"
+
+namespace {
+
+using namespace skil;
+using namespace skil::parix;
+
+using skil::testing::GoldenCase;
+using skil::testing::golden_cases;
+using skil::testing::kGoldenSeed;
+using skil::testing::with_charge_path;
+using skil::testing::with_engine;
+using skil::testing::with_fuse_mode;
+
+template <class T>
+bool bits_equal(const std::vector<T>& a, const std::vector<T>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
+}
+
+// --- mode parsing -----------------------------------------------------------
+
+TEST(FuseMode, StrictParsingAndNames) {
+  EXPECT_EQ(parse_fuse_mode("off"), FuseMode::kOff);
+  EXPECT_EQ(parse_fuse_mode("on"), FuseMode::kOn);
+  EXPECT_THROW(parse_fuse_mode("ON"), support::ContractError);
+  EXPECT_THROW(parse_fuse_mode("yes"), support::ContractError);
+  EXPECT_THROW(parse_fuse_mode(""), support::ContractError);
+  EXPECT_EQ(fuse_mode_name(FuseMode::kOff), "off");
+  EXPECT_EQ(fuse_mode_name(FuseMode::kOn), "on");
+}
+
+// --- off: invisible ---------------------------------------------------------
+
+TEST(FusionGolden, OffReproducesSeedVirtualTimesWithZeroCounters) {
+  for (const GoldenCase& c : golden_cases()) {
+    SCOPED_TRACE(c.name);
+    const RunResult r = with_fuse_mode(FuseMode::kOff, [&] { return c.run(); });
+    EXPECT_EQ(r.vtime_us, c.vtime_us);
+    EXPECT_EQ(r.proc_vtimes, c.proc_vtimes);
+    EXPECT_EQ(r.fusion.seen, 0u);
+    EXPECT_EQ(r.fusion.fused, 0u);
+    EXPECT_EQ(r.fusion.rejected(), 0u);
+    EXPECT_EQ(r.fusion.barriers_eliminated, 0u);
+    EXPECT_EQ(r.fusion.tapes_eliminated, 0u);
+  }
+}
+
+// --- on: pinned fused goldens ----------------------------------------------
+
+TEST(FusionGolden, OnReproducesFusedVirtualTimes) {
+  for (const GoldenCase& c : golden_cases()) {
+    SCOPED_TRACE(c.name);
+    const RunResult r = with_fuse_mode(FuseMode::kOn, [&] { return c.run(); });
+    EXPECT_EQ(r.vtime_us, c.fused_vtime_us);
+    // Fusion can only remove passes and barriers, never add charges.
+    EXPECT_LE(r.vtime_us, c.vtime_us);
+    // Every composition the fused paths saw is accounted for.
+    EXPECT_EQ(r.fusion.seen, r.fusion.fused + r.fusion.rejected());
+    if (c.fused_vtime_us < c.vtime_us) {
+      EXPECT_GT(r.fusion.fused, 0u) << "vtime moved without a fused composition";
+    } else {
+      // The hand-written C programs have no fusible composition.
+      EXPECT_EQ(r.fusion.seen, 0u);
+    }
+  }
+}
+
+TEST(FusionGolden, FusedVirtualTimesAreEngineInvariant) {
+  for (const GoldenCase& c : golden_cases()) {
+    SCOPED_TRACE(c.name);
+    const RunResult threads = with_fuse_mode(FuseMode::kOn, [&] {
+      return with_engine(ExecutionEngine::kThreads, [&] { return c.run(); });
+    });
+    const RunResult pooled = with_fuse_mode(FuseMode::kOn, [&] {
+      return with_engine(ExecutionEngine::kPooled, [&] { return c.run(); });
+    });
+    EXPECT_EQ(threads.vtime_us, c.fused_vtime_us);
+    EXPECT_EQ(pooled.vtime_us, c.fused_vtime_us);
+    EXPECT_EQ(threads.proc_vtimes, pooled.proc_vtimes);
+  }
+}
+
+TEST(FusionGolden, PivotingGaussRejectsPermutedStepsByShape) {
+  const RunResult r = with_fuse_mode(FuseMode::kOn, [] {
+    return apps::gauss_skil(4, 32, kGoldenSeed, /*pivoting=*/true).run;
+  });
+  // Steps whose pivot search permutes rows cannot fuse the in-place
+  // elimination (it would read moved data); the rest fuse normally.
+  EXPECT_GT(r.fusion.rejected_shape, 0u);
+  EXPECT_GT(r.fusion.fused, 0u);
+  EXPECT_EQ(r.fusion.rejected_order, 0u);
+  EXPECT_EQ(r.fusion.rejected_path, 0u);
+}
+
+// --- interpretive charge path keeps the oracle unfused ----------------------
+
+TEST(FusionGolden, InterpChargePathRejectsFusionBitIdentically) {
+  // Fused variants are taped; under SKIL_CHARGE=interp the fused-mode
+  // run must execute exactly the interpretive oracle (kPath
+  // rejections, no fused composition, bit-identical vtimes to
+  // interp + off).
+  const GoldenCase& c = golden_cases().front();  // gauss_skil_p4_n64
+  const RunResult off = with_charge_path(ChargePath::kInterp, [&] {
+    return with_fuse_mode(FuseMode::kOff, [&] { return c.run(); });
+  });
+  const RunResult on = with_charge_path(ChargePath::kInterp, [&] {
+    return with_fuse_mode(FuseMode::kOn, [&] { return c.run(); });
+  });
+  EXPECT_EQ(on.vtime_us, off.vtime_us);
+  EXPECT_EQ(on.proc_vtimes, off.proc_vtimes);
+  EXPECT_EQ(on.fusion.fused, 0u);
+  EXPECT_GT(on.fusion.rejected_path, 0u);
+  EXPECT_EQ(off.fusion.seen, 0u);
+}
+
+// --- differential: results bit-identical off vs on --------------------------
+
+TEST(FusionDifferential, GaussSolutionsBitIdentical) {
+  const auto off = with_fuse_mode(FuseMode::kOff, [] {
+    return apps::gauss_skil(4, 64, kGoldenSeed, false);
+  });
+  const auto on = with_fuse_mode(FuseMode::kOn, [] {
+    return apps::gauss_skil(4, 64, kGoldenSeed, false);
+  });
+  EXPECT_TRUE(bits_equal(off.x, on.x));
+  EXPECT_LT(on.run.vtime_us, off.run.vtime_us);
+}
+
+TEST(FusionDifferential, GaussPivotingSolutionsBitIdentical) {
+  const auto off = with_fuse_mode(FuseMode::kOff, [] {
+    return apps::gauss_skil(4, 32, kGoldenSeed, true);
+  });
+  const auto on = with_fuse_mode(FuseMode::kOn, [] {
+    return apps::gauss_skil(4, 32, kGoldenSeed, true);
+  });
+  EXPECT_TRUE(bits_equal(off.x, on.x));
+  EXPECT_LE(on.run.vtime_us, off.run.vtime_us);
+}
+
+TEST(FusionDifferential, GaussDpflSolutionsBitIdentical) {
+  const auto off = with_fuse_mode(FuseMode::kOff, [] {
+    return apps::gauss_dpfl(4, 64, kGoldenSeed);
+  });
+  const auto on = with_fuse_mode(FuseMode::kOn, [] {
+    return apps::gauss_dpfl(4, 64, kGoldenSeed);
+  });
+  EXPECT_TRUE(bits_equal(off.x, on.x));
+  EXPECT_LT(on.run.vtime_us, off.run.vtime_us);
+}
+
+TEST(FusionDifferential, MatmulProductsBitIdentical) {
+  const auto off = with_fuse_mode(FuseMode::kOff, [] {
+    return apps::matmul_skil(4, 64, kGoldenSeed);
+  });
+  const auto on = with_fuse_mode(FuseMode::kOn, [] {
+    return apps::matmul_skil(4, 64, kGoldenSeed);
+  });
+  EXPECT_TRUE(bits_equal(off.product.storage(), on.product.storage()));
+  EXPECT_LT(on.run.vtime_us, off.run.vtime_us);
+
+  const auto doff = with_fuse_mode(FuseMode::kOff, [] {
+    return apps::matmul_dpfl(4, 64, kGoldenSeed);
+  });
+  const auto don = with_fuse_mode(FuseMode::kOn, [] {
+    return apps::matmul_dpfl(4, 64, kGoldenSeed);
+  });
+  EXPECT_TRUE(bits_equal(doff.product.storage(), don.product.storage()));
+  EXPECT_LT(don.run.vtime_us, doff.run.vtime_us);
+}
+
+TEST(FusionDifferential, ShortestPathsDistancesBitIdentical) {
+  const auto off = with_fuse_mode(FuseMode::kOff, [] {
+    return apps::shpaths_skil(4, 32, kGoldenSeed);
+  });
+  const auto on = with_fuse_mode(FuseMode::kOn, [] {
+    return apps::shpaths_skil(4, 32, kGoldenSeed);
+  });
+  EXPECT_TRUE(bits_equal(off.distances.storage(), on.distances.storage()));
+  EXPECT_LT(on.run.vtime_us, off.run.vtime_us);
+
+  const auto doff = with_fuse_mode(FuseMode::kOff, [] {
+    return apps::shpaths_dpfl(4, 32, kGoldenSeed);
+  });
+  const auto don = with_fuse_mode(FuseMode::kOn, [] {
+    return apps::shpaths_dpfl(4, 32, kGoldenSeed);
+  });
+  EXPECT_TRUE(
+      bits_equal(doff.distances.storage(), don.distances.storage()));
+  EXPECT_LT(don.run.vtime_us, doff.run.vtime_us);
+
+  // The hand-written C program has no fusible composition: identical
+  // vtimes, zero counters.
+  const auto coff = with_fuse_mode(FuseMode::kOff, [] {
+    return apps::shpaths_c(4, 32, kGoldenSeed, true);
+  });
+  const auto con = with_fuse_mode(FuseMode::kOn, [] {
+    return apps::shpaths_c(4, 32, kGoldenSeed, true);
+  });
+  EXPECT_TRUE(
+      bits_equal(coff.distances.storage(), con.distances.storage()));
+  EXPECT_EQ(con.run.vtime_us, coff.run.vtime_us);
+  EXPECT_EQ(con.run.fusion.seen, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,225 @@
+// Differential fuzz for lazy skeleton composition (skil::fuse and
+// skil::dpfl stage pipelines, DESIGN.md section 13).
+//
+// Random map/fold/scan pipelines over random processor counts and
+// (deliberately ragged) array lengths run twice -- SKIL_FUSE=off and
+// SKIL_FUSE=on -- and must agree bit-for-bit on every array element
+// and every fold/scan result: fusion composes the same per-element
+// calls and the same combine order, it only removes passes.  Virtual
+// times must be strictly lower under fusion whenever a composition
+// fused (the eliminated charge tails), deterministic across repeated
+// fused runs, and the fusion counters must account for exactly the
+// compositions each pipeline presents: one fused note per processor
+// per composition, a kOrder rejection for the floating-point
+// scan|total (only order-exact integral domains may drop the unfused
+// allreduce), and zero counters under off.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "dpfl/dpfl.h"
+#include "parix/charge_tape.h"
+#include "parix/runtime.h"
+#include "parix_golden_cases.h"
+#include "skil/skil.h"
+
+namespace {
+
+using namespace skil;
+using parix::CostModel;
+using parix::FuseMode;
+using parix::Proc;
+using parix::RunConfig;
+using parix::RunResult;
+using skil::testing::with_fuse_mode;
+
+struct TrialParams {
+  int p;
+  int n;
+  double c1, c2, c3;  // map-stage coefficients
+  int m1, m2;         // integer-domain coefficients
+};
+
+struct TrialOutcome {
+  RunResult run;
+  std::vector<double> map_map;
+  std::vector<double> map_map_map;
+  double map_fold = 0.0;
+  std::vector<long> int_prefix;
+  long int_total = 0;
+  std::vector<double> fp_prefix;
+  double fp_total = 0.0;
+  std::vector<double> fa_map_map;
+  double fa_map_fold = 0.0;
+};
+
+// Number of fusible compositions one trial body presents per
+// processor: map|map, map|map|map, map|fold, int scan|total,
+// fa_map|fa_map, fa_map|fa_fold fuse; the FP scan|total is rejected
+// (kOrder).
+constexpr std::uint64_t kFusibleCompositions = 6;
+constexpr std::uint64_t kOrderRejections = 1;
+// Tape passes the fused forms eliminate: 1 (map|map) + 2 (map|map|map)
+// + 1 (map|fold) + 1 (int scan|total) + 1 (fa map|map) + 1 (fa
+// map|fold).
+constexpr std::uint64_t kTapesEliminated = 7;
+// Collective rounds eliminated: the int scan|total's allreduce.
+constexpr std::uint64_t kBarriersEliminated = 1;
+
+TrialOutcome run_trial(const TrialParams& t) {
+  TrialOutcome out;
+  RunConfig config{t.p, CostModel::t800()};
+  out.run = parix::spmd_run(config, [&](Proc& proc) {
+    const double c1 = t.c1, c2 = t.c2, c3 = t.c3;
+    const int m1 = t.m1, m2 = t.m2;
+    auto a = array_create<double>(proc, 1, Size{t.n}, [c1](Index ix) {
+      return c1 * ix[0] + 0.25;
+    });
+
+    // map | map.
+    auto mm = array_create<double>(proc, 1, Size{t.n}, [](Index) { return 0.0; });
+    fuse::force(fuse::map([c2](double x) { return c2 * x + 1.0; }) |
+                    fuse::map([c3](double x, Index ix) {
+                      return x - c3 * ix[0];
+                    }),
+                a, mm);
+
+    // map | map | map (left-associated chain).
+    auto mmm =
+        array_create<double>(proc, 1, Size{t.n}, [](Index) { return 0.0; });
+    fuse::force(fuse::map([c2](double x) { return x * c2; }) |
+                    fuse::map([c3](double x) { return x + c3; }) |
+                    fuse::map([](double x) { return x * 0.5; }),
+                a, mmm);
+
+    // map | fold (FP fold: fused keeps the exact combine order, so
+    // the result stays bit-identical across modes).
+    auto scratch =
+        array_create<double>(proc, 1, Size{t.n}, [](Index) { return 0.0; });
+    const double folded =
+        fuse::force(fuse::map([c2](double x) { return x * c2 + 0.125; }) |
+                        fuse::fold([](double x, Index) { return x; }, fn::plus),
+                    a, scratch);
+
+    // scan | total over an integral domain: fusible (order-exact).
+    auto ia = array_create<int>(proc, 1, Size{t.n}, [m1, m2](Index ix) {
+      return (ix[0] * m1 + m2) % 17 - 3;
+    });
+    auto iprefix =
+        array_create<long>(proc, 1, Size{t.n}, [](Index) { return 0L; });
+    const long itotal = fuse::force(
+        fuse::scan([](int v, Index) { return static_cast<long>(v); },
+                   fn::plus) |
+            fuse::total(),
+        ia, iprefix);
+
+    // scan | total over doubles: rejected (kOrder), runs unfused
+    // either way -- results and vtimes must not move at all.
+    auto dprefix =
+        array_create<double>(proc, 1, Size{t.n}, [](Index) { return 0.0; });
+    const double dtotal = fuse::force(
+        fuse::scan([](double v, Index) { return v; }, fn::plus) |
+            fuse::total(),
+        a, dprefix);
+
+    // DPFL pipelines.
+    const dpfl::Closure<double(Index)> init(
+        proc, [c1](Index ix) { return c1 * (ix[0] + 1); });
+    const auto fa = dpfl::fa_create<double>(proc, 1, Size{t.n}, init);
+    const dpfl::Closure<double(double, Index)> f(
+        proc, [c2](double x, Index) { return x * c2 - 0.5; });
+    const dpfl::Closure<double(double, Index)> g(
+        proc, [c3](double x, Index ix) { return x + c3 * ix[0]; });
+    const auto famm = dpfl::fa_force(dpfl::fa_map(f) | dpfl::fa_map(g), fa);
+    const dpfl::Closure<double(double, Index)> conv(
+        proc, [](double x, Index) { return x; });
+    const dpfl::Closure<double(double, double)> add(
+        proc, [](double x, double y) { return x + y; });
+    const double fafolded =
+        dpfl::fa_force(dpfl::fa_map(f) | dpfl::fa_fold(conv, add), fa);
+
+    const auto g_mm = array_gather_all(mm);
+    const auto g_mmm = array_gather_all(mmm);
+    const auto g_iprefix = array_gather_all(iprefix);
+    const auto g_dprefix = array_gather_all(dprefix);
+    const auto g_famm = dpfl::fa_gather_all(famm);
+    if (proc.id() == 0) {
+      out.map_map = g_mm;
+      out.map_map_map = g_mmm;
+      out.map_fold = folded;
+      out.int_prefix = g_iprefix;
+      out.int_total = itotal;
+      out.fp_prefix = g_dprefix;
+      out.fp_total = dtotal;
+      out.fa_map_map = g_famm;
+      out.fa_map_fold = fafolded;
+    }
+  });
+  return out;
+}
+
+TEST(FusionFuzz, RandomPipelinesAgreeBitForBitAcrossModes) {
+  std::mt19937 rng(19960528u);
+  std::uniform_int_distribution<int> pick_p(0, 5);
+  const int procs[] = {1, 2, 3, 4, 6, 8};
+  std::uniform_int_distribution<int> pick_n(1, 64);
+  std::uniform_real_distribution<double> pick_c(-2.0, 2.0);
+  std::uniform_int_distribution<int> pick_m(1, 9);
+
+  for (int trial = 0; trial < 8; ++trial) {
+    TrialParams t{procs[pick_p(rng)], pick_n(rng), pick_c(rng),
+                  pick_c(rng),        pick_c(rng), pick_m(rng),
+                  pick_m(rng)};
+    SCOPED_TRACE(::testing::Message() << "trial " << trial << " p=" << t.p
+                                      << " n=" << t.n);
+
+    const TrialOutcome off =
+        with_fuse_mode(FuseMode::kOff, [&] { return run_trial(t); });
+    const TrialOutcome on =
+        with_fuse_mode(FuseMode::kOn, [&] { return run_trial(t); });
+
+    // Results: bit-identical everywhere.
+    EXPECT_EQ(off.map_map, on.map_map);
+    EXPECT_EQ(off.map_map_map, on.map_map_map);
+    EXPECT_EQ(off.map_fold, on.map_fold);
+    EXPECT_EQ(off.int_prefix, on.int_prefix);
+    EXPECT_EQ(off.int_total, on.int_total);
+    EXPECT_EQ(off.fp_prefix, on.fp_prefix);
+    EXPECT_EQ(off.fp_total, on.fp_total);
+    EXPECT_EQ(off.fa_map_map, on.fa_map_map);
+    EXPECT_EQ(off.fa_map_fold, on.fa_map_fold);
+
+    // Virtual time: strictly lower under fusion (charge tails and a
+    // collective round were eliminated), deterministic across modes
+    // otherwise untouched.
+    EXPECT_LT(on.run.vtime_us, off.run.vtime_us);
+
+    // Counter accounting: per processor, every composition either
+    // fused or was rejected for the FP fold order.
+    const std::uint64_t p = static_cast<std::uint64_t>(t.p);
+    EXPECT_EQ(on.run.fusion.fused, kFusibleCompositions * p);
+    EXPECT_EQ(on.run.fusion.rejected_order, kOrderRejections * p);
+    EXPECT_EQ(on.run.fusion.rejected_shape, 0u);
+    EXPECT_EQ(on.run.fusion.rejected_path, 0u);
+    EXPECT_EQ(on.run.fusion.seen,
+              (kFusibleCompositions + kOrderRejections) * p);
+    EXPECT_EQ(on.run.fusion.tapes_eliminated, kTapesEliminated * p);
+    EXPECT_EQ(on.run.fusion.barriers_eliminated, kBarriersEliminated * p);
+    EXPECT_EQ(off.run.fusion.seen, 0u);
+    EXPECT_EQ(off.run.fusion.fused, 0u);
+    EXPECT_EQ(off.run.fusion.rejected(), 0u);
+
+    // Fused runs are deterministic: an immediate repeat lands on the
+    // same bits.
+    const TrialOutcome again =
+        with_fuse_mode(FuseMode::kOn, [&] { return run_trial(t); });
+    EXPECT_EQ(again.run.vtime_us, on.run.vtime_us);
+    EXPECT_EQ(again.run.proc_vtimes, on.run.proc_vtimes);
+    EXPECT_EQ(again.map_map, on.map_map);
+    EXPECT_EQ(again.int_total, on.int_total);
+  }
+}
+
+}  // namespace

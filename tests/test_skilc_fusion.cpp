@@ -1,0 +1,347 @@
+// Tests for the compiler-side skeleton fusion pass (DESIGN.md section
+// 13): the advisory lint pass (byte-exact fixture goldens, JSON
+// report), the compile()-time rewrite (synthesized __fused_ wrappers,
+// intermediate elimination, re-typecheck), and every rejection reason
+// (impure stage naming the offending site, partial application,
+// intermediate with another reader, unresolved stages).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "skilc/analyze.h"
+#include "skilc/compiler.h"
+#include "skilc/diagnostics.h"
+#include "skilc/fusion.h"
+#include "skilc/parser.h"
+#include "skilc/typecheck.h"
+
+namespace {
+
+using namespace skil::skilc;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(static_cast<bool>(in)) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string fixture_source(const std::string& name) {
+  const std::string dir = SKIL_LINT_FIXTURE_DIR;
+  return read_file(dir + "/" + name + ".skil");
+}
+
+std::string lint_fixture(const std::string& name,
+                         const AnalyzeOptions& options = {}) {
+  DiagnosticSink sink;
+  lint_source(fixture_source(name), sink, options);
+  return sink.render(name + ".skil");
+}
+
+std::string golden(const std::string& name) {
+  const std::string dir = SKIL_LINT_FIXTURE_DIR;
+  return read_file(dir + "/" + name + ".expected");
+}
+
+/// Occurrences of `needle` in `haystack`.
+std::size_t count_in(const std::string& haystack, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + 1))
+    ++count;
+  return count;
+}
+
+// --- the advisory pass against the fixture goldens -------------------------
+
+TEST(FusionFixtures, MapMapAdvisoryMatchesGolden) {
+  EXPECT_EQ(lint_fixture("fuse_map_map"), golden("fuse_map_map"));
+}
+
+TEST(FusionFixtures, MapFoldAdvisoryMatchesGolden) {
+  EXPECT_EQ(lint_fixture("fuse_map_fold"), golden("fuse_map_fold"));
+}
+
+TEST(FusionFixtures, ImpureCompositionRejectionMatchesGolden) {
+  EXPECT_EQ(lint_fixture("fuse_impure_reject"), golden("fuse_impure_reject"));
+}
+
+TEST(FusionFixtures, GoldensAreNonEmptyAndNameTheDecision) {
+  EXPECT_NE(golden("fuse_map_map").find("can fuse"), std::string::npos);
+  EXPECT_NE(golden("fuse_map_fold").find("can fuse"), std::string::npos);
+  EXPECT_NE(golden("fuse_impure_reject").find("not fused"),
+            std::string::npos);
+  // The rejection must name the offending site inside the stage.
+  EXPECT_NE(golden("fuse_impure_reject")
+                .find("calls the impure builtin 'rand' at line 19:49"),
+            std::string::npos);
+}
+
+TEST(FusionFixtures, NoFusionOptionSilencesTheAdvisory) {
+  AnalyzeOptions options;
+  options.fusion = false;
+  EXPECT_EQ(lint_fixture("fuse_map_map", options), "");
+}
+
+TEST(FusionFixtures, JsonReportMatchesGolden) {
+  DiagnosticSink sink;
+  lint_source(fixture_source("fuse_map_map"), sink);
+  EXPECT_EQ(sink.render_json("fuse_map_map.skil"),
+            golden("fuse_map_map.json"));
+}
+
+// --- the compile()-time rewrite --------------------------------------------
+
+CompileOptions fuse_options() {
+  CompileOptions options;
+  options.fuse = true;
+  return options;
+}
+
+TEST(FusionRewrite, MapMapComposesIntoOneCallThroughAWrapper) {
+  const CompileResult result =
+      compile(fixture_source("fuse_map_map"), fuse_options());
+  EXPECT_EQ(result.fusion.seen, 1);
+  EXPECT_EQ(result.fusion.fused_map_map, 1);
+  EXPECT_EQ(result.fusion.rejected(), 0);
+  ASSERT_NE(result.typed.find_function("__fused_shift_scale"), nullptr);
+  ASSERT_NE(result.typed.find_function("run"), nullptr);
+  // The two map statements collapsed into one.
+  EXPECT_EQ(result.typed.find_function("run")->body.size(), 1u);
+  EXPECT_NE(result.c_code.find("__fused_shift_scale"), std::string::npos);
+  // One decision note, marked as an actual rewrite.
+  bool saw_note = false;
+  for (const Diagnostic& diag : result.diagnostics) {
+    if (diag.pass != "fusion") continue;
+    saw_note = true;
+    EXPECT_EQ(diag.severity, Severity::kNote);
+    EXPECT_NE(diag.message.find("fused 'array_map'"), std::string::npos);
+    EXPECT_NE(diag.message.find("eliminates the intermediate 'T'"),
+              std::string::npos);
+  }
+  EXPECT_TRUE(saw_note);
+}
+
+TEST(FusionRewrite, MapFoldComposesIntoTheConversion) {
+  const CompileResult result =
+      compile(fixture_source("fuse_map_fold"), fuse_options());
+  EXPECT_EQ(result.fusion.seen, 1);
+  EXPECT_EQ(result.fusion.fused_map_fold, 1);
+  ASSERT_NE(result.typed.find_function("__fused_ident_square"), nullptr);
+  ASSERT_NE(result.typed.find_function("sum_of_squares"), nullptr);
+  // The map statement is gone; only the return remains and the fold
+  // now reads the original input A.
+  EXPECT_EQ(result.typed.find_function("sum_of_squares")->body.size(), 1u);
+  EXPECT_NE(result.c_code.find("__fused_ident_square"), std::string::npos);
+}
+
+TEST(FusionRewrite, ChainOfThreeMapsFusesToASingleCall) {
+  const CompileResult result = compile(R"(
+    pardata array <$t> impl;
+    Index mk_index(int i);
+    int part_lower(array <$t> a);
+    int part_upper(array <$t> a);
+
+    void array_map ($t2 map_f ($t1, Index), array <$t1> a, array <$t2> b) {
+      int i;
+      for (i = part_lower(a); i < part_upper(a); i = i + 1)
+        b[i] = map_f(a[i], mk_index(i));
+    }
+
+    float f (float elem, Index ix) { return elem * 2.0; }
+    float g (float elem, Index ix) { return elem + 1.0; }
+    float h (float elem, Index ix) { return elem * elem; }
+
+    void run (array <float> A, array <float> T1, array <float> T2,
+              array <float> B) {
+      array_map(f, A, T1);
+      array_map(g, T1, T2);
+      array_map(h, T2, B);
+    }
+  )",
+                                       fuse_options());
+  EXPECT_EQ(result.fusion.seen, 2);
+  EXPECT_EQ(result.fusion.fused_map_map, 2);
+  ASSERT_NE(result.typed.find_function("run"), nullptr);
+  EXPECT_EQ(result.typed.find_function("run")->body.size(), 1u);
+  // The second wrapper composes h after the first wrapper.
+  EXPECT_NE(result.typed.find_function("__fused_g_f"), nullptr);
+  EXPECT_NE(result.typed.find_function("__fused_h___fused_g_f"), nullptr);
+}
+
+TEST(FusionRewrite, ImpureStageIsRejectedNamingTheOffendingSite) {
+  // With the skeleton-purity gate on, compile() refuses the program
+  // outright -- the gate precedes the rewrite.
+  EXPECT_THROW(compile(fixture_source("fuse_impure_reject"), fuse_options()),
+               AnalysisError);
+
+  // With the gate off, the fusion pass still defends itself: the
+  // composition is recognised but rejected, naming the impure call.
+  CompileOptions options = fuse_options();
+  options.analyze.skeleton_purity = false;
+  const CompileResult result =
+      compile(fixture_source("fuse_impure_reject"), options);
+  EXPECT_EQ(result.fusion.seen, 1);
+  EXPECT_EQ(result.fusion.rejected_impure, 1);
+  EXPECT_EQ(result.fusion.fused(), 0);
+  EXPECT_EQ(result.typed.find_function("__fused_jitter_scale"), nullptr);
+  bool saw_rejection = false;
+  for (const Diagnostic& diag : result.diagnostics) {
+    if (diag.pass != "fusion") continue;
+    saw_rejection = true;
+    EXPECT_NE(diag.message.find("not fused: customizing function 'jitter' "
+                                "calls the impure builtin 'rand' at line "
+                                "19:49"),
+              std::string::npos)
+        << diag.message;
+  }
+  EXPECT_TRUE(saw_rejection);
+  // No wrapper was synthesized; both map passes survive (instantiated
+  // once per customizing function).
+  EXPECT_EQ(result.c_code.find("__fused_"), std::string::npos);
+  EXPECT_EQ(count_in(result.c_code, "void array_map_"), 2u);
+}
+
+TEST(FusionRewrite, PartiallyAppliedStageIsRejected) {
+  // addk writes nothing, so the program passes the purity gate; the
+  // fusion pass still refuses to compose through a bound argument.
+  const CompileResult result = compile(R"(
+    pardata array <$t> impl;
+    Index mk_index(int i);
+    int part_lower(array <$t> a);
+    int part_upper(array <$t> a);
+
+    void array_map ($t2 map_f ($t1, Index), array <$t1> a, array <$t2> b) {
+      int i;
+      for (i = part_lower(a); i < part_upper(a); i = i + 1)
+        b[i] = map_f(a[i], mk_index(i));
+    }
+
+    float dbl (float elem, Index ix) { return elem * 2.0; }
+    float addk (float k, float elem, Index ix) { return elem + k; }
+
+    void run (float k, array <float> A, array <float> T, array <float> B) {
+      array_map(dbl, A, T);
+      array_map(addk(k), T, B);
+    }
+  )",
+                                       fuse_options());
+  EXPECT_EQ(result.fusion.seen, 1);
+  EXPECT_EQ(result.fusion.rejected_partial, 1);
+  EXPECT_EQ(result.fusion.fused(), 0);
+  bool saw_rejection = false;
+  for (const Diagnostic& diag : result.diagnostics) {
+    if (diag.pass != "fusion") continue;
+    saw_rejection = true;
+    EXPECT_NE(diag.message.find("'addk' is partially applied"),
+              std::string::npos)
+        << diag.message;
+  }
+  EXPECT_TRUE(saw_rejection);
+}
+
+TEST(FusionRewrite, IntermediateWithAnotherReaderIsRejected) {
+  const CompileResult result = compile(R"(
+    pardata array <$t> impl;
+    Index mk_index(int i);
+    int part_lower(array <$t> a);
+    int part_upper(array <$t> a);
+
+    void array_map ($t2 map_f ($t1, Index), array <$t1> a, array <$t2> b) {
+      int i;
+      for (i = part_lower(a); i < part_upper(a); i = i + 1)
+        b[i] = map_f(a[i], mk_index(i));
+    }
+
+    float dbl (float elem, Index ix) { return elem * 2.0; }
+    float inc (float elem, Index ix) { return elem + 1.0; }
+
+    void run (array <float> A, array <float> T, array <float> B,
+              array <float> C) {
+      array_map(dbl, A, T);
+      array_map(inc, T, B);
+      array_map(inc, T, C);
+    }
+  )",
+                                       fuse_options());
+  EXPECT_EQ(result.fusion.seen, 1);
+  EXPECT_EQ(result.fusion.rejected_intermediate, 1);
+  EXPECT_EQ(result.fusion.fused(), 0);
+  bool saw_rejection = false;
+  for (const Diagnostic& diag : result.diagnostics) {
+    if (diag.pass != "fusion") continue;
+    saw_rejection = true;
+    EXPECT_NE(
+        diag.message.find("the intermediate 'T' has another reader at line"),
+        std::string::npos)
+        << diag.message;
+  }
+  EXPECT_TRUE(saw_rejection);
+  EXPECT_EQ(result.c_code.find("__fused_"), std::string::npos);
+}
+
+TEST(FusionRewrite, UnresolvedStageIsRejected) {
+  // The fold's conversion is a functional parameter, not a defined
+  // function: nothing to compose with, so the matcher must reject the
+  // composition rather than crash or mis-fuse it.
+  const CompileResult result = compile(R"(
+    pardata array <$t> impl;
+    Index mk_index(int i);
+    int part_lower(array <$t> a);
+    int part_upper(array <$t> a);
+
+    void array_map ($t2 map_f ($t1, Index), array <$t1> a, array <$t2> b) {
+      int i;
+      for (i = part_lower(a); i < part_upper(a); i = i + 1)
+        b[i] = map_f(a[i], mk_index(i));
+    }
+
+    $t2 array_fold ($t2 conv_f ($t1, Index), $t2 fold_f ($t2, $t2),
+                    array <$t1> a) {
+      $t2 acc = conv_f(a[part_lower(a)], mk_index(part_lower(a)));
+      int i;
+      for (i = part_lower(a) + 1; i < part_upper(a); i = i + 1)
+        acc = fold_f(acc, conv_f(a[i], mk_index(i)));
+      return acc;
+    }
+
+    float dbl (float elem, Index ix) { return elem * 2.0; }
+
+    float run (float conv_p (float, Index), array <float> A,
+               array <float> T) {
+      array_map(dbl, A, T);
+      return array_fold(conv_p, (+), T);
+    }
+  )",
+                                       fuse_options());
+  EXPECT_EQ(result.fusion.seen, 1);
+  EXPECT_EQ(result.fusion.rejected_shape, 1);
+  EXPECT_EQ(result.fusion.fused(), 0);
+}
+
+TEST(FusionRewrite, OffByDefaultAndAdvisoryNeverMutates) {
+  // compile() without CompileOptions::fuse performs no rewrite.
+  const CompileResult plain = compile(fixture_source("fuse_map_map"));
+  EXPECT_EQ(plain.fusion.seen, 0);
+  EXPECT_EQ(plain.fusion.fused(), 0);
+  EXPECT_EQ(plain.typed.find_function("__fused_shift_scale"), nullptr);
+  EXPECT_EQ(plain.c_code.find("__fused_"), std::string::npos);
+  EXPECT_EQ(plain.typed.find_function("run")->body.size(), 2u);
+
+  // analyze_fusion() reports but leaves the program untouched.
+  Program program = parse(fixture_source("fuse_map_map"));
+  typecheck(program);
+  const std::size_t functions_before = program.functions.size();
+  const std::size_t stmts_before =
+      program.find_function("run")->body.size();
+  DiagnosticSink sink;
+  const FusionStats stats = analyze_fusion(program, sink);
+  EXPECT_EQ(stats.fused_map_map, 1);
+  EXPECT_EQ(program.functions.size(), functions_before);
+  EXPECT_EQ(program.find_function("run")->body.size(), stmts_before);
+}
+
+}  // namespace

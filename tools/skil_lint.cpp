@@ -11,6 +11,7 @@
 //     --no-unused              disable the unused-binding pass
 //     --no-shadow              disable the shadowing pass
 //     --no-skeleton-purity     disable the skeleton-argument safety pass
+//     --no-fusion              disable the fusion advisory pass
 //
 // Exit status: 0 clean, 1 findings (errors, or warnings under
 // --Werror), 2 usage or I/O failure.  Nothing is compiled: the tool
@@ -39,7 +40,7 @@ void usage(const std::string& program) {
   std::cerr << "usage: " << program
             << " [--Werror] [--json=PATH] [--no-<pass>] file.skil...\n"
                "passes: init unreachable dead-store unused shadow "
-               "skeleton-purity\n";
+               "skeleton-purity fusion\n";
 }
 
 }  // namespace
@@ -82,6 +83,8 @@ int main(int argc, char** argv) {
       options.shadow = false;
     } else if (arg == "--no-skeleton-purity") {
       options.skeleton_purity = false;
+    } else if (arg == "--no-fusion") {
+      options.fusion = false;
     } else {
       std::cerr << "skil-lint: unknown flag '" << arg << "'\n";
       usage(program);
