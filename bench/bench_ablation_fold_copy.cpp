@@ -7,6 +7,11 @@
 //    "correspondingly parameterized array_map".
 //
 // Usage: bench_ablation_fold_copy [--elems=100000] [--csv=path] [--out-dir=dir]
+//                                 [--metrics-out[=path]] [--trace-out[=path]]
+//
+// --metrics-out / --trace-out re-run the p = 16 tree fold once under
+// full tracing after the sweeps and export its metrics / Chrome trace
+// JSON (bench_common.h).
 #include <cstdio>
 #include <vector>
 
@@ -42,7 +47,8 @@ T linear_allreduce(parix::Proc& proc, const parix::Topology& topo, T local,
 
 int main(int argc, char** argv) {
   using namespace skil::bench;
-  const support::Cli cli(argc, argv, {"elems", "csv", "out-dir"});
+  const support::Cli cli(argc, argv, {"elems", "csv", "out-dir",
+                                      "metrics-out", "trace-out"});
   const int elems = cli.get_int("elems", 100000);
 
   banner("A3 -- tree fold vs linear fold; memcpy copy vs map copy");
@@ -122,5 +128,20 @@ int main(int argc, char** argv) {
               tree_wins_large);
   shape_check("contiguous array_copy beats the equivalent array_map",
               copy_wins);
+
+  if (wants_run_artifacts(cli)) {
+    const int p = 16;
+    parix::RunConfig config{p, parix::CostModel::t800()};
+    const auto traced = traced_rerun([&] {
+      return parix::spmd_run(config, [&](parix::Proc& proc) {
+        const parix::Topology topo(proc.machine(), parix::Distr::kDefault);
+        double acc = proc.id();
+        for (int r = 0; r < 64; ++r)
+          acc = parix::allreduce(proc, topo, acc,
+                                 [](double a, double b) { return a + b; });
+      });
+    });
+    write_run_artifacts(cli, traced, "fold_tree_p" + std::to_string(p));
+  }
   return 0;
 }

@@ -13,6 +13,11 @@
 //   3. graph reduction-- the DPFL baseline (closures + boxing).
 //
 // Usage: bench_ablation_instantiation [--elems=200000] [--csv=path] [--out-dir=dir]
+//                                     [--metrics-out[=path]] [--trace-out[=path]]
+//
+// --metrics-out / --trace-out re-run the instantiated variant once
+// under full tracing after the timed comparisons and export its
+// metrics / Chrome trace JSON (bench_common.h).
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -41,7 +46,8 @@ double wall_seconds(const std::function<void()>& fn) {
 
 int main(int argc, char** argv) {
   using namespace skil::bench;
-  const support::Cli cli(argc, argv, {"elems", "csv", "out-dir"});
+  const support::Cli cli(argc, argv, {"elems", "csv", "out-dir",
+                                      "metrics-out", "trace-out"});
   const int elems = cli.get_int("elems", 200000);
   const int p = 4;
 
@@ -130,5 +136,19 @@ int main(int argc, char** argv) {
   shape_check("closures cost more than instantiation in the model",
               modeled[1] > modeled[0] * 1.2);
   shape_check("graph reduction costs the most", modeled[2] > modeled[1]);
+
+  if (wants_run_artifacts(cli)) {
+    const auto traced = traced_rerun([&] {
+      return parix::spmd_run(config, [&](parix::Proc& proc) {
+        auto a = array_create<double>(proc, 1, Size{elems},
+                                      [](Index ix) { return ix[0] * 0.5; });
+        array_map([](double v) { return v * 1.0001 + 1.0; }, a, a);
+        array_fold([](double v, Index) { return v; }, skil::fn::plus, a);
+      });
+    });
+    write_run_artifacts(cli, traced,
+                        "instantiation_p" + std::to_string(p) + "_e" +
+                            std::to_string(elems));
+  }
   return 0;
 }

@@ -5,6 +5,11 @@
 // paths and shows each one's contribution.
 //
 // Usage: bench_ablation_topology [--n=120] [--p=16] [--csv=path] [--out-dir=dir]
+//                                [--metrics-out[=path]] [--trace-out[=path]]
+//
+// --metrics-out / --trace-out re-run the fully optimized C variant
+// once under full tracing after the sweep and export its metrics /
+// Chrome trace JSON (bench_common.h).
 #include <cstdio>
 
 #include "apps/shortest_paths.h"
@@ -17,7 +22,8 @@ int main(int argc, char** argv) {
   using namespace skil;
   using namespace skil::bench;
 
-  const support::Cli cli(argc, argv, {"n", "p", "csv", "out-dir"});
+  const support::Cli cli(argc, argv, {"n", "p", "csv", "out-dir",
+                                      "metrics-out", "trace-out"});
   const int n = cli.get_int("n", 120);
   const int p = cli.get_int("p", 16);
   const std::uint64_t seed = 555;
@@ -74,5 +80,14 @@ int main(int argc, char** argv) {
   shape_check("Skil sits between the old and the fully optimized C "
               "(Table 1's observation)",
               skil_time < old_time && skil_time > prev_combined);
+
+  if (wants_run_artifacts(cli)) {
+    const auto traced = traced_rerun([&] {
+      return apps::shpaths_c_custom(p, n, seed, {true, true, true});
+    });
+    write_run_artifacts(cli, traced.run,
+                        "shpaths_c_opt_p" + std::to_string(p) + "_n" +
+                            std::to_string(n));
+  }
   return 0;
 }

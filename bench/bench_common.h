@@ -7,10 +7,15 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "parix/metrics.h"
+#include "parix/runtime.h"
+#include "parix/trace.h"
 #include "support/cli.h"
+#include "support/error.h"
 #include "support/table.h"
 
 namespace skil::bench {
@@ -38,6 +43,65 @@ inline std::string grid_label(int nprocs) {
   while ((q + 1) * (q + 1) <= nprocs) ++q;
   if (q * q == nprocs) return std::to_string(q) + "x" + std::to_string(q);
   return std::to_string(nprocs);
+}
+
+/// True when the bench should re-run its representative configuration
+/// under full tracing for the artefact exports below.  Keyed on the
+/// artefact flags, not --out-dir, so a plain `--out-dir=...` CSV run
+/// stays untraced.
+inline bool wants_run_artifacts(const support::Cli& cli) {
+  return cli.has("metrics-out") || cli.has("trace-out");
+}
+
+/// Re-runs `fn` under full tracing (saving and restoring the process
+/// default trace mode) and returns its result.  Benches call this
+/// *after* their timed sweeps so the recorded timings stay untraced.
+template <typename Fn>
+auto traced_rerun(Fn&& fn) {
+  const parix::TraceMode saved = parix::default_trace_mode();
+  parix::set_default_trace_mode(parix::TraceMode::kFull);
+  auto result = fn();
+  parix::set_default_trace_mode(saved);
+  return result;
+}
+
+/// Writes the Chrome trace (--trace-out) and/or metrics JSON
+/// (--metrics-out) for a completed traced run.  An explicit flag value
+/// is a verbatim file path; a bare default name lands in --out-dir via
+/// out_path.  The Chrome export merges the SKIL_PROF=sampled host
+/// timeline (RunResult::prof) when the run carried one.
+inline void write_run_artifacts(const support::Cli& cli,
+                                const parix::RunResult& run,
+                                const std::string& stem) {
+  // A bare `--trace-out` parses as the boolean value "true" (cli.h);
+  // treat it like an absent value so the default name lands in
+  // --out-dir, same as the CSV outputs.
+  const auto artefact_path = [&](const std::string& flag,
+                                 const std::string& default_name) {
+    const std::string v = cli.get(flag, "true");
+    if (v != "true") return v;
+    const std::string dir = cli.get("out-dir", "");
+    if (dir.empty()) return default_name;
+    return dir.back() == '/' ? dir + default_name : dir + "/" + default_name;
+  };
+  if (cli.has("trace-out") && run.trace != nullptr) {
+    const std::string path = artefact_path("trace-out",
+                                           "trace_" + stem + ".json");
+    std::ofstream os(path);
+    SKIL_ASSERT(os.good(), "cannot open trace output file: " + path);
+    parix::write_chrome_trace(*run.trace, run.prof.get(), os);
+    SKIL_ASSERT(os.good(), "failed writing trace output file: " + path);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  if (cli.has("metrics-out")) {
+    const std::string path = artefact_path("metrics-out",
+                                           "metrics_" + stem + ".json");
+    std::ofstream os(path);
+    SKIL_ASSERT(os.good(), "cannot open metrics output file: " + path);
+    parix::write_metrics_json(run, os);
+    SKIL_ASSERT(os.good(), "failed writing metrics output file: " + path);
+    std::printf("wrote %s\n", path.c_str());
+  }
 }
 
 /// Prints a section header.

@@ -11,6 +11,7 @@
 //                          [--reps=N] [--jobs=N|auto]
 //                          [--carriers=N|auto] [--charge=interp|tape]
 //                          [--settle=gang|closed|auto] [--fuse=off|on]
+//                          [--prof=off|counters|sampled]
 //                          [--engine=threads|pooled|both] [--trace-out=dir]
 //
 // --engine restricts the sweep to one engine (default: both).  With a
@@ -33,11 +34,17 @@
 // one-pass compositions, which lowers the *virtual* times too (the
 // fused schedule is the artefact; see EXPERIMENTS.md W6 for the
 // same-build off/on A/B methodology).
+// --prof selects the host scheduler profiler (prof.h; default: the
+// process default, i.e. SKIL_PROF or off) -- profiling reads host
+// clocks and counters only, so the *virtual* times stay bit-identical
+// in every mode; the wall times include the (small) profiling
+// overhead, which EXPERIMENTS.md W7 quantifies.
 // --trace-out runs one representative cell again under full tracing
 // (after the timed sweep, so the timings stay untraced) and writes its
-// Chrome trace + metrics JSON (parix/metrics.h) into the directory.
+// Chrome trace + metrics JSON (parix/metrics.h) into the directory;
+// under --prof=sampled the trace also carries the host carrier lanes.
 //
-// The JSON report (default BENCH_engine.json, schema_version 6)
+// The JSON report (default BENCH_engine.json, schema_version 7)
 // records the run configuration (reps, jobs, nproc, charge path,
 // settle mode) and per-cell wall seconds + virtual times alongside
 // both engines' totals, so EXPERIMENTS.md can cite the engine speedup
@@ -51,6 +58,13 @@
 // reads as a slowdown unless the provenance travels with it.
 //
 // Schema history:
+//   v7: adds "prof" (host profiler mode) and, when prof != off,
+//       per-engine "scheduler" (host scheduler counter totals summed
+//       over the best rep's cells: dispatches, steals, parks,
+//       settle-queue pressure, gang lane occupancy, buffer-pool hits),
+//       so an engine report documents *how* the pooled runtime spent
+//       the wall it reports.  prof == off writes no scheduler block --
+//       the off path must stay observably free.
 //   v6: adds "fuse" (skeleton fusion mode) and per-engine
 //       "fusion_counters" (composition outcomes summed over the best
 //       rep's cells), so an off/on A/B pair of reports documents both
@@ -101,7 +115,8 @@ int main(int argc, char** argv) {
   const support::Cli cli(argc, argv,
                          {"quick", "json", "out-dir", "baseline",
                           "baseline-note", "reps", "jobs", "carriers",
-                          "charge", "settle", "fuse", "engine", "trace-out"});
+                          "charge", "settle", "fuse", "prof", "engine",
+                          "trace-out"});
   const bool quick = cli.get_bool("quick");
   const double baseline_s = std::atof(cli.get("baseline", "0").c_str());
   const std::string baseline_note = cli.get("baseline-note", "unspecified");
@@ -148,6 +163,15 @@ int main(int argc, char** argv) {
   }
   const std::string fuse_name(
       parix::fuse_mode_name(parix::default_fuse_mode()));
+  if (cli.has("prof")) {
+    // In-process slot for this process, env var for the forked cell
+    // workers and anything that re-execs (same pattern as --settle).
+    const std::string prof_arg = cli.get("prof", "off");
+    parix::set_default_prof_mode(parix::parse_prof_mode(prof_arg));
+    ::setenv("SKIL_PROF", prof_arg.c_str(), 1);
+  }
+  const parix::ProfMode prof_mode = parix::default_prof_mode();
+  const std::string prof_name(parix::prof_mode_name(prof_mode));
   const std::uint64_t seed = 19960528;
   const auto ns = paper_ns(quick);
   const auto ps = paper_ps();
@@ -155,10 +179,10 @@ int main(int argc, char** argv) {
   banner("Execution engines -- wall clock on the Table 2 grid");
   std::printf("grid: n in {%d..%d}, p in {4, 16, 32, 64}; host threads: %u; "
               "jobs: %d; carriers: %d; charge path: %s; settle: %s; "
-              "fuse: %s\n\n",
+              "fuse: %s; prof: %s\n\n",
               ns.front(), ns.back(), std::thread::hardware_concurrency(),
               jobs, carriers, charge_name, settle_name.c_str(),
-              fuse_name.c_str());
+              fuse_name.c_str(), prof_name.c_str());
 
   struct EngineRun {
     const char* name;
@@ -305,8 +329,10 @@ int main(int argc, char** argv) {
     trace_path = dir + "/trace_" + cell + ".json";
     metrics_path = dir + "/metrics_" + cell + ".json";
     {
+      // Under --prof=sampled the run carries a host timeline; the
+      // merged export shows carrier lanes next to the virtual ones.
       std::ofstream os(trace_path);
-      parix::write_chrome_trace(*traced.run.trace, os);
+      parix::write_chrome_trace(*traced.run.trace, traced.run.prof.get(), os);
     }
     {
       std::ofstream os(metrics_path);
@@ -329,7 +355,7 @@ int main(int argc, char** argv) {
   if (FILE* out = std::fopen(path.c_str(), "w")) {
     std::fprintf(out,
                  "{\n"
-                 "  \"schema_version\": 6,\n"
+                 "  \"schema_version\": 7,\n"
                  "  \"benchmark\": \"bench_engine_wall\",\n"
                  "  \"grid\": \"table2_gauss%s\",\n"
                  "  \"reps\": %d,\n"
@@ -339,10 +365,11 @@ int main(int argc, char** argv) {
                  "  \"charge\": \"%s\",\n"
                  "  \"settle\": \"%s\",\n"
                  "  \"fuse\": \"%s\",\n"
+                 "  \"prof\": \"%s\",\n"
                  "  \"engines\": [\n",
                  quick ? "_quick" : "", reps, jobs, carriers,
                  std::thread::hardware_concurrency(), charge_name,
-                 settle_name.c_str(), fuse_name.c_str());
+                 settle_name.c_str(), fuse_name.c_str(), prof_name.c_str());
     for (std::size_t r = 0; r < runs.size(); ++r) {
       const EngineRun& run = runs[r];
       std::fprintf(out,
@@ -379,7 +406,7 @@ int main(int argc, char** argv) {
           "\"seen\": %llu, \"fused\": %llu, "
           "\"rejected_shape\": %llu, \"rejected_order\": %llu, "
           "\"rejected_path\": %llu, \"barriers_eliminated\": %llu, "
-          "\"tapes_eliminated\": %llu}}%s\n",
+          "\"tapes_eliminated\": %llu}",
           static_cast<unsigned long long>(totals.settle.closed_runs),
           static_cast<unsigned long long>(totals.settle.closed_adds),
           static_cast<unsigned long long>(totals.settle.memo_hits),
@@ -398,8 +425,49 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(totals.fusion.rejected_order),
           static_cast<unsigned long long>(totals.fusion.rejected_path),
           static_cast<unsigned long long>(totals.fusion.barriers_eliminated),
-          static_cast<unsigned long long>(totals.fusion.tapes_eliminated),
-          r + 1 < runs.size() ? "," : "");
+          static_cast<unsigned long long>(totals.fusion.tapes_eliminated));
+      // Host scheduler totals (prof.h), summed over the best rep's
+      // cells.  Written only when profiling was on: an off-mode report
+      // must be indistinguishable from a pre-v7 run's (the validator
+      // enforces absence).
+      if (prof_mode != parix::ProfMode::kOff) {
+        const parix::SchedulerTotals sched = sum_sched_totals(run.cells);
+        std::fprintf(
+            out,
+            ", \"scheduler\": {"
+            "\"fibers_run\": %llu, \"fibers_resumed\": %llu, "
+            "\"steal_attempts\": %llu, \"steal_successes\": %llu, "
+            "\"steal_failed_rounds\": %llu, \"settle_enqueues\": %llu, "
+            "\"parks\": %llu, \"unparks\": %llu, "
+            "\"run_ns\": %llu, \"settle_ns\": %llu, "
+            "\"gang_batches\": %llu, \"gang_lane_hist\": [",
+            static_cast<unsigned long long>(sched.fibers_run),
+            static_cast<unsigned long long>(sched.fibers_resumed),
+            static_cast<unsigned long long>(sched.steal_attempts),
+            static_cast<unsigned long long>(sched.steal_successes),
+            static_cast<unsigned long long>(sched.steal_failed_rounds),
+            static_cast<unsigned long long>(sched.settle_enqueues),
+            static_cast<unsigned long long>(sched.parks),
+            static_cast<unsigned long long>(sched.unparks),
+            static_cast<unsigned long long>(sched.run_ns),
+            static_cast<unsigned long long>(sched.settle_ns),
+            static_cast<unsigned long long>(sched.gang_batches));
+        for (int k = 0; k < parix::kProfGangLanes; ++k)
+          std::fprintf(out, "%s%llu", k == 0 ? "" : ", ",
+                       static_cast<unsigned long long>(
+                           sched.gang_lane_hist[k]));
+        std::fprintf(
+            out,
+            "], \"settle_queue_max\": %llu, "
+            "\"pool_acquires\": %llu, \"pool_hits\": %llu, "
+            "\"pool_misses\": %llu, \"pool_bytes\": %llu}",
+            static_cast<unsigned long long>(sched.settle_queue_max),
+            static_cast<unsigned long long>(sched.pool_acquires),
+            static_cast<unsigned long long>(sched.pool_hits),
+            static_cast<unsigned long long>(sched.pool_misses),
+            static_cast<unsigned long long>(sched.pool_bytes));
+      }
+      std::fprintf(out, "}%s\n", r + 1 < runs.size() ? "," : "");
     }
     std::fprintf(out, "  ],\n");
     if (runs.size() == 2)

@@ -8,6 +8,12 @@
 // *beats*.  The paper measured DPFL on the even grids only.
 //
 // Usage: bench_table1_shpaths [--n=200] [--quick] [--csv=path] [--out-dir=dir]
+//                             [--metrics-out[=path]] [--trace-out[=path]]
+//
+// --metrics-out / --trace-out re-run the representative Skil cell
+// (p = 16) once under full tracing after the table sweep and export
+// its metrics / Chrome trace JSON (parix/metrics.h); bare flags drop
+// the default file names into --out-dir.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -42,7 +48,8 @@ const std::vector<PaperRow> kPaper = {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const support::Cli cli(argc, argv, {"n", "quick", "csv", "out-dir"});
+  const support::Cli cli(argc, argv, {"n", "quick", "csv", "out-dir",
+                                      "metrics-out", "trace-out"});
   const int n = cli.get_int("n", cli.get_bool("quick") ? 60 : 200);
   const std::uint64_t seed = 20260704;
 
@@ -116,5 +123,14 @@ int main(int argc, char** argv) {
   shape_check("DPFL/Skil ratio does not grow with p (communication "
               "evens the languages out)",
               decreasing);
+
+  if (wants_run_artifacts(cli)) {
+    const int p = 16;
+    const auto traced =
+        traced_rerun([&] { return apps::shpaths_skil(p, n, seed); });
+    write_run_artifacts(cli, traced.run,
+                        "shpaths_skil_p" + std::to_string(p) + "_n" +
+                            std::to_string(n));
+  }
   return 0;
 }

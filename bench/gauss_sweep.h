@@ -14,6 +14,7 @@
 
 #include "apps/gauss.h"
 #include "parix/charge_tape.h"
+#include "parix/prof.h"
 #include "support/error.h"
 
 namespace skil::bench {
@@ -36,6 +37,9 @@ struct GaussCell {
   /// Skeleton fusion outcome deltas over this cell's three runs
   /// (charge_tape.h): all zero under SKIL_FUSE=off.
   parix::FusionCounters fusion;
+  /// Host scheduler counter deltas over this cell's three runs
+  /// (prof.h): all zero under SKIL_PROF=off.
+  parix::SchedulerTotals sched;
   double dpfl_over_skil() const { return dpfl_s / skil_s; }
   double skil_over_c() const { return skil_s / c_s; }
 };
@@ -62,6 +66,15 @@ struct SweepSettleTotals {
            static_cast<double>(total);
   }
 };
+
+/// Sums the host scheduler counters of a finished grid (prof.h) --
+/// all zero unless the sweep ran under SKIL_PROF=counters|sampled.
+inline parix::SchedulerTotals sum_sched_totals(
+    const std::vector<GaussCell>& cells) {
+  parix::SchedulerTotals t;
+  for (const GaussCell& cell : cells) t.add(cell.sched);
+  return t;
+}
 
 inline SweepSettleTotals sum_settle_totals(const std::vector<GaussCell>& cells) {
   SweepSettleTotals t;
@@ -152,6 +165,7 @@ inline GaussCell run_gauss_cell(int p, int n, std::uint64_t seed) {
     cell.fusion.rejected_path += run.fusion.rejected_path;
     cell.fusion.barriers_eliminated += run.fusion.barriers_eliminated;
     cell.fusion.tapes_eliminated += run.fusion.tapes_eliminated;
+    cell.sched.add(run.scheduler);
   };
   account(apps::gauss_skil(p, n, seed, /*pivoting=*/false).run, &cell.skil_s);
   account(apps::gauss_dpfl(p, n, seed).run, &cell.dpfl_s);
@@ -203,12 +217,13 @@ inline std::vector<GaussCell> run_gauss_grid_jobs(const std::vector<int>& ns,
     }
 
   // Wire format cell -> parent: the four timing doubles followed by
-  // the settlement/gang counters, fixed-width so a single read drains
-  // the pipe atomically (well under PIPE_BUF).
+  // the settlement/gang/scheduler counters, fixed-width so a single
+  // read drains the pipe atomically (368 bytes, well under PIPE_BUF).
   struct CellWire {
     double d[4];
-    std::uint64_t u[18];
+    std::uint64_t u[42];
   };
+  static_assert(sizeof(CellWire) < 512, "CellWire must stay one pipe write");
   auto pack = [](const GaussCell& cell) {
     CellWire w;
     w.d[0] = cell.skil_s;
@@ -233,6 +248,24 @@ inline std::vector<GaussCell> run_gauss_grid_jobs(const std::vector<int>& ns,
     w.u[15] = cell.fusion.rejected_path;
     w.u[16] = cell.fusion.barriers_eliminated;
     w.u[17] = cell.fusion.tapes_eliminated;
+    w.u[18] = cell.sched.fibers_run;
+    w.u[19] = cell.sched.fibers_resumed;
+    w.u[20] = cell.sched.steal_attempts;
+    w.u[21] = cell.sched.steal_successes;
+    w.u[22] = cell.sched.steal_failed_rounds;
+    w.u[23] = cell.sched.settle_enqueues;
+    w.u[24] = cell.sched.parks;
+    w.u[25] = cell.sched.unparks;
+    w.u[26] = cell.sched.run_ns;
+    w.u[27] = cell.sched.settle_ns;
+    w.u[28] = cell.sched.gang_batches;
+    for (int k = 0; k < parix::kProfGangLanes; ++k)
+      w.u[29 + k] = cell.sched.gang_lane_hist[k];
+    w.u[37] = cell.sched.settle_queue_max;
+    w.u[38] = cell.sched.pool_acquires;
+    w.u[39] = cell.sched.pool_hits;
+    w.u[40] = cell.sched.pool_misses;
+    w.u[41] = cell.sched.pool_bytes;
     return w;
   };
   auto unpack = [](const CellWire& w, GaussCell& cell) {
@@ -258,6 +291,24 @@ inline std::vector<GaussCell> run_gauss_grid_jobs(const std::vector<int>& ns,
     cell.fusion.rejected_path = w.u[15];
     cell.fusion.barriers_eliminated = w.u[16];
     cell.fusion.tapes_eliminated = w.u[17];
+    cell.sched.fibers_run = w.u[18];
+    cell.sched.fibers_resumed = w.u[19];
+    cell.sched.steal_attempts = w.u[20];
+    cell.sched.steal_successes = w.u[21];
+    cell.sched.steal_failed_rounds = w.u[22];
+    cell.sched.settle_enqueues = w.u[23];
+    cell.sched.parks = w.u[24];
+    cell.sched.unparks = w.u[25];
+    cell.sched.run_ns = w.u[26];
+    cell.sched.settle_ns = w.u[27];
+    cell.sched.gang_batches = w.u[28];
+    for (int k = 0; k < parix::kProfGangLanes; ++k)
+      cell.sched.gang_lane_hist[k] = w.u[29 + k];
+    cell.sched.settle_queue_max = w.u[37];
+    cell.sched.pool_acquires = w.u[38];
+    cell.sched.pool_hits = w.u[39];
+    cell.sched.pool_misses = w.u[40];
+    cell.sched.pool_bytes = w.u[41];
   };
 
   struct Worker {

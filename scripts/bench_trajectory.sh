@@ -4,13 +4,15 @@
 # Builds (if needed) and runs bench_engine_wall on the Table-2 sweep
 # under both execution engines, then appends the result as one compact
 # JSON record per line to BENCH_engine.json at the repo root.  Records
-# are schema_version 6: run config (reps, resolved jobs, carriers,
-# nproc, charge path, settle mode, fuse mode), per-cell wall seconds
-# and virtual times per engine, every repetition's wall time
-# ("rep_wall_seconds") plus its median, the settlement counters
+# are schema_version 7: run config (reps, resolved jobs, carriers,
+# nproc, charge path, settle mode, fuse mode, prof mode), per-cell
+# wall seconds and virtual times per engine, every repetition's wall
+# time ("rep_wall_seconds") plus its median, the settlement counters
 # (closed-form coverage), the fusion counters (compositions seen /
-# fused / rejected, barriers and tape passes eliminated), and the
-# engine totals; with --trace-out the record also names the exported
+# fused / rejected, barriers and tape passes eliminated), the
+# scheduler totals when profiled (--prof=counters|sampled: fibers,
+# steals, parks, gang batch occupancy, pool hits), and the engine
+# totals; with --trace-out the record also names the exported
 # trace/metrics files.  scripts/validate_bench_json.py checks the
 # whole trajectory after every append.
 #

@@ -30,6 +30,8 @@ FIELDS_BY_VERSION = {
     5: ["settle"],  # also per-engine median/settle_counters and
                     # baseline_provenance (checked below)
     6: ["fuse"],    # also per-engine fusion_counters (checked below)
+    7: ["prof"],    # also per-engine scheduler iff prof != off
+                    # (checked below)
 }
 MAX_KNOWN_VERSION = max(FIELDS_BY_VERSION)
 
@@ -47,6 +49,18 @@ SETTLE_COUNTER_FIELDS = [
 FUSION_COUNTER_FIELDS = [
     "seen", "fused", "rejected_shape", "rejected_order", "rejected_path",
     "barriers_eliminated", "tapes_eliminated",
+]
+
+# The host scheduler fields every v7+ engine record must carry when the
+# run was profiled (prof != off).  Unlike fusion_counters, an off-mode
+# record must NOT carry the block at all: SKIL_PROF=off promises a
+# report indistinguishable from an unprofiled build's.
+SCHEDULER_FIELDS = [
+    "fibers_run", "fibers_resumed", "steal_attempts", "steal_successes",
+    "steal_failed_rounds", "settle_enqueues", "parks", "unparks",
+    "run_ns", "settle_ns", "gang_batches", "gang_lane_hist",
+    "settle_queue_max", "pool_acquires", "pool_hits", "pool_misses",
+    "pool_bytes",
 ]
 
 
@@ -111,6 +125,42 @@ def validate_record(path, lineno, record):
                      "fuse=off record reports fused compositions -- the "
                      "off path must be byte-identical to the unfused "
                      "engine")
+        if version >= 7:
+            sched = engine.get("scheduler")
+            if record.get("prof") == "off":
+                if sched is not None:
+                    fail(path, lineno,
+                         "prof=off record carries a 'scheduler' block -- "
+                         "the off path must record nothing (it promises "
+                         "zero observable profiling work)")
+            else:
+                if not isinstance(sched, dict):
+                    fail(path, lineno,
+                         "v7+ profiled engine record is missing "
+                         "'scheduler'")
+                for field in SCHEDULER_FIELDS:
+                    if field not in sched:
+                        fail(path, lineno,
+                             f"v7+ scheduler is missing '{field}'")
+                hist = sched["gang_lane_hist"]
+                if not isinstance(hist, list) or len(hist) != 8:
+                    fail(path, lineno,
+                         "scheduler gang_lane_hist must be a list of 8 "
+                         "lane-occupancy counts")
+                # Conservation invariants: a violated one means the
+                # counter plumbing dropped or double-counted events.
+                if sched["steal_successes"] > sched["steal_attempts"]:
+                    fail(path, lineno,
+                         "scheduler reports more steal successes than "
+                         "attempts")
+                if sched["pool_hits"] + sched["pool_misses"] \
+                        != sched["pool_acquires"]:
+                    fail(path, lineno,
+                         "scheduler pool hits + misses != acquires")
+                if sum(hist) != sched["gang_batches"]:
+                    fail(path, lineno,
+                         "scheduler gang_lane_hist does not sum to "
+                         "gang_batches")
     if version >= 5 and "baseline_wall_seconds" in record \
             and "baseline_provenance" not in record:
         # Satellite of ISSUE 6: a bare baseline float invites

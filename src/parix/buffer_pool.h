@@ -17,6 +17,8 @@
 #include <utility>
 #include <vector>
 
+#include "parix/prof.h"
+
 namespace skil::parix {
 
 template <class T>
@@ -35,6 +37,9 @@ class BufferPool {
         state_->free_nodes.pop_back();
       }
     }
+    if (prof_counting()) [[unlikely]]
+      prof_note_pool_acquire(node != nullptr,
+                             data.size() * sizeof(T));
     if (node) {
       *node = std::move(data);
     } else {

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <string>
 
+#include "support/env.h"
 #include "support/error.h"
 
 namespace skil::parix {
@@ -48,12 +49,11 @@ FuseMode& default_fuse_mode_slot() {
 }  // namespace
 
 ChargePath parse_charge_path(std::string_view name) {
-  if (name == "interp") return ChargePath::kInterp;
-  if (name == "tape") return ChargePath::kTape;
-  SKIL_REQUIRE(false, "SKIL_CHARGE: unknown charge path '" +
-                          std::string(name) +
-                          "' (accepted values: interp, tape)");
-  return ChargePath::kTape;  // unreachable
+  static constexpr std::string_view kNames[] = {"interp", "tape"};
+  static_assert(static_cast<int>(ChargePath::kInterp) == 0 &&
+                static_cast<int>(ChargePath::kTape) == 1);
+  return support::parse_knob<ChargePath>("SKIL_CHARGE", "charge path", name,
+                                         kNames);
 }
 
 ChargePath default_charge_path() { return default_charge_path_slot(); }
@@ -63,13 +63,12 @@ void set_default_charge_path(ChargePath path) {
 }
 
 SettleMode parse_settle_mode(std::string_view name) {
-  if (name == "gang") return SettleMode::kGang;
-  if (name == "closed") return SettleMode::kClosed;
-  if (name == "auto") return SettleMode::kAuto;
-  SKIL_REQUIRE(false, "SKIL_SETTLE: unknown settlement mode '" +
-                          std::string(name) +
-                          "' (accepted values: gang, closed, auto)");
-  return SettleMode::kAuto;  // unreachable
+  static constexpr std::string_view kNames[] = {"gang", "closed", "auto"};
+  static_assert(static_cast<int>(SettleMode::kGang) == 0 &&
+                static_cast<int>(SettleMode::kClosed) == 1 &&
+                static_cast<int>(SettleMode::kAuto) == 2);
+  return support::parse_knob<SettleMode>("SKIL_SETTLE", "settlement mode",
+                                         name, kNames);
 }
 
 std::string_view settle_mode_name(SettleMode mode) {
@@ -88,11 +87,10 @@ void set_default_settle_mode(SettleMode mode) {
 }
 
 FuseMode parse_fuse_mode(std::string_view name) {
-  if (name == "off") return FuseMode::kOff;
-  if (name == "on") return FuseMode::kOn;
-  SKIL_REQUIRE(false, "SKIL_FUSE: unknown fuse mode '" + std::string(name) +
-                          "' (accepted values: off, on)");
-  return FuseMode::kOff;  // unreachable
+  static constexpr std::string_view kNames[] = {"off", "on"};
+  static_assert(static_cast<int>(FuseMode::kOff) == 0 &&
+                static_cast<int>(FuseMode::kOn) == 1);
+  return support::parse_knob<FuseMode>("SKIL_FUSE", "fuse mode", name, kNames);
 }
 
 std::string_view fuse_mode_name(FuseMode mode) {

@@ -3,6 +3,7 @@
 #include <ucontext.h>
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdlib>
@@ -17,6 +18,7 @@
 #include "parix/machine.h"
 #include "parix/mailbox.h"
 #include "parix/proc.h"
+#include "parix/prof.h"
 #include "support/error.h"
 
 // Fiber switches are invisible to the sanitizers unless announced:
@@ -90,6 +92,10 @@ struct Fiber {
   /// Carrier whose run queue this fiber calls home (affinity; idle
   /// carriers steal from the others).
   int home = 0;
+  /// Whether this fiber has been dispatched before in the current run
+  /// (distinguishes first dispatch from a resume in the profiler's
+  /// fibers_run / fibers_resumed counters).
+  bool ran_before = false;
   RunState* run = nullptr;
   Proc* proc = nullptr;
   /// ASan fake-stack save slot for switches *off* this fiber (unused
@@ -247,6 +253,11 @@ class Scheduler {
   /// inside a run.
   void set_carriers(int n);
 
+  /// Spawns the pool (if needed) and sizes the profiling registry to
+  /// cover every carrier, so the hot-path counter sites never index
+  /// past the registry during a profiled run.
+  void prof_prepare();
+
  private:
   Scheduler() = default;
   ~Scheduler();
@@ -339,6 +350,11 @@ int Scheduler::carriers() {
 
 void Scheduler::spawn_workers_locked() {
   const int n = resolve_carriers_locked();
+  // Keep an existing profiling registry wide enough for the new pool
+  // (prof_prepare creates it in the first place): an active registry
+  // must always cover every live carrier index.
+  if (prof_detail::g_registry.load(std::memory_order_relaxed) != nullptr)
+    prof_ensure_registry(n);
   gang_enabled_ = n > 1;
   const unsigned hc = std::thread::hardware_concurrency();
   active_cap_ = hc == 0 ? n : std::max(1, std::min(n, static_cast<int>(hc)));
@@ -370,9 +386,21 @@ void Scheduler::set_carriers(int n) {
   stop_workers(lock);
 }
 
+void Scheduler::prof_prepare() {
+  const std::scoped_lock serial(run_serial_);
+  const std::scoped_lock lock(mutex_);
+  if (workers_.empty()) spawn_workers_locked();
+  prof_ensure_registry(static_cast<int>(workers_.size()));
+}
+
 void Scheduler::enqueue_locked(Fiber* fiber) {
-  queues_[static_cast<std::size_t>(fiber->home)].push_back(fiber);
+  auto& queue = queues_[static_cast<std::size_t>(fiber->home)];
+  queue.push_back(fiber);
   ++ready_count_;
+  if (ProfRegistry* const prof = prof_registry();
+      prof != nullptr && fiber->home < prof->n) [[unlikely]]
+    prof->carriers[fiber->home].queue_depth.store(
+        static_cast<std::int32_t>(queue.size()), std::memory_order_relaxed);
   // Wake a standby carrier only when the admission cap has room for
   // it; at the cap, the carriers already executing drain the queue
   // themselves when they next return to their loop.
@@ -380,15 +408,38 @@ void Scheduler::enqueue_locked(Fiber* fiber) {
 }
 
 Fiber* Scheduler::pop_ready_locked(int index) {
-  if (ready_count_ == 0) return nullptr;
+  ProfRegistry* const prof = prof_registry();
+  if (ready_count_ == 0) {
+    if (prof != nullptr && index < prof->n) [[unlikely]]
+      prof->carriers[index].steal_failed_rounds.fetch_add(
+          1, std::memory_order_relaxed);
+    return nullptr;
+  }
   const int n = static_cast<int>(queues_.size());
   // Own queue first (affinity), then steal round-robin from the rest.
   for (int i = 0; i < n; ++i) {
-    auto& queue = queues_[static_cast<std::size_t>((index + i) % n)];
-    if (queue.empty()) continue;
+    const int owner = (index + i) % n;
+    auto& queue = queues_[static_cast<std::size_t>(owner)];
+    if (queue.empty()) {
+      if (prof != nullptr && i > 0 && index < prof->n) [[unlikely]]
+        prof->carriers[index].steal_attempts.fetch_add(
+            1, std::memory_order_relaxed);
+      continue;
+    }
     Fiber* fiber = queue.front();
     queue.pop_front();
     --ready_count_;
+    if (prof != nullptr) [[unlikely]] {
+      if (i > 0 && index < prof->n) {
+        CarrierCounters& pc = prof->carriers[index];
+        pc.steal_attempts.fetch_add(1, std::memory_order_relaxed);
+        pc.steal_successes.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (owner < prof->n)
+        prof->carriers[owner].queue_depth.store(
+            static_cast<std::int32_t>(queue.size()),
+            std::memory_order_relaxed);
+    }
     return fiber;
   }
   SKIL_ASSERT(false, "executor: ready_count_ out of sync");
@@ -419,6 +470,17 @@ void Scheduler::gang_settle_batch_locked(std::unique_lock<std::mutex>& lock) {
   }
   settle_queue_.resize(kept);
   settle_ready_ -= k;
+  if (ProfRegistry* const prof = prof_registry(); prof != nullptr)
+      [[unlikely]] {
+    prof->globals.settle_queue_depth.store(
+        static_cast<std::int32_t>(settle_queue_.size()),
+        std::memory_order_relaxed);
+    if (k > 0) {
+      prof->globals.gang_batches.fetch_add(1, std::memory_order_relaxed);
+      prof->globals.gang_lane_hist[k - 1].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  }
   if (k == 0) return;
   for (int i = 0; i < k; ++i) lanes[i] = batch[i]->proc->gang_lane();
   // The fused settle runs outside the scheduler lock: the fibers are
@@ -487,7 +549,19 @@ void Scheduler::worker_main(int index) {
       // settled fibers re-enqueue at the end, and the slot keeps
       // standby carriers from piling onto the queue mid-batch.
       ++running_;
-      gang_settle_batch_locked(lock);
+      if (ProfRegistry* const prof = prof_registry();
+          prof != nullptr && index < prof->n) [[unlikely]] {
+        const auto t0 = std::chrono::steady_clock::now();
+        gang_settle_batch_locked(lock);
+        prof->carriers[index].settle_ns.fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()),
+            std::memory_order_relaxed);
+      } else {
+        gang_settle_batch_locked(lock);
+      }
       --running_;
       // Enqueues during the batch saw its admission slot occupied and
       // may have suppressed their wakeups; hand one on now that the
@@ -501,7 +575,19 @@ void Scheduler::worker_main(int index) {
     fiber->state = FiberState::kRunning;
     fiber->home = index;
     ++running_;
+    const bool resumed = fiber->ran_before;
+    fiber->ran_before = true;
     lock.unlock();
+
+    ProfRegistry* const prof = prof_registry();
+    std::chrono::steady_clock::time_point prof_t0;
+    if (prof != nullptr && index < prof->n) [[unlikely]] {
+      CarrierCounters& pc = prof->carriers[index];
+      pc.fibers_run.fetch_add(1, std::memory_order_relaxed);
+      if (resumed) pc.fibers_resumed.fetch_add(1, std::memory_order_relaxed);
+      pc.running_proc.store(fiber->proc->id(), std::memory_order_relaxed);
+      prof_t0 = std::chrono::steady_clock::now();
+    }
 
     tl_fiber = fiber;
     void* fake_stack = nullptr;
@@ -509,6 +595,17 @@ void Scheduler::worker_main(int index) {
     swapcontext(&worker_context, &fiber->context);
     sanitizer_finish_switch(fake_stack);
     tl_fiber = nullptr;
+
+    if (prof != nullptr && index < prof->n) [[unlikely]] {
+      CarrierCounters& pc = prof->carriers[index];
+      pc.run_ns.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - prof_t0)
+                  .count()),
+          std::memory_order_relaxed);
+      pc.running_proc.store(-1, std::memory_order_relaxed);
+    }
 
     lock.lock();
     --running_;
@@ -532,6 +629,10 @@ void Scheduler::worker_main(int index) {
         } else {
           fiber->state = FiberState::kParked;
           ++parked_;
+          if (ProfRegistry* const prof_park = prof_registry();
+              prof_park != nullptr && index < prof_park->n) [[unlikely]]
+            prof_park->carriers[index].parks.fetch_add(
+                1, std::memory_order_relaxed);
           detect_deadlock_locked(lock);
         }
         break;
@@ -571,6 +672,19 @@ bool Scheduler::settle_current() {
     fiber->state = FiberState::kParking;
     fiber->settle_wait = true;
     settle_queue_.push_back(fiber);
+    if (ProfRegistry* const prof = prof_registry(); prof != nullptr)
+        [[unlikely]] {
+      if (fiber->home < prof->n)
+        prof->carriers[fiber->home].settle_enqueues.fetch_add(
+            1, std::memory_order_relaxed);
+      const auto depth = static_cast<std::int32_t>(settle_queue_.size());
+      prof->globals.settle_queue_depth.store(depth, std::memory_order_relaxed);
+      // Writers hold mutex_, so the load/store max update cannot race.
+      if (static_cast<std::uint64_t>(depth) >
+          prof->globals.settle_queue_max.load(std::memory_order_relaxed))
+        prof->globals.settle_queue_max.store(
+            static_cast<std::uint64_t>(depth), std::memory_order_relaxed);
+    }
   }
   sanitizer_switch_to_worker(&fiber->asan_fake_stack);
   swapcontext(&fiber->context, current_worker_context());
@@ -584,6 +698,10 @@ void Scheduler::wake(Fiber* fiber) {
     case FiberState::kParked:
       fiber->state = FiberState::kReady;
       --parked_;
+      if (ProfRegistry* const prof = prof_registry();
+          prof != nullptr && fiber->home < prof->n) [[unlikely]]
+        prof->carriers[fiber->home].unparks.fetch_add(
+            1, std::memory_order_relaxed);
       enqueue_locked(fiber);
       break;
     case FiberState::kParking:
@@ -655,6 +773,7 @@ std::exception_ptr Scheduler::run(
       fiber->state = FiberState::kReady;
       fiber->notify_pending = false;
       fiber->settle_wait = false;
+      fiber->ran_before = false;
       fiber->home = proc->id() % carriers;
       fiber->asan_fake_stack = nullptr;
       getcontext(&fiber->context);
@@ -664,6 +783,15 @@ std::exception_ptr Scheduler::run(
       makecontext(&fiber->context, fiber_trampoline, 0);
       queues_[static_cast<std::size_t>(fiber->home)].push_back(fiber);
       ++ready_count_;
+    }
+    if (ProfRegistry* const prof = prof_registry(); prof != nullptr)
+        [[unlikely]] {
+      const int lanes = std::min(carriers, prof->n);
+      for (int i = 0; i < lanes; ++i)
+        prof->carriers[i].queue_depth.store(
+            static_cast<std::int32_t>(
+                queues_[static_cast<std::size_t>(i)].size()),
+            std::memory_order_relaxed);
     }
     work_cv_.notify_all();
   }
@@ -713,6 +841,8 @@ bool executor_in_fiber() { return current_fiber_slot() != nullptr; }
 int executor_carriers() { return Scheduler::instance().carriers(); }
 
 void executor_set_carriers(int n) { Scheduler::instance().set_carriers(n); }
+
+void executor_prof_prepare() { Scheduler::instance().prof_prepare(); }
 
 bool executor_gang_settle(Proc& proc) {
   Fiber* fiber = current_fiber_slot();

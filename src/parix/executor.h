@@ -66,6 +66,12 @@ void executor_set_carriers(int n);
 /// declaration in proc.h for the contract.
 bool executor_gang_settle(Proc& proc);
 
+/// Spawns the carrier pool if needed and sizes the SKIL_PROF counter
+/// registry (prof.h) to cover every carrier.  The runtime calls this
+/// before a profiled pooled run so the instrumentation sites never
+/// index past the registry.
+void executor_prof_prepare();
+
 /// Runs `body` on every processor using the persistent pool; blocks
 /// until all fibers finish.  Returns the first failure (or nullptr).
 /// Concurrent calls from different host threads serialise.

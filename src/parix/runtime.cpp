@@ -15,6 +15,7 @@
 
 #include "parix/executor.h"
 #include "parix/machine.h"
+#include "support/env.h"
 #include "support/error.h"
 
 // Fiber context switches are invisible to thread/address sanitizers
@@ -50,12 +51,11 @@ ExecutionEngine& default_engine_slot() {
 }  // namespace
 
 ExecutionEngine parse_execution_engine(std::string_view name) {
-  if (name == "threads") return ExecutionEngine::kThreads;
-  if (name == "pooled") return ExecutionEngine::kPooled;
-  SKIL_REQUIRE(false, "SKIL_ENGINE: unknown execution engine '" +
-                          std::string(name) +
-                          "' (accepted values: threads, pooled)");
-  return ExecutionEngine::kPooled;  // unreachable
+  static constexpr std::string_view kNames[] = {"threads", "pooled"};
+  static_assert(static_cast<int>(ExecutionEngine::kThreads) == 0 &&
+                static_cast<int>(ExecutionEngine::kPooled) == 1);
+  return support::parse_knob<ExecutionEngine>("SKIL_ENGINE",
+                                              "execution engine", name, kNames);
 }
 
 namespace {
@@ -148,6 +148,28 @@ RunResult spmd_run_ref(const RunConfig& config, const detail::BodyRef& body) {
     }
   }
 
+  // Host-timeline profiling (parix/prof.h): size the carrier registry
+  // before the run so the scheduler's counter sites never index past
+  // it, then activate the sites for the duration of the run (RAII --
+  // the failure rethrow below must not leave them hot).  In sampled
+  // mode the sampler thread shares the trace's wall epoch when one
+  // exists, so host lanes and virtual lanes line up in a merged view.
+  const bool prof_on = config.prof != ProfMode::kOff;
+  const bool prof_pooled = prof_on && engine == ExecutionEngine::kPooled;
+  if (prof_pooled) executor_prof_prepare();
+  const ProfActivation prof_active(prof_on);
+  if (prof_on) prof_reset_watermarks();
+  const RegistrySnapshot prof_before =
+      prof_on ? prof_snapshot() : RegistrySnapshot{};
+  const PoolCounters pool_before =
+      prof_on ? prof_pool_counters() : PoolCounters{};
+  std::unique_ptr<ProfSampler> sampler;
+  if (config.prof == ProfMode::kSampled && prof_pooled) {
+    const auto prof_epoch =
+        trace ? trace->wall_epoch : std::chrono::steady_clock::now();
+    sampler = std::make_unique<ProfSampler>(prof_epoch, executor_carriers());
+  }
+
   std::exception_ptr first_failure;
   const SettleCounters settle_before = settle_counters();
   const GangCounters gang_before = gang_counters();
@@ -216,6 +238,60 @@ RunResult spmd_run_ref(const RunConfig& config, const detail::BodyRef& body) {
         f.barriers_eliminated - fusion_before.barriers_eliminated;
     result.fusion.tapes_eliminated =
         f.tapes_eliminated - fusion_before.tapes_eliminated;
+  }
+  if (prof_on) {
+    if (sampler) result.prof = sampler->stop();
+    SchedulerReport& sched = result.scheduler;
+    sched.mode = config.prof;
+    sched.wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(wall_end -
+                                                             wall_start)
+            .count());
+    // Per-carrier deltas, trimmed to the carriers that actually ran
+    // (the registry never shrinks, so stale wider lanes are all-zero).
+    const int carriers = prof_pooled ? executor_carriers() : 0;
+    sched.carriers = carriers;
+    const RegistrySnapshot after = prof_snapshot();
+    for (int i = 0;
+         i < carriers && i < static_cast<int>(after.lanes.size()); ++i) {
+      const RegistrySnapshot::Lane before =
+          i < static_cast<int>(prof_before.lanes.size())
+              ? prof_before.lanes[static_cast<std::size_t>(i)]
+              : RegistrySnapshot::Lane{};
+      const RegistrySnapshot::Lane& now =
+          after.lanes[static_cast<std::size_t>(i)];
+      CarrierReport lane;
+      lane.fibers_run = now.fibers_run - before.fibers_run;
+      lane.fibers_resumed = now.fibers_resumed - before.fibers_resumed;
+      lane.steal_attempts = now.steal_attempts - before.steal_attempts;
+      lane.steal_successes = now.steal_successes - before.steal_successes;
+      lane.steal_failed_rounds =
+          now.steal_failed_rounds - before.steal_failed_rounds;
+      lane.settle_enqueues = now.settle_enqueues - before.settle_enqueues;
+      lane.parks = now.parks - before.parks;
+      lane.unparks = now.unparks - before.unparks;
+      lane.run_ns = now.run_ns - before.run_ns;
+      lane.settle_ns = now.settle_ns - before.settle_ns;
+      sched.per_carrier.push_back(lane);
+    }
+    sched.gang_batches = after.gang_batches - prof_before.gang_batches;
+    for (int i = 0; i < kProfGangLanes; ++i)
+      sched.gang_lane_hist[i] =
+          after.gang_lane_hist[i] - prof_before.gang_lane_hist[i];
+    // High-water mark, not a counter: reset at run start above.
+    sched.settle_queue_max = after.settle_queue_max;
+    const PoolCounters pool_after = prof_pool_counters();
+    sched.pool.acquires = pool_after.acquires - pool_before.acquires;
+    sched.pool.hits = pool_after.hits - pool_before.hits;
+    sched.pool.misses = pool_after.misses - pool_before.misses;
+    sched.pool.bytes = pool_after.bytes - pool_before.bytes;
+    // Tape-memo stats are already exact per-run deltas (SettleCounters
+    // above); surfaced here so the scheduler report is self-contained.
+    sched.memo_hits = result.settle.memo_hits;
+    sched.memo_misses = result.settle.memo_misses;
+    sched.samples =
+        result.prof ? static_cast<std::uint64_t>(result.prof->samples.size())
+                    : 0;
   }
   return result;
 }

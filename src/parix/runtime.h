@@ -28,6 +28,7 @@
 
 #include "parix/cost_model.h"
 #include "parix/proc.h"
+#include "parix/prof.h"
 #include "parix/trace.h"
 
 namespace skil::parix {
@@ -71,6 +72,11 @@ struct RunConfig {
   /// runs recognised compositions as one fused pass (same array
   /// results, fewer charges and collective rounds -> lower vtimes).
   FuseMode fuse = default_fuse_mode();
+  /// Host-timeline profiling (parix/prof.h, SKIL_PROF).  kOff costs
+  /// one untaken branch per scheduler site; every mode reads host
+  /// clocks/counters only and never feeds virtual time, so vtimes are
+  /// bit-identical across modes.
+  ProfMode prof = default_prof_mode();
 };
 
 /// Timing and accounting of a completed run.
@@ -98,6 +104,14 @@ struct RunResult {
   /// Fusion-counter delta over this run, same caveat.  All zero under
   /// FuseMode::kOff (the off path never consults the fused variants).
   FusionCounters fusion;
+  /// Host scheduler report (parix/prof.h).  mode == kOff when the run
+  /// was unprofiled (then everything else in it is zero); carriers ==
+  /// 0 under the threads engine, where pool/memo totals still apply.
+  SchedulerReport scheduler;
+  /// Sampled host timeline (null unless RunConfig::prof == kSampled
+  /// on the pooled engine).  Hand it to write_chrome_trace alongside
+  /// the virtual trace for a merged host+virtual view.
+  std::shared_ptr<const ProfTimeline> prof;
 
   double vtime_seconds() const { return vtime_us * 1e-6; }
 };

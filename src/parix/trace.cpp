@@ -1,9 +1,8 @@
 #include "parix/trace.h"
 
 #include <cstdlib>
-#include <string>
 
-#include "support/error.h"
+#include "support/env.h"
 
 namespace skil::parix {
 
@@ -23,12 +22,12 @@ TraceMode& default_mode_slot() {
 }  // namespace
 
 TraceMode parse_trace_mode(std::string_view name) {
-  if (name == "off") return TraceMode::kOff;
-  if (name == "spans") return TraceMode::kSpans;
-  if (name == "full") return TraceMode::kFull;
-  SKIL_REQUIRE(false, "SKIL_TRACE: unknown trace mode '" + std::string(name) +
-                          "' (accepted values: off, spans, full)");
-  return TraceMode::kOff;  // unreachable
+  static constexpr std::string_view kNames[] = {"off", "spans", "full"};
+  static_assert(static_cast<int>(TraceMode::kOff) == 0 &&
+                static_cast<int>(TraceMode::kSpans) == 1 &&
+                static_cast<int>(TraceMode::kFull) == 2);
+  return support::parse_knob<TraceMode>("SKIL_TRACE", "trace mode", name,
+                                        kNames);
 }
 
 std::string_view trace_mode_name(TraceMode mode) {

@@ -1,0 +1,31 @@
+#include "support/env.h"
+
+#include <string>
+
+#include "support/error.h"
+
+namespace skil::support {
+
+std::size_t parse_knob_choice(std::string_view var, std::string_view what,
+                              std::string_view name,
+                              const std::string_view* accepted,
+                              std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i)
+    if (name == accepted[i]) return i;
+  std::string message;
+  message.append(var);
+  message += ": unknown ";
+  message.append(what);
+  message += " '";
+  message.append(name);
+  message += "' (accepted values: ";
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i > 0) message += ", ";
+    message.append(accepted[i]);
+  }
+  message += ")";
+  SKIL_REQUIRE(false, message);
+  return 0;  // unreachable
+}
+
+}  // namespace skil::support

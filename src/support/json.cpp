@@ -1,0 +1,252 @@
+#include "support/json.h"
+
+#include <cstdlib>
+
+#include "support/error.h"
+
+namespace skil::support::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value run() {
+    Value value = parse_value();
+    skip_ws();
+    SKIL_REQUIRE(pos_ == text_.size(),
+                 "json: trailing characters after the document (offset " +
+                     std::to_string(pos_) + ")");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    SKIL_REQUIRE(false,
+                 "json: " + what + " at offset " + std::to_string(pos_));
+    std::abort();  // unreachable
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void expect_word(std::string_view word) {
+    for (const char c : word)
+      if (take() != c) {
+        --pos_;
+        fail("invalid literal");
+      }
+  }
+
+  Value parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't': {
+        expect_word("true");
+        Value v;
+        v.kind = Value::Kind::kBool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        expect_word("false");
+        Value v;
+        v.kind = Value::Kind::kBool;
+        return v;
+      }
+      case 'n': {
+        expect_word("null");
+        return Value{};
+      }
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      Value key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key.string), parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == '}') return v;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') return v;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  Value parse_string() {
+    expect('"');
+    Value v;
+    v.kind = Value::Kind::kString;
+    for (;;) {
+      const char c = take();
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.string += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': v.string += '"'; break;
+        case '\\': v.string += '\\'; break;
+        case '/': v.string += '/'; break;
+        case 'b': v.string += '\b'; break;
+        case 'f': v.string += '\f'; break;
+        case 'n': v.string += '\n'; break;
+        case 'r': v.string += '\r'; break;
+        case 't': v.string += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else {
+              --pos_;
+              fail("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (our writers only escape
+          // control characters, so surrogate pairs do not occur).
+          if (code < 0x80) {
+            v.string += static_cast<char>(code);
+          } else if (code < 0x800) {
+            v.string += static_cast<char>(0xC0 | (code >> 6));
+            v.string += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            v.string += static_cast<char>(0xE0 | (code >> 12));
+            v.string += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            v.string += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: {
+          --pos_;
+          fail("invalid escape");
+        }
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-')
+        ++pos_;
+      else
+        break;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    v.number = parsed;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Value* Value::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Value* value = find(key);
+  SKIL_REQUIRE(value != nullptr,
+               "json: missing object member '" + std::string(key) + "'");
+  return *value;
+}
+
+double Value::num(std::string_view key, double fallback) const {
+  const Value* value = find(key);
+  if (value == nullptr) return fallback;
+  SKIL_REQUIRE(value->kind == Kind::kNumber,
+               "json: member '" + std::string(key) + "' is not a number");
+  return value->number;
+}
+
+Value parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace skil::support::json
