@@ -12,6 +12,7 @@
 //                          [--carriers=N|auto] [--charge=interp|tape]
 //                          [--settle=gang|closed|auto] [--fuse=off|on]
 //                          [--prof=off|counters|sampled]
+//                          [--coll=tree|ring|rd|auto]
 //                          [--engine=threads|pooled|both] [--trace-out=dir]
 //
 // --engine restricts the sweep to one engine (default: both).  With a
@@ -39,12 +40,18 @@
 // clocks and counters only, so the *virtual* times stay bit-identical
 // in every mode; the wall times include the (small) profiling
 // overhead, which EXPERIMENTS.md W7 quantifies.
+// --coll selects the collective-algorithm family (parix/coll.h;
+// default: the process default, i.e. SKIL_COLL or auto) -- like
+// --fuse this legitimately moves the *virtual* times (the non-tree
+// algorithms change the communication schedule) while the array
+// results stay bit-identical; EXPERIMENTS.md W8 records the
+// same-build tree/auto A/B.
 // --trace-out runs one representative cell again under full tracing
 // (after the timed sweep, so the timings stay untraced) and writes its
 // Chrome trace + metrics JSON (parix/metrics.h) into the directory;
 // under --prof=sampled the trace also carries the host carrier lanes.
 //
-// The JSON report (default BENCH_engine.json, schema_version 7)
+// The JSON report (default BENCH_engine.json, schema_version 8)
 // records the run configuration (reps, jobs, nproc, charge path,
 // settle mode) and per-cell wall seconds + virtual times alongside
 // both engines' totals, so EXPERIMENTS.md can cite the engine speedup
@@ -58,6 +65,13 @@
 // reads as a slowdown unless the provenance travels with it.
 //
 // Schema history:
+//   v8: adds "coll" (collective-algorithm family, SKIL_COLL) and
+//       per-engine "coll_counters" (per-op calls by resolved
+//       algorithm, bytes, hop sums, rounds, order fallbacks, summed
+//       over the best rep's cells).  Always written, like
+//       fusion_counters -- a tree-mode report proves the zoo stayed
+//       off by showing zero non-tree picks (the validator enforces
+//       this conservation).
 //   v7: adds "prof" (host profiler mode) and, when prof != off,
 //       per-engine "scheduler" (host scheduler counter totals summed
 //       over the best rep's cells: dispatches, steals, parks,
@@ -115,8 +129,8 @@ int main(int argc, char** argv) {
   const support::Cli cli(argc, argv,
                          {"quick", "json", "out-dir", "baseline",
                           "baseline-note", "reps", "jobs", "carriers",
-                          "charge", "settle", "fuse", "prof", "engine",
-                          "trace-out"});
+                          "charge", "settle", "fuse", "prof", "coll",
+                          "engine", "trace-out"});
   const bool quick = cli.get_bool("quick");
   const double baseline_s = std::atof(cli.get("baseline", "0").c_str());
   const std::string baseline_note = cli.get("baseline-note", "unspecified");
@@ -172,6 +186,15 @@ int main(int argc, char** argv) {
   }
   const parix::ProfMode prof_mode = parix::default_prof_mode();
   const std::string prof_name(parix::prof_mode_name(prof_mode));
+  if (cli.has("coll")) {
+    // In-process slot for this process, env var for the forked cell
+    // workers and anything that re-execs (same pattern as --settle).
+    const std::string coll_arg = cli.get("coll", "auto");
+    parix::set_default_coll_mode(parix::parse_coll_mode(coll_arg));
+    ::setenv("SKIL_COLL", coll_arg.c_str(), 1);
+  }
+  const std::string coll_name(
+      parix::coll_mode_name(parix::default_coll_mode()));
   const std::uint64_t seed = 19960528;
   const auto ns = paper_ns(quick);
   const auto ps = paper_ps();
@@ -179,10 +202,10 @@ int main(int argc, char** argv) {
   banner("Execution engines -- wall clock on the Table 2 grid");
   std::printf("grid: n in {%d..%d}, p in {4, 16, 32, 64}; host threads: %u; "
               "jobs: %d; carriers: %d; charge path: %s; settle: %s; "
-              "fuse: %s; prof: %s\n\n",
+              "fuse: %s; prof: %s; coll: %s\n\n",
               ns.front(), ns.back(), std::thread::hardware_concurrency(),
               jobs, carriers, charge_name, settle_name.c_str(),
-              fuse_name.c_str(), prof_name.c_str());
+              fuse_name.c_str(), prof_name.c_str(), coll_name.c_str());
 
   struct EngineRun {
     const char* name;
@@ -355,7 +378,7 @@ int main(int argc, char** argv) {
   if (FILE* out = std::fopen(path.c_str(), "w")) {
     std::fprintf(out,
                  "{\n"
-                 "  \"schema_version\": 7,\n"
+                 "  \"schema_version\": 8,\n"
                  "  \"benchmark\": \"bench_engine_wall\",\n"
                  "  \"grid\": \"table2_gauss%s\",\n"
                  "  \"reps\": %d,\n"
@@ -366,10 +389,12 @@ int main(int argc, char** argv) {
                  "  \"settle\": \"%s\",\n"
                  "  \"fuse\": \"%s\",\n"
                  "  \"prof\": \"%s\",\n"
+                 "  \"coll\": \"%s\",\n"
                  "  \"engines\": [\n",
                  quick ? "_quick" : "", reps, jobs, carriers,
                  std::thread::hardware_concurrency(), charge_name,
-                 settle_name.c_str(), fuse_name.c_str(), prof_name.c_str());
+                 settle_name.c_str(), fuse_name.c_str(), prof_name.c_str(),
+                 coll_name.c_str());
     for (std::size_t r = 0; r < runs.size(); ++r) {
       const EngineRun& run = runs[r];
       std::fprintf(out,
@@ -426,6 +451,33 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(totals.fusion.rejected_path),
           static_cast<unsigned long long>(totals.fusion.barriers_eliminated),
           static_cast<unsigned long long>(totals.fusion.tapes_eliminated));
+      // Collective-zoo counters (coll.h), summed over the best rep's
+      // cells.  Always written (like fusion_counters): a tree-mode
+      // report documents the zoo stayed off by showing zero non-tree
+      // picks.
+      std::fprintf(out, ", \"coll_counters\": {");
+      for (int op = 0; op < parix::kNumCollOps; ++op) {
+        const std::string op_name(
+            parix::coll_op_name(static_cast<parix::CollOp>(op)));
+        std::fprintf(out, "%s\"%s\": {\"calls\": {", op == 0 ? "" : ", ",
+                     op_name.c_str());
+        for (int a = 0; a < parix::kNumCollAlgos; ++a) {
+          const std::string algo_name(
+              parix::coll_algo_name(static_cast<parix::CollAlgo>(a)));
+          std::fprintf(out, "%s\"%s\": %llu", a == 0 ? "" : ", ",
+                       algo_name.c_str(),
+                       static_cast<unsigned long long>(
+                           totals.coll.calls[op][a]));
+        }
+        std::fprintf(
+            out, "}, \"bytes\": %llu, \"hops\": %llu, \"steps\": %llu}",
+            static_cast<unsigned long long>(totals.coll.bytes[op]),
+            static_cast<unsigned long long>(totals.coll.hops[op]),
+            static_cast<unsigned long long>(totals.coll.steps[op]));
+      }
+      std::fprintf(out, ", \"order_fallbacks\": %llu}",
+                   static_cast<unsigned long long>(
+                       totals.coll.order_fallbacks));
       // Host scheduler totals (prof.h), summed over the best rep's
       // cells.  Written only when profiling was on: an off-mode report
       // must be indistinguishable from a pre-v7 run's (the validator

@@ -14,6 +14,7 @@
 
 #include "apps/gauss.h"
 #include "parix/charge_tape.h"
+#include "parix/coll.h"
 #include "parix/prof.h"
 #include "support/error.h"
 
@@ -40,6 +41,9 @@ struct GaussCell {
   /// Host scheduler counter deltas over this cell's three runs
   /// (prof.h): all zero under SKIL_PROF=off.
   parix::SchedulerTotals sched;
+  /// Collective-algorithm counters over this cell's three runs
+  /// (coll.h): which algorithm family every collective resolved to.
+  parix::CollectiveCounters coll;
   double dpfl_over_skil() const { return dpfl_s / skil_s; }
   double skil_over_c() const { return skil_s / c_s; }
 };
@@ -51,6 +55,7 @@ struct SweepSettleTotals {
   std::uint64_t gang_adds = 0;
   std::uint64_t inline_adds = 0;
   parix::FusionCounters fusion;
+  parix::CollectiveCounters coll;
 
   /// All chain adds settlement accounted for, however retired.
   std::uint64_t total_adds() const {
@@ -97,6 +102,7 @@ inline SweepSettleTotals sum_settle_totals(const std::vector<GaussCell>& cells) 
     t.fusion.rejected_path += cell.fusion.rejected_path;
     t.fusion.barriers_eliminated += cell.fusion.barriers_eliminated;
     t.fusion.tapes_eliminated += cell.fusion.tapes_eliminated;
+    t.coll += cell.coll;
   }
   return t;
 }
@@ -166,6 +172,7 @@ inline GaussCell run_gauss_cell(int p, int n, std::uint64_t seed) {
     cell.fusion.barriers_eliminated += run.fusion.barriers_eliminated;
     cell.fusion.tapes_eliminated += run.fusion.tapes_eliminated;
     cell.sched.add(run.scheduler);
+    cell.coll += run.coll;
   };
   account(apps::gauss_skil(p, n, seed, /*pivoting=*/false).run, &cell.skil_s);
   account(apps::gauss_dpfl(p, n, seed).run, &cell.dpfl_s);
@@ -217,13 +224,14 @@ inline std::vector<GaussCell> run_gauss_grid_jobs(const std::vector<int>& ns,
     }
 
   // Wire format cell -> parent: the four timing doubles followed by
-  // the settlement/gang/scheduler counters, fixed-width so a single
-  // read drains the pipe atomically (368 bytes, well under PIPE_BUF).
+  // the settlement/gang/scheduler/collective counters, fixed-width so
+  // a single read drains the pipe atomically (600 bytes, well under
+  // PIPE_BUF's 4096).
   struct CellWire {
     double d[4];
-    std::uint64_t u[42];
+    std::uint64_t u[71];
   };
-  static_assert(sizeof(CellWire) < 512, "CellWire must stay one pipe write");
+  static_assert(sizeof(CellWire) < 1024, "CellWire must stay one pipe write");
   auto pack = [](const GaussCell& cell) {
     CellWire w;
     w.d[0] = cell.skil_s;
@@ -266,6 +274,17 @@ inline std::vector<GaussCell> run_gauss_grid_jobs(const std::vector<int>& ns,
     w.u[39] = cell.sched.pool_hits;
     w.u[40] = cell.sched.pool_misses;
     w.u[41] = cell.sched.pool_bytes;
+    int slot = 42;
+    for (int op = 0; op < parix::kNumCollOps; ++op)
+      for (int a = 0; a < parix::kNumCollAlgos; ++a)
+        w.u[slot++] = cell.coll.calls[op][a];
+    for (int op = 0; op < parix::kNumCollOps; ++op)
+      w.u[slot++] = cell.coll.bytes[op];
+    for (int op = 0; op < parix::kNumCollOps; ++op)
+      w.u[slot++] = cell.coll.hops[op];
+    for (int op = 0; op < parix::kNumCollOps; ++op)
+      w.u[slot++] = cell.coll.steps[op];
+    w.u[slot++] = cell.coll.order_fallbacks;
     return w;
   };
   auto unpack = [](const CellWire& w, GaussCell& cell) {
@@ -309,6 +328,17 @@ inline std::vector<GaussCell> run_gauss_grid_jobs(const std::vector<int>& ns,
     cell.sched.pool_hits = w.u[39];
     cell.sched.pool_misses = w.u[40];
     cell.sched.pool_bytes = w.u[41];
+    int slot = 42;
+    for (int op = 0; op < parix::kNumCollOps; ++op)
+      for (int a = 0; a < parix::kNumCollAlgos; ++a)
+        cell.coll.calls[op][a] = w.u[slot++];
+    for (int op = 0; op < parix::kNumCollOps; ++op)
+      cell.coll.bytes[op] = w.u[slot++];
+    for (int op = 0; op < parix::kNumCollOps; ++op)
+      cell.coll.hops[op] = w.u[slot++];
+    for (int op = 0; op < parix::kNumCollOps; ++op)
+      cell.coll.steps[op] = w.u[slot++];
+    cell.coll.order_fallbacks = w.u[slot++];
   };
 
   struct Worker {

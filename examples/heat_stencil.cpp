@@ -11,6 +11,9 @@
 // exchanges one halo row per neighbour per step.
 //
 //     ./heat_stencil [--procs=8] [--cells=64] [--steps=60]
+//
+// The library-grade version of this workload (no terminal art, plus a
+// BENCH grid and golden vtimes) lives in src/apps/stencil_jacobi.h.
 #include <cstdio>
 #include <string>
 

@@ -32,6 +32,7 @@ FIELDS_BY_VERSION = {
     6: ["fuse"],    # also per-engine fusion_counters (checked below)
     7: ["prof"],    # also per-engine scheduler iff prof != off
                     # (checked below)
+    8: ["coll"],    # also per-engine coll_counters (checked below)
 }
 MAX_KNOWN_VERSION = max(FIELDS_BY_VERSION)
 
@@ -50,6 +51,15 @@ FUSION_COUNTER_FIELDS = [
     "seen", "fused", "rejected_shape", "rejected_order", "rejected_path",
     "barriers_eliminated", "tapes_eliminated",
 ]
+
+# The collective-counter structure every v8+ engine record must carry:
+# one object per collective op, each accounting per-algorithm calls
+# plus the hop-cost totals.  Like fusion_counters, a tree-mode record
+# carries the block too -- its all-zero non-tree columns are what let
+# a tree/auto A/B pair be diffed mechanically.
+COLL_OPS = ["broadcast", "reduce", "allreduce", "allgather"]
+COLL_ALGOS = ["tree", "ring", "rd", "rabenseifner"]
+COLL_OP_FIELDS = ["calls", "bytes", "hops", "steps"]
 
 # The host scheduler fields every v7+ engine record must carry when the
 # run was profiled (prof != off).  Unlike fusion_counters, an off-mode
@@ -125,6 +135,44 @@ def validate_record(path, lineno, record):
                      "fuse=off record reports fused compositions -- the "
                      "off path must be byte-identical to the unfused "
                      "engine")
+        if version >= 8:
+            coll = engine.get("coll_counters")
+            if not isinstance(coll, dict):
+                fail(path, lineno,
+                     "v8+ engine record is missing 'coll_counters'")
+            if "order_fallbacks" not in coll:
+                fail(path, lineno,
+                     "v8+ coll_counters is missing 'order_fallbacks'")
+            for op in COLL_OPS:
+                block = coll.get(op)
+                if not isinstance(block, dict):
+                    fail(path, lineno,
+                         f"v8+ coll_counters is missing the '{op}' block")
+                for field in COLL_OP_FIELDS:
+                    if field not in block:
+                        fail(path, lineno,
+                             f"v8+ coll_counters['{op}'] is missing "
+                             f"'{field}'")
+                calls = block["calls"]
+                if not isinstance(calls, dict):
+                    fail(path, lineno,
+                         f"v8+ coll_counters['{op}']['calls'] must be an "
+                         "object keyed by algorithm")
+                for algo in COLL_ALGOS:
+                    if algo not in calls:
+                        fail(path, lineno,
+                             f"v8+ coll_counters['{op}']['calls'] is "
+                             f"missing '{algo}'")
+                if record.get("coll") == "tree":
+                    # SKIL_COLL=tree pins every collective to the
+                    # binomial tree; any non-tree pick means the mode
+                    # override leaked.
+                    for algo in COLL_ALGOS:
+                        if algo != "tree" and calls.get(algo, 0) != 0:
+                            fail(path, lineno,
+                                 f"coll=tree record reports {op} calls "
+                                 f"via '{algo}' -- the tree override "
+                                 "must pin every collective")
         if version >= 7:
             sched = engine.get("scheduler")
             if record.get("prof") == "off":

@@ -605,12 +605,15 @@ GaussResult gauss_c(int nprocs, int n, std::uint64_t seed,
         proc.charge(parix::Op::kFloatOp,
                     static_cast<std::uint64_t>(width) + 1);
       }
-      // The baseline uses the communication library's tree broadcast,
-      // like the skeleton does (Parix shipped broadcast primitives; a
-      // flat owner-sends-to-everyone loop would serialise 63 sends'
+      // The baseline uses the communication library's broadcast, like
+      // the skeleton does (Parix shipped broadcast primitives; a flat
+      // owner-sends-to-everyone loop would serialise 63 sends'
       // software startup and is slower than the paper's reported C
-      // times at small n, so their C cannot have used one).
-      parix::broadcast(proc, topo, owner, pivrow);
+      // times at small n, so their C cannot have used one).  The row
+      // width is uniform, so the size hint lets SKIL_COLL=auto take
+      // the pipelined ring for large rows.
+      parix::broadcast(proc, topo, owner, pivrow,
+                       pivrow.size() * sizeof(double));
 
       for (int i = 0; i < rows_per_proc; ++i) {
         if (row0 + i == k) {

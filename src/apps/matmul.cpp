@@ -195,4 +195,84 @@ MatmulResult matmul_c(int nprocs, int n, std::uint64_t seed,
   return result;
 }
 
+MatmulResult matmul_summa(int nprocs, int n, std::uint64_t seed,
+                          parix::CostModel cost) {
+  const int size = matmul_round_up(n, nprocs);
+  MatmulResult result;
+  parix::RunConfig config{nprocs, cost};
+
+  result.run = parix::spmd_run(config, [&](parix::Proc& proc) {
+    const parix::Topology topo(proc.machine(), parix::Distr::kTorus2D);
+    const int q = topo.grid_rows();
+    const int block = size / q;
+    const int my_row = topo.grid_row(proc.id());
+    const int my_col = topo.grid_col(proc.id());
+    const std::size_t cells = static_cast<std::size_t>(block) * block;
+    const std::size_t panel_bytes = cells * sizeof(double);
+
+    // Row and column communicators with disjoint tag streams: the
+    // k-step panel broadcasts below run on them concurrently without
+    // any cross-matching (DESIGN.md section 15).
+    const parix::Topology row_comm = topo.split_rows(proc.id());
+    const parix::Topology col_comm = topo.split_cols(proc.id());
+
+    std::vector<double> a_block(cells);
+    std::vector<double> b_block(cells);
+    for (int i = 0; i < block; ++i)
+      for (int j = 0; j < block; ++j) {
+        const int gi = my_row * block + i;
+        const int gj = my_col * block + j;
+        a_block[static_cast<std::size_t>(i) * block + j] =
+            operand_entry(n, seed, false, gi, gj);
+        b_block[static_cast<std::size_t>(i) * block + j] =
+            operand_entry(n, seed, true, gi, gj);
+      }
+    proc.charge(parix::Op::kFloatOp, 2 * cells);
+
+    // SUMMA: for every panel step k, the column-k owner broadcasts
+    // A(i,k) along its grid row and the row-k owner broadcasts B(k,j)
+    // down its grid column; every processor then accumulates the
+    // block outer product.  The k order is fixed, so the C summation
+    // order -- and hence the product bits -- never depends on the
+    // broadcast algorithm the zoo picks.
+    std::vector<double> c_block(cells, 0.0);
+    for (int k = 0; k < q; ++k) {
+      std::vector<double> a_panel;
+      if (my_col == k) a_panel = a_block;
+      parix::broadcast(proc, row_comm, topo.at_grid(my_row, k), a_panel,
+                       panel_bytes);
+      std::vector<double> b_panel;
+      if (my_row == k) b_panel = b_block;
+      parix::broadcast(proc, col_comm, topo.at_grid(k, my_col), b_panel,
+                       panel_bytes);
+
+      for (int i = 0; i < block; ++i)
+        for (int kk = 0; kk < block; ++kk) {
+          const double aik = a_panel[static_cast<std::size_t>(i) * block + kk];
+          const double* brow = &b_panel[static_cast<std::size_t>(kk) * block];
+          double* crow = &c_block[static_cast<std::size_t>(i) * block];
+          for (int j = 0; j < block; ++j) crow[j] += aik * brow[j];
+        }
+      proc.charge(parix::Op::kFloatOp,
+                  2 * static_cast<std::uint64_t>(cells) * block);
+    }
+
+    const parix::Topology gather_topo(proc.machine(), parix::Distr::kDefault);
+    std::vector<std::vector<double>> parts =
+        parix::gather(proc, gather_topo, 0, std::move(c_block));
+    if (proc.id() == 0) {
+      result.product = support::Matrix<double>(size, size);
+      for (int p = 0; p < nprocs; ++p) {
+        const int pr = topo.grid_row(p);
+        const int pc = topo.grid_col(p);
+        for (int i = 0; i < block; ++i)
+          for (int j = 0; j < block; ++j)
+            result.product(pr * block + i, pc * block + j) =
+                parts[p][static_cast<std::size_t>(i) * block + j];
+      }
+    }
+  });
+  return result;
+}
+
 }  // namespace skil::apps

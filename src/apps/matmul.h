@@ -33,4 +33,15 @@ MatmulResult matmul_dpfl(int nprocs, int n, std::uint64_t seed,
 MatmulResult matmul_c(int nprocs, int n, std::uint64_t seed,
                       parix::CostModel cost = parix::CostModel::t800());
 
+/// SUMMA (Scalable Universal Matrix Multiplication): per-step panel
+/// broadcasts along split row/column communicators instead of Cannon
+/// rotations.  Exercises Topology::split_rows/split_cols and the
+/// size-adaptive broadcast zoo (large panels ride the chunk-pipelined
+/// ring under SKIL_COLL=auto).  The fixed k order makes the product
+/// bit-identical across every SKIL_COLL mode (broadcasts only move
+/// bits); it matches matmul_c up to FP summation order, since Cannon
+/// visits the k panels in a per-processor rotated order.
+MatmulResult matmul_summa(int nprocs, int n, std::uint64_t seed,
+                          parix::CostModel cost = parix::CostModel::t800());
+
 }  // namespace skil::apps

@@ -1,0 +1,32 @@
+// Jacobi heat-diffusion stencil with overlapping partition borders
+// (paper section 6, future work) -- the library-grade promotion of
+// examples/heat_stencil.cpp.
+//
+// A 1-D rod (an n x 1 row-block distributed array) starts hot in the
+// middle; each time step applies the explicit three-point heat kernel
+// through array_map_stencil, which exchanges one halo row per
+// neighbour per step.  The per-step halo messages plus the two final
+// array_fold reductions make this the canonical nearest-neighbour +
+// collective workload for the topology and collective-zoo benches.
+#pragma once
+
+#include <vector>
+
+#include "parix/runtime.h"
+
+namespace skil::apps {
+
+struct StencilResult {
+  std::vector<double> temps;  ///< final rod profile (padded cells), root only
+  double total = 0.0;         ///< conserved heat, array_fold(+)
+  double peak = 0.0;          ///< hottest cell, array_fold(max)
+  parix::RunResult run;
+};
+
+/// Number of rod cells after padding to a multiple of nprocs.
+int stencil_round_up(int cells, int nprocs);
+
+StencilResult stencil_jacobi(int nprocs, int cells, int steps,
+                             parix::CostModel cost = parix::CostModel::t800());
+
+}  // namespace skil::apps

@@ -484,6 +484,28 @@ void write_metrics_json(const RunResult& result, std::ostream& out) {
         << ",\"tapes_eliminated\":" << f.tapes_eliminated << "}";
   }
 
+  // Collective accounting (parix/coll.h): which algorithm every
+  // collective call resolved to, plus the wire bytes, physical hop
+  // distances and communication rounds per op.  Summed over the
+  // per-proc counters, so exact even with concurrent runs.
+  {
+    const CollectiveCounters& c = result.coll;
+    out << ",\"collectives\":{";
+    for (int op = 0; op < kNumCollOps; ++op) {
+      if (op > 0) out << ",";
+      out << "\"" << coll_op_name(static_cast<CollOp>(op))
+          << "\":{\"calls\":{";
+      for (int algo = 0; algo < kNumCollAlgos; ++algo) {
+        if (algo > 0) out << ",";
+        out << "\"" << coll_algo_name(static_cast<CollAlgo>(algo))
+            << "\":" << c.calls[op][algo];
+      }
+      out << "},\"bytes\":" << c.bytes[op] << ",\"hops\":" << c.hops[op]
+          << ",\"steps\":" << c.steps[op] << "}";
+    }
+    out << ",\"order_fallbacks\":" << c.order_fallbacks << "}";
+  }
+
   // Host scheduler observatory (prof.h): present only when the run was
   // profiled (SKIL_PROF=counters|sampled).  Everything in this block is
   // *host* measurement -- wall nanoseconds and scheduler event counts

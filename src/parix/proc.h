@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "parix/charge_tape.h"
+#include "parix/coll.h"
 #include "parix/machine.h"
 #include "parix/trace.h"
 #include "support/error.h"
@@ -232,10 +233,24 @@ class Proc {
   /// programs call collectives in identical order on every processor,
   /// so matching calls draw matching tags.  Skeletons draw exactly one
   /// tag per invocation and derive sub-tags from it.
-  long fresh_tag() { return kCollectiveTagBase + 16 * next_collective_seq_++; }
+  long fresh_tag() { return fresh_tag(0); }
+
+  /// Fresh tag on communicator `comm`'s tag stream.  Each communicator
+  /// (0 = the full machine, >0 = a Topology row/column subgroup) owns a
+  /// disjoint kCommTagSpan-wide slice of the collective tag space, so
+  /// collectives on different sub-communicators can never match each
+  /// other's messages even when they run concurrently.  Stream 0 is
+  /// bit-identical to the pre-subgroup formula.
+  long fresh_tag(int comm) {
+    return kCollectiveTagBase + static_cast<long>(comm) * kCommTagSpan +
+           kTagStride * next_collective_seq_++;
+  }
 
   /// Number of sub-tags a skeleton may derive from one fresh_tag().
   static constexpr long kTagStride = 16;
+
+  /// Width of one communicator's tag stream (fresh_tag(comm)).
+  static constexpr long kCommTagSpan = 1L << 32;
 
   /// First tag of the collective tag space (public so the metrics
   /// exporter can classify app vs collective tags in histograms).
@@ -269,6 +284,19 @@ class Proc {
   /// taped variants (same array results, lower vtimes).
   void set_fuse_mode(FuseMode mode) { fuse_mode_ = mode; }
   FuseMode fuse_mode() const { return fuse_mode_; }
+
+  /// Selects which collective-algorithm family this processor's
+  /// collectives use (parix/coll.h; DESIGN.md section 15).  Set by
+  /// spmd_run from RunConfig::coll before the body starts.  kTree
+  /// replays the seed algorithms message for message; the other modes
+  /// keep array results bit-identical while changing virtual time.
+  void set_coll_mode(CollMode mode) { coll_mode_ = mode; }
+  CollMode coll_mode() const { return coll_mode_; }
+
+  /// Per-proc collective statistics (parix/coll.h).  Host-side
+  /// diagnostics only; summed into RunResult::coll after the run.
+  CollectiveCounters& coll_counters() { return coll_counters_; }
+  const CollectiveCounters& coll_counters() const { return coll_counters_; }
 
   /// True when a fused taped variant may run: fusion is requested AND
   /// the taped charge path is active.  The fused loops replay fused
@@ -368,6 +396,11 @@ class Proc {
   SettleMode settle_mode_ = default_settle_mode();
   /// Skeleton-composition fusion switch (charge_tape.h).
   FuseMode fuse_mode_ = default_fuse_mode();
+  /// Collective-algorithm family switch (parix/coll.h).
+  CollMode coll_mode_ = default_coll_mode();
+  /// Collective statistics (parix/coll.h); never read by the cost
+  /// model, so recording them cannot perturb virtual time.
+  CollectiveCounters coll_counters_;
   /// Per-proc trace recorder; nullptr (the default) keeps every trace
   /// hook down to one untaken branch so vtimes stay bit-identical.
   ProcTrace* trace_ = nullptr;

@@ -124,6 +124,7 @@ RunResult spmd_run_ref(const RunConfig& config, const detail::BodyRef& body) {
     procs.push_back(std::make_unique<Proc>(machine, p));
     procs.back()->set_settle_mode(config.settle);
     procs.back()->set_fuse_mode(config.fuse);
+    procs.back()->set_coll_mode(config.coll);
   }
 
   ExecutionEngine engine = config.engine;
@@ -196,6 +197,7 @@ RunResult spmd_run_ref(const RunConfig& config, const detail::BodyRef& body) {
     result.proc_vtimes.push_back(proc->vtime());
     result.proc_stats.push_back(proc->stats());
     result.total += proc->stats();
+    result.coll += proc->coll_counters();
   }
   result.vtime_us =
       *std::max_element(result.proc_vtimes.begin(), result.proc_vtimes.end());

@@ -77,6 +77,12 @@ struct RunConfig {
   /// clocks/counters only and never feeds virtual time, so vtimes are
   /// bit-identical across modes.
   ProfMode prof = default_prof_mode();
+  /// Collective-algorithm family (parix/coll.h, SKIL_COLL).  Like
+  /// fusion this knob legitimately moves virtual time: array results
+  /// stay bit-identical across modes, but the non-tree algorithms
+  /// change the communication schedule (fewer/cheaper rounds), so
+  /// each mode has its own pinned vtime goldens.
+  CollMode coll = default_coll_mode();
 };
 
 /// Timing and accounting of a completed run.
@@ -104,6 +110,11 @@ struct RunResult {
   /// Fusion-counter delta over this run, same caveat.  All zero under
   /// FuseMode::kOff (the off path never consults the fused variants).
   FusionCounters fusion;
+  /// Collective counters summed over all processors (parix/coll.h):
+  /// which algorithm every collective call resolved to, plus bytes,
+  /// hop distances and rounds per op.  Per-proc, not process-wide, so
+  /// these are exact even with concurrent runs in one process.
+  CollectiveCounters coll;
   /// Host scheduler report (parix/prof.h).  mode == kOff when the run
   /// was unprofiled (then everything else in it is zero); carriers ==
   /// 0 under the threads engine, where pool/memo totals still apply.

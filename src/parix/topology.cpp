@@ -1,5 +1,6 @@
 #include "parix/topology.h"
 
+#include "parix/proc.h"
 #include "support/error.h"
 
 namespace skil::parix {
@@ -123,5 +124,51 @@ int Topology::cube_neighbor(int hw, int dim) const {
   SKIL_REQUIRE(dim >= 0 && dim < cube_dims_, "cube dimension out of range");
   return hw_of_[vrank_of_[hw] ^ (1 << dim)];
 }
+
+Topology Topology::split_rows(int hw) const {
+  SKIL_REQUIRE(!is_subgroup(), "split_rows: cannot split a sub-communicator");
+  SKIL_REQUIRE(hw >= 0 && hw < static_cast<int>(vrank_of_.size()),
+               "split_rows: processor out of range");
+  const int row = grid_row(hw);
+  Topology sub;
+  sub.machine_ = machine_;
+  sub.kind_ = kind_;
+  sub.nprocs_ = grid_cols_;
+  sub.grid_rows_ = 1;
+  sub.grid_cols_ = grid_cols_;
+  sub.comm_id_ = 1 + row;
+  sub.vrank_of_.assign(machine_->nprocs(), -1);
+  sub.hw_of_.resize(grid_cols_);
+  for (int c = 0; c < grid_cols_; ++c) {
+    const int member = at_grid(row, c);
+    sub.vrank_of_[member] = c;
+    sub.hw_of_[c] = member;
+  }
+  return sub;
+}
+
+Topology Topology::split_cols(int hw) const {
+  SKIL_REQUIRE(!is_subgroup(), "split_cols: cannot split a sub-communicator");
+  SKIL_REQUIRE(hw >= 0 && hw < static_cast<int>(vrank_of_.size()),
+               "split_cols: processor out of range");
+  const int col = grid_col(hw);
+  Topology sub;
+  sub.machine_ = machine_;
+  sub.kind_ = kind_;
+  sub.nprocs_ = grid_rows_;
+  sub.grid_rows_ = grid_rows_;
+  sub.grid_cols_ = 1;
+  sub.comm_id_ = 1 + grid_rows_ + col;
+  sub.vrank_of_.assign(machine_->nprocs(), -1);
+  sub.hw_of_.resize(grid_rows_);
+  for (int r = 0; r < grid_rows_; ++r) {
+    const int member = at_grid(r, col);
+    sub.vrank_of_[member] = r;
+    sub.hw_of_[r] = member;
+  }
+  return sub;
+}
+
+long Topology::fresh_tag(Proc& proc) const { return proc.fresh_tag(comm_id_); }
 
 }  // namespace skil::parix

@@ -28,6 +28,8 @@
 
 namespace skil::parix {
 
+class Proc;
+
 /// Virtual topology kinds (paper: DISTR_DEFAULT / DISTR_RING /
 /// DISTR_TORUS2D; the hypercube and tree are natural extensions).
 enum class Distr {
@@ -74,19 +76,53 @@ class Topology {
   int cube_dims() const { return cube_dims_; }
   int cube_neighbor(int hw, int dim) const;
 
+  // --- communicator splitting (DESIGN.md section 15) -----------------
+  //
+  // A split yields the row (or column) sub-group of the virtual grid
+  // containing hardware processor `hw`, as a first-class Topology:
+  // virtual ranks renumber 0..k-1 along the row/column, the ring and
+  // grid views work on the subgroup, and collectives on it draw tags
+  // from the subgroup's own tag stream (fresh_tag below), so row and
+  // column collectives running concurrently can never match each
+  // other's messages.  Splitting a subgroup again is not supported.
+
+  /// Sub-communicator of the grid row containing `hw` (vrank = grid
+  /// column).  Communicator ids: row r gets 1 + r.
+  Topology split_rows(int hw) const;
+
+  /// Sub-communicator of the grid column containing `hw` (vrank = grid
+  /// row).  Communicator ids: column c gets 1 + grid_rows() + c.
+  Topology split_cols(int hw) const;
+
+  /// Communicator id: 0 for a full-machine topology, unique per
+  /// row/column subgroup otherwise.  Selects the tag stream.
+  int comm_id() const { return comm_id_; }
+  bool is_subgroup() const { return comm_id_ != 0; }
+
+  /// True when `hw` is a member of this (sub-)communicator.
+  bool contains(int hw) const { return vrank_of_[hw] >= 0; }
+
+  /// Fresh collective tag on this communicator's tag stream (defined
+  /// in topology.cpp to avoid a circular include with proc.h).  All
+  /// collectives below draw their tags through this.
+  long fresh_tag(Proc& proc) const;
+
   /// Physical hop distance between two hardware processors (delegates
   /// to the machine's mesh metric); exposed for tests measuring the
   /// dilation of each embedding.
   int hops(int hw_a, int hw_b) const { return machine_->hops(hw_a, hw_b); }
 
  private:
-  const Machine* machine_;
-  Distr kind_;
-  int nprocs_;
+  Topology() = default;  // subgroup builder (split_rows/split_cols)
+
+  const Machine* machine_ = nullptr;
+  Distr kind_ = Distr::kDefault;
+  int nprocs_ = 0;
   int grid_rows_ = 1;
   int grid_cols_ = 1;
   int cube_dims_ = 0;
-  std::vector<int> vrank_of_;
+  int comm_id_ = 0;
+  std::vector<int> vrank_of_;  ///< -1 for non-members of a subgroup
   std::vector<int> hw_of_;
 };
 

@@ -54,7 +54,11 @@ void array_broadcast_part(DistArray<T>& a, Index ix) {
   const int root_hw = a.dist().owner_hw(ix);
   std::vector<T> part;
   if (a.proc().id() == root_hw) part = a.local();
-  parix::broadcast(a.proc(), a.topology(), root_hw, part);
+  // Partitions are uniform (REQUIREd above), so every processor can
+  // hand the collective the same payload-size hint; large partitions
+  // then take the chunk-pipelined ring under SKIL_COLL=auto/ring.
+  parix::broadcast(a.proc(), a.topology(), root_hw, part,
+                   a.local().size() * sizeof(T));
   if (a.proc().id() != root_hw) {
     SKIL_ASSERT(part.size() == a.local().size(),
                 "array_broadcast_part: partition size mismatch");
@@ -107,8 +111,8 @@ void array_permute_rows(const DistArray<T>& from, PermF perm_f,
   proc.charge(parix::Op::kCall, static_cast<std::uint64_t>(n));
   proc.charge(parix::Op::kIntOp, static_cast<std::uint64_t>(n));
 
-  const long tag = proc.fresh_tag();
   const parix::Topology& topo = from.topology();
+  const long tag = topo.fresh_tag(proc);
   const int p = topo.nprocs();
   const int my_vrank = from.my_vrank();
   const auto& src = from.local();

@@ -78,6 +78,9 @@ auto array_fold(Conv conv_f, Fold fold_f, const DistArray<T1>& a) {
     a.proc().charge(parix::Op::kCall);
     return fold_f(std::move(*lhs), std::move(*rhs));
   };
+  // allreduce resolves its algorithm per SKIL_COLL (parix/coll.h);
+  // every family replays the same tree combine bracketing, so the
+  // folded value is bit-identical in all modes.
   std::optional<T2> result =
       parix::allreduce(a.proc(), a.topology(), std::move(acc), merge);
   SKIL_REQUIRE(result.has_value(), "array_fold: array has no elements");

@@ -47,7 +47,7 @@ Borders<T> array_exchange_borders(const DistArray<T>& a, int halo) {
   SKIL_REQUIRE(halo >= 1, "array_exchange_borders: halo must be >= 1");
   parix::Proc& proc = a.proc();
   const parix::Topology& topo = a.topology();
-  const long tag = proc.fresh_tag();
+  const long tag = topo.fresh_tag(proc);
   const int p = topo.nprocs();
   const int me = a.my_vrank();
   const Bounds bounds = a.part_bounds();

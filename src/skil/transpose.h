@@ -55,7 +55,7 @@ void array_transpose(const DistArray<T>& from, DistArray<T>& to) {
   proc.charge(parix::Op::kCopyWord,
               buffer.size() * sizeof(T) / sizeof(long) + 1);
 
-  const long tag = proc.fresh_tag();
+  const long tag = topo.fresh_tag(proc);
   const int partner = topo.at_grid(my_col, my_row);
   if (partner == proc.id()) {
     to.local() = std::move(buffer);

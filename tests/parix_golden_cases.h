@@ -36,32 +36,47 @@ struct GoldenCase {
   double fused_vtime_us;
 };
 
+/// Runs `fn` with `mode` as the process-wide default collective mode,
+/// restoring the previous default afterwards.  The golden cases below
+/// pin SKIL_COLL=tree internally: their values capture the seed
+/// binomial-tree communication schedule, and PR 9's zoo keeps that
+/// schedule message-for-message identical under tree while the other
+/// modes get their own goldens (tests/test_parix_coll_algos.cpp).
+template <class Fn>
+auto with_coll_mode(parix::CollMode mode, Fn&& fn) {
+  const parix::CollMode saved = parix::default_coll_mode();
+  parix::set_default_coll_mode(mode);
+  auto result = fn();
+  parix::set_default_coll_mode(saved);
+  return result;
+}
+
 inline const std::vector<GoldenCase>& golden_cases() {
   constexpr std::uint64_t kSeed = kGoldenSeed;
   static const std::vector<GoldenCase> cases = {
       {"gauss_skil_p4_n64",
-       [] { return apps::gauss_skil(4, 64, kSeed, false).run; },
+       [] { return with_coll_mode(parix::CollMode::kTree, [] { return apps::gauss_skil(4, 64, kSeed, false).run; }); },
        0x1.0245ad999999bp+21,
        {0x1.0245ad999999bp+21, 0x1.0092dcp+21, 0x1.00b035999999ap+21,
         0x1.00850f3333334p+21},
        195, 126360, 0x1.ecdaba6666666p+22, 0x1.52c2ccccccce1p+18,
        0x1.a56bde6666667p+20},
       {"gauss_dpfl_p4_n64",
-       [] { return apps::gauss_dpfl(4, 64, kSeed).run; },
+       [] { return with_coll_mode(parix::CollMode::kTree, [] { return apps::gauss_dpfl(4, 64, kSeed).run; }); },
        0x1.b9b7abfffe8afp+23,
        {0x1.b9b7abfffe8afp+23, 0x1.b961326664f14p+23, 0x1.b96888cccb57ap+23,
         0x1.b95b059998249p+23},
        195, 126360, 0x1.b1ea5b999864bp+25, 0x1.e32fe66657a76p+19,
        0x1.200106000050dp+23},
       {"gauss_c_p4_n64",
-       [] { return apps::gauss_c(4, 64, kSeed).run; },
+       [] { return with_coll_mode(parix::CollMode::kTree, [] { return apps::gauss_c(4, 64, kSeed).run; }); },
        0x1.f6404cccccccbp+19,
        {0x1.f6404cccccccbp+19, 0x1.f5a5fffffffffp+19, 0x1.f61b666666665p+19,
         0x1.f577cccccccccp+19},
        195, 101784, 0x1.cd88p+21, 0x1.42b2ffffffff7p+18,
        0x1.f6404cccccccbp+19},
       {"gauss_skil_p16_n64",
-       [] { return apps::gauss_skil(16, 64, kSeed, false).run; },
+       [] { return with_coll_mode(parix::CollMode::kTree, [] { return apps::gauss_skil(16, 64, kSeed, false).run; }); },
        0x1.5de7766666664p+19,
        {0x1.5de7766666664p+19, 0x1.585d7cccccccbp+19, 0x1.588bafffffffep+19,
         0x1.57cf166666665p+19, 0x1.58d2e33333332p+19, 0x1.588baffffffffp+19,
@@ -72,7 +87,7 @@ inline const std::vector<GoldenCase>& golden_cases() {
        975, 538200, 0x1.06a8b13333333p+23, 0x1.47e1399999993p+21,
        0x1.28ebdcccccccbp+19},
       {"gauss_dpfl_p16_n64",
-       [] { return apps::gauss_dpfl(16, 64, kSeed).run; },
+       [] { return with_coll_mode(parix::CollMode::kTree, [] { return apps::gauss_dpfl(16, 64, kSeed).run; }); },
        0x1.069fb99999fbap+22,
        {0x1.069fb99999fbap+22, 0x1.06157ccccd2eep+22, 0x1.061b433333954p+22,
         0x1.0603b00000621p+22, 0x1.0624299999fbbp+22, 0x1.061b433333954p+22,
@@ -83,7 +98,7 @@ inline const std::vector<GoldenCase>& golden_cases() {
        975, 538200, 0x1.d940680000607p+25, 0x1.97af1ccccf598p+22,
        0x1.5b40c19999e54p+21},
       {"gauss_c_p16_n64",
-       [] { return apps::gauss_c(16, 64, kSeed).run; },
+       [] { return with_coll_mode(parix::CollMode::kTree, [] { return apps::gauss_c(16, 64, kSeed).run; }); },
        0x1.7e1dffffffffep+18,
        {0x1.7e1dffffffffep+18, 0x1.7af7999999998p+18, 0x1.7b53ffffffffep+18,
         0x1.79daccccccccbp+18, 0x1.7be2666666665p+18, 0x1.7b53ffffffffep+18,
@@ -94,48 +109,48 @@ inline const std::vector<GoldenCase>& golden_cases() {
        975, 507480, 0x1.cd88p+21, 0x1.2879cccccccc9p+21,
        0x1.7e1dffffffffep+18},
       {"gauss_skil_p4_n128",
-       [] { return apps::gauss_skil(4, 128, kSeed, false).run; },
+       [] { return with_coll_mode(parix::CollMode::kTree, [] { return apps::gauss_skil(4, 128, kSeed, false).run; }); },
        0x1.e2bc44999999ap+23,
        {0x1.e2bc44999999ap+23, 0x1.e10a436666666p+23, 0x1.e117336666666p+23,
         0x1.e104036666666p+23},
        387, 498456, 0x1.da53674ccccccp+25, 0x1.c94219999999ep+19,
        0x1.86bfa56666667p+23},
       {"gauss_dpfl_p4_n128",
-       [] { return apps::gauss_dpfl(4, 128, kSeed).run; },
+       [] { return with_coll_mode(parix::CollMode::kTree, [] { return apps::gauss_dpfl(4, 128, kSeed).run; }); },
        0x1.a4779cb342478p+26,
        {0x1.a4779cb342478p+26, 0x1.a44b60b342479p+26, 0x1.a44cfeb342479p+26,
         0x1.a44a41800f145p+26},
        387, 498456, 0x1.a109add9a816ap+28, 0x1.a670c666b1133p+21,
        0x1.112075f33f6b6p+26},
       {"gauss_c_p4_n128",
-       [] { return apps::gauss_c(4, 128, kSeed).run; },
+       [] { return with_coll_mode(parix::CollMode::kTree, [] { return apps::gauss_c(4, 128, kSeed).run; }); },
        0x1.cc2f233333333p+22,
        {0x1.cc2f233333333p+22, 0x1.cc0f4p+22, 0x1.cc292p+22, 0x1.cc03ep+22},
        387, 400152, 0x1.beb2p+24, 0x1.ad1b199999998p+19,
        0x1.cc2f233333333p+22},
       {"shpaths_skil_p4_n32",
-       [] { return apps::shpaths_skil(4, 32, kSeed).run; },
+       [] { return with_coll_mode(parix::CollMode::kTree, [] { return apps::shpaths_skil(4, 32, kSeed).run; }); },
        0x1.3ab5a00000001p+19,
        {0x1.3ab5a00000001p+19, 0x1.3a02d9999999ap+19, 0x1.39804p+19,
         0x1.39c18cccccccdp+19},
        123, 126936, 0x1.2c5244cccccccp+21, 0x1.b5899999999c2p+16,
        0x1.36c0d33333334p+19},
       {"shpaths_dpfl_p4_n32",
-       [] { return apps::shpaths_dpfl(4, 32, kSeed).run; },
+       [] { return with_coll_mode(parix::CollMode::kTree, [] { return apps::shpaths_dpfl(4, 32, kSeed).run; }); },
        0x1.d870fccccccccp+21,
        {0x1.d870fccccccccp+21, 0x1.d840033333333p+21, 0x1.d82d433333333p+21,
         0x1.d83d966666666p+21},
        103, 106296, 0x1.d5c49p+23, 0x1.41333333332f2p+16,
        0x1.d780fccccccccp+21},
       {"shpaths_c_opt_p4_n32",
-       [] { return apps::shpaths_c(4, 32, kSeed, true).run; },
+       [] { return with_coll_mode(parix::CollMode::kTree, [] { return apps::shpaths_c(4, 32, kSeed, true).run; }); },
        0x1.0d55333333334p+19,
        {0x1.0d55333333334p+19, 0x1.0c914cccccccdp+19, 0x1.0c464ccccccccp+19,
         0x1.0c8799999999ap+19},
        63, 65016, 0x1.05918p+21, 0x1.c6e6666666687p+15,
        0x1.0d55333333334p+19},
       {"shpaths_skil_p16_n48",
-       [] { return apps::shpaths_skil(16, 48, kSeed).run; },
+       [] { return with_coll_mode(parix::CollMode::kTree, [] { return apps::shpaths_skil(16, 48, kSeed).run; }); },
        0x1.4f94acccccccep+19,
        {0x1.4f94acccccccep+19, 0x1.497ae66666665p+19, 0x1.48fcccccccccdp+19,
         0x1.4d2de66666667p+19, 0x1.48957fffffffep+19, 0x1.4894666666665p+19,
@@ -146,7 +161,7 @@ inline const std::vector<GoldenCase>& golden_cases() {
        1071, 625464, 0x1.2ed1813333333p+23, 0x1.b4d44ccccccdp+19,
        0x1.476979999999bp+19},
       {"shpaths_dpfl_p16_n48",
-       [] { return apps::shpaths_dpfl(16, 48, kSeed).run; },
+       [] { return with_coll_mode(parix::CollMode::kTree, [] { return apps::shpaths_dpfl(16, 48, kSeed).run; }); },
        0x1.e11abccccccccp+21,
        {0x1.e11abccccccccp+21, 0x1.e00af66666667p+21, 0x1.e004700000001p+21,
         0x1.e096a99999999p+21, 0x1.dff8366666667p+21, 0x1.e004700000001p+21,
@@ -157,7 +172,7 @@ inline const std::vector<GoldenCase>& golden_cases() {
        927, 541368, 0x1.daf8dp+25, 0x1.4b171999999b6p+19,
        0x1.df34bccccccccp+21},
       {"shpaths_c_opt_p16_n48",
-       [] { return apps::shpaths_c(16, 48, kSeed, true).run; },
+       [] { return with_coll_mode(parix::CollMode::kTree, [] { return apps::shpaths_c(16, 48, kSeed, true).run; }); },
        0x1.1da67ffffffffp+19,
        {0x1.1da67ffffffffp+19, 0x1.1980666666664p+19, 0x1.19664cccccccbp+19,
         0x1.1baf333333332p+19, 0x1.1935666666664p+19, 0x1.19664cccccccbp+19,
@@ -168,7 +183,7 @@ inline const std::vector<GoldenCase>& golden_cases() {
        735, 429240, 0x1.08bbccccccccap+23, 0x1.12be199999997p+19,
        0x1.1da67ffffffffp+19},
       {"gauss_skil_pivot_p4_n32",
-       [] { return apps::gauss_skil(4, 32, kSeed, true).run; },
+       [] { return with_coll_mode(parix::CollMode::kTree, [] { return apps::gauss_skil(4, 32, kSeed, true).run; }); },
        0x1.ee1b866666666p+18,
        {0x1.ee1b866666666p+18, 0x1.eaa6933333333p+18, 0x1.eb37c66666666p+18,
         0x1.ea64f99999999p+18},

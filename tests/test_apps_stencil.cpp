@@ -1,0 +1,114 @@
+// Integration and golden tests for the Jacobi halo-exchange stencil
+// (apps/stencil_jacobi.h).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "apps/stencil_jacobi.h"
+#include "parix_golden_cases.h"
+
+namespace {
+
+using namespace skil;
+using skil::testing::with_coll_mode;
+
+std::string hex(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+struct SCase {
+  int p;
+  int cells;
+  int steps;
+};
+
+class Stencil : public ::testing::TestWithParam<SCase> {};
+
+TEST_P(Stencil, ConservesTotalHeat) {
+  const auto [p, cells, steps] = GetParam();
+  const auto result = apps::stencil_jacobi(p, cells, steps);
+  // The three-point kernel's weights sum to 1 and the boundaries
+  // reflect, so total heat is invariant up to FP rounding.  The hot
+  // band is the middle third at 100 degrees.
+  const int padded = apps::stencil_round_up(cells, p);
+  const double expected = 100.0 * (2 * padded / 3 - padded / 3);
+  EXPECT_NEAR(result.total, expected, 1e-9 * expected);
+  EXPECT_GT(result.peak, 0.0);
+  EXPECT_LE(result.peak, 100.0);
+  ASSERT_EQ(static_cast<int>(result.temps.size()), padded);
+}
+
+TEST_P(Stencil, DiffusionOnlyFlattensTheProfile) {
+  const auto [p, cells, steps] = GetParam();
+  const auto one = apps::stencil_jacobi(p, cells, 1);
+  const auto many = apps::stencil_jacobi(p, cells, steps);
+  if (steps > 1) EXPECT_LE(many.peak, one.peak);
+}
+
+TEST_P(Stencil, ResultBitIdenticalAcrossAllCollModes) {
+  const auto [p, cells, steps] = GetParam();
+  const auto tree = with_coll_mode(parix::CollMode::kTree, [&] {
+    return apps::stencil_jacobi(p, cells, steps);
+  });
+  for (parix::CollMode mode :
+       {parix::CollMode::kRing, parix::CollMode::kRd, parix::CollMode::kAuto}) {
+    const auto other = with_coll_mode(mode, [&] {
+      return apps::stencil_jacobi(p, cells, steps);
+    });
+    EXPECT_EQ(other.temps, tree.temps) << parix::coll_mode_name(mode);
+    EXPECT_EQ(other.total, tree.total) << parix::coll_mode_name(mode);
+    EXPECT_EQ(other.peak, tree.peak) << parix::coll_mode_name(mode);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Stencil,
+    ::testing::Values(SCase{1, 24, 4}, SCase{3, 50, 8}, SCase{4, 128, 10},
+                      SCase{8, 96, 12}, SCase{16, 256, 6}),
+    [](const ::testing::TestParamInfo<SCase>& info) {
+      return "p" + std::to_string(info.param.p) + "_c" +
+             std::to_string(info.param.cells) + "_s" +
+             std::to_string(info.param.steps);
+    });
+
+TEST(StencilGoldens, VtimesArePinnedPerMode) {
+  struct Golden {
+    const char* name;
+    parix::CollMode mode;
+    int p, cells, steps;
+    double vtime_us;
+  };
+  const Golden kGoldens[] = {
+      // At these sizes the adaptive mode already wins: the end-of-step
+      // folds pick the dissemination allreduce over the 2 log p tree.
+      {"stencil_tree_p8", parix::CollMode::kTree, 8, 256, 16,
+       0x1.19f0ccccccccep+15},
+      {"stencil_auto_p8", parix::CollMode::kAuto, 8, 256, 16,
+       0x1.0fd8ccccccccep+15},
+      {"stencil_tree_p16", parix::CollMode::kTree, 16, 512, 16,
+       0x1.395e000000002p+15},
+      {"stencil_auto_p16", parix::CollMode::kAuto, 16, 512, 16,
+       0x1.2d9266666666cp+15},
+  };
+  for (const Golden& g : kGoldens) {
+    const auto result = with_coll_mode(g.mode, [&] {
+      return apps::stencil_jacobi(g.p, g.cells, g.steps);
+    });
+    EXPECT_EQ(result.run.vtime_us, g.vtime_us)
+        << g.name << ": actual " << hex(result.run.vtime_us);
+  }
+}
+
+TEST(StencilGoldens, VtimeIsDeterministicAcrossRuns) {
+  const auto a = apps::stencil_jacobi(8, 128, 8);
+  const auto b = apps::stencil_jacobi(8, 128, 8);
+  EXPECT_EQ(a.run.vtime_us, b.run.vtime_us);
+  EXPECT_EQ(a.run.total.messages_sent, b.run.total.messages_sent);
+  EXPECT_EQ(a.temps, b.temps);
+}
+
+}  // namespace
