@@ -5,7 +5,11 @@
 // file given as argument or on the paper's built-in section 2.4
 // example, and prints the resulting first-order monomorphic C.
 //
-//     ./skilc_demo [file.skil]
+//     ./skilc_demo [--skeletonize] [file.skil]
+//
+// With --skeletonize the auto-skeletonization pass (DESIGN.md section
+// 16) rewrites recognized sequential loops into skeleton calls before
+// translation, and a summary of its decisions is printed.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -43,17 +47,28 @@ void threshold_all (float t, array <float> A, array <int> B) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  skil::skilc::CompileOptions options;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--skeletonize") {
+      options.skeletonize = true;
+    } else {
+      path = argv[i];
+    }
+  }
+
   std::string source;
-  if (argc > 1) {
-    std::ifstream in(argv[1]);
+  if (path != nullptr) {
+    std::ifstream in(path);
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", path);
       return 1;
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
     source = buffer.str();
-    std::printf("// input: %s\n\n", argv[1]);
+    std::printf("// input: %s\n\n", path);
   } else {
     source = kPaperExample;
     std::printf("// no input file given -- compiling the paper's "
@@ -64,7 +79,22 @@ int main(int argc, char** argv) {
               "------------------------------------------------\n%s\n",
               source.c_str());
   try {
-    const skil::skilc::CompileResult result = skil::skilc::compile(source);
+    const skil::skilc::CompileResult result =
+        skil::skilc::compile(source, options);
+    if (options.skeletonize) {
+      std::printf("---- skeletonization "
+                  "--------------------------------------------\n");
+      const skil::skilc::SkeletonizeCounters& sk = result.skeletonize;
+      std::printf("// %d loop(s) seen, %d recognized (%d map, %d fold, "
+                  "%d gen_mult), %d rejected\n",
+                  sk.loops_seen, sk.recognized(), sk.recognized_map,
+                  sk.recognized_fold, sk.recognized_gen_mult, sk.rejected());
+      for (const skil::skilc::Diagnostic& diag : result.diagnostics) {
+        if (diag.pass != "skeletonize") continue;
+        std::printf("// line %d: %s\n", diag.span.line, diag.message.c_str());
+      }
+      std::printf("\n");
+    }
     std::printf("---- after type checking and translation by instantiation "
                 "------\n%s",
                 result.c_code.c_str());

@@ -10,6 +10,7 @@
 #include "skilc/dataflow.h"
 #include "skilc/fusion.h"
 #include "skilc/parser.h"
+#include "skilc/skeletonize.h"
 #include "skilc/typecheck.h"
 
 namespace skil::skilc {
@@ -728,8 +729,27 @@ bool PurityOracle::pure(const std::string& name, std::string* why,
   return true;
 }
 
+const std::vector<AnalyzePass>& analyze_passes() {
+  static const std::vector<AnalyzePass> passes = {
+      {"init", &AnalyzeOptions::init},
+      {"unreachable", &AnalyzeOptions::unreachable},
+      {"dead-store", &AnalyzeOptions::dead_store},
+      {"unused", &AnalyzeOptions::unused},
+      {"shadow", &AnalyzeOptions::shadow},
+      {"skeleton-purity", &AnalyzeOptions::skeleton_purity},
+      {"fusion", &AnalyzeOptions::fusion},
+      {"skeletonize", &AnalyzeOptions::skeletonize},
+  };
+  return passes;
+}
+
+bool impure_builtin(const std::string& name) {
+  return is_impure_builtin(name);
+}
+
 void analyze(const Program& program, DiagnosticSink& sink,
-             const AnalyzeOptions& options) {
+             const AnalyzeOptions& options,
+             SkeletonizeCounters* skeletonize_counters) {
   const std::set<std::string> pardatas = program.pardata_names();
 
   std::set<std::string> customizing;
@@ -750,6 +770,12 @@ void analyze(const Program& program, DiagnosticSink& sink,
     if (options.shadow) check_shadow(fa, program, pardatas, sink);
     if (options.skeleton_purity)
       walk_skeleton_calls(program, *purity, fn.body, sink);
+  }
+  if (options.skeletonize) {
+    const SkeletonizeCounters counters = analyze_skeletonize(program, sink);
+    if (skeletonize_counters != nullptr) *skeletonize_counters = counters;
+  } else if (skeletonize_counters != nullptr) {
+    *skeletonize_counters = SkeletonizeCounters{};
   }
   if (options.fusion) analyze_fusion(program, sink);
   sink.sort_by_location();
@@ -775,7 +801,10 @@ std::string strip_location_prefix(std::string message) {
 }  // namespace
 
 void lint_source(const std::string& source, DiagnosticSink& sink,
-                 const AnalyzeOptions& options) {
+                 const AnalyzeOptions& options,
+                 SkeletonizeCounters* skeletonize_counters) {
+  if (skeletonize_counters != nullptr)
+    *skeletonize_counters = SkeletonizeCounters{};
   Program program;
   try {
     program = parse(source);
@@ -793,7 +822,7 @@ void lint_source(const std::string& source, DiagnosticSink& sink,
     sink.sort_by_location();
     return;
   }
-  analyze(program, sink, options);
+  analyze(program, sink, options, skeletonize_counters);
 }
 
 }  // namespace skil::skilc

@@ -28,12 +28,15 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "skilc/ast.h"
 #include "skilc/diagnostics.h"
 #include "support/error.h"
 
 namespace skil::skilc {
+
+struct SkeletonizeCounters;
 
 /// Per-pass enable switches (all on by default).
 struct AnalyzeOptions {
@@ -48,7 +51,31 @@ struct AnalyzeOptions {
   /// why they cannot).  Never rewrites; compile() performs the actual
   /// rewrite only when CompileOptions::fuse asks for it.
   bool fusion = true;
+  /// Advisory skeletonization analysis (DESIGN.md section 16):
+  /// note-level findings for sequential loops that can rewrite to
+  /// skeleton calls (or why they cannot).  Never rewrites; compile()
+  /// performs the actual rewrite only under CompileOptions::
+  /// skeletonize.
+  bool skeletonize = true;
 };
+
+/// One entry of the pass registry: the user-facing pass name (the
+/// skil-lint `--no-<name>` flag spelling) and the AnalyzeOptions
+/// member it toggles.
+struct AnalyzePass {
+  const char* name;
+  bool AnalyzeOptions::*flag;
+};
+
+/// Every optional analysis pass, in execution order.  skil-lint
+/// derives its `--no-<pass>` flags from this table, so a new pass
+/// cannot be silently missing from the CLI.
+const std::vector<AnalyzePass>& analyze_passes();
+
+/// True when `name` is one of the builtins the purity analysis treats
+/// as impure (rand, print, time, ...).  Exposed for the
+/// skeletonization pass's body classifier.
+bool impure_builtin(const std::string& name);
 
 /// An error-level analysis finding raised by compile() when a program
 /// fails the semantic checks (use before initialization, an impure
@@ -87,15 +114,19 @@ class PurityOracle {
 };
 
 /// Runs the enabled passes over a *type-checked* program, collecting
-/// findings into `sink` (sorted by source location on return).
+/// findings into `sink` (sorted by source location on return).  When
+/// `skeletonize_counters` is non-null it receives the advisory
+/// skeletonization counters (zeroed when the pass is disabled).
 void analyze(const Program& program, DiagnosticSink& sink,
-             const AnalyzeOptions& options = {});
+             const AnalyzeOptions& options = {},
+             SkeletonizeCounters* skeletonize_counters = nullptr);
 
 /// Analyze-only front door used by skil-lint: lex/parse/typecheck the
 /// source and run the analysis passes, converting lexer/parser/type
 /// errors into diagnostics instead of exceptions.  Nothing is
 /// instantiated or emitted.
 void lint_source(const std::string& source, DiagnosticSink& sink,
-                 const AnalyzeOptions& options = {});
+                 const AnalyzeOptions& options = {},
+                 SkeletonizeCounters* skeletonize_counters = nullptr);
 
 }  // namespace skil::skilc

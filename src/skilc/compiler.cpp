@@ -25,9 +25,10 @@ CompileResult compile(const std::string& source,
   typecheck(result.typed);
 
   AnalyzeOptions analyze_options = options.analyze;
-  // The rewrite's own notes supersede the advisory pass: running both
-  // would report every composition twice.
+  // The rewrites' own notes supersede the advisory passes: running
+  // both would report every decision twice.
   if (options.fuse) analyze_options.fusion = false;
+  if (options.skeletonize) analyze_options.skeletonize = false;
 
   DiagnosticSink sink;
   analyze(result.typed, sink, analyze_options);
@@ -39,6 +40,16 @@ CompileResult compile(const std::string& source,
               std::to_string(diag.span.column) + ": ";
     what += diag.message;
     throw AnalysisError(what, diag.span.line, diag.span.column);
+  }
+
+  if (options.skeletonize) {
+    // Runs before fusion so recognized loops become skeleton calls the
+    // fusion matcher can compose with hand-written neighbours.  The
+    // synthesized customizing functions and spliced skeleton bodies
+    // carry no type annotations; re-typechecking fills them in.
+    result.skeletonize = skeletonize_program(result.typed, sink);
+    if (result.skeletonize.recognized() > 0) typecheck(result.typed);
+    sink.sort_by_location();
   }
 
   if (options.fuse) {

@@ -9,6 +9,7 @@
 #include "skilc/ast.h"
 #include "skilc/diagnostics.h"
 #include "skilc/fusion.h"
+#include "skilc/skeletonize.h"
 
 namespace skil::skilc {
 
@@ -22,6 +23,9 @@ struct CompileResult {
   /// Outcome of the fusion pass (all zero unless CompileOptions::fuse
   /// requested the rewrite).
   FusionStats fusion;
+  /// Outcome of the skeletonization pass (all zero unless
+  /// CompileOptions::skeletonize requested the rewrite).
+  SkeletonizeCounters skeletonize;
 };
 
 /// Full pipeline configuration.
@@ -32,6 +36,12 @@ struct CompileOptions {
   /// The fused program is re-typechecked; every decision lands in
   /// CompileResult::diagnostics as a "fusion" note.
   bool fuse = false;
+  /// Rewrite recognized sequential loops into skeleton calls
+  /// (DESIGN.md section 16) before fusion, so a recognized map can
+  /// fuse with an adjacent skeleton call.  The rewritten program is
+  /// re-typechecked; every decision lands in
+  /// CompileResult::diagnostics as a "skeletonize" note.
+  bool skeletonize = false;
 };
 
 /// Runs the whole pipeline; throws ContractError / TypeError /

@@ -1,0 +1,202 @@
+#include "skilc/matchers.h"
+
+#include <utility>
+
+namespace skil::skilc::matchers {
+
+bool structurally_equal(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Expr::Kind::kIntLit:
+      return a.int_value == b.int_value;
+    case Expr::Kind::kFloatLit:
+      return a.float_value == b.float_value;
+    case Expr::Kind::kName:
+    case Expr::Kind::kSection:
+      return a.name == b.name;
+    default:
+      break;
+  }
+  if (a.name != b.name) return false;
+  const auto both = [](const ExprPtr& x, const ExprPtr& y) {
+    if ((x == nullptr) != (y == nullptr)) return false;
+    return x == nullptr || structurally_equal(*x, *y);
+  };
+  if (!both(a.lhs, b.lhs) || !both(a.rhs, b.rhs) || !both(a.callee, b.callee))
+    return false;
+  if (a.args.size() != b.args.size()) return false;
+  for (std::size_t i = 0; i < a.args.size(); ++i)
+    if (!structurally_equal(*a.args[i], *b.args[i])) return false;
+  return true;
+}
+
+const Expr* MatchContext::get(const std::string& slot) const {
+  const auto it = bound_.find(slot);
+  return it == bound_.end() ? nullptr : it->second;
+}
+
+bool MatchContext::bind(const std::string& slot, const Expr& expr) {
+  const auto it = bound_.find(slot);
+  if (it != bound_.end()) return structurally_equal(*it->second, expr);
+  bound_[slot] = &expr;
+  trail_.push_back(slot);
+  return true;
+}
+
+void MatchContext::rollback(std::size_t mark) {
+  while (trail_.size() > mark) {
+    bound_.erase(trail_.back());
+    trail_.pop_back();
+  }
+}
+
+bool ExprPattern::match(const Expr& expr, MatchContext& ctx) const {
+  const std::size_t mark = ctx.mark();
+  if (fn_(expr, ctx)) return true;
+  ctx.rollback(mark);
+  return false;
+}
+
+namespace {
+
+Pattern make(ExprPattern::Fn fn) {
+  return std::make_shared<ExprPattern>(std::move(fn));
+}
+
+}  // namespace
+
+Pattern any() {
+  return make([](const Expr&, MatchContext&) { return true; });
+}
+
+Pattern capture(std::string slot) {
+  return make([slot = std::move(slot)](const Expr& expr, MatchContext& ctx) {
+    return ctx.bind(slot, expr);
+  });
+}
+
+Pattern capture(std::string slot, Pattern inner) {
+  return make([slot = std::move(slot), inner = std::move(inner)](
+                  const Expr& expr, MatchContext& ctx) {
+    return inner->match(expr, ctx) && ctx.bind(slot, expr);
+  });
+}
+
+Pattern name() {
+  return make([](const Expr& expr, MatchContext&) {
+    return expr.kind == Expr::Kind::kName;
+  });
+}
+
+Pattern name(std::string spelled) {
+  return make([spelled = std::move(spelled)](const Expr& expr, MatchContext&) {
+    return expr.kind == Expr::Kind::kName && expr.name == spelled;
+  });
+}
+
+Pattern name_capture(std::string slot) {
+  return make([slot = std::move(slot)](const Expr& expr, MatchContext& ctx) {
+    return expr.kind == Expr::Kind::kName && ctx.bind(slot, expr);
+  });
+}
+
+Pattern int_lit(long value) {
+  return make([value](const Expr& expr, MatchContext&) {
+    return expr.kind == Expr::Kind::kIntLit && expr.int_value == value;
+  });
+}
+
+Pattern binary(std::string op, Pattern lhs, Pattern rhs) {
+  return make([op = std::move(op), lhs = std::move(lhs), rhs = std::move(rhs)](
+                  const Expr& expr, MatchContext& ctx) {
+    return expr.kind == Expr::Kind::kBinary && expr.name == op &&
+           lhs->match(*expr.lhs, ctx) && rhs->match(*expr.rhs, ctx);
+  });
+}
+
+Pattern assign(Pattern lhs, Pattern rhs) {
+  return make([lhs = std::move(lhs), rhs = std::move(rhs)](
+                  const Expr& expr, MatchContext& ctx) {
+    return expr.kind == Expr::Kind::kAssign && lhs->match(*expr.lhs, ctx) &&
+           rhs->match(*expr.rhs, ctx);
+  });
+}
+
+Pattern indexed(Pattern base, Pattern index) {
+  return make([base = std::move(base), index = std::move(index)](
+                  const Expr& expr, MatchContext& ctx) {
+    return expr.kind == Expr::Kind::kIndex && base->match(*expr.lhs, ctx) &&
+           index->match(*expr.rhs, ctx);
+  });
+}
+
+Pattern call(Pattern callee, std::vector<Pattern> args) {
+  return make([callee = std::move(callee), args = std::move(args)](
+                  const Expr& expr, MatchContext& ctx) {
+    if (expr.kind != Expr::Kind::kCall || expr.args.size() != args.size())
+      return false;
+    if (!callee->match(*expr.callee, ctx)) return false;
+    for (std::size_t i = 0; i < args.size(); ++i)
+      if (!args[i]->match(*expr.args[i], ctx)) return false;
+    return true;
+  });
+}
+
+Pattern one_of(std::vector<Pattern> alternatives) {
+  return make([alternatives = std::move(alternatives)](const Expr& expr,
+                                                       MatchContext& ctx) {
+    for (const Pattern& alternative : alternatives)
+      if (alternative->match(expr, ctx)) return true;  // match() rolls back
+    return false;
+  });
+}
+
+LoopHeader match_loop_header(const Stmt& stmt) {
+  LoopHeader header;
+  if (stmt.kind != Stmt::Kind::kFor) return header;
+  header.loop = &stmt;
+
+  // Initialiser: `int i = lo;` or `i = lo;`, naming the induction
+  // variable and its initial value.
+  std::string var;
+  const Expr* lo = nullptr;
+  if (stmt.for_init == nullptr) return header;
+  if (stmt.for_init->kind == Stmt::Kind::kVarDecl) {
+    if (stmt.for_init->init == nullptr) return header;
+    var = stmt.for_init->decl_name;
+    lo = stmt.for_init->init.get();
+  } else if (stmt.for_init->kind == Stmt::Kind::kExpr &&
+             stmt.for_init->expr != nullptr &&
+             stmt.for_init->expr->kind == Expr::Kind::kAssign &&
+             stmt.for_init->expr->lhs->kind == Expr::Kind::kName) {
+    var = stmt.for_init->expr->lhs->name;
+    lo = stmt.for_init->expr->rhs.get();
+  } else {
+    return header;
+  }
+
+  // Condition: `i < hi`.
+  if (stmt.expr == nullptr) return header;
+  MatchContext ctx;
+  const Pattern cond = binary("<", name(var), capture("hi"));
+  if (!cond->match(*stmt.expr, ctx)) return header;
+
+  // Step: `i = i + s` or `i = s + i`.
+  if (stmt.init == nullptr) return header;
+  MatchContext step_ctx;
+  const Pattern step =
+      assign(name(var), one_of({binary("+", name(var), capture("s")),
+                                binary("+", capture("s"), name(var))}));
+  if (!step->match(*stmt.init, step_ctx)) return header;
+  const Expr* stride = step_ctx.get("s");
+  if (stride->kind != Expr::Kind::kIntLit) return header;
+
+  header.var = std::move(var);
+  header.lo = lo;
+  header.hi = ctx.get("hi");
+  header.stride = stride->int_value;
+  header.canonical = true;
+  return header;
+}
+
+}  // namespace skil::skilc::matchers

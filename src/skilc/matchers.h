@@ -1,0 +1,114 @@
+// Declarative tree matchers over the Skil AST (LoopTactics style).
+//
+// The skeletonization pass (skeletonize.h) recognizes loop idioms by
+// *shape*: `dst[i] = f(src[i])`, `acc = acc + g(src[i])`, the triple
+// matrix-multiplication nest.  Encoding those shapes as hand-written
+// if-ladders buries the idiom under navigation code; this library
+// expresses them as composable pattern values instead:
+//
+//   auto p = m::assign(m::indexed(m::name_capture("dst"), m::name("i")),
+//                      m::capture("rhs"));
+//   m::MatchContext ctx;
+//   if (p->match(expr, ctx)) { ... ctx.get("dst"), ctx.get("rhs") ... }
+//
+// Captures unify: binding the same slot twice succeeds only when the
+// two expressions are structurally equal, so `m::capture("x") + ... +
+// m::capture("x")` matches `a[i] + a[i]` but not `a[i] + b[i]`.
+// `one_of` backtracks (a failed alternative rolls its bindings back).
+//
+// The statement-level `match_loop_header` recognizes the canonical
+// counted loop `for (i = lo; i < hi; i = i + s)` the paper writes all
+// skeleton bodies with, extracting the induction variable, both
+// bounds and the stride.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "skilc/ast.h"
+
+namespace skil::skilc::matchers {
+
+/// Structural equality of expressions (kind, operator/name spelling,
+/// literal values and all operands; types and spans are ignored).
+bool structurally_equal(const Expr& a, const Expr& b);
+
+/// Named capture slots bound during one match attempt.
+class MatchContext {
+ public:
+  /// The expression bound to `slot` (null when the slot is unbound).
+  const Expr* get(const std::string& slot) const;
+
+  /// Binds `slot`, unifying with any existing binding: a second bind
+  /// succeeds only when the expressions are structurally equal.
+  bool bind(const std::string& slot, const Expr& expr);
+
+  /// Snapshot/rollback for backtracking alternatives.
+  std::size_t mark() const { return trail_.size(); }
+  void rollback(std::size_t mark);
+
+ private:
+  std::map<std::string, const Expr*> bound_;
+  std::vector<std::string> trail_;  ///< binding order, for rollback
+};
+
+class ExprPattern;
+using Pattern = std::shared_ptr<const ExprPattern>;
+
+/// A predicate over (expression, capture context).
+class ExprPattern {
+ public:
+  using Fn = std::function<bool(const Expr&, MatchContext&)>;
+  explicit ExprPattern(Fn fn) : fn_(std::move(fn)) {}
+
+  /// True when `expr` has this pattern's shape; bindings made before
+  /// a failure are rolled back, so a failed match leaves `ctx` as it
+  /// was.
+  bool match(const Expr& expr, MatchContext& ctx) const;
+
+ private:
+  Fn fn_;
+};
+
+// --- leaf patterns ---------------------------------------------------------
+
+Pattern any();                            ///< matches every expression
+Pattern capture(std::string slot);        ///< any expression, bound to slot
+Pattern capture(std::string slot, Pattern inner);  ///< inner, bound to slot
+Pattern name();                           ///< any identifier
+Pattern name(std::string spelled);        ///< the identifier `spelled`
+Pattern name_capture(std::string slot);   ///< any identifier, bound to slot
+Pattern int_lit(long value);              ///< the integer literal `value`
+
+// --- compound patterns -----------------------------------------------------
+
+Pattern binary(std::string op, Pattern lhs, Pattern rhs);
+Pattern assign(Pattern lhs, Pattern rhs);
+Pattern indexed(Pattern base, Pattern index);          ///< base[index]
+Pattern call(Pattern callee, std::vector<Pattern> args);
+Pattern one_of(std::vector<Pattern> alternatives);     ///< backtracking
+
+// --- the canonical loop header ---------------------------------------------
+
+/// `for (i = lo; i < hi; i = i + stride)` with a single induction
+/// variable threading header, condition and step.  `canonical` is
+/// false when the statement is a for-loop of any other shape (the
+/// fields are then unset).
+struct LoopHeader {
+  const Stmt* loop = nullptr;
+  std::string var;           ///< the induction variable
+  const Expr* lo = nullptr;  ///< initial value
+  const Expr* hi = nullptr;  ///< exclusive upper bound
+  long stride = 0;           ///< step increment (`i = i + stride`)
+  bool canonical = false;
+};
+
+/// Matches the canonical counted-loop header.  Accepts both
+/// `int i = lo` (declaration form) and `i = lo` (assignment form)
+/// initialisers and both `i = i + s` / `i = s + i` steps.
+LoopHeader match_loop_header(const Stmt& stmt);
+
+}  // namespace skil::skilc::matchers

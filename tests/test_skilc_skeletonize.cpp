@@ -1,0 +1,288 @@
+// Tests for the auto-skeletonization pass (DESIGN.md section 16):
+// the advisory lint pass against byte-exact fixture goldens (one per
+// recognition and per rejection reason), the compile()-time rewrite
+// (injected canonical skeletons, synthesized customizing functions,
+// partial application of free scalars, re-typecheck), the counters
+// report, and the handoff into the fusion pass (a recognized map
+// composing with a hand-written fold).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "skilc/analyze.h"
+#include "skilc/compiler.h"
+#include "skilc/diagnostics.h"
+#include "skilc/emit.h"
+#include "skilc/parser.h"
+#include "skilc/skeletonize.h"
+#include "skilc/typecheck.h"
+
+namespace {
+
+using namespace skil::skilc;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(static_cast<bool>(in)) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string fixture_source(const std::string& name) {
+  const std::string dir = SKIL_LINT_FIXTURE_DIR;
+  return read_file(dir + "/" + name + ".skil");
+}
+
+std::string lint_fixture(const std::string& name,
+                         const AnalyzeOptions& options = {}) {
+  DiagnosticSink sink;
+  lint_source(fixture_source(name), sink, options);
+  return sink.render(name + ".skil");
+}
+
+std::string golden(const std::string& name) {
+  const std::string dir = SKIL_LINT_FIXTURE_DIR;
+  return read_file(dir + "/" + name + ".expected");
+}
+
+CompileOptions skeletonize_options() {
+  CompileOptions options;
+  options.skeletonize = true;
+  return options;
+}
+
+// --- the advisory pass against the fixture goldens -------------------------
+
+TEST(SkeletonizeFixtures, RecognitionsMatchGoldens) {
+  EXPECT_EQ(lint_fixture("skel_map"), golden("skel_map"));
+  EXPECT_EQ(lint_fixture("skel_fold"), golden("skel_fold"));
+  EXPECT_EQ(lint_fixture("skel_gen_mult"), golden("skel_gen_mult"));
+  EXPECT_EQ(lint_fixture("skel_scalar_capture"),
+            golden("skel_scalar_capture"));
+}
+
+TEST(SkeletonizeFixtures, RejectionsMatchGoldens) {
+  EXPECT_EQ(lint_fixture("skel_carried"), golden("skel_carried"));
+  EXPECT_EQ(lint_fixture("skel_impure"), golden("skel_impure"));
+  EXPECT_EQ(lint_fixture("skel_stride"), golden("skel_stride"));
+  EXPECT_EQ(lint_fixture("skel_indirect"), golden("skel_indirect"));
+  EXPECT_EQ(lint_fixture("skel_two_sources"), golden("skel_two_sources"));
+  EXPECT_EQ(lint_fixture("skel_float_fold"), golden("skel_float_fold"));
+  EXPECT_EQ(lint_fixture("skel_bad_seed"), golden("skel_bad_seed"));
+  EXPECT_EQ(lint_fixture("skel_live_induction"),
+            golden("skel_live_induction"));
+  EXPECT_EQ(lint_fixture("skel_bounds"), golden("skel_bounds"));
+}
+
+TEST(SkeletonizeFixtures, GoldensNameTheExactBlockingSite) {
+  EXPECT_NE(golden("skel_carried").find("reads 'a[i - 1]' across iterations "
+                                        "(line 8:12)"),
+            std::string::npos);
+  EXPECT_NE(golden("skel_impure").find("calls the impure builtin 'rand' at "
+                                       "line 10:19"),
+            std::string::npos);
+  EXPECT_NE(golden("skel_indirect").find("'a[p[i]]'"), std::string::npos);
+}
+
+TEST(SkeletonizeFixtures, JsonReportsMatchGoldens) {
+  for (const std::string name : {"skel_map", "skel_carried"}) {
+    DiagnosticSink sink;
+    lint_source(fixture_source(name), sink);
+    EXPECT_EQ(sink.render_json(name + ".skil"), golden(name + ".json"));
+  }
+}
+
+TEST(SkeletonizeFixtures, NoSkeletonizeOptionSilencesTheAdvisory) {
+  AnalyzeOptions options;
+  options.skeletonize = false;
+  EXPECT_EQ(lint_fixture("skel_map", options), "");
+  EXPECT_EQ(lint_fixture("skel_carried", options), "");
+}
+
+TEST(SkeletonizeFixtures, LintCountersReportEveryDecision) {
+  DiagnosticSink sink;
+  SkeletonizeCounters counters;
+  lint_source(fixture_source("skel_map"), sink, {}, &counters);
+  EXPECT_EQ(counters.loops_seen, 1);
+  EXPECT_EQ(counters.recognized_map, 1);
+  EXPECT_EQ(counters.rejected(), 0);
+
+  lint_source(fixture_source("skel_stride"), sink, {}, &counters);
+  EXPECT_EQ(counters.recognized(), 0);
+  EXPECT_EQ(counters.rejected_stride, 1);
+
+  // The out-parameter is zeroed when the pass is off.
+  AnalyzeOptions off;
+  off.skeletonize = false;
+  lint_source(fixture_source("skel_map"), sink, off, &counters);
+  EXPECT_EQ(counters.loops_seen, 0);
+  EXPECT_EQ(counters.recognized(), 0);
+}
+
+// --- counters --------------------------------------------------------------
+
+TEST(SkeletonizeCountersTest, RenderJsonUsesStableKeys) {
+  SkeletonizeCounters counters;
+  counters.loops_seen = 3;
+  counters.recognized_map = 2;
+  counters.rejected_carried = 1;
+  const std::string json = counters.render_json();
+  EXPECT_NE(json.find("\"loops_seen\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"recognized_map\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"rejected_carried\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"recognized\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"rejected\": 1"), std::string::npos);
+}
+
+TEST(SkeletonizeCountersTest, SumAccumulatesFieldwise) {
+  SkeletonizeCounters a;
+  a.loops_seen = 2;
+  a.recognized_fold = 1;
+  SkeletonizeCounters b;
+  b.loops_seen = 3;
+  b.rejected_impure = 2;
+  a += b;
+  EXPECT_EQ(a.loops_seen, 5);
+  EXPECT_EQ(a.recognized_fold, 1);
+  EXPECT_EQ(a.rejected_impure, 2);
+}
+
+// --- the compile()-time rewrite --------------------------------------------
+
+TEST(SkeletonizeRewrite, MapLoopBecomesAnArrayMapCall) {
+  const CompileResult result =
+      compile(fixture_source("skel_map"), skeletonize_options());
+  EXPECT_EQ(result.skeletonize.recognized_map, 1);
+  EXPECT_EQ(result.skeletonize.rejected(), 0);
+  // The canonical skeleton definition and the synthesized customizing
+  // function were injected and survive instantiation.
+  ASSERT_NE(result.typed.find_function("array_map"), nullptr);
+  ASSERT_NE(result.typed.find_function("__skel_map_0"), nullptr);
+  EXPECT_NE(result.c_code.find("__skel_map_0"), std::string::npos);
+  // The rewrite decision is a note naming the call.
+  bool saw_note = false;
+  for (const Diagnostic& diag : result.diagnostics) {
+    if (diag.pass != "skeletonize") continue;
+    saw_note = true;
+    EXPECT_EQ(diag.severity, Severity::kNote);
+    EXPECT_NE(
+        diag.message.find("skeletonized loop over 'i' into "
+                          "'array_map(__skel_map_0(w), xs, ys)'"),
+        std::string::npos);
+  }
+  EXPECT_TRUE(saw_note);
+}
+
+TEST(SkeletonizeRewrite, FoldLoopSeedsTheAccumulatorFromTheCall) {
+  const CompileResult result =
+      compile(fixture_source("skel_fold"), skeletonize_options());
+  EXPECT_EQ(result.skeletonize.recognized_fold, 1);
+  ASSERT_NE(result.typed.find_function("array_fold"), nullptr);
+  ASSERT_NE(result.typed.find_function("__skel_fold_0"), nullptr);
+  // The loop is gone: the accumulator declaration now holds the call.
+  const Function* dot = result.typed.find_function("dot");
+  ASSERT_NE(dot, nullptr);
+  for (const StmtPtr& stmt : dot->body)
+    EXPECT_NE(stmt->kind, Stmt::Kind::kFor);
+}
+
+TEST(SkeletonizeRewrite, TripleNestBecomesGenMult) {
+  const CompileResult result =
+      compile(fixture_source("skel_gen_mult"), skeletonize_options());
+  EXPECT_EQ(result.skeletonize.recognized_gen_mult, 1);
+  ASSERT_NE(result.typed.find_function("array_gen_mult"), nullptr);
+  const Function* matmul = result.typed.find_function("matmul");
+  ASSERT_NE(matmul, nullptr);
+  for (const StmtPtr& stmt : matmul->body)
+    EXPECT_NE(stmt->kind, Stmt::Kind::kFor);
+}
+
+TEST(SkeletonizeRewrite, FreeScalarsBecomePartialApplicationArguments) {
+  const CompileResult result =
+      compile(fixture_source("skel_scalar_capture"), skeletonize_options());
+  EXPECT_EQ(result.skeletonize.recognized_map, 1);
+  const Function* stage = result.typed.find_function("__skel_map_0");
+  ASSERT_NE(stage, nullptr);
+  // m and c first (first-use order), then the element and the index.
+  ASSERT_EQ(stage->params.size(), 4u);
+  EXPECT_EQ(stage->params[0].name, "m");
+  EXPECT_EQ(stage->params[1].name, "c");
+}
+
+TEST(SkeletonizeRewrite, RejectedLoopsAreLeftUntouched) {
+  const CompileResult result =
+      compile(fixture_source("skel_carried"), skeletonize_options());
+  EXPECT_EQ(result.skeletonize.recognized(), 0);
+  EXPECT_EQ(result.skeletonize.rejected_carried, 1);
+  EXPECT_EQ(result.typed.find_function("array_map"), nullptr);
+  bool saw_for = false;
+  for (const StmtPtr& stmt : result.typed.find_function("shift")->body)
+    if (stmt->kind == Stmt::Kind::kFor) saw_for = true;
+  EXPECT_TRUE(saw_for);
+}
+
+TEST(SkeletonizeRewrite, OffByDefault) {
+  const CompileResult result = compile(fixture_source("skel_map"));
+  EXPECT_EQ(result.skeletonize.loops_seen, 0);
+  EXPECT_EQ(result.skeletonize.recognized(), 0);
+  EXPECT_EQ(result.typed.find_function("array_map"), nullptr);
+}
+
+TEST(SkeletonizeRewrite, AdvisoryFormNeverMutates) {
+  Program program = parse(fixture_source("skel_map"));
+  typecheck(program);
+  const std::string before = emit_program(program);
+  DiagnosticSink sink;
+  const SkeletonizeCounters counters = analyze_skeletonize(program, sink);
+  EXPECT_EQ(counters.recognized_map, 1);
+  EXPECT_FALSE(sink.empty());
+  EXPECT_EQ(emit_program(program), before);
+}
+
+// --- handoff into fusion ---------------------------------------------------
+
+TEST(SkeletonizeFusionHandoff, RecognizedMapFusesWithHandWrittenFold) {
+  // The map is a sequential loop; the fold is already a skeleton
+  // call.  Skeletonize rewrites the loop, then fusion composes the
+  // synthesized stage into the fold's conversion function and
+  // eliminates the intermediate `tmp`.
+  const char* source = R"(pardata array <$t> impl;
+Index mk_index(int i);
+int part_lower(array <$t> a);
+int part_upper(array <$t> a);
+
+$t2 array_fold ($t2 conv_f ($t1, Index), $t2 fold_f ($t2, $t2),
+                array <$t1> a) {
+  $t2 acc = conv_f(a[part_lower(a)], mk_index(part_lower(a)));
+  int i;
+  for (i = part_lower(a) + 1; i < part_upper(a); i = i + 1)
+    acc = fold_f(acc, conv_f(a[i], mk_index(i)));
+  return acc;
+}
+
+float ident (float elem, Index ix) { return elem; }
+
+float sum_sq (array <float> xs, array <float> tmp) {
+  int i;
+  for (i = part_lower(xs); i < part_upper(xs); i = i + 1) {
+    tmp[i] = xs[i] * xs[i];
+  }
+  return array_fold(ident, (+), tmp);
+}
+)";
+  CompileOptions options;
+  options.skeletonize = true;
+  options.fuse = true;
+  const CompileResult result = compile(source, options);
+  EXPECT_EQ(result.skeletonize.recognized_map, 1);
+  EXPECT_GT(result.fusion.fused(), 0);
+  // One statement left: the fused fold reading xs directly.
+  const Function* sum_sq = result.typed.find_function("sum_sq");
+  ASSERT_NE(sum_sq, nullptr);
+  EXPECT_NE(result.c_code.find("__fused"), std::string::npos);
+}
+
+}  // namespace

@@ -4,14 +4,12 @@
 //
 //     --Werror                 exit non-zero on warnings too
 //     --json=PATH              also write the findings as JSON to PATH
-//                              (one array covering all input files)
-//     --no-init                disable the definite-initialization pass
-//     --no-unreachable         disable the unreachable-code pass
-//     --no-dead-store          disable the dead-store pass
-//     --no-unused              disable the unused-binding pass
-//     --no-shadow              disable the shadowing pass
-//     --no-skeleton-purity     disable the skeleton-argument safety pass
-//     --no-fusion              disable the fusion advisory pass
+//                              (one object covering all input files:
+//                              {"findings": [...], "skeletonize": {...}})
+//     --no-<pass>              disable one analysis pass; the pass list
+//                              is derived from analyze_passes(), so a
+//                              newly registered pass gets its flag (and
+//                              its line in --help) automatically
 //
 // Exit status: 0 clean, 1 findings (errors, or warnings under
 // --Werror), 2 usage or I/O failure.  Nothing is compiled: the tool
@@ -24,6 +22,7 @@
 
 #include "skilc/analyze.h"
 #include "skilc/diagnostics.h"
+#include "skilc/skeletonize.h"
 
 namespace {
 
@@ -39,16 +38,20 @@ bool read_file(const std::string& path, std::string& out) {
 void usage(const std::string& program) {
   std::cerr << "usage: " << program
             << " [--Werror] [--json=PATH] [--no-<pass>] file.skil...\n"
-               "passes: init unreachable dead-store unused shadow "
-               "skeleton-purity fusion\n";
+               "passes:";
+  for (const skil::skilc::AnalyzePass& pass : skil::skilc::analyze_passes())
+    std::cerr << " " << pass.name;
+  std::cerr << "\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using skil::skilc::AnalyzeOptions;
+  using skil::skilc::AnalyzePass;
   using skil::skilc::Diagnostic;
   using skil::skilc::DiagnosticSink;
+  using skil::skilc::SkeletonizeCounters;
 
   // Flags are parsed by hand rather than through support::Cli: its
   // "--name value" form would make the boolean flags here swallow the
@@ -63,29 +66,32 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
       files.push_back(arg);
-    } else if (arg == "--help") {
+      continue;
+    }
+    if (arg == "--help") {
       usage(program);
       return 0;
-    } else if (arg == "--Werror") {
+    }
+    if (arg == "--Werror") {
       werror = true;
-    } else if (arg.rfind("--json=", 0) == 0) {
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
       write_json = true;
-    } else if (arg == "--no-init") {
-      options.init = false;
-    } else if (arg == "--no-unreachable") {
-      options.unreachable = false;
-    } else if (arg == "--no-dead-store") {
-      options.dead_store = false;
-    } else if (arg == "--no-unused") {
-      options.unused = false;
-    } else if (arg == "--no-shadow") {
-      options.shadow = false;
-    } else if (arg == "--no-skeleton-purity") {
-      options.skeleton_purity = false;
-    } else if (arg == "--no-fusion") {
-      options.fusion = false;
-    } else {
+      continue;
+    }
+    bool known = false;
+    if (arg.rfind("--no-", 0) == 0) {
+      const std::string name = arg.substr(5);
+      for (const AnalyzePass& pass : skil::skilc::analyze_passes()) {
+        if (name != pass.name) continue;
+        options.*(pass.flag) = false;
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
       std::cerr << "skil-lint: unknown flag '" << arg << "'\n";
       usage(program);
       return 2;
@@ -98,7 +104,8 @@ int main(int argc, char** argv) {
 
   std::size_t errors = 0;
   std::size_t warnings = 0;
-  std::string json = "[";
+  SkeletonizeCounters totals;
+  std::string findings_json = "[";
   bool json_first = true;
 
   for (const std::string& path : files) {
@@ -108,19 +115,21 @@ int main(int argc, char** argv) {
       return 2;
     }
     DiagnosticSink sink;
-    skil::skilc::lint_source(source, sink, options);
+    SkeletonizeCounters counters;
+    skil::skilc::lint_source(source, sink, options, &counters);
+    totals += counters;
     errors += sink.error_count();
     warnings += sink.warning_count();
     if (!sink.empty()) std::cout << sink.render(path);
     const std::string file_json = sink.render_json(path);
     // Splice this file's array into the combined one.
     if (file_json.size() > 2) {  // not "[]"
-      if (!json_first) json += ",";
-      json += file_json.substr(1, file_json.size() - 2);
+      if (!json_first) findings_json += ",";
+      findings_json += file_json.substr(1, file_json.size() - 2);
       json_first = false;
     }
   }
-  json += "]";
+  findings_json += "]";
 
   if (write_json) {
     std::ofstream out(json_path);
@@ -128,7 +137,8 @@ int main(int argc, char** argv) {
       std::cerr << "skil-lint: cannot write '" << json_path << "'\n";
       return 2;
     }
-    out << json << "\n";
+    out << "{\"findings\": " << findings_json
+        << ", \"skeletonize\": " << totals.render_json() << "}\n";
   }
 
   if (errors + warnings > 0) {
