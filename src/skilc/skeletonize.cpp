@@ -18,11 +18,16 @@
 //     produce.  Every choice that could diverge (stage numbering,
 //     skeleton-name collisions) goes through the shared claim table.
 //
-//   * Rewrites are bit-identity-preserving.  Fold recognition is
+//   * Rewrites are bit-identity-preserving.  Loop bounds are pinned
+//     to exactly the arrays the synthesized skeletons iterate (map:
+//     the source; gen_mult: len(a) for i, len(b) for j and k), so a
+//     rewrite can never change a trip count.  Fold recognition is
 //     restricted to integer accumulators seeded with the operator's
 //     identity (the canonical fold seeds from the first element, and
-//     `0 + x == x` only holds bitwise for ints); gen_mult keeps the
-//     source's i/j/k iteration and accumulation order.
+//     `0 + x == x` only holds bitwise for ints), and the rewritten
+//     call is guarded on a non-empty partition so the empty case
+//     keeps the seed, exactly as the zero-trip loop would; gen_mult
+//     keeps the source's i/j/k iteration and accumulation order.
 
 #include "skilc/skeletonize.h"
 
@@ -274,64 +279,78 @@ void expr_events(const Expr& e, const std::map<std::string, int>& index,
   }
 }
 
-/// True when `var` may be read after `loop` exits (solved by backward
-/// liveness over the function's CFG).  Conservatively true when the
-/// loop's exit edge cannot be located.
-bool live_after_loop(const Function& fn, const Stmt& loop,
-                     const std::string& var) {
-  const Cfg cfg = build_cfg(fn);
-  const auto vit = cfg.local_index.find(var);
-  if (vit == cfg.local_index.end()) return true;
-  const std::size_t n = cfg.num_locals();
+/// A function's CFG and backward-liveness solution, built once and
+/// queried for every candidate loop in the function (a gen_mult nest
+/// alone queries three times).  The CFG holds pointers into the
+/// function body, so the cache must be invalidated whenever a rewrite
+/// mutates it.
+struct FnLiveness {
+  Cfg cfg;
+  DataflowResult live;
+  bool valid = false;
 
-  std::vector<BlockTransfer> transfer(cfg.blocks.size());
-  for (const BasicBlock& block : cfg.blocks) {
-    BitVec gen(n);
-    BitVec kill(n);
-    for (const CfgAction& action : block.actions) {
-      std::vector<Event> events;
-      switch (action.kind) {
-        case CfgAction::Kind::kDecl:
-          if (action.stmt->init != nullptr) {
-            expr_events(*action.stmt->init, cfg.local_index, events);
-            const auto it = cfg.local_index.find(action.stmt->decl_name);
-            if (it != cfg.local_index.end())
-              events.push_back({it->second, true});
-          }
-          break;
-        case CfgAction::Kind::kEval:
-        case CfgAction::Kind::kReturn:
-          if (action.expr != nullptr)
-            expr_events(*action.expr, cfg.local_index, events);
-          break;
+  void invalidate() { valid = false; }
+
+  void build(const Function& fn) {
+    cfg = build_cfg(fn);
+    const std::size_t n = cfg.num_locals();
+    std::vector<BlockTransfer> transfer(cfg.blocks.size());
+    for (const BasicBlock& block : cfg.blocks) {
+      BitVec gen(n);
+      BitVec kill(n);
+      for (const CfgAction& action : block.actions) {
+        std::vector<Event> events;
+        switch (action.kind) {
+          case CfgAction::Kind::kDecl:
+            if (action.stmt->init != nullptr) {
+              expr_events(*action.stmt->init, cfg.local_index, events);
+              const auto it = cfg.local_index.find(action.stmt->decl_name);
+              if (it != cfg.local_index.end())
+                events.push_back({it->second, true});
+            }
+            break;
+          case CfgAction::Kind::kEval:
+          case CfgAction::Kind::kReturn:
+            if (action.expr != nullptr)
+              expr_events(*action.expr, cfg.local_index, events);
+            break;
+        }
+        for (const Event& event : events) {
+          if (event.is_def)
+            kill.set(static_cast<std::size_t>(event.local));
+          else if (!kill.test(static_cast<std::size_t>(event.local)))
+            gen.set(static_cast<std::size_t>(event.local));
+        }
       }
-      for (const Event& event : events) {
-        if (event.is_def)
-          kill.set(static_cast<std::size_t>(event.local));
-        else if (!kill.test(static_cast<std::size_t>(event.local)))
-          gen.set(static_cast<std::size_t>(event.local));
-      }
+      transfer[block.id].gen = std::move(gen);
+      transfer[block.id].kill = std::move(kill);
     }
-    transfer[block.id].gen = std::move(gen);
-    transfer[block.id].kill = std::move(kill);
+    live = solve_dataflow(cfg, transfer, Direction::kBackward, Meet::kUnion,
+                          BitVec(n));
+    valid = true;
   }
 
-  const DataflowResult live = solve_dataflow(
-      cfg, transfer, Direction::kBackward, Meet::kUnion, BitVec(n));
-
-  // The loop's condition block ends the iteration: its second
-  // successor is the code after the loop.
-  int cond_block = -1;
-  for (const BasicBlock& block : cfg.blocks)
-    for (const CfgAction& action : block.actions)
-      if (action.kind == CfgAction::Kind::kEval && action.stmt == &loop &&
-          action.expr == loop.expr.get())
-        cond_block = block.id;
-  if (cond_block < 0) return true;
-  const std::vector<int>& succs = cfg.blocks[cond_block].succs;
-  if (succs.size() < 2) return true;
-  return live.in[succs[1]].test(vit->second);
-}
+  /// True when `var` may be read after `loop` exits.  Conservatively
+  /// true when the loop's exit edge cannot be located.
+  bool live_after_loop(const Function& fn, const Stmt& loop,
+                       const std::string& var) {
+    if (!valid) build(fn);
+    const auto vit = cfg.local_index.find(var);
+    if (vit == cfg.local_index.end()) return true;
+    // The loop's condition block ends the iteration: its second
+    // successor is the code after the loop.
+    int cond_block = -1;
+    for (const BasicBlock& block : cfg.blocks)
+      for (const CfgAction& action : block.actions)
+        if (action.kind == CfgAction::Kind::kEval && action.stmt == &loop &&
+            action.expr == loop.expr.get())
+          cond_block = block.id;
+    if (cond_block < 0) return true;
+    const std::vector<int>& succs = cfg.blocks[cond_block].succs;
+    if (succs.size() < 2) return true;
+    return live.in[succs[1]].test(vit->second);
+  }
+};
 
 // --- canonical skeleton snippets -------------------------------------------
 
@@ -391,6 +410,7 @@ class Skeletonizer {
       Function& fn = program_.functions[i];
       if (fn.is_prototype || fn.is_hof() || fn.is_polymorphic()) continue;
       fn_ = &fn;
+      liveness_.invalidate();
       process_stmts(fn.body);
     }
     for (Function& fn : synthesized_)
@@ -402,7 +422,6 @@ class Skeletonizer {
   /// What the caller of try_loop should do next.
   enum class Action {
     kReplaced,   ///< stmts[idx] was replaced in place
-    kErased,     ///< stmts[idx] was removed (fold: folded into the seed)
     kNoRecurse,  ///< leave the loop alone, do not examine nested loops
     kRecurse,    ///< leave the loop alone, examine nested loops
   };
@@ -442,10 +461,6 @@ class Skeletonizer {
         const Action action = try_loop(stmts, i);
         if (action == Action::kReplaced || action == Action::kNoRecurse)
           continue;
-        if (action == Action::kErased) {
-          --i;  // size_t wrap at i == 0 is undone by the ++i
-          continue;
-        }
       }
       process_stmts(stmt.body);
       process_stmts(stmt.else_body);
@@ -667,10 +682,16 @@ class Skeletonizer {
 
   enum class BoundCheck { kOk, kNotBoundCall, kFailed };
 
+  /// Verifies that `e` is `<builtin>(array)` for one of the builtin
+  /// `names` and exactly the given `array`.  The bound is pinned to
+  /// the one array the synthesized skeleton iterates (`role` says
+  /// which, for the note): a bound ranging over any *other* array --
+  /// even one the body touches -- would let the rewrite change the
+  /// trip count whenever the lengths differ, breaking bit-identity.
   BoundCheck check_bound_call(const Expr& e,
                               const std::vector<std::string>& names,
-                              const std::set<std::string>& arrays,
-                              const LoopDiag& d) {
+                              const std::string& array,
+                              const std::string& role, const LoopDiag& d) {
     if (e.kind != Expr::Kind::kCall || e.callee->kind != Expr::Kind::kName)
       return BoundCheck::kNotBoundCall;
     const std::string& callee = e.callee->name;
@@ -689,19 +710,21 @@ class Skeletonizer {
              "the bound '" + spell_expr(e) + "' does not name an array");
       return BoundCheck::kFailed;
     }
-    if (arrays.count(e.args[0]->name) == 0) {
+    if (e.args[0]->name != array) {
       reject(d, &SkeletonizeCounters::rejected_bounds,
-             "the bound '" + spell_expr(e) +
-                 "' does not range over the array the body touches");
+             "the bound '" + spell_expr(e) + "' does not range over '" +
+                 array + "', the " + role,
+             "the rewrite would change the trip count whenever the arrays "
+             "differ in length");
       return BoundCheck::kFailed;
     }
     return BoundCheck::kOk;
   }
 
-  bool check_bounds(const Expr& lo, const Expr& hi,
-                    const std::set<std::string>& arrays, const LoopDiag& d) {
+  bool check_bounds(const Expr& lo, const Expr& hi, const std::string& array,
+                    const std::string& role, const LoopDiag& d) {
     if (!(lo.kind == Expr::Kind::kIntLit && lo.int_value == 0)) {
-      switch (check_bound_call(lo, {"part_lower"}, arrays, d)) {
+      switch (check_bound_call(lo, {"part_lower"}, array, role, d)) {
         case BoundCheck::kFailed:
           return false;
         case BoundCheck::kNotBoundCall:
@@ -713,7 +736,7 @@ class Skeletonizer {
           break;
       }
     }
-    switch (check_bound_call(hi, {"len", "part_upper"}, arrays, d)) {
+    switch (check_bound_call(hi, {"len", "part_upper"}, array, role, d)) {
       case BoundCheck::kFailed:
         return false;
       case BoundCheck::kNotBoundCall:
@@ -753,7 +776,7 @@ class Skeletonizer {
   /// mentioned outside it.
   bool check_induction(const Stmt& enclosing, const Stmt& declaring,
                        const std::string& var, const LoopDiag& d) {
-    if (live_after_loop(*fn_, enclosing, var)) {
+    if (liveness_.live_after_loop(*fn_, enclosing, var)) {
       reject(d, &SkeletonizeCounters::rejected_induction,
              "the induction variable '" + var +
                  "' is still live after the loop",
@@ -814,7 +837,12 @@ class Skeletonizer {
     const std::string src = scan.source.empty() ? dst : scan.source;
     const TypePtr elem_type =
         scan.source.empty() ? store.type : scan.source_type;
-    if (!check_bounds(*header.lo, *header.hi, {src, dst}, d))
+    // The synthesized array_map iterates part_lower(src)..part_upper
+    // (src), so the loop must be bounded by `src` itself: a bound over
+    // the destination would silently change which elements of `dst`
+    // are written when the two lengths differ.
+    if (!check_bounds(*header.lo, *header.hi, src,
+                      "array the skeleton traverses", d))
       return Action::kRecurse;
     if (!builtins_available(d)) return Action::kRecurse;
     if (!check_induction(loop, loop, header.var, d)) return Action::kRecurse;
@@ -841,6 +869,7 @@ class Skeletonizer {
     stmt->line = loop.line;
     stmt->column = loop.column;
     stmts[idx] = std::move(stmt);
+    liveness_.invalidate();
     return Action::kReplaced;
   }
 
@@ -899,7 +928,8 @@ class Skeletonizer {
     if (scan.source.empty())
       return reject(d, &SkeletonizeCounters::rejected_shape,
                     "the accumulation does not read an array element");
-    if (!check_bounds(*header.lo, *header.hi, {scan.source}, d))
+    if (!check_bounds(*header.lo, *header.hi, scan.source,
+                      "array the skeleton traverses", d))
       return Action::kRecurse;
     if (!builtins_available(d)) return Action::kRecurse;
 
@@ -915,7 +945,7 @@ class Skeletonizer {
            stmts[seed_idx - 1]->init == nullptr &&
            stmts[seed_idx - 1]->decl_name != acc)
       --seed_idx;
-    Stmt* seed = seed_idx > 0 ? stmts[seed_idx - 1].get() : nullptr;
+    const Stmt* seed = seed_idx > 0 ? stmts[seed_idx - 1].get() : nullptr;
     bool seed_ok = false;
     if (seed != nullptr) {
       if (seed->kind == Stmt::Kind::kVarDecl && seed->decl_name == acc &&
@@ -947,9 +977,16 @@ class Skeletonizer {
                                   "), " + scan.source + ")";
     note_recognized(d, call_text,
                     "the body is a pure (" + op +
-                        ")-accumulation from the identity");
+                        ")-accumulation from the identity",
+                    "the call is guarded: an empty partition keeps the seed, "
+                    "exactly as the loop would");
     if (!rewrite_) return Action::kNoRecurse;
 
+    // The canonical fold seeds from a[part_lower(a)] unconditionally,
+    // so the bare call would read out of bounds exactly where the
+    // sequential loop runs zero times.  The rewrite therefore keeps
+    // the identity seed and guards the call on a non-empty partition:
+    // `if (part_lower(a) < part_upper(a)) acc = fold(...);`.
     synthesize_stage(stage, scan, scan.source_type, acc_type, *elem_expr,
                      loop.span());
     std::vector<ExprPtr> args;
@@ -957,13 +994,32 @@ class Skeletonizer {
     args.push_back(make_section(op));
     args.push_back(make_name(scan.source));
     ExprPtr call = make_call(make_name(skel), std::move(args));
-    stamp_expr(*call, loop.span());
-    if (seed->kind == Stmt::Kind::kVarDecl)
-      seed->init = std::move(call);
-    else
-      seed->expr->rhs = std::move(call);
-    stmts.erase(stmts.begin() + static_cast<std::ptrdiff_t>(idx));
-    return Action::kErased;
+    ExprPtr update_expr = make_assign(make_name(acc), std::move(call));
+
+    std::vector<ExprPtr> lo_args;
+    lo_args.push_back(make_name(scan.source));
+    std::vector<ExprPtr> hi_args;
+    hi_args.push_back(make_name(scan.source));
+    ExprPtr cond =
+        make_binary("<", make_call(make_name("part_lower"), std::move(lo_args)),
+                    make_call(make_name("part_upper"), std::move(hi_args)));
+    stamp_expr(*cond, loop.span());
+    stamp_expr(*update_expr, loop.span());
+
+    auto call_stmt = std::make_unique<Stmt>();
+    call_stmt->kind = Stmt::Kind::kExpr;
+    call_stmt->expr = std::move(update_expr);
+    call_stmt->line = loop.line;
+    call_stmt->column = loop.column;
+    auto guard = std::make_unique<Stmt>();
+    guard->kind = Stmt::Kind::kIf;
+    guard->expr = std::move(cond);
+    guard->body.push_back(std::move(call_stmt));
+    guard->line = loop.line;
+    guard->column = loop.column;
+    stmts[idx] = std::move(guard);
+    liveness_.invalidate();
+    return Action::kReplaced;
   }
 
   // --- gen_mult ------------------------------------------------------------
@@ -1066,16 +1122,26 @@ class Skeletonizer {
                       Action::kNoRecurse);
     }
 
-    // Bounds: every loop runs [0, len) of one of the multiplied
-    // arrays.  gen_mult distributes by rows, so this (like the paper's
-    // skeleton) assumes conformable square matrices.
-    for (const m::LoopHeader* h : {&h1, &h2, &h3}) {
+    // Bounds: the spliced skeleton iterates i over len(a) and j, k
+    // over len(b), so each source loop is pinned to exactly that
+    // bound.  Accepting 'len' of any multiplied array would let a
+    // rectangular nest (say j < len(c) with len(c) != len(b)) rewrite
+    // into a different trip count.
+    const struct {
+      const m::LoopHeader* h;
+      const std::string* bound;
+    } dims[] = {{&h1, &a}, {&h2, &b}, {&h3, &b}};
+    for (const auto& dim : dims) {
+      const m::LoopHeader* h = dim.h;
       if (!(h->lo->kind == Expr::Kind::kIntLit && h->lo->int_value == 0))
         return reject(d, &SkeletonizeCounters::rejected_bounds,
                       "the lower bound '" + spell_expr(*h->lo) + "' of '" +
                           h->var + "' is not 0",
                       "", Action::kNoRecurse);
-      switch (check_bound_call(*h->hi, {"len"}, {a, b, c}, d)) {
+      switch (check_bound_call(*h->hi, {"len"}, *dim.bound,
+                               "array whose length the skeleton's '" +
+                                   h->var + "' dimension spans",
+                               d)) {
         case BoundCheck::kOk:
           break;
         case BoundCheck::kFailed:
@@ -1083,7 +1149,7 @@ class Skeletonizer {
         case BoundCheck::kNotBoundCall:
           return reject(d, &SkeletonizeCounters::rejected_bounds,
                         "the upper bound '" + spell_expr(*h->hi) + "' of '" +
-                            h->var + "' is not 'len' of a multiplied array",
+                            h->var + "' is not 'len(" + *dim.bound + ")'",
                         "", Action::kNoRecurse);
       }
     }
@@ -1105,8 +1171,9 @@ class Skeletonizer {
                                   ")";
     note_recognized(d, call_text,
                     "the nest is the paper's generalized matrix product",
-                    "the rewrite assumes conformable square matrices (len "
-                    "spans every dimension)");
+                    "the nest's bounds match the skeleton's traversal: '" +
+                        h1.var + "' spans len(" + a + "), '" + h2.var +
+                        "' and '" + h3.var + "' span len(" + b + ")");
     if (!rewrite_) return Action::kNoRecurse;
 
     const auto customizer = [&](const char* slot, const char* op) {
@@ -1127,6 +1194,7 @@ class Skeletonizer {
     stmt->line = loop.line;
     stmt->column = loop.column;
     stmts[idx] = std::move(stmt);
+    liveness_.invalidate();
     return Action::kReplaced;
   }
 
@@ -1296,6 +1364,7 @@ class Skeletonizer {
   PurityOracle oracle_;
   SkeletonizeCounters counters_;
   const Function* fn_ = nullptr;
+  FnLiveness liveness_;
   std::vector<Function> synthesized_;
   std::set<std::string> claimed_names_;
   std::set<std::string> injected_builtins_;

@@ -156,6 +156,105 @@ TEST(SkelRunDifferential, GenMultRewriteIsBitIdentical) {
   EXPECT_TRUE(skilc::value_bits_equal(c_plain, c_rewritten));
 }
 
+TEST(SkelRunDifferential, FoldRewriteIsBitIdenticalOnTheEmptyArray) {
+  // The sequential loop runs zero times and the accumulator keeps its
+  // seed; the rewritten form must not reach the canonical fold's
+  // unconditional a[part_lower(a)] read.
+  const CompileResult plain = compile_plain(kSeqDot);
+  const CompileResult rewritten = compile_skeletonized(kSeqDot);
+  ASSERT_EQ(rewritten.skeletonize.recognized_fold, 1);
+
+  const Value a = skilc::run_function(plain.instantiated, "dot", {int_array({})});
+  const Value b =
+      skilc::run_function(rewritten.instantiated, "dot", {int_array({})});
+  EXPECT_TRUE(skilc::value_bits_equal(a, b));
+  EXPECT_EQ(b.i, 0);
+}
+
+TEST(SkelRunDifferential, MapRewriteIsBitIdenticalOnTheEmptyArray) {
+  const CompileResult plain = compile_plain(kSeqMap);
+  const CompileResult rewritten = compile_skeletonized(kSeqMap);
+  ASSERT_EQ(rewritten.skeletonize.recognized_map, 1);
+
+  Value ys_plain = float_array({});
+  Value ys_rewritten = float_array({});
+  skilc::run_function(plain.instantiated, "scale",
+                      {float_array({}), ys_plain, Value::of_float(2.5)});
+  skilc::run_function(rewritten.instantiated, "scale",
+                      {float_array({}), ys_rewritten, Value::of_float(2.5)});
+  EXPECT_TRUE(skilc::value_bits_equal(ys_plain, ys_rewritten));
+}
+
+TEST(SkelRunDifferential, MapBoundedByTheDestinationIsNotRewritten) {
+  // `b[i] = a[i] * 2` bounded by len(b): the skeleton would traverse
+  // `a`, so with len(b) < len(a) a rewrite would change the trip
+  // count.  Recognition must refuse, and the untouched program keeps
+  // its sequential semantics.
+  const char* source = R"(int len (array <int> a);
+
+void double_into (array <int> a, array <int> b) {
+  int i;
+  for (i = 0; i < len(b); i = i + 1) {
+    b[i] = a[i] * 2;
+  }
+}
+)";
+  const CompileResult plain = compile_plain(source);
+  const CompileResult rewritten = compile_skeletonized(source);
+  EXPECT_EQ(rewritten.skeletonize.recognized(), 0);
+  EXPECT_EQ(rewritten.skeletonize.rejected_bounds, 1);
+
+  const std::vector<long> a = {1, 2, 3, 4, 5, 6};
+  Value b_plain = int_array({0, 0, 0});
+  Value b_rewritten = int_array({0, 0, 0});
+  skilc::run_function(plain.instantiated, "double_into",
+                      {int_array(a), b_plain});
+  skilc::run_function(rewritten.instantiated, "double_into",
+                      {int_array(a), b_rewritten});
+  EXPECT_TRUE(skilc::value_bits_equal(b_plain, b_rewritten));
+  EXPECT_EQ((*b_rewritten.array)[2].i, 6);
+}
+
+TEST(SkelRunDifferential, RectangularNestIsNotRewritten) {
+  // A valid 2x3 * 3x2 product iterates j over len(c), which differs
+  // from len(b): the skeleton's j dimension spans len(b), so the nest
+  // must stay sequential.
+  const char* source = R"(int len (array <array <int> > a);
+
+void matmul_rect (array <array <int> > a, array <array <int> > b,
+                  array <array <int> > c) {
+  int i;
+  int j;
+  int k;
+  for (i = 0; i < len(a); i = i + 1) {
+    for (j = 0; j < len(c); j = j + 1) {
+      for (k = 0; k < len(b); k = k + 1) {
+        c[i][j] = c[i][j] + a[i][k] * b[k][j];
+      }
+    }
+  }
+}
+)";
+  const CompileResult plain = compile_plain(source);
+  const CompileResult rewritten = compile_skeletonized(source);
+  EXPECT_EQ(rewritten.skeletonize.recognized(), 0);
+  EXPECT_EQ(rewritten.skeletonize.rejected_bounds, 1);
+
+  // a: 2x3, b: 3x2, c: 2x2 -- len(c) == 2 != len(b) == 3.
+  const Value a = Value::of_array(
+      {int_array({1, 2, 3}), int_array({4, 5, 6})});
+  const Value b = Value::of_array(
+      {int_array({7, 8}), int_array({9, 10}), int_array({11, 12})});
+  Value c_plain = Value::of_array({int_array({0, 0}), int_array({0, 0})});
+  Value c_rewritten = Value::of_array({int_array({0, 0}), int_array({0, 0})});
+  skilc::run_function(plain.instantiated, "matmul_rect", {a, b, c_plain});
+  skilc::run_function(rewritten.instantiated, "matmul_rect",
+                      {a, b, c_rewritten});
+  EXPECT_TRUE(skilc::value_bits_equal(c_plain, c_rewritten));
+  EXPECT_EQ((*c_rewritten.array)[0].array->at(0).i, 1 * 7 + 2 * 9 + 3 * 11);
+  EXPECT_EQ((*c_rewritten.array)[1].array->at(1).i, 4 * 8 + 5 * 10 + 6 * 12);
+}
+
 // --- engine cross-checks: rewritten program vs the real skeletons ----------
 
 class SkelRunEngines : public ::testing::TestWithParam<ExecutionEngine> {};
@@ -313,6 +412,7 @@ TEST(SkelRunFuzz, RandomMapBodiesAreBitIdentical) {
   std::mt19937 rng(19960528);
   std::uniform_int_distribution<int> pick_depth(1, 3);
   std::uniform_int_distribution<long> pick_val(-1000, 1000);
+  std::uniform_int_distribution<std::size_t> pick_len(0, 17);
   for (int round = 0; round < 30; ++round) {
     const std::string body = random_sourced_expr(rng, pick_depth(rng));
     const std::string source = "int len (array <int> a);\n\n"
@@ -327,7 +427,7 @@ TEST(SkelRunFuzz, RandomMapBodiesAreBitIdentical) {
     const CompileResult rewritten = compile_skeletonized(source);
     ASSERT_EQ(rewritten.skeletonize.recognized_map, 1) << source;
 
-    std::vector<long> xs(17);
+    std::vector<long> xs(pick_len(rng));
     for (long& v : xs) v = pick_val(rng);
     const Value w = Value::of_int(pick_val(rng));
     Value ys_plain = int_array(std::vector<long>(xs.size(), 0));
@@ -345,6 +445,7 @@ TEST(SkelRunFuzz, RandomFoldBodiesAreBitIdentical) {
   std::uniform_int_distribution<int> pick_depth(0, 2);
   std::uniform_int_distribution<int> pick_op(0, 1);
   std::uniform_int_distribution<long> pick_val(-50, 50);
+  std::uniform_int_distribution<std::size_t> pick_len(0, 11);
   for (int round = 0; round < 30; ++round) {
     const bool mult = pick_op(rng) == 1;
     const std::string op = mult ? "*" : "+";
@@ -363,7 +464,7 @@ TEST(SkelRunFuzz, RandomFoldBodiesAreBitIdentical) {
     const CompileResult rewritten = compile_skeletonized(source);
     ASSERT_EQ(rewritten.skeletonize.recognized_fold, 1) << source;
 
-    std::vector<long> xs(11);
+    std::vector<long> xs(pick_len(rng));
     for (long& v : xs) v = pick_val(rng);
     const Value w = Value::of_int(pick_val(rng));
     const Value a = skilc::run_function(plain.instantiated, "f",

@@ -75,6 +75,10 @@ TEST(SkeletonizeFixtures, RejectionsMatchGoldens) {
   EXPECT_EQ(lint_fixture("skel_live_induction"),
             golden("skel_live_induction"));
   EXPECT_EQ(lint_fixture("skel_bounds"), golden("skel_bounds"));
+  EXPECT_EQ(lint_fixture("skel_map_dst_bound"),
+            golden("skel_map_dst_bound"));
+  EXPECT_EQ(lint_fixture("skel_gen_mult_bounds"),
+            golden("skel_gen_mult_bounds"));
 }
 
 TEST(SkeletonizeFixtures, GoldensNameTheExactBlockingSite) {
@@ -176,17 +180,41 @@ TEST(SkeletonizeRewrite, MapLoopBecomesAnArrayMapCall) {
   EXPECT_TRUE(saw_note);
 }
 
-TEST(SkeletonizeRewrite, FoldLoopSeedsTheAccumulatorFromTheCall) {
+TEST(SkeletonizeRewrite, FoldLoopBecomesAGuardedFoldCall) {
   const CompileResult result =
       compile(fixture_source("skel_fold"), skeletonize_options());
   EXPECT_EQ(result.skeletonize.recognized_fold, 1);
   ASSERT_NE(result.typed.find_function("array_fold"), nullptr);
   ASSERT_NE(result.typed.find_function("__skel_fold_0"), nullptr);
-  // The loop is gone: the accumulator declaration now holds the call.
+  // The loop is gone; the identity seed stays, and the fold call is
+  // guarded on a non-empty partition (the canonical fold reads
+  // a[part_lower(a)], which an empty array must never reach).
   const Function* dot = result.typed.find_function("dot");
   ASSERT_NE(dot, nullptr);
-  for (const StmtPtr& stmt : dot->body)
+  bool saw_seed = false;
+  const Stmt* guard = nullptr;
+  for (const StmtPtr& stmt : dot->body) {
     EXPECT_NE(stmt->kind, Stmt::Kind::kFor);
+    if (stmt->kind == Stmt::Kind::kVarDecl && stmt->decl_name == "total" &&
+        stmt->init != nullptr && stmt->init->kind == Expr::Kind::kIntLit &&
+        stmt->init->int_value == 0)
+      saw_seed = true;
+    if (stmt->kind == Stmt::Kind::kIf) guard = stmt.get();
+  }
+  EXPECT_TRUE(saw_seed);
+  ASSERT_NE(guard, nullptr);
+  // The guard compares the partition bounds...
+  ASSERT_NE(guard->expr, nullptr);
+  EXPECT_EQ(guard->expr->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(guard->expr->name, "<");
+  // ...and its body assigns the fold call to the accumulator.
+  ASSERT_EQ(guard->body.size(), 1u);
+  const Stmt& assign = *guard->body.front();
+  ASSERT_EQ(assign.kind, Stmt::Kind::kExpr);
+  ASSERT_EQ(assign.expr->kind, Expr::Kind::kAssign);
+  EXPECT_EQ(assign.expr->lhs->name, "total");
+  EXPECT_EQ(assign.expr->rhs->kind, Expr::Kind::kCall);
+  EXPECT_EQ(assign.expr->rhs->callee->name, "array_fold");
 }
 
 TEST(SkeletonizeRewrite, TripleNestBecomesGenMult) {
